@@ -1,0 +1,31 @@
+//! Ablations: injection policy, crossbar contention and page coloring
+//! (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcoma_bench::{bench_config, print_config};
+use vcoma_experiments::{ablations, ccnuma};
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Ablations (smoke scale) ===");
+    let pc = print_config();
+    let mut rows = ablations::contention(&pc);
+    rows.extend(ablations::coloring(&pc));
+    rows.extend(ablations::injection(&pc));
+    rows.extend(ablations::software_managed(&pc));
+    println!("{}", ablations::render(&rows).render());
+    println!("CC-NUMA motivation (paper §2):");
+    println!("{}", ccnuma::render(&ccnuma::run(&pc)).render());
+
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("contention", |b| b.iter(|| ablations::contention(&cfg)));
+    g.bench_function("coloring", |b| b.iter(|| ablations::coloring(&cfg)));
+    g.bench_function("injection", |b| b.iter(|| ablations::injection(&cfg)));
+    g.bench_function("software_managed", |b| b.iter(|| ablations::software_managed(&cfg)));
+    g.bench_function("ccnuma_motivation", |b| b.iter(|| ccnuma::run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 10: execution-time breakdown per node.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcoma_bench::{bench_config, print_config};
+use vcoma_experiments::fig10;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Figure 10 (smoke scale): execution-time breakdown ===");
+    for panel in fig10::run(&print_config()) {
+        println!("{}", fig10::render(&panel).render());
+    }
+
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("breakdown_bars", |b| b.iter(|| fig10::run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 11: global-page-set pressure profiles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcoma_bench::{bench_config, print_config};
+use vcoma_experiments::fig11;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Figure 11 (smoke scale): pressure profiles ===");
+    println!("{}", fig11::render(&fig11::run(&print_config())).render());
+
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("pressure_profiles", |b| b.iter(|| fig11::run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 8: translation misses per node vs TLB/DLB size.
+//!
+//! Prints every benchmark's panel once, then measures regenerating a
+//! reduced two-scheme grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcoma::Scheme;
+use vcoma_bench::{bench_config, print_config};
+use vcoma_experiments::fig8;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Figure 8 (smoke scale): translation misses/node vs TLB/DLB size ===");
+    for panel in fig8::run(&print_config()) {
+        println!("{}", fig8::render(&panel).render());
+    }
+
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("two_scheme_grid", |b| {
+        b.iter(|| fig8::run_schemes(&cfg, &[Scheme::L0Tlb, Scheme::VComa]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

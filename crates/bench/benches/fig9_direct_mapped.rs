@@ -1,0 +1,31 @@
+//! Figure 9: direct-mapped vs fully-associative TLB/DLB.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcoma_bench::{bench_config, print_config};
+use vcoma_experiments::fig9;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Figure 9 (smoke scale): direct-mapped vs fully-associative ===");
+    let panels = fig9::run(&print_config());
+    for panel in &panels {
+        println!("{}", fig9::render(panel).render());
+    }
+    // The paper's headline: the DM/FA gap shrinks with the level.
+    for panel in &panels {
+        let gaps: Vec<String> = panel
+            .curves
+            .iter()
+            .map(|c| format!("{} {:.2}x", c.scheme.label(), c.mean_gap()))
+            .collect();
+        println!("{}: mean DM/FA gap: {}", panel.benchmark, gaps.join(", "));
+    }
+
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("dm_vs_fa_grid", |b| b.iter(|| fig9::run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

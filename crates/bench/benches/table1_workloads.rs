@@ -1,0 +1,26 @@
+//! Table 1: benchmark parameters and trace-generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcoma::workloads::by_name;
+use vcoma_bench::{bench_config, print_config};
+use vcoma_experiments::table1;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Table 1 (smoke scale): benchmark parameters ===");
+    println!("{}", table1::render(&table1::run(&print_config())).render());
+
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("summarise_traces", |b| b.iter(|| table1::run(&cfg)));
+    for name in ["RADIX", "FFT", "OCEAN"] {
+        let w = by_name(name, cfg.scale).expect("known benchmark");
+        g.bench_function(format!("generate_{name}"), |b| {
+            b.iter(|| w.generate(&cfg.machine))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

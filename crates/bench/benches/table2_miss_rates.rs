@@ -1,0 +1,19 @@
+//! Table 2: TLB/DLB miss rates per processor reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcoma_bench::{bench_config, print_config};
+use vcoma_experiments::table2;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Table 2 (smoke scale): miss rates per processor reference (%) ===");
+    println!("{}", table2::render(&table2::run(&print_config())).render());
+
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("five_scheme_grid", |b| b.iter(|| table2::run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

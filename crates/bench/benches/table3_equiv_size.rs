@@ -1,0 +1,19 @@
+//! Table 3: the TLB size equivalent to an 8-entry DLB.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcoma_bench::{bench_config, print_config};
+use vcoma_experiments::table3;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Table 3 (smoke scale): TLB size equivalent to an 8-entry DLB ===");
+    println!("{}", table3::render(&table3::run(&print_config())).render());
+
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("equivalence_search", |b| b.iter(|| table3::run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

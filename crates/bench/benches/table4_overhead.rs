@@ -1,0 +1,19 @@
+//! Table 4: translation time / total stall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcoma_bench::{bench_config, print_config};
+use vcoma_experiments::table4;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Table 4 (smoke scale): translation time / stall time (%) ===");
+    println!("{}", table4::render(&table4::run(&print_config())).render());
+
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("overhead_ratios", |b| b.iter(|| table4::run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! Each bench in `benches/` regenerates one of the paper's tables or
+//! figures through the `vcoma-experiments` entry points, prints the
+//! rendered artifact once (so `cargo bench` output doubles as a miniature
+//! reproduction report), and then measures the regeneration time at a
+//! reduced scale.
+
+use vcoma_experiments::ExperimentConfig;
+
+/// The configuration used by the benches: the paper machine at a very
+/// small workload scale, so a full `cargo bench --workspace` stays within
+/// minutes.
+pub fn bench_config() -> ExperimentConfig {
+    ExperimentConfig::smoke().with_scale(0.004)
+}
+
+/// A slightly larger configuration for the one-shot artifact print.
+pub fn print_config() -> ExperimentConfig {
+    ExperimentConfig::smoke()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_small() {
+        assert!(bench_config().scale < print_config().scale);
+        assert_eq!(bench_config().machine.nodes, 32);
+    }
+}

@@ -1,0 +1,409 @@
+//! The generic set-associative array underlying every tagged memory.
+
+use vcoma_types::{CacheGeometry, DetRng};
+
+/// Replacement policy applied within a set when a victim is needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Replacement {
+    /// Least-recently-used. Used by the processor caches.
+    Lru,
+    /// Uniformly random among the set's ways, as the paper uses for the
+    /// fully-associative TLB/DLB (§5.1). Carries its own deterministic RNG.
+    Random(DetRng),
+}
+
+impl Replacement {
+    /// Picks the victim way among `ways` occupied ways given their LRU
+    /// ranks (`ranks[i]` = ticks since last touch ordering; larger = older).
+    fn victim(&mut self, ranks: &[u64]) -> usize {
+        match self {
+            Replacement::Lru => {
+                let mut best = 0;
+                for (i, &r) in ranks.iter().enumerate() {
+                    if r < ranks[best] {
+                        best = i;
+                    }
+                }
+                best
+            }
+            Replacement::Random(rng) => rng.gen_index(ranks.len()),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Way<T> {
+    tag: u64,
+    /// Monotone touch counter used as an LRU timestamp.
+    stamp: u64,
+    data: T,
+}
+
+/// A set-associative array of tagged entries.
+///
+/// Entries are keyed by *block number*; the set index is `block % sets` and
+/// the tag is the full block number (the split into index/tag bits is
+/// immaterial for a simulator). `T` is per-line payload: coherence state,
+/// dirty bits, back-pointers, or `()` for a pure presence check.
+///
+/// The array never exceeds `sets × assoc` entries; inserting into a full set
+/// evicts a victim chosen by the [`Replacement`] policy and returns it.
+#[derive(Debug, Clone)]
+pub struct SetAssocArray<T> {
+    sets: Vec<Vec<Way<T>>>,
+    assoc: usize,
+    policy: Replacement,
+    clock: u64,
+}
+
+impl<T> SetAssocArray<T> {
+    /// Creates an empty array with `sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `assoc` is zero.
+    pub fn new(sets: u64, assoc: u64, policy: Replacement) -> Self {
+        assert!(sets > 0 && assoc > 0, "sets and assoc must be positive");
+        SetAssocArray {
+            sets: (0..sets).map(|_| Vec::with_capacity(assoc as usize)).collect(),
+            assoc: assoc as usize,
+            policy,
+            clock: 0,
+        }
+    }
+
+    /// Creates an array with the given geometry (`geometry.sets()` sets of
+    /// `geometry.assoc` ways).
+    pub fn with_geometry(geometry: CacheGeometry, policy: Replacement) -> Self {
+        SetAssocArray::new(geometry.sets(), geometry.assoc, policy)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets.len() as u64
+    }
+
+    /// Ways per set.
+    pub fn assoc(&self) -> u64 {
+        self.assoc as u64
+    }
+
+    /// Total entries currently resident.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    /// Maximum number of resident entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+
+    fn set_index(&self, block: u64) -> usize {
+        (block % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up a block, refreshing its LRU position. Returns a mutable
+    /// reference to its payload if present.
+    pub fn lookup(&mut self, block: u64) -> Option<&mut T> {
+        self.clock += 1;
+        let clock = self.clock;
+        let si = self.set_index(block);
+        self.sets[si].iter_mut().find(|w| w.tag == block).map(|w| {
+            w.stamp = clock;
+            &mut w.data
+        })
+    }
+
+    /// Looks up a block without touching LRU state.
+    pub fn peek(&self, block: u64) -> Option<&T> {
+        let si = self.set_index(block);
+        self.sets[si].iter().find(|w| w.tag == block).map(|w| &w.data)
+    }
+
+    /// Mutable lookup without touching LRU state.
+    pub fn peek_mut(&mut self, block: u64) -> Option<&mut T> {
+        let si = self.set_index(block);
+        self.sets[si].iter_mut().find(|w| w.tag == block).map(|w| &mut w.data)
+    }
+
+    /// Returns `true` if the block is resident.
+    pub fn contains(&self, block: u64) -> bool {
+        self.peek(block).is_some()
+    }
+
+    /// Inserts a block, evicting a victim if its set is full.
+    ///
+    /// Returns the evicted `(block, payload)` if an eviction happened. If
+    /// the block was already resident its payload is replaced (no eviction)
+    /// and the old payload is returned with the *same* block number.
+    pub fn insert(&mut self, block: u64, data: T) -> Option<(u64, T)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let si = self.set_index(block);
+        let set = &mut self.sets[si];
+        if let Some(w) = set.iter_mut().find(|w| w.tag == block) {
+            w.stamp = clock;
+            let old = std::mem::replace(&mut w.data, data);
+            return Some((block, old));
+        }
+        if set.len() < self.assoc {
+            set.push(Way { tag: block, stamp: clock, data });
+            return None;
+        }
+        let ranks: Vec<u64> = set.iter().map(|w| w.stamp).collect();
+        let v = self.policy.victim(&ranks);
+        let victim = std::mem::replace(&mut set[v], Way { tag: block, stamp: clock, data });
+        Some((victim.tag, victim.data))
+    }
+
+    /// Removes a block, returning its payload if it was resident.
+    pub fn invalidate(&mut self, block: u64) -> Option<T> {
+        let si = self.set_index(block);
+        let set = &mut self.sets[si];
+        let pos = set.iter().position(|w| w.tag == block)?;
+        Some(set.swap_remove(pos).data)
+    }
+
+    /// Removes every entry for which `pred` returns `true`, returning the
+    /// removed `(block, payload)` pairs. Used for page-granularity flushes
+    /// (address-mapping changes, protection changes).
+    pub fn retain_or_collect(&mut self, mut pred: impl FnMut(u64, &T) -> bool) -> Vec<(u64, T)> {
+        let mut removed = Vec::new();
+        for set in &mut self.sets {
+            let mut i = 0;
+            while i < set.len() {
+                if pred(set[i].tag, &set[i].data) {
+                    let w = set.swap_remove(i);
+                    removed.push((w.tag, w.data));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Iterates over all resident `(block, payload)` pairs in unspecified
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.sets.iter().flatten().map(|w| (w.tag, &w.data))
+    }
+
+    /// Number of resident entries in the set that `block` maps to.
+    pub fn set_occupancy(&self, block: u64) -> usize {
+        self.sets[self.set_index(block)].len()
+    }
+
+    /// Returns `true` if the set that `block` maps to has a free way.
+    pub fn set_has_room(&self, block: u64) -> bool {
+        self.set_occupancy(block) < self.assoc
+    }
+
+    /// Iterates over the `(block, payload)` pairs resident in the set that
+    /// `block` maps to. Used by the coherence protocol to pick replacement
+    /// victims by state priority rather than by this array's policy.
+    pub fn entries_in_set(&self, block: u64) -> impl Iterator<Item = (u64, &T)> {
+        self.sets[self.set_index(block)].iter().map(|w| (w.tag, &w.data))
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lru_array(sets: u64, assoc: u64) -> SetAssocArray<u32> {
+        SetAssocArray::new(sets, assoc, Replacement::Lru)
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let mut a = lru_array(4, 2);
+        assert!(a.insert(5, 50).is_none());
+        assert_eq!(a.lookup(5), Some(&mut 50));
+        assert_eq!(a.peek(5), Some(&50));
+        assert!(a.contains(5));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn lookup_missing_is_none() {
+        let mut a = lru_array(4, 2);
+        assert_eq!(a.lookup(9), None);
+        assert_eq!(a.peek(9), None);
+    }
+
+    #[test]
+    fn reinsert_replaces_payload_and_returns_old() {
+        let mut a = lru_array(4, 2);
+        a.insert(5, 50);
+        let old = a.insert(5, 51);
+        assert_eq!(old, Some((5, 50)));
+        assert_eq!(a.peek(5), Some(&51));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut a = lru_array(1, 2);
+        a.insert(0, 0);
+        a.insert(1, 1);
+        a.lookup(0); // 0 now most recent
+        let evicted = a.insert(2, 2);
+        assert_eq!(evicted, Some((1, 1)));
+        assert!(a.contains(0));
+        assert!(a.contains(2));
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut a = lru_array(4, 1);
+        a.insert(0, 0);
+        // block 4 maps to set 0 too
+        let evicted = a.insert(4, 44);
+        assert_eq!(evicted, Some((0, 0)));
+        assert!(!a.contains(0));
+        assert!(a.contains(4));
+    }
+
+    #[test]
+    fn blocks_in_different_sets_do_not_conflict() {
+        let mut a = lru_array(4, 1);
+        a.insert(0, 0);
+        a.insert(1, 1);
+        a.insert(2, 2);
+        a.insert(3, 3);
+        assert_eq!(a.len(), 4);
+        assert!(a.contains(0) && a.contains(1) && a.contains(2) && a.contains(3));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut a = lru_array(4, 2);
+        a.insert(5, 50);
+        assert_eq!(a.invalidate(5), Some(50));
+        assert!(!a.contains(5));
+        assert_eq!(a.invalidate(5), None);
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic() {
+        let mk = || {
+            let mut a: SetAssocArray<u32> =
+                SetAssocArray::new(1, 4, Replacement::Random(DetRng::new(7)));
+            let mut evictions = Vec::new();
+            for b in 0..32u64 {
+                if let Some((tag, _)) = a.insert(b, b as u32) {
+                    evictions.push(tag);
+                }
+            }
+            evictions
+        };
+        assert_eq!(mk(), mk());
+        assert!(!mk().is_empty());
+    }
+
+    #[test]
+    fn retain_or_collect_flushes_predicate_matches() {
+        let mut a = lru_array(8, 2);
+        for b in 0..8u64 {
+            a.insert(b, b as u32);
+        }
+        let removed = a.retain_or_collect(|b, _| b % 2 == 0);
+        assert_eq!(removed.len(), 4);
+        assert_eq!(a.len(), 4);
+        for b in 0..8u64 {
+            assert_eq!(a.contains(b), b % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn with_geometry_matches_dimensions() {
+        let g = CacheGeometry::new(64 << 10, 4, 64).unwrap();
+        let a: SetAssocArray<()> = SetAssocArray::with_geometry(g, Replacement::Lru);
+        assert_eq!(a.sets(), 256);
+        assert_eq!(a.assoc(), 4);
+        assert_eq!(a.capacity(), 1024);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut a = lru_array(2, 2);
+        a.insert(0, 0);
+        a.insert(1, 1);
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn set_occupancy_counts_per_set() {
+        let mut a = lru_array(2, 4);
+        a.insert(0, 0);
+        a.insert(2, 2);
+        a.insert(1, 1);
+        assert_eq!(a.set_occupancy(0), 2);
+        assert_eq!(a.set_occupancy(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sets and assoc must be positive")]
+    fn zero_sets_panics() {
+        let _ = lru_array(0, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn never_exceeds_capacity(ops in proptest::collection::vec((0u64..64, 0u32..100), 0..200)) {
+            let mut a = lru_array(4, 2);
+            for (b, v) in ops {
+                a.insert(b, v);
+                prop_assert!(a.len() <= a.capacity());
+                for s in 0..4u64 {
+                    prop_assert!(a.set_occupancy(s) <= 2);
+                }
+            }
+        }
+
+        #[test]
+        fn lookup_after_insert_always_hits(blocks in proptest::collection::vec(0u64..1000, 1..100)) {
+            let mut a = lru_array(16, 4);
+            for b in blocks {
+                a.insert(b, b as u32);
+                prop_assert_eq!(a.peek(b), Some(&(b as u32)));
+            }
+        }
+
+        #[test]
+        fn eviction_comes_from_same_set(blocks in proptest::collection::vec(0u64..256, 1..200)) {
+            let mut a = lru_array(8, 2);
+            for b in blocks {
+                if let Some((victim, _)) = a.insert(b, 0) {
+                    prop_assert_eq!(victim % 8, b % 8);
+                }
+            }
+        }
+
+        #[test]
+        fn random_policy_respects_capacity(seed in 0u64..1000, blocks in proptest::collection::vec(0u64..64, 0..200)) {
+            let mut a: SetAssocArray<u32> =
+                SetAssocArray::new(2, 4, Replacement::Random(DetRng::new(seed)));
+            for b in blocks {
+                a.insert(b, 0);
+                prop_assert!(a.len() <= 8);
+            }
+        }
+    }
+}

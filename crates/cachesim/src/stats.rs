@@ -1,0 +1,115 @@
+//! Per-cache statistics counters.
+
+/// Event counters accumulated by a cache model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CacheStats {
+    /// Read accesses presented to the cache.
+    pub reads: u64,
+    /// Write accesses presented to the cache.
+    pub writes: u64,
+    /// Read hits.
+    pub read_hits: u64,
+    /// Write hits.
+    pub write_hits: u64,
+    /// Lines evicted to make room (capacity/conflict evictions; excludes
+    /// explicit invalidations).
+    pub evictions: u64,
+    /// Dirty lines written back (write-back caches only).
+    pub writebacks: u64,
+    /// Lines removed by external invalidation (coherence or inclusion).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total accesses (reads + writes).
+    pub const fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total hits.
+    pub const fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses.
+    pub const fn misses(&self) -> u64 {
+        self.accesses() - self.hits()
+    }
+
+    /// Miss ratio in `[0, 1]`; `0` when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Accumulates another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_hits += other.read_hits;
+        self.write_hits += other.write_hits;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.invalidations += other.invalidations;
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "accesses={} hits={} misses={} (miss ratio {:.4}) evictions={} writebacks={} \
+             invalidations={}",
+            self.accesses(),
+            self.hits(),
+            self.misses(),
+            self.miss_ratio(),
+            self.evictions,
+            self.writebacks,
+            self.invalidations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_counters() {
+        let s = CacheStats {
+            reads: 10,
+            writes: 5,
+            read_hits: 8,
+            write_hits: 3,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.accesses(), 15);
+        assert_eq!(s.hits(), 11);
+        assert_eq!(s.misses(), 4);
+        assert!((s.miss_ratio() - 4.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_ratio_of_empty_is_zero() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CacheStats { reads: 1, writebacks: 2, ..CacheStats::default() };
+        let b = CacheStats { reads: 3, writebacks: 4, invalidations: 5, ..CacheStats::default() };
+        a.merge(&b);
+        assert_eq!(a.reads, 4);
+        assert_eq!(a.writebacks, 6);
+        assert_eq!(a.invalidations, 5);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!CacheStats::default().to_string().is_empty());
+    }
+}

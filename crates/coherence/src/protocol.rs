@@ -1,0 +1,916 @@
+//! The COMA-F write-invalidate protocol engine.
+
+use crate::{AmState, DirEntry, HomeTranslation, ProtocolStats};
+use std::collections::HashMap;
+use vcoma_cachesim::SetAssocArray;
+use vcoma_net::{Crossbar, MsgKind};
+use vcoma_types::{DetRng, MachineConfig, NodeId, Timing};
+
+/// How a master/exclusive victim searches for a new slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionPolicy {
+    /// The paper's protocol (§4.2): the home accepts only with a spare
+    /// Invalid way; otherwise the block is forwarded to nodes in random
+    /// order, each accepting with an Invalid way or by displacing a Shared
+    /// copy.
+    RandomForward,
+    /// Ablation: the home always accepts, displacing a Shared copy if it
+    /// has one, before falling back to forwarding.
+    HomeDisplace,
+}
+
+/// Result of one protocol transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// `true` if the access was satisfied by the local attraction memory
+    /// without any protocol traffic.
+    pub local_hit: bool,
+    /// Stall cycles charged to the requester beyond its local hierarchy
+    /// charges (zero for local hits).
+    pub latency: u64,
+    /// Portion of `latency` spent translating at home nodes (DLB misses in
+    /// V-COMA; zero under [`crate::NullTranslation`]).
+    pub home_lookup_cycles: u64,
+    /// AM blocks removed from nodes' attraction memories during this
+    /// transaction (coherence invalidations, replacement victims and
+    /// injection displacements). The caller must back-invalidate the
+    /// processor caches above those attraction memories to preserve
+    /// inclusion.
+    pub invalidations: Vec<(NodeId, u64)>,
+    /// `true` if this transaction obtained exclusive ownership (the hook
+    /// for the page-table modified bit, paper §4.3).
+    pub took_ownership: bool,
+}
+
+impl Access {
+    fn local() -> Self {
+        Access {
+            local_hit: true,
+            latency: 0,
+            home_lookup_cycles: 0,
+            invalidations: Vec::new(),
+            took_ownership: false,
+        }
+    }
+}
+
+/// The machine-wide protocol state: one attraction-memory array per node
+/// plus the distributed directory.
+///
+/// The protocol is address-space agnostic: `block` numbers may be physical
+/// (`L0`–`L3`) or virtual (V-COMA) AM-block numbers; each transaction is
+/// told the block's home node by the caller. See the crate docs for an
+/// example.
+#[derive(Debug, Clone)]
+pub struct Protocol {
+    ams: Vec<SetAssocArray<AmState>>,
+    dir: HashMap<u64, DirEntry>,
+    timing: Timing,
+    nodes: u64,
+    rng: DetRng,
+    policy: InjectionPolicy,
+    stats: ProtocolStats,
+}
+
+impl Protocol {
+    /// Creates the protocol state for a machine, with empty attraction
+    /// memories. `seed` drives victim selection and injection forwarding.
+    pub fn new(cfg: &MachineConfig, seed: u64) -> Self {
+        Protocol {
+            ams: (0..cfg.nodes)
+                .map(|_| {
+                    SetAssocArray::with_geometry(cfg.am, vcoma_cachesim::Replacement::Lru)
+                })
+                .collect(),
+            dir: HashMap::new(),
+            timing: cfg.timing,
+            nodes: cfg.nodes,
+            rng: DetRng::new(seed ^ 0xC0A_0C0A),
+            policy: InjectionPolicy::RandomForward,
+            stats: ProtocolStats::default(),
+        }
+    }
+
+    /// Selects the injection policy (default [`InjectionPolicy::RandomForward`]).
+    pub fn with_injection_policy(mut self, policy: InjectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Installs a master copy of `block` at `home` with no cost, as if the
+    /// page had been touched there before the measurement window. Test and
+    /// warm-up helper; the simulator normally lets first-touch place blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already cached somewhere or the home set is
+    /// full.
+    pub fn preload(&mut self, block: u64, home: NodeId) {
+        let entry = self.dir.entry(block).or_insert(DirEntry::empty(home));
+        assert!(entry.is_uncached(), "preload of an already-cached block {block:#x}");
+        assert!(
+            self.ams[home.index()].set_has_room(block),
+            "preload overflows home set for block {block:#x}"
+        );
+        self.ams[home.index()].insert(block, AmState::MasterShared);
+        entry.add(home);
+        entry.master = Some(home);
+    }
+
+    /// Returns `true` if `node` can satisfy the access locally: any resident
+    /// copy for a read, an Exclusive copy for a write.
+    pub fn probe(&self, node: NodeId, block: u64, write: bool) -> bool {
+        match self.ams[node.index()].peek(block) {
+            None => false,
+            Some(state) => !write || state.satisfies_write(),
+        }
+    }
+
+    /// Returns the AM state of `block` at `node`, if resident.
+    pub fn state_of(&self, node: NodeId, block: u64) -> Option<AmState> {
+        self.ams[node.index()].peek(block).copied()
+    }
+
+    /// Number of blocks resident in one node's attraction memory.
+    pub fn am_occupancy(&self, node: NodeId) -> usize {
+        self.ams[node.index()].len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ProtocolStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics counters, keeping all attraction-memory and
+    /// directory state (used between a warm-up pass and the measured pass).
+    pub fn reset_stats(&mut self) {
+        self.stats = ProtocolStats::default();
+    }
+
+    /// A processor read of `block` by `requester`, whose home is `home`.
+    /// `now` is the requester's current time; latencies are derived from
+    /// crossbar arrival times so that transactions touching only the local
+    /// node are free of network charges.
+    pub fn read(
+        &mut self,
+        requester: NodeId,
+        block: u64,
+        home: NodeId,
+        net: &mut Crossbar,
+        xl: &mut dyn HomeTranslation,
+        now: u64,
+    ) -> Access {
+        if self.ams[requester.index()].lookup(block).is_some() {
+            self.stats.local_read_hits += 1;
+            return Access::local();
+        }
+        let mut invals = Vec::new();
+        let mut t = net.send(requester, home, MsgKind::ReadReq, now);
+        let lookup = xl.home_lookup(home, block) + self.timing.dir_lookup;
+        t += lookup;
+
+        let entry = self.dir.entry(block).or_insert(DirEntry::empty(home));
+        debug_assert_eq!(entry.home, home, "home mismatch for block {block:#x}");
+
+        if entry.is_uncached() {
+            // Cold fill: the home materialises the block from its backing
+            // store; the requester becomes the master.
+            self.stats.cold_fills += 1;
+            t += self.timing.am_hit;
+            t = net.send(home, requester, MsgKind::BlockReply, t);
+            self.dir.get_mut(&block).expect("just inserted").add(requester);
+            self.dir.get_mut(&block).expect("just inserted").master = Some(requester);
+            self.install(requester, block, AmState::MasterShared, net, t, &mut invals);
+        } else {
+            let master = entry.master.expect("cached block must have a master");
+            debug_assert_ne!(
+                master, requester,
+                "requester missed locally but directory says it is master"
+            );
+            self.stats.remote_reads += 1;
+            t = net.send(home, master, MsgKind::ForwardReq, t);
+            t += self.timing.am_hit;
+            t = net.send(master, requester, MsgKind::BlockReply, t);
+            // A read demotes an Exclusive master to Master-shared.
+            if let Some(s) = self.ams[master.index()].peek_mut(block) {
+                if *s == AmState::Exclusive {
+                    *s = AmState::MasterShared;
+                }
+            } else {
+                debug_assert!(false, "directory master {master} does not hold {block:#x}");
+            }
+            self.dir.get_mut(&block).expect("entry exists").add(requester);
+            self.install(requester, block, AmState::Shared, net, t, &mut invals);
+        }
+        Access {
+            local_hit: false,
+            latency: t - now,
+            home_lookup_cycles: lookup - self.timing.dir_lookup,
+            invalidations: invals,
+            took_ownership: false,
+        }
+    }
+
+    /// A processor write of `block` by `requester`, whose home is `home`.
+    pub fn write(
+        &mut self,
+        requester: NodeId,
+        block: u64,
+        home: NodeId,
+        net: &mut Crossbar,
+        xl: &mut dyn HomeTranslation,
+        now: u64,
+    ) -> Access {
+        let local_state = self.ams[requester.index()].lookup(block).copied();
+        if local_state == Some(AmState::Exclusive) {
+            self.stats.local_write_hits += 1;
+            return Access::local();
+        }
+        let mut invals = Vec::new();
+        let mut t = match local_state {
+            Some(_) => net.send(requester, home, MsgKind::UpgradeReq, now),
+            None => net.send(requester, home, MsgKind::WriteReq, now),
+        };
+        let lookup = xl.home_lookup(home, block) + self.timing.dir_lookup;
+        t += lookup;
+
+        let entry = *self.dir.entry(block).or_insert(DirEntry::empty(home));
+        debug_assert_eq!(entry.home, home, "home mismatch for block {block:#x}");
+
+        match local_state {
+            Some(_) => {
+                // Upgrade: invalidate every other copy, then grant.
+                self.stats.upgrades += 1;
+                let ack_t = self.invalidate_others(block, requester, home, net, t, &mut invals);
+                let grant_t = net.send(home, requester, MsgKind::Ack, t);
+                t = ack_t.max(grant_t);
+                let e = self.dir.get_mut(&block).expect("entry exists");
+                e.copyset = 1 << requester.index();
+                e.master = Some(requester);
+                *self.ams[requester.index()]
+                    .peek_mut(block)
+                    .expect("upgrading node holds the block") = AmState::Exclusive;
+            }
+            None if entry.is_uncached() => {
+                // Cold write fill: requester becomes the exclusive owner.
+                self.stats.cold_fills += 1;
+                t += self.timing.am_hit;
+                t = net.send(home, requester, MsgKind::BlockReply, t);
+                let e = self.dir.get_mut(&block).expect("entry exists");
+                e.add(requester);
+                e.master = Some(requester);
+                self.install(requester, block, AmState::Exclusive, net, t, &mut invals);
+            }
+            None => {
+                // Write miss served by the current master; all other copies
+                // are invalidated in parallel.
+                self.stats.remote_writes += 1;
+                let master = entry.master.expect("cached block must have a master");
+                let ack_t = self.invalidate_others(block, requester, home, net, t, &mut invals);
+                let mut data_t = net.send(home, master, MsgKind::ForwardReq, t);
+                data_t += self.timing.am_hit;
+                data_t = net.send(master, requester, MsgKind::BlockReply, data_t);
+                t = ack_t.max(data_t);
+                // Ownership transfer: the master's copy dies with the reply.
+                if self.ams[master.index()].invalidate(block).is_some() {
+                    invals.push((master, block));
+                }
+                let e = self.dir.get_mut(&block).expect("entry exists");
+                e.copyset = 1 << requester.index();
+                e.master = Some(requester);
+                self.install(requester, block, AmState::Exclusive, net, t, &mut invals);
+            }
+        }
+        Access {
+            local_hit: false,
+            latency: t - now,
+            home_lookup_cycles: lookup - self.timing.dir_lookup,
+            invalidations: invals,
+            took_ownership: true,
+        }
+    }
+
+    /// Invalidates every holder of `block` except `keep` (and except the
+    /// master when the caller transfers ownership separately — the master
+    /// here is only invalidated if it is a plain holder in the copy set
+    /// walk). Returns the time the last acknowledgement reaches `keep`.
+    fn invalidate_others(
+        &mut self,
+        block: u64,
+        keep: NodeId,
+        home: NodeId,
+        net: &mut Crossbar,
+        t: u64,
+        invals: &mut Vec<(NodeId, u64)>,
+    ) -> u64 {
+        let entry = *self.dir.get(&block).expect("entry exists");
+        let master = entry.master;
+        let mut last_ack = t;
+        for holder in entry.holders_except(keep) {
+            // The master of a write miss supplies data and is invalidated by
+            // the caller at data-transfer time; skip it here.
+            if Some(holder) == master && !self.ams[keep.index()].contains(block) {
+                continue;
+            }
+            self.stats.invalidations += 1;
+            let inv_t = net.send(home, holder, MsgKind::Invalidate, t);
+            if self.ams[holder.index()].invalidate(block).is_some() {
+                invals.push((holder, block));
+            }
+            let e = self.dir.get_mut(&block).expect("entry exists");
+            e.remove(holder);
+            last_ack = last_ack.max(net.send(holder, keep, MsgKind::Ack, inv_t));
+        }
+        last_ack
+    }
+
+    /// Installs `block` in `node`'s attraction memory, making room first if
+    /// its set is full: a Shared victim is dropped (with a hint to its
+    /// home), an owner victim is injected per the paper's protocol.
+    fn install(
+        &mut self,
+        node: NodeId,
+        block: u64,
+        state: AmState,
+        net: &mut Crossbar,
+        now: u64,
+        invals: &mut Vec<(NodeId, u64)>,
+    ) {
+        debug_assert!(
+            !self.ams[node.index()].contains(block),
+            "install of already-resident block {block:#x}"
+        );
+        if !self.ams[node.index()].set_has_room(block) {
+            let victim = self.pick_victim(node, block);
+            let vstate = self.ams[node.index()]
+                .invalidate(victim)
+                .expect("victim is resident by construction");
+            invals.push((node, victim));
+            if vstate.is_owner() {
+                self.inject(node, victim, net, now, invals);
+            } else {
+                // Dropping a Shared copy: hint the home so the copy set
+                // stays exact.
+                self.stats.shared_drops += 1;
+                let vhome = self.dir.get(&victim).expect("resident block has an entry").home;
+                net.send(node, vhome, MsgKind::Ack, now);
+                self.dir.get_mut(&victim).expect("entry exists").remove(node);
+            }
+        }
+        let evicted = self.ams[node.index()].insert(block, state);
+        debug_assert!(evicted.is_none(), "room was made above");
+    }
+
+    /// Picks the replacement victim in `node`'s set for `block`: a random
+    /// Shared copy if any (cheap drop), otherwise a random owner copy
+    /// (injection).
+    fn pick_victim(&mut self, node: NodeId, block: u64) -> u64 {
+        let shared: Vec<u64> = self.ams[node.index()]
+            .entries_in_set(block)
+            .filter(|(_, s)| !s.is_owner())
+            .map(|(b, _)| b)
+            .collect();
+        if !shared.is_empty() {
+            return shared[self.rng.gen_index(shared.len())];
+        }
+        let owners: Vec<u64> =
+            self.ams[node.index()].entries_in_set(block).map(|(b, _)| b).collect();
+        debug_assert!(!owners.is_empty(), "victim needed in an empty set");
+        owners[self.rng.gen_index(owners.len())]
+    }
+
+    /// Injects an owner victim evicted from `from` back into the machine
+    /// (paper §4.2). The caller has already removed it from `from`'s AM.
+    fn inject(
+        &mut self,
+        from: NodeId,
+        block: u64,
+        net: &mut Crossbar,
+        now: u64,
+        invals: &mut Vec<(NodeId, u64)>,
+    ) {
+        let home = self.dir.get(&block).expect("owner block has an entry").home;
+        let mut t = net.send(from, home, MsgKind::Inject, now);
+        self.dir.get_mut(&block).expect("entry exists").remove(from);
+
+        // The home accepts with a spare Invalid way — or, if it already
+        // holds a Shared copy of this very block, by promoting it to master.
+        // A node that is itself the home of its victim skips this step: it
+        // is replacing the block precisely because that set is full.
+        if home != from {
+            if let Some(s) = self.ams[home.index()].peek_mut(block) {
+                *s = AmState::MasterShared;
+                self.dir.get_mut(&block).expect("entry exists").master = Some(home);
+                self.stats.injections_home += 1;
+                return;
+            }
+            if self.ams[home.index()].set_has_room(block) {
+                self.accept_injection(home, block);
+                self.stats.injections_home += 1;
+                return;
+            }
+            if self.policy == InjectionPolicy::HomeDisplace {
+                if let Some(displaced) = self.displace_shared(home, block) {
+                    invals.push((home, displaced));
+                    self.accept_injection(home, block);
+                    self.stats.injections_home += 1;
+                    return;
+                }
+            }
+        }
+
+        // Forward to the other nodes in random order; each accepts with an
+        // Invalid way or by displacing a Shared copy.
+        let mut order: Vec<u16> = (0..self.nodes as u16)
+            .filter(|&i| i != home.raw() && i != from.raw())
+            .collect();
+        self.rng.shuffle(&mut order);
+        let mut prev = home;
+        for cand_raw in order {
+            let cand = NodeId::new(cand_raw);
+            self.stats.injection_hops += 1;
+            t = net.send(prev, cand, MsgKind::InjectForward, t);
+            prev = cand;
+            if let Some(s) = self.ams[cand.index()].peek_mut(block) {
+                // The candidate already holds a Shared copy: promote it.
+                *s = AmState::MasterShared;
+                self.dir.get_mut(&block).expect("entry exists").master = Some(cand);
+                self.stats.injections_forwarded += 1;
+                return;
+            }
+            if self.ams[cand.index()].set_has_room(block) {
+                self.accept_injection(cand, block);
+                self.stats.injections_forwarded += 1;
+                return;
+            }
+            if let Some(displaced) = self.displace_shared(cand, block) {
+                invals.push((cand, displaced));
+                self.accept_injection(cand, block);
+                self.stats.injections_forwarded += 1;
+                return;
+            }
+        }
+        // No node can take the block: it spills to the home's backing
+        // store; the next access will cold-fill it. With memory pressure
+        // below one this is rare; it is counted so experiments can see it.
+        self.stats.spills += 1;
+        if self.dir.get(&block).expect("entry exists").is_uncached() {
+            self.dir.get_mut(&block).expect("entry exists").master = None;
+        }
+    }
+
+    fn accept_injection(&mut self, node: NodeId, block: u64) {
+        self.ams[node.index()].insert(block, AmState::MasterShared);
+        let e = self.dir.get_mut(&block).expect("entry exists");
+        e.add(node);
+        e.master = Some(node);
+    }
+
+    /// Displaces a random Shared copy (of any other block) from `node`'s
+    /// set for `block`, returning the displaced block.
+    fn displace_shared(&mut self, node: NodeId, block: u64) -> Option<u64> {
+        let shared: Vec<u64> = self.ams[node.index()]
+            .entries_in_set(block)
+            .filter(|(_, s)| !s.is_owner())
+            .map(|(b, _)| b)
+            .collect();
+        if shared.is_empty() {
+            return None;
+        }
+        let victim = shared[self.rng.gen_index(shared.len())];
+        self.ams[node.index()].invalidate(victim);
+        self.dir.get_mut(&victim).expect("resident block has an entry").remove(node);
+        self.stats.injection_displacements += 1;
+        Some(victim)
+    }
+
+    /// Returns the nodes currently holding a copy of `block` (empty when
+    /// uncached or unknown). Used by the protection-change path, which
+    /// must notify every holder (paper §4.3).
+    pub fn holders_of(&self, block: u64) -> Vec<NodeId> {
+        match self.dir.get(&block) {
+            None => Vec::new(),
+            Some(e) => (0..self.nodes as u16)
+                .map(NodeId::new)
+                .filter(|n| e.holds(*n))
+                .collect(),
+        }
+    }
+
+    /// Removes every copy of `block` from the machine and drops its
+    /// directory entry — the page daemon's per-block teardown when a page
+    /// is swapped out (paper §4.3). Returns the nodes that held a copy;
+    /// the caller must back-invalidate their processor caches.
+    pub fn purge(&mut self, block: u64) -> Vec<NodeId> {
+        let Some(entry) = self.dir.remove(&block) else {
+            return Vec::new();
+        };
+        let mut holders = Vec::new();
+        for i in 0..self.nodes as u16 {
+            let node = NodeId::new(i);
+            if entry.holds(node) && self.ams[node.index()].invalidate(block).is_some() {
+                holders.push(node);
+            }
+        }
+        holders
+    }
+
+    /// Checks every protocol invariant, returning a description of the
+    /// first violation. Used by tests and property tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (&block, entry) in &self.dir {
+            let mut owners = 0;
+            for i in 0..self.nodes as usize {
+                let node = NodeId::new(i as u16);
+                let resident = self.ams[i].peek(block);
+                if entry.holds(node) != resident.is_some() {
+                    return Err(format!(
+                        "block {block:#x}: directory bit for {node} is {} but residence is {}",
+                        entry.holds(node),
+                        resident.is_some()
+                    ));
+                }
+                if let Some(s) = resident {
+                    if s.is_owner() {
+                        owners += 1;
+                        if entry.master != Some(node) {
+                            return Err(format!(
+                                "block {block:#x}: {node} holds {s} but master is {:?}",
+                                entry.master
+                            ));
+                        }
+                    }
+                    if *s == AmState::Exclusive && entry.copies() != 1 {
+                        return Err(format!(
+                            "block {block:#x}: Exclusive at {node} with {} copies",
+                            entry.copies()
+                        ));
+                    }
+                }
+            }
+            if !entry.is_uncached() {
+                if owners != 1 {
+                    return Err(format!("block {block:#x}: {owners} owners for a cached block"));
+                }
+            } else if owners != 0 {
+                return Err(format!("block {block:#x}: uncached but {owners} owners"));
+            }
+            if let Some(m) = entry.master {
+                if !entry.holds(m) {
+                    return Err(format!("block {block:#x}: master {m} not in copy set"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NullTranslation;
+    use proptest::prelude::*;
+
+    fn setup() -> (MachineConfig, Protocol, Crossbar, NullTranslation) {
+        let cfg = MachineConfig::tiny();
+        let p = Protocol::new(&cfg, 7);
+        let net = Crossbar::new(cfg.nodes, cfg.timing);
+        (cfg, p, net, NullTranslation)
+    }
+
+    const N0: NodeId = NodeId::new(0);
+    const N1: NodeId = NodeId::new(1);
+    const N2: NodeId = NodeId::new(2);
+
+    #[test]
+    fn cold_read_makes_requester_master() {
+        let (_, mut p, mut net, mut xl) = setup();
+        let out = p.read(N1, 10, N0, &mut net, &mut xl, 0);
+        assert!(!out.local_hit);
+        // req(16) + mem(74) + block(272)
+        assert_eq!(out.latency, 16 + 74 + 272);
+        assert_eq!(p.state_of(N1, 10), Some(AmState::MasterShared));
+        assert_eq!(p.stats().cold_fills, 1);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cold_read_at_home_is_memory_latency_only() {
+        let (_, mut p, mut net, mut xl) = setup();
+        let out = p.read(N0, 10, N0, &mut net, &mut xl, 0);
+        assert_eq!(out.latency, 74, "self-sends are free");
+    }
+
+    #[test]
+    fn second_read_is_local_hit() {
+        let (_, mut p, mut net, mut xl) = setup();
+        p.read(N1, 10, N0, &mut net, &mut xl, 0);
+        let out = p.read(N1, 10, N0, &mut net, &mut xl, 0);
+        assert!(out.local_hit);
+        assert_eq!(out.latency, 0);
+        assert_eq!(p.stats().local_read_hits, 1);
+    }
+
+    #[test]
+    fn remote_read_demotes_exclusive_and_installs_shared() {
+        let (_, mut p, mut net, mut xl) = setup();
+        p.write(N1, 10, N0, &mut net, &mut xl, 0); // N1 Exclusive
+        assert_eq!(p.state_of(N1, 10), Some(AmState::Exclusive));
+        let out = p.read(N2, 10, N0, &mut net, &mut xl, 0);
+        assert!(!out.local_hit);
+        // req(16) + fwd(16) + mem(74) + block(272)
+        assert_eq!(out.latency, 16 + 16 + 74 + 272);
+        assert_eq!(p.state_of(N1, 10), Some(AmState::MasterShared));
+        assert_eq!(p.state_of(N2, 10), Some(AmState::Shared));
+        assert_eq!(p.stats().remote_reads, 1);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cold_write_makes_requester_exclusive() {
+        let (_, mut p, mut net, mut xl) = setup();
+        let out = p.write(N1, 10, N0, &mut net, &mut xl, 0);
+        assert!(out.took_ownership);
+        assert_eq!(p.state_of(N1, 10), Some(AmState::Exclusive));
+        assert!(p.probe(N1, 10, true));
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_hit_on_exclusive_is_local() {
+        let (_, mut p, mut net, mut xl) = setup();
+        p.write(N1, 10, N0, &mut net, &mut xl, 0);
+        let out = p.write(N1, 10, N0, &mut net, &mut xl, 0);
+        assert!(out.local_hit);
+        assert_eq!(p.stats().local_write_hits, 1);
+    }
+
+    #[test]
+    fn upgrade_invalidates_sharers() {
+        let (_, mut p, mut net, mut xl) = setup();
+        p.read(N1, 10, N0, &mut net, &mut xl, 0); // N1 master
+        p.read(N2, 10, N0, &mut net, &mut xl, 0); // N2 shared
+        let out = p.write(N2, 10, N0, &mut net, &mut xl, 0);
+        assert!(!out.local_hit);
+        assert!(out.took_ownership);
+        assert!(out.invalidations.contains(&(N1, 10)));
+        assert_eq!(p.state_of(N1, 10), None);
+        assert_eq!(p.state_of(N2, 10), Some(AmState::Exclusive));
+        assert_eq!(p.stats().upgrades, 1);
+        assert!(p.stats().invalidations >= 1);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_miss_transfers_ownership_and_invalidates() {
+        let (_, mut p, mut net, mut xl) = setup();
+        p.read(N1, 10, N0, &mut net, &mut xl, 0); // N1 master
+        p.read(N0, 10, N0, &mut net, &mut xl, 0); // N0 shared
+        let out = p.write(N2, 10, N0, &mut net, &mut xl, 0);
+        assert!(!out.local_hit);
+        assert_eq!(p.state_of(N1, 10), None, "old master invalidated");
+        assert_eq!(p.state_of(N0, 10), None, "sharer invalidated");
+        assert_eq!(p.state_of(N2, 10), Some(AmState::Exclusive));
+        assert!(out.invalidations.contains(&(N1, 10)));
+        assert!(out.invalidations.contains(&(N0, 10)));
+        assert_eq!(p.stats().remote_writes, 1);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn preload_places_master_at_home() {
+        let (_, mut p, mut net, mut xl) = setup();
+        p.preload(10, N0);
+        assert_eq!(p.state_of(N0, 10), Some(AmState::MasterShared));
+        let out = p.read(N1, 10, N0, &mut net, &mut xl, 0);
+        // Served by the home master: req(16) + mem(74) + block(272).
+        assert_eq!(out.latency, 16 + 74 + 272);
+        assert_eq!(p.stats().remote_reads, 1);
+        assert_eq!(p.stats().cold_fills, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-cached")]
+    fn preload_twice_panics() {
+        let (_, mut p, _, _) = setup();
+        p.preload(10, N0);
+        p.preload(10, N0);
+    }
+
+    #[test]
+    fn replacement_of_shared_victim_drops_it() {
+        let cfg = MachineConfig::tiny(); // AM: 4-way, 128 sets
+        let sets = cfg.am.sets();
+        let (_, mut p, mut net, mut xl) = setup();
+        // Fill node 1's set 0 with 4 shared copies (masters live at node 0
+        // via preload).
+        for i in 0..4 {
+            p.preload(i * sets, N0);
+            p.read(N1, i * sets, N0, &mut net, &mut xl, 0);
+            assert_eq!(p.state_of(N1, i * sets), Some(AmState::Shared));
+        }
+        // A fifth block in the same set displaces one of the Shared copies.
+        // Its master is preloaded at node 2 (node 0's set is already full of
+        // the four masters above).
+        p.preload(4 * sets, N2);
+        let out = p.read(N1, 4 * sets, N2, &mut net, &mut xl, 0);
+        assert_eq!(p.stats().shared_drops, 1);
+        assert_eq!(out.invalidations.len(), 1);
+        assert_eq!(out.invalidations[0].0, N1);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn replacement_of_owner_victim_injects_to_home() {
+        let cfg = MachineConfig::tiny();
+        let sets = cfg.am.sets();
+        let (_, mut p, mut net, mut xl) = setup();
+        // Node 1 cold-writes 4 blocks of the same set: all Exclusive there.
+        for i in 0..4 {
+            p.write(N1, i * sets, N0, &mut net, &mut xl, 0);
+        }
+        // Fifth block in the same set: an owner must be injected; the home
+        // (node 0) has room.
+        p.write(N1, 4 * sets, N0, &mut net, &mut xl, 0);
+        assert_eq!(p.stats().injections_home, 1);
+        // The injected block now has its master at the home.
+        let injected = (0..4)
+            .map(|i| i * sets)
+            .find(|&b| p.state_of(N0, b) == Some(AmState::MasterShared))
+            .expect("one of the first four blocks must live at the home now");
+        assert_eq!(p.state_of(N1, injected), None);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn injection_forwards_when_home_full() {
+        let cfg = MachineConfig::tiny();
+        let sets = cfg.am.sets();
+        let (_, mut p, mut net, mut xl) = setup();
+        // Fill home node 0's set 0 with its own exclusive blocks.
+        for i in 0..4 {
+            p.write(N0, i * sets, N0, &mut net, &mut xl, 0);
+        }
+        // Node 1 fills its own set 0 with 4 more blocks (homes at node 0).
+        for i in 4..8 {
+            p.write(N1, i * sets, N0, &mut net, &mut xl, 0);
+        }
+        // One more at node 1: victim owner must be injected; home is full,
+        // so it forwards to another node (2 or 3).
+        p.write(N1, 8 * sets, N0, &mut net, &mut xl, 0);
+        assert_eq!(p.stats().injections_forwarded, 1);
+        assert!(p.stats().injection_hops >= 1);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn spill_when_global_set_is_saturated() {
+        let cfg = MachineConfig::tiny();
+        let sets = cfg.am.sets();
+        let (_, mut p, mut net, mut xl) = setup();
+        // Saturate set 0 on all 4 nodes with exclusive blocks owned locally.
+        for n in 0..4u16 {
+            for i in 0..4u64 {
+                let b = (n as u64 * 4 + i) * sets;
+                p.write(NodeId::new(n), b, N0, &mut net, &mut xl, 0);
+            }
+        }
+        // Node 0 touches one more block of the same global set: its victim
+        // is an owner, and no node anywhere has room or a Shared to displace.
+        p.write(N0, 16 * sets, N0, &mut net, &mut xl, 0);
+        assert_eq!(p.stats().spills, 1);
+        p.check_invariants().unwrap();
+        // The spilled block is uncached and can be re-fetched (cold fill).
+        let spilled = (0..16u64)
+            .map(|i| i * sets)
+            .find(|&b| (0..4u16).all(|n| p.state_of(NodeId::new(n), b).is_none()))
+            .expect("one block must have spilled");
+        let before = p.stats().cold_fills;
+        p.read(N2, spilled, N0, &mut net, &mut xl, 0);
+        assert_eq!(p.stats().cold_fills, before + 1);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn injection_promotes_existing_shared_copy_at_home() {
+        let cfg = MachineConfig::tiny();
+        let sets = cfg.am.sets();
+        let (_, mut p, mut net, mut xl) = setup();
+        // Block X: master at node 1, shared copy at home 0.
+        p.read(N1, 0, N0, &mut net, &mut xl, 0);
+        p.read(N0, 0, N0, &mut net, &mut xl, 0);
+        // Fill the rest of node 1's set 0 with owners, then overflow it so
+        // block 0's master is likely to leave node 1 eventually. Force
+        // block 0 to be the victim by filling with Exclusive blocks and
+        // evicting repeatedly until block 0 leaves node 1.
+        let mut extra = 1u64;
+        while p.state_of(N1, 0).is_some() {
+            p.write(N1, extra * sets, N0, &mut net, &mut xl, 0);
+            extra += 1;
+            assert!(extra < 100, "block 0 should eventually be evicted");
+        }
+        // Wherever the master went, invariants hold and block 0 still has
+        // exactly one master.
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dlb_cost_is_charged_on_home_lookup() {
+        struct Fixed(u64);
+        impl HomeTranslation for Fixed {
+            fn home_lookup(&mut self, _h: NodeId, _b: u64) -> u64 {
+                self.0
+            }
+        }
+        let cfg = MachineConfig::tiny();
+        let mut p = Protocol::new(&cfg, 7);
+        let mut net = Crossbar::new(cfg.nodes, cfg.timing);
+        let mut xl = Fixed(40);
+        let out = p.read(N1, 10, N0, &mut net, &mut xl, 0);
+        assert_eq!(out.home_lookup_cycles, 40);
+        assert_eq!(out.latency, 16 + 40 + 74 + 272);
+    }
+
+    #[test]
+    fn probe_matches_states() {
+        let (_, mut p, mut net, mut xl) = setup();
+        assert!(!p.probe(N1, 10, false));
+        p.read(N1, 10, N0, &mut net, &mut xl, 0);
+        assert!(p.probe(N1, 10, false));
+        assert!(!p.probe(N1, 10, true), "master-shared does not satisfy a write");
+        p.write(N1, 10, N0, &mut net, &mut xl, 0);
+        assert!(p.probe(N1, 10, true));
+    }
+
+    #[test]
+    fn purge_removes_all_copies_and_directory_state() {
+        let (_, mut p, mut net, mut xl) = setup();
+        p.read(N1, 10, N0, &mut net, &mut xl, 0);
+        p.read(N2, 10, N0, &mut net, &mut xl, 0);
+        let mut holders = p.purge(10);
+        holders.sort();
+        assert_eq!(holders, vec![N1, N2]);
+        assert_eq!(p.state_of(N1, 10), None);
+        assert_eq!(p.state_of(N2, 10), None);
+        p.check_invariants().unwrap();
+        // The next access is a cold fill again.
+        let before = p.stats().cold_fills;
+        p.read(N1, 10, N0, &mut net, &mut xl, 0);
+        assert_eq!(p.stats().cold_fills, before + 1);
+        // Purging an unknown block is a no-op.
+        assert!(p.purge(0xDEAD).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn invariants_hold_under_random_traffic(
+            seed in 0u64..1000,
+            ops in proptest::collection::vec((0u16..4, 0u64..64, prop::bool::ANY), 1..200),
+        ) {
+            let cfg = MachineConfig::tiny();
+            let mut p = Protocol::new(&cfg, seed);
+            let mut net = Crossbar::new(cfg.nodes, cfg.timing);
+            let mut xl = NullTranslation;
+            // Use few distinct blocks in few sets to provoke replacements.
+            let sets = cfg.am.sets();
+            for (node, b, w) in ops {
+                let block = (b % 16) * sets + (b / 16); // 16 blocks per set, 4 sets
+                let home = NodeId::new((block % cfg.nodes) as u16);
+                let node = NodeId::new(node);
+                if w {
+                    p.write(node, block, home, &mut net, &mut xl, 0);
+                } else {
+                    p.read(node, block, home, &mut net, &mut xl, 0);
+                }
+                if let Err(e) = p.check_invariants() {
+                    return Err(TestCaseError::fail(e));
+                }
+            }
+        }
+
+        #[test]
+        fn reads_after_write_always_find_data(
+            seed in 0u64..100,
+            writer in 0u16..4,
+            readers in proptest::collection::vec(0u16..4, 1..8),
+        ) {
+            let cfg = MachineConfig::tiny();
+            let mut p = Protocol::new(&cfg, seed);
+            let mut net = Crossbar::new(cfg.nodes, cfg.timing);
+            let mut xl = NullTranslation;
+            let home = NodeId::new(3);
+            p.write(NodeId::new(writer), 42, home, &mut net, &mut xl, 0);
+            for r in readers {
+                let out = p.read(NodeId::new(r), 42, home, &mut net, &mut xl, 0);
+                prop_assert!(out.local_hit || out.latency > 0);
+                prop_assert!(p.probe(NodeId::new(r), 42, false));
+            }
+            p.check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Attraction-memory block states and directory entries.
+
+use vcoma_types::NodeId;
+
+/// State of a resident attraction-memory block (paper §4.2). Absence from
+/// the AM array is the fourth state, *Invalid*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmState {
+    /// A read-only copy; other copies exist, one of them is the master.
+    Shared,
+    /// The read-only *master* copy — the one responsible for injection on
+    /// replacement and for supplying data to readers.
+    MasterShared,
+    /// The only copy, writable.
+    Exclusive,
+}
+
+impl AmState {
+    /// Returns `true` for the states that carry ownership (Master-shared or
+    /// Exclusive) and therefore must be injected rather than dropped on
+    /// replacement.
+    pub const fn is_owner(self) -> bool {
+        matches!(self, AmState::MasterShared | AmState::Exclusive)
+    }
+
+    /// Returns `true` if a local write can proceed without a coherence
+    /// transaction.
+    pub const fn satisfies_write(self) -> bool {
+        matches!(self, AmState::Exclusive)
+    }
+}
+
+impl std::fmt::Display for AmState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AmState::Shared => f.write_str("S"),
+            AmState::MasterShared => f.write_str("MS"),
+            AmState::Exclusive => f.write_str("E"),
+        }
+    }
+}
+
+/// Directory entry for one block, held at the block's home node.
+///
+/// Tracks which nodes hold copies (as a bit mask over node indices — the
+/// simulated machines are ≤ 64 nodes) and which node holds the master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Bit `i` set ⇔ node `i` holds a non-Invalid copy.
+    pub copyset: u64,
+    /// The node holding the Master-shared or Exclusive copy, if any copy
+    /// exists.
+    pub master: Option<NodeId>,
+    /// The home node this entry lives at (for invariant checking).
+    pub home: NodeId,
+}
+
+impl DirEntry {
+    /// An entry with no copies anywhere.
+    pub const fn empty(home: NodeId) -> Self {
+        DirEntry { copyset: 0, master: None, home }
+    }
+
+    /// Returns `true` if `node` holds a copy.
+    pub const fn holds(&self, node: NodeId) -> bool {
+        self.copyset & (1 << node.index()) != 0
+    }
+
+    /// Records that `node` holds a copy.
+    pub fn add(&mut self, node: NodeId) {
+        self.copyset |= 1 << node.index();
+    }
+
+    /// Records that `node` no longer holds a copy.
+    pub fn remove(&mut self, node: NodeId) {
+        self.copyset &= !(1 << node.index());
+        if self.master == Some(node) {
+            self.master = None;
+        }
+    }
+
+    /// Number of copies.
+    pub const fn copies(&self) -> u32 {
+        self.copyset.count_ones()
+    }
+
+    /// Returns `true` if no node holds a copy.
+    pub const fn is_uncached(&self) -> bool {
+        self.copyset == 0
+    }
+
+    /// Iterates over the holders other than `except`.
+    pub fn holders_except(&self, except: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mask = self.copyset & !(1 << except.index());
+        (0..64u16).filter(move |i| mask & (1 << i) != 0).map(NodeId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn am_state_predicates() {
+        assert!(!AmState::Shared.is_owner());
+        assert!(AmState::MasterShared.is_owner());
+        assert!(AmState::Exclusive.is_owner());
+        assert!(AmState::Exclusive.satisfies_write());
+        assert!(!AmState::MasterShared.satisfies_write());
+        assert!(!AmState::Shared.satisfies_write());
+    }
+
+    #[test]
+    fn am_state_display() {
+        assert_eq!(AmState::Shared.to_string(), "S");
+        assert_eq!(AmState::MasterShared.to_string(), "MS");
+        assert_eq!(AmState::Exclusive.to_string(), "E");
+    }
+
+    #[test]
+    fn dir_entry_add_remove() {
+        let mut e = DirEntry::empty(NodeId::new(0));
+        assert!(e.is_uncached());
+        e.add(NodeId::new(3));
+        e.add(NodeId::new(5));
+        e.master = Some(NodeId::new(3));
+        assert!(e.holds(NodeId::new(3)));
+        assert!(e.holds(NodeId::new(5)));
+        assert!(!e.holds(NodeId::new(4)));
+        assert_eq!(e.copies(), 2);
+        e.remove(NodeId::new(3));
+        assert!(!e.holds(NodeId::new(3)));
+        assert_eq!(e.master, None, "removing the master clears the master field");
+        assert_eq!(e.copies(), 1);
+    }
+
+    #[test]
+    fn holders_except_skips_the_exception() {
+        let mut e = DirEntry::empty(NodeId::new(0));
+        for i in [1u16, 2, 7] {
+            e.add(NodeId::new(i));
+        }
+        let others: Vec<u16> = e.holders_except(NodeId::new(2)).map(|n| n.raw()).collect();
+        assert_eq!(others, vec![1, 7]);
+    }
+
+    #[test]
+    fn remove_nonholder_is_noop() {
+        let mut e = DirEntry::empty(NodeId::new(0));
+        e.add(NodeId::new(1));
+        e.remove(NodeId::new(9));
+        assert!(e.holds(NodeId::new(1)));
+        assert_eq!(e.copies(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Protocol event counters.
+
+/// Machine-wide protocol statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ProtocolStats {
+    /// Reads satisfied by the local attraction memory.
+    pub local_read_hits: u64,
+    /// Writes satisfied locally (Exclusive in the local AM).
+    pub local_write_hits: u64,
+    /// Read misses served remotely.
+    pub remote_reads: u64,
+    /// Write misses served remotely (data transferred).
+    pub remote_writes: u64,
+    /// Upgrades (local Shared/Master-shared copy promoted to Exclusive
+    /// without a data transfer).
+    pub upgrades: u64,
+    /// Blocks materialised on first touch (cold accesses to never-cached
+    /// blocks).
+    pub cold_fills: u64,
+    /// Invalidation messages sent to sharers.
+    pub invalidations: u64,
+    /// Master/Exclusive victims injected (accepted at the home).
+    pub injections_home: u64,
+    /// Injections accepted at a forwarded node.
+    pub injections_forwarded: u64,
+    /// Injection forward hops taken in total.
+    pub injection_hops: u64,
+    /// Shared victims displaced by an accepted injection.
+    pub injection_displacements: u64,
+    /// Shared victims silently dropped on replacement (with a hint to the
+    /// home).
+    pub shared_drops: u64,
+    /// Injections that found no room anywhere and spilled to the home's
+    /// backing store — the COMA analogue of a forced swap-out. Should be
+    /// zero when memory pressure is below one.
+    pub spills: u64,
+}
+
+impl ProtocolStats {
+    /// Accesses that required a remote transaction.
+    pub const fn remote_transactions(&self) -> u64 {
+        self.remote_reads + self.remote_writes + self.upgrades + self.cold_fills
+    }
+
+    /// All injections that found a slot.
+    pub const fn injections(&self) -> u64 {
+        self.injections_home + self.injections_forwarded
+    }
+
+    /// Accumulates another stats block into this one.
+    pub fn merge(&mut self, o: &ProtocolStats) {
+        self.local_read_hits += o.local_read_hits;
+        self.local_write_hits += o.local_write_hits;
+        self.remote_reads += o.remote_reads;
+        self.remote_writes += o.remote_writes;
+        self.upgrades += o.upgrades;
+        self.cold_fills += o.cold_fills;
+        self.invalidations += o.invalidations;
+        self.injections_home += o.injections_home;
+        self.injections_forwarded += o.injections_forwarded;
+        self.injection_hops += o.injection_hops;
+        self.injection_displacements += o.injection_displacements;
+        self.shared_drops += o.shared_drops;
+        self.spills += o.spills;
+    }
+}
+
+impl std::fmt::Display for ProtocolStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "local hits={} (r={} w={}) remote r={} w={} upgrades={} cold={} inval={} \
+             inj(home={} fwd={} hops={} displ={}) drops={} spills={}",
+            self.local_read_hits + self.local_write_hits,
+            self.local_read_hits,
+            self.local_write_hits,
+            self.remote_reads,
+            self.remote_writes,
+            self.upgrades,
+            self.cold_fills,
+            self.invalidations,
+            self.injections_home,
+            self.injections_forwarded,
+            self.injection_hops,
+            self.injection_displacements,
+            self.shared_drops,
+            self.spills,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_sums() {
+        let s = ProtocolStats {
+            remote_reads: 2,
+            remote_writes: 3,
+            upgrades: 4,
+            cold_fills: 1,
+            injections_home: 5,
+            injections_forwarded: 6,
+            ..ProtocolStats::default()
+        };
+        assert_eq!(s.remote_transactions(), 10);
+        assert_eq!(s.injections(), 11);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ProtocolStats { spills: 1, ..ProtocolStats::default() };
+        let b = ProtocolStats { spills: 2, upgrades: 3, ..ProtocolStats::default() };
+        a.merge(&b);
+        assert_eq!(a.spills, 3);
+        assert_eq!(a.upgrades, 3);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!ProtocolStats::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! The home-node translation hook.
+
+use vcoma_types::NodeId;
+
+/// Cost model for the directory lookup performed at a home node.
+///
+/// Every protocol request that reaches a home node must locate the block's
+/// directory entry. How expensive that is depends on the scheme:
+///
+/// * In the physical schemes (`L0`–`L3`) the directory is indexed directly
+///   by the physical address — zero extra cost ([`NullTranslation`]).
+/// * In V-COMA the home must translate the *virtual* address into a
+///   directory address through its DLB (paper §4.2, Figure 7); a DLB miss
+///   costs the paper's 40-cycle service time and is what Table 2's V-COMA
+///   columns count.
+///
+/// The simulator implements this trait over its per-node DLBs; the protocol
+/// calls it on the critical path of every home lookup.
+pub trait HomeTranslation {
+    /// Performs the directory lookup for `block` at `home`; returns the
+    /// extra cycles it costs beyond the bare directory access.
+    fn home_lookup(&mut self, home: NodeId, block: u64) -> u64;
+}
+
+/// Free home lookups: the physical directory of `L0`–`L3`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTranslation;
+
+impl HomeTranslation for NullTranslation {
+    fn home_lookup(&mut self, _home: NodeId, _block: u64) -> u64 {
+        0
+    }
+}
+
+impl<T: HomeTranslation + ?Sized> HomeTranslation for &mut T {
+    fn home_lookup(&mut self, home: NodeId, block: u64) -> u64 {
+        (**self).home_lookup(home, block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_translation_is_free() {
+        let mut t = NullTranslation;
+        assert_eq!(t.home_lookup(NodeId::new(0), 42), 0);
+    }
+
+    #[test]
+    fn blanket_impl_forwards() {
+        struct Fixed(u64);
+        impl HomeTranslation for Fixed {
+            fn home_lookup(&mut self, _h: NodeId, _b: u64) -> u64 {
+                self.0
+            }
+        }
+        let mut f = Fixed(40);
+        let r: &mut dyn HomeTranslation = &mut f;
+        assert_eq!(r.home_lookup(NodeId::new(1), 0), 40);
+    }
+}

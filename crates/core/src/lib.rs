@@ -1,0 +1,233 @@
+//! # vcoma — dynamic address translation in COMA multiprocessors
+//!
+//! A from-scratch reproduction of Qiu & Dubois, *Options for Dynamic
+//! Address Translation in COMAs* (USC CENG 98-08, 1998): a trace-driven
+//! simulator of a 32-node flat-COMA multiprocessor that compares five
+//! placements of the virtual-address-translation mechanism —
+//!
+//! * **L0-TLB** — the conventional TLB in front of the first-level cache;
+//! * **L1-TLB** — virtual FLC, TLB between FLC and a physical SLC;
+//! * **L2-TLB** — virtual FLC + SLC, TLB at the SLC→memory boundary (with
+//!   and without the writeback-translation penalty);
+//! * **L3-TLB** — virtual caches *and* virtually-indexed attraction memory
+//!   with page coloring, TLB used only on local-node misses;
+//! * **V-COMA** — the paper's proposal: no physical addresses at all, home
+//!   nodes selected by virtual address, and a shared per-home **DLB**
+//!   translating virtual addresses to directory addresses inside the
+//!   coherence protocol.
+//!
+//! The workspace builds every substrate from scratch: set-associative
+//! caches, the COMA-F write-invalidate protocol with replacement
+//! *injection*, a segmented virtual-memory system with page coloring and
+//! directory pages, an 8-bit crossbar model, and deterministic generators
+//! reproducing the access structure of the paper's six SPLASH-2 workloads.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vcoma::{Scheme, Simulator};
+//! use vcoma::workloads::{UniformRandom, Workload};
+//!
+//! // Compare the classic TLB design against V-COMA on a random workload.
+//! let workload = UniformRandom { pages: 64, refs_per_node: 500, write_fraction: 0.3 };
+//! let l0 = Simulator::new(Scheme::L0Tlb).tiny().run(&workload);
+//! let vc = Simulator::new(Scheme::VComa).tiny().run(&workload);
+//! assert!(vc.translation_misses_total(0) <= l0.translation_misses_total(0));
+//! ```
+//!
+//! The per-table/figure experiment harness lives in the companion
+//! `vcoma-experiments` crate; `cargo run -p vcoma-experiments -- --help`
+//! regenerates every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vcoma_sim::{Machine, NodeReport, SimConfig, SimReport, TimeBreakdown, TlbBank};
+pub use vcoma_tlb::{Scheme, Tlb, TlbOrg, TlbStats, ALL_SCHEMES};
+pub use vcoma_types::{
+    AccessKind, CacheGeometry, ConfigError, DetRng, MachineConfig, NodeId, Op, Protection,
+    SyncId, Timing, VAddr, VPage,
+};
+
+/// Cache structures (set-associative arrays, FLC/SLC models).
+pub mod cachesim {
+    pub use vcoma_cachesim::*;
+}
+
+/// The COMA-F coherence protocol.
+pub mod coherence {
+    pub use vcoma_coherence::*;
+}
+
+/// The crossbar interconnect model.
+pub mod net {
+    pub use vcoma_net::*;
+}
+
+/// The virtual-memory subsystem (page tables, coloring, directory pages,
+/// pressure profiles).
+pub mod vm {
+    pub use vcoma_vm::*;
+}
+
+/// The SPLASH-2-like workload generators.
+pub mod workloads {
+    pub use vcoma_workloads::*;
+}
+
+/// The machine models (including the CC-NUMA reference machine of paper
+/// §2 under [`sim::ccnuma`]).
+pub mod sim {
+    pub use vcoma_sim::*;
+}
+
+use vcoma_workloads::Workload;
+
+/// High-level entry point: configure a machine and scheme, then run
+/// workloads.
+///
+/// `Simulator` is a reusable *configuration*; each [`Simulator::run`]
+/// builds a fresh cold machine, so runs are independent and reproducible.
+///
+/// ```
+/// use vcoma::{Scheme, Simulator};
+/// use vcoma::workloads::PingPong;
+///
+/// let report = Simulator::new(Scheme::VComa)
+///     .tiny()
+///     .entries(16)
+///     .seed(42)
+///     .run(&PingPong { rounds: 50 });
+/// assert_eq!(report.total_refs(), 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for `scheme` on the paper's 32-node baseline
+    /// machine with an 8-entry fully-associative TLB/DLB.
+    pub fn new(scheme: Scheme) -> Self {
+        Simulator { cfg: SimConfig::new(MachineConfig::paper_baseline(), scheme) }
+    }
+
+    /// Switches to the scaled-down 4-node test machine.
+    pub fn tiny(mut self) -> Self {
+        self.cfg.machine = MachineConfig::tiny();
+        self
+    }
+
+    /// Replaces the machine configuration.
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.cfg.machine = machine;
+        self
+    }
+
+    /// Sets a single fully-associative TLB/DLB of `entries` entries.
+    pub fn entries(mut self, entries: u64) -> Self {
+        self.cfg = self.cfg.with_entries(entries);
+        self
+    }
+
+    /// Sets the full TLB/DLB spec bank (first entry is the timing-affecting
+    /// primary; the rest are passive shadows for sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn specs(mut self, specs: Vec<(u64, TlbOrg)>) -> Self {
+        self.cfg = self.cfg.with_translation_specs(specs);
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg = self.cfg.with_seed(seed);
+        self
+    }
+
+    /// Enables crossbar contention modelling (off in the paper's model).
+    pub fn contention(mut self) -> Self {
+        self.cfg = self.cfg.clone().with_contention();
+        self
+    }
+
+    /// Selects the attraction-memory injection policy (default: the
+    /// paper's random forwarding).
+    pub fn injection_policy(mut self, policy: coherence::InjectionPolicy) -> Self {
+        self.cfg = self.cfg.clone().with_injection_policy(policy);
+        self
+    }
+
+    /// Enables the warm-up pass: traces are replayed once untimed so
+    /// caches, attraction memories and TLB/DLBs start warm, then measured —
+    /// the analogue of the paper's preloaded data sets.
+    pub fn warmup(mut self) -> Self {
+        self.cfg = self.cfg.clone().with_warmup();
+        self
+    }
+
+    /// The assembled simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Generates the workload's traces and runs them on a fresh machine.
+    pub fn run(&self, workload: &dyn Workload) -> SimReport {
+        let traces = workload.generate(&self.cfg.machine);
+        Machine::new(self.cfg.clone()).run(traces)
+    }
+
+    /// Runs pre-built traces (one per node) on a fresh machine.
+    ///
+    /// # Panics
+    ///
+    /// See [`Machine::run`].
+    pub fn run_traces(&self, traces: Vec<Vec<Op>>) -> SimReport {
+        Machine::new(self.cfg.clone()).run(traces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcoma_workloads::{PingPong, UniformRandom};
+
+    #[test]
+    fn simulator_builder_roundtrip() {
+        let s = Simulator::new(Scheme::L3Tlb).tiny().entries(32).seed(5);
+        assert_eq!(s.config().scheme, Scheme::L3Tlb);
+        assert_eq!(s.config().machine.nodes, 4);
+        assert_eq!(s.config().translation_specs, vec![(32, TlbOrg::FullyAssociative)]);
+        assert_eq!(s.config().seed, 5);
+    }
+
+    #[test]
+    fn run_is_reproducible() {
+        let s = Simulator::new(Scheme::VComa).tiny().seed(11);
+        let w = UniformRandom { pages: 32, refs_per_node: 300, write_fraction: 0.5 };
+        let a = s.run(&w);
+        let b = s.run(&w);
+        assert_eq!(a.exec_time(), b.exec_time());
+        assert_eq!(a.translation_misses_total(0), b.translation_misses_total(0));
+    }
+
+    #[test]
+    fn run_traces_matches_run() {
+        let s = Simulator::new(Scheme::L0Tlb).tiny();
+        let w = PingPong { rounds: 20 };
+        let via_workload = s.run(&w);
+        let via_traces = s.run_traces(w.generate(&s.config().machine));
+        assert_eq!(via_workload.exec_time(), via_traces.exec_time());
+    }
+
+    #[test]
+    fn all_schemes_run_on_the_paper_machine() {
+        let w = UniformRandom { pages: 64, refs_per_node: 200, write_fraction: 0.3 };
+        for scheme in ALL_SCHEMES {
+            let r = Simulator::new(scheme).run(&w);
+            assert_eq!(r.total_refs(), 32 * 200, "{scheme}");
+        }
+    }
+}

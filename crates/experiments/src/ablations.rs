@@ -1,0 +1,214 @@
+//! Design-choice ablations beyond the paper's figures (DESIGN.md §5).
+//!
+//! * **Injection policy** — the paper's random-forward protocol vs a home
+//!   that displaces a Shared copy immediately.
+//! * **Crossbar contention** — the paper's contention-free model vs
+//!   output-port serialisation.
+//! * **Page coloring for L3** — the cost of the colored allocator's
+//!   conflicts relative to the round-robin physical COMA (run the same
+//!   workload under `L2-TLB` (round-robin frames) and `L3-TLB` (colored)
+//!   and compare AM-level behaviour).
+
+use crate::render::TextTable;
+use crate::ExperimentConfig;
+use vcoma::workloads::Workload;
+use vcoma::{Scheme, SimReport};
+
+/// One ablation outcome: a labelled pair of runs.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Label of the variant pair (e.g. `contention off/on`).
+    pub what: &'static str,
+    /// Baseline execution time (cycles).
+    pub base_exec: u64,
+    /// Variant execution time (cycles).
+    pub variant_exec: u64,
+    /// Baseline figure of merit (ablation-specific, see `what`).
+    pub base_metric: f64,
+    /// Variant figure of merit.
+    pub variant_metric: f64,
+}
+
+fn exec(report: &SimReport) -> u64 {
+    report.exec_time()
+}
+
+/// Contention ablation: V-COMA with and without crossbar port contention.
+pub fn contention(cfg: &ExperimentConfig) -> Vec<AblationRow> {
+    cfg.benchmarks()
+        .iter()
+        .map(|w| {
+            let base = cfg.simulator(Scheme::VComa).run(w.as_ref());
+            let variant = cfg.simulator(Scheme::VComa).contention().run(w.as_ref());
+            AblationRow {
+                benchmark: w.name().to_string(),
+                what: "crossbar contention off/on",
+                base_exec: exec(&base),
+                variant_exec: exec(&variant),
+                base_metric: base.mean_breakdown().remote_stall,
+                variant_metric: variant.mean_breakdown().remote_stall,
+            }
+        })
+        .collect()
+}
+
+/// Coloring ablation: the same workload under round-robin physical frames
+/// (`L2-TLB`, virtually-indexed caches but physical AM) vs colored frames
+/// (`L3-TLB`, virtual AM). The metric is protocol spills + injections —
+/// the AM conflict pressure the coloring constraint induces.
+pub fn coloring(cfg: &ExperimentConfig) -> Vec<AblationRow> {
+    cfg.benchmarks()
+        .iter()
+        .map(|w| {
+            let base = cfg.simulator(Scheme::L2Tlb).run(w.as_ref());
+            let variant = cfg.simulator(Scheme::L3Tlb).run(w.as_ref());
+            AblationRow {
+                benchmark: w.name().to_string(),
+                what: "AM indexing: physical(rr)/virtual(colored)",
+                base_exec: exec(&base),
+                variant_exec: exec(&variant),
+                base_metric: (base.protocol().injections() + base.protocol().spills) as f64,
+                variant_metric: (variant.protocol().injections() + variant.protocol().spills)
+                    as f64,
+            }
+        })
+        .collect()
+}
+
+/// Injection-policy ablation: the paper's random forwarding (§4.2, where
+/// the home only accepts with a spare Invalid way) against a home that
+/// displaces one of its Shared copies immediately. The metric is total
+/// injection forwarding hops — the protocol traffic the policy saves.
+pub fn injection(cfg: &ExperimentConfig) -> Vec<AblationRow> {
+    use vcoma::coherence::InjectionPolicy;
+    cfg.benchmarks()
+        .iter()
+        .map(|w| {
+            let base = cfg.simulator(Scheme::VComa).run(w.as_ref());
+            let variant = cfg
+                .simulator(Scheme::VComa)
+                .injection_policy(InjectionPolicy::HomeDisplace)
+                .run(w.as_ref());
+            AblationRow {
+                benchmark: w.name().to_string(),
+                what: "injection: random-forward vs home-displace",
+                base_exec: exec(&base),
+                variant_exec: exec(&variant),
+                base_metric: base.protocol().injection_hops as f64,
+                variant_metric: variant.protocol().injection_hops as f64,
+            }
+        })
+        .collect()
+}
+
+/// Software-managed address translation (Jacob & Mudge, cited in §3.3 as a
+/// 0-entry `L2-TLB` that traps on every SLC miss): compare the paper's
+/// 8-entry L2 TLB against the 0-entry variant. The metric is translation
+/// cycles per node.
+pub fn software_managed(cfg: &ExperimentConfig) -> Vec<AblationRow> {
+    cfg.benchmarks()
+        .iter()
+        .map(|w| {
+            let base = cfg.simulator(Scheme::L2TlbNoWb).entries(8).run(w.as_ref());
+            let variant = cfg.simulator(Scheme::L2TlbNoWb).entries(0).run(w.as_ref());
+            AblationRow {
+                benchmark: w.name().to_string(),
+                what: "L2 TLB: 8-entry vs software-managed (0-entry)",
+                base_exec: exec(&base),
+                variant_exec: exec(&variant),
+                base_metric: base.mean_breakdown().translation,
+                variant_metric: variant.mean_breakdown().translation,
+            }
+        })
+        .collect()
+}
+
+/// Renders ablation rows.
+pub fn render(rows: &[AblationRow]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Benchmark",
+        "ablation",
+        "base exec",
+        "variant exec",
+        "base metric",
+        "variant metric",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.benchmark.clone(),
+            r.what.to_string(),
+            r.base_exec.to_string(),
+            r.variant_exec.to_string(),
+            format!("{:.1}", r.base_metric),
+            format!("{:.1}", r.variant_metric),
+        ]);
+    }
+    t
+}
+
+/// Runs one benchmark (by workload) under every scheme and returns the
+/// execution times — a helper shared by examples and benches.
+pub fn exec_times_all_schemes(cfg: &ExperimentConfig, w: &dyn Workload) -> Vec<(Scheme, u64)> {
+    vcoma::ALL_SCHEMES
+        .iter()
+        .map(|&s| (s, cfg.simulator(s).run(w).exec_time()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_never_speeds_things_up() {
+        let cfg = ExperimentConfig::smoke();
+        for r in contention(&cfg) {
+            assert!(
+                r.variant_exec >= r.base_exec,
+                "{}: contention made execution faster ({} < {})",
+                r.benchmark,
+                r.variant_exec,
+                r.base_exec
+            );
+        }
+    }
+
+    #[test]
+    fn home_displace_never_forwards_more() {
+        let cfg = ExperimentConfig::smoke();
+        for r in injection(&cfg) {
+            assert!(
+                r.variant_metric <= r.base_metric,
+                "{}: home-displace must not take more hops ({} vs {})",
+                r.benchmark,
+                r.variant_metric,
+                r.base_metric
+            );
+        }
+    }
+
+    #[test]
+    fn coloring_rows_render() {
+        let cfg = ExperimentConfig::smoke();
+        let rows = coloring(&cfg);
+        assert_eq!(rows.len(), 6);
+        assert!(render(&rows).render().contains("colored"));
+    }
+
+    #[test]
+    fn software_managed_translation_costs_more() {
+        let cfg = ExperimentConfig::smoke();
+        for r in software_managed(&cfg) {
+            assert!(
+                r.variant_metric >= r.base_metric,
+                "{}: a 0-entry TLB cannot translate for less ({} vs {})",
+                r.benchmark,
+                r.variant_metric,
+                r.base_metric
+            );
+            assert!(r.variant_exec >= r.base_exec, "{}", r.benchmark);
+        }
+    }
+}

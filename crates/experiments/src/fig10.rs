@@ -1,0 +1,144 @@
+//! Figure 10 — execution time per node, broken into busy / sync /
+//! local-stall / remote-stall / translation, for:
+//!
+//! * `TLB/8` — physical COMA (`L0-TLB`), 8-entry fully-associative TLB;
+//! * `TLB/8/DM` — the same with a direct-mapped TLB;
+//! * `DLB/8` — V-COMA, 8-entry fully-associative DLB;
+//! * `DLB/8/DM` — the same with a direct-mapped DLB;
+//! * `DLB/8/V2` — V-COMA running the RAYTRACE variant whose `raystruct`
+//!   padding is realigned from 32 KB to one page (§5.3) — only meaningful
+//!   for RAYTRACE, where the paper reports the sync-time recovery.
+
+use crate::render::TextTable;
+use crate::ExperimentConfig;
+use vcoma::workloads::{Raytrace, Workload};
+use vcoma::{Scheme, SimReport, TlbOrg};
+
+/// One Figure-10 bar.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Bar label (`TLB/8`, `DLB/8/DM`, …).
+    pub label: String,
+    /// Per-node average busy cycles.
+    pub busy: f64,
+    /// Per-node average sync cycles.
+    pub sync: f64,
+    /// Per-node average local-stall cycles.
+    pub local_stall: f64,
+    /// Per-node average remote-stall cycles.
+    pub remote_stall: f64,
+    /// Per-node average translation cycles.
+    pub translation: f64,
+}
+
+impl Bar {
+    fn from_report(label: &str, report: &SimReport) -> Self {
+        let b = report.mean_breakdown();
+        Bar {
+            label: label.to_string(),
+            busy: b.busy,
+            sync: b.sync,
+            local_stall: b.local_stall,
+            remote_stall: b.remote_stall,
+            translation: b.translation,
+        }
+    }
+
+    /// Total cycles of the bar.
+    pub fn total(&self) -> f64 {
+        self.busy + self.sync + self.local_stall + self.remote_stall + self.translation
+    }
+}
+
+/// One benchmark's Figure-10 panel.
+#[derive(Debug, Clone)]
+pub struct Fig10Panel {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The bars, in the order listed in the module docs (`DLB/8/V2` only
+    /// for RAYTRACE).
+    pub bars: Vec<Bar>,
+}
+
+/// Runs the Figure-10 experiment (warm machines, steady-state windows).
+pub fn run(cfg: &ExperimentConfig) -> Vec<Fig10Panel> {
+    let mut panels = Vec::new();
+    for w in cfg.benchmarks() {
+        let mut bars = Vec::new();
+        let fa = vec![(8u64, TlbOrg::FullyAssociative)];
+        let dm = vec![(8u64, TlbOrg::DirectMapped)];
+        let run = |scheme: Scheme, specs: &[(u64, TlbOrg)], wl: &dyn Workload| {
+            cfg.simulator(scheme).specs(specs.to_vec()).warmup().run(wl)
+        };
+        bars.push(Bar::from_report("TLB/8", &run(Scheme::L0Tlb, &fa, w.as_ref())));
+        bars.push(Bar::from_report("TLB/8/DM", &run(Scheme::L0Tlb, &dm, w.as_ref())));
+        bars.push(Bar::from_report("DLB/8", &run(Scheme::VComa, &fa, w.as_ref())));
+        bars.push(Bar::from_report("DLB/8/DM", &run(Scheme::VComa, &dm, w.as_ref())));
+        if w.name() == "RAYTRACE" {
+            let v2 = Raytrace::v2().scaled(cfg.scale);
+            bars.push(Bar::from_report("DLB/8/V2", &run(Scheme::VComa, &fa, &v2)));
+        }
+        panels.push(Fig10Panel { benchmark: w.name().to_string(), bars });
+    }
+    panels
+}
+
+/// Renders one panel.
+pub fn render(panel: &Fig10Panel) -> TextTable {
+    let mut t = TextTable::new(vec![
+        panel.benchmark.clone(),
+        "busy".to_string(),
+        "sync".to_string(),
+        "loc-stall".to_string(),
+        "rem-stall".to_string(),
+        "xlation".to_string(),
+        "total".to_string(),
+    ]);
+    for b in &panel.bars {
+        t.row(vec![
+            b.label.clone(),
+            format!("{:.0}", b.busy),
+            format!("{:.0}", b.sync),
+            format!("{:.0}", b.local_stall),
+            format!("{:.0}", b.remote_stall),
+            format!("{:.0}", b.translation),
+            format!("{:.0}", b.total()),
+        ]);
+    }
+    t
+}
+
+impl Fig10Panel {
+    /// Finds a bar by label.
+    pub fn bar(&self, label: &str) -> Option<&Bar> {
+        self.bars.iter().find(|b| b.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcoma_translation_time_is_negligible_vs_l0() {
+        let panels = run(&ExperimentConfig::smoke());
+        assert_eq!(panels.len(), 6);
+        for p in &panels {
+            let tlb8 = p.bar("TLB/8").unwrap();
+            let dlb8 = p.bar("DLB/8").unwrap();
+            assert!(
+                dlb8.translation <= tlb8.translation,
+                "{}: DLB xlation {} above TLB {}",
+                p.benchmark,
+                dlb8.translation,
+                tlb8.translation
+            );
+        }
+        // RAYTRACE has the extra V2 bar.
+        let ray = panels.iter().find(|p| p.benchmark == "RAYTRACE").unwrap();
+        assert!(ray.bar("DLB/8/V2").is_some());
+        assert_eq!(ray.bars.len(), 5);
+        let rendered = render(ray).render();
+        assert!(rendered.contains("DLB/8/V2"));
+    }
+}

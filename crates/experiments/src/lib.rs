@@ -1,0 +1,118 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section (§5) plus the ablations listed in `DESIGN.md`.
+//!
+//! Each module owns one artifact and exposes a `run(&ExperimentConfig)`
+//! returning plain data plus a `render(..)` producing the paper-style
+//! table. The CLI binary (`cargo run -p vcoma-experiments`) and the
+//! Criterion benches in `vcoma-bench` both call these entry points, so the
+//! numbers in `EXPERIMENTS.md` are regenerable from either.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — benchmark parameters |
+//! | [`fig8`] | Figure 8 — translation misses/node vs TLB/DLB size |
+//! | [`table2`] | Table 2 — miss rate per processor reference |
+//! | [`table3`] | Table 3 — TLB size equivalent to an 8-entry DLB |
+//! | [`fig9`] | Figure 9 — direct-mapped vs fully-associative |
+//! | [`table4`] | Table 4 — translation time / stall time |
+//! | [`fig10`] | Figure 10 — execution-time breakdown |
+//! | [`fig11`] | Figure 11 — global-page-set pressure profile |
+//! | [`ablations`] | design-choice ablations (injection policy, contention, coloring) |
+//! | [`ccnuma`] | §2 motivation: SHARED-TLB in CC-NUMA vs first-touch placement |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod ccnuma;
+pub mod fig10;
+pub mod fig11;
+pub mod fig8;
+pub mod fig9;
+pub mod render;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use vcoma::workloads::{all_benchmarks, Workload};
+use vcoma::{MachineConfig, Scheme, Simulator};
+
+/// Shared configuration for all experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Machine under test (defaults to the paper's 32-node baseline).
+    pub machine: MachineConfig,
+    /// Workload scale: the fraction of each benchmark's iterations
+    /// replayed. `1.0` regenerates the full traces; the default `0.1`
+    /// keeps a full sweep under a few minutes.
+    pub scale: f64,
+    /// Master seed for all runs.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The default setup: paper machine, 10 % workload scale.
+    pub fn new() -> Self {
+        ExperimentConfig { machine: MachineConfig::paper_baseline(), scale: 0.1, seed: 0x5EED }
+    }
+
+    /// A very small setup for smoke tests and benches: the paper machine
+    /// at ~1 % scale. (The node count stays at 32: the benchmarks'
+    /// footprints need the full machine's memory, as in the paper.)
+    pub fn smoke() -> Self {
+        ExperimentConfig { machine: MachineConfig::paper_baseline(), scale: 0.01, seed: 0x5EED }
+    }
+
+    /// Sets the workload scale.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// The paper's six benchmarks at this configuration's scale.
+    pub fn benchmarks(&self) -> Vec<Box<dyn Workload>> {
+        all_benchmarks(self.scale)
+    }
+
+    /// A simulator for `scheme` on this configuration's machine.
+    pub fn simulator(&self, scheme: Scheme) -> Simulator {
+        Simulator::new(scheme).machine(self.machine.clone()).seed(self.seed)
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::new()
+    }
+}
+
+/// The TLB/DLB size axis of Figures 8 and 9.
+pub const SIZE_AXIS: [u64; 7] = [8, 16, 32, 64, 128, 256, 512];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_paper_machine() {
+        let c = ExperimentConfig::new();
+        assert_eq!(c.machine.nodes, 32);
+        assert_eq!(c.benchmarks().len(), 6);
+    }
+
+    #[test]
+    fn smoke_config_is_small() {
+        let c = ExperimentConfig::smoke();
+        assert_eq!(c.machine.nodes, 32);
+        assert!(c.scale < 0.1);
+    }
+
+    #[test]
+    fn simulator_carries_machine_and_seed() {
+        let c = ExperimentConfig::smoke();
+        let s = c.simulator(Scheme::VComa);
+        assert_eq!(s.config().machine.nodes, 32);
+        assert_eq!(s.config().seed, c.seed);
+    }
+}

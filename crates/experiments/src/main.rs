@@ -1,0 +1,159 @@
+//! CLI entry point: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p vcoma-experiments -- all --scale 0.1 --out results/
+//! cargo run --release -p vcoma-experiments -- fig8 table2
+//! ```
+
+use std::path::PathBuf;
+use vcoma_experiments::{
+    ablations, ccnuma, fig10, fig11, fig8, fig9, table1, table2, table3, table4,
+    ExperimentConfig,
+};
+
+const USAGE: &str = "\
+usage: vcoma-experiments [ARTIFACT...] [--scale F] [--nodes N] [--out DIR]
+
+artifacts: table1 fig8 table2 table3 fig9 table4 fig10 fig11 ablations ccnuma all
+           (default: all)
+
+options:
+  --scale F   fraction of each benchmark's iterations to replay (default 0.1)
+  --nodes N   node count (default 32, the paper's machine)
+  --out DIR   also write each artifact as CSV into DIR
+";
+
+fn main() {
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut scale = 0.1f64;
+    let mut nodes = 32u64;
+    let mut out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => scale = args.next().expect("--scale needs a value").parse().expect("scale"),
+            "--nodes" => nodes = args.next().expect("--nodes needs a value").parse().expect("nodes"),
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a value"))),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if artifacts.is_empty() || artifacts.iter().any(|a| a == "all") {
+        artifacts = ["table1", "fig8", "table2", "table3", "fig9", "table4", "fig10", "fig11", "ablations", "ccnuma"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let machine = vcoma::MachineConfig::builder().nodes(nodes).build().expect("valid machine");
+    let cfg = ExperimentConfig { machine, ..ExperimentConfig::new() }.with_scale(scale);
+    println!(
+        "machine: {} nodes, scale {scale} (paper geometry, paper timing)\n",
+        cfg.machine.nodes
+    );
+    if let Some(dir) = &out {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    let save = |name: &str, csv: String| {
+        if let Some(dir) = &out {
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, csv).expect("write CSV");
+            println!("  -> wrote {}", path.display());
+        }
+    };
+
+    for a in &artifacts {
+        let t0 = std::time::Instant::now();
+        match a.as_str() {
+            "table1" => {
+                println!("== Table 1: benchmark parameters ==");
+                let rows = table1::run(&cfg);
+                let t = table1::render(&rows);
+                println!("{}", t.render());
+                save("table1", t.to_csv());
+            }
+            "fig8" => {
+                println!("== Figure 8: translation misses per node vs TLB/DLB size ==");
+                for panel in fig8::run(&cfg) {
+                    let t = fig8::render(&panel);
+                    println!("{}", t.render());
+                    save(&format!("fig8_{}", panel.benchmark.to_lowercase()), t.to_csv());
+                }
+            }
+            "table2" => {
+                println!("== Table 2: TLB/DLB miss rates per processor reference (%) ==");
+                let rows = table2::run(&cfg);
+                let t = table2::render(&rows);
+                println!("{}", t.render());
+                save("table2", t.to_csv());
+            }
+            "table3" => {
+                println!("== Table 3: TLB size equivalent to an 8-entry DLB ==");
+                let rows = table3::run(&cfg);
+                let t = table3::render(&rows);
+                println!("{}", t.render());
+                save("table3", t.to_csv());
+            }
+            "fig9" => {
+                println!("== Figure 9: direct-mapped vs fully-associative TLB/DLB ==");
+                for panel in fig9::run(&cfg) {
+                    let t = fig9::render(&panel);
+                    println!("{}", t.render());
+                    save(&format!("fig9_{}", panel.benchmark.to_lowercase()), t.to_csv());
+                }
+            }
+            "table4" => {
+                println!("== Table 4: translation time / total stall time (%) ==");
+                let cols = table4::run(&cfg);
+                let t = table4::render(&cols);
+                println!("{}", t.render());
+                save("table4", t.to_csv());
+            }
+            "fig10" => {
+                println!("== Figure 10: execution-time breakdown per node ==");
+                for panel in fig10::run(&cfg) {
+                    let t = fig10::render(&panel);
+                    println!("{}", t.render());
+                    save(&format!("fig10_{}", panel.benchmark.to_lowercase()), t.to_csv());
+                }
+            }
+            "fig11" => {
+                println!("== Figure 11: global-page-set pressure profiles ==");
+                let rows = fig11::run(&cfg);
+                let t = fig11::render(&rows);
+                println!("{}", t.render());
+                save("fig11", t.to_csv());
+            }
+            "ccnuma" => {
+                println!("== CC-NUMA motivation (paper \u{a7}2): SHARED-TLB vs first-touch ==");
+                let rows = ccnuma::run(&cfg);
+                let t = ccnuma::render(&rows);
+                println!("{}", t.render());
+                save("ccnuma", t.to_csv());
+            }
+            "ablations" => {
+                println!("== Ablations ==");
+                let mut rows = ablations::contention(&cfg);
+                rows.extend(ablations::coloring(&cfg));
+                rows.extend(ablations::injection(&cfg));
+                rows.extend(ablations::software_managed(&cfg));
+                let t = ablations::render(&rows);
+                println!("{}", t.render());
+                save("ablations", t.to_csv());
+            }
+            other => {
+                eprintln!("unknown artifact {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        println!("[{a} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

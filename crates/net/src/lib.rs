@@ -1,0 +1,362 @@
+//! Crossbar interconnect model.
+//!
+//! The paper's machine connects 32 nodes with an 8-bit-wide crossbar clocked
+//! at 100 MHz, half the 200 MHz processor clock: an 8-byte control message
+//! takes 16 processor cycles and a message carrying a 128-byte memory block
+//! takes 272 (§5.1). This crate provides:
+//!
+//! * [`MsgKind`] — the coherence message vocabulary and each kind's size
+//!   class;
+//! * [`Crossbar`] — the latency model, optionally with output-port
+//!   contention, plus per-node traffic statistics.
+//!
+//! The simulator is trace-driven with atomic transactions, so the crossbar
+//! answers one question: *at what time does a message injected at `now`
+//! arrive?* With contention disabled (the paper's model) that is simply
+//! `now + latency(kind)`.
+//!
+//! # Example
+//!
+//! ```
+//! use vcoma_net::{Crossbar, MsgKind};
+//! use vcoma_types::{NodeId, Timing};
+//!
+//! let mut xbar = Crossbar::new(4, Timing::paper());
+//! let arrival = xbar.send(NodeId::new(0), NodeId::new(2), MsgKind::ReadReq, 100);
+//! assert_eq!(arrival, 116); // 16-cycle request latency
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vcoma_types::{NodeId, Timing};
+
+/// Coherence-protocol message kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// Read (shared) request — control-sized.
+    ReadReq,
+    /// Write / ownership request — control-sized.
+    WriteReq,
+    /// Upgrade request (Shared → Exclusive without data) — control-sized.
+    UpgradeReq,
+    /// Reply carrying a memory block — block-sized.
+    BlockReply,
+    /// Acknowledgement or negative acknowledgement — control-sized.
+    Ack,
+    /// Invalidation request — control-sized.
+    Invalidate,
+    /// Replacement injection carrying a block — block-sized.
+    Inject,
+    /// Injection forward to another node, carrying the block — block-sized.
+    InjectForward,
+    /// Request forwarded to the current owner — control-sized.
+    ForwardReq,
+    /// Writeback of a dirty block to the level below — block-sized.
+    Writeback,
+}
+
+/// All message kinds, for iteration in statistics code.
+pub const ALL_MSG_KINDS: [MsgKind; 10] = [
+    MsgKind::ReadReq,
+    MsgKind::WriteReq,
+    MsgKind::UpgradeReq,
+    MsgKind::BlockReply,
+    MsgKind::Ack,
+    MsgKind::Invalidate,
+    MsgKind::Inject,
+    MsgKind::InjectForward,
+    MsgKind::ForwardReq,
+    MsgKind::Writeback,
+];
+
+impl MsgKind {
+    /// Returns `true` if the message carries a memory block (and therefore
+    /// pays the block latency).
+    pub const fn carries_block(self) -> bool {
+        matches!(
+            self,
+            MsgKind::BlockReply | MsgKind::Inject | MsgKind::InjectForward | MsgKind::Writeback
+        )
+    }
+
+    /// One-way latency of this message kind under `timing`.
+    pub const fn latency(self, timing: &Timing) -> u64 {
+        if self.carries_block() {
+            timing.net_block
+        } else {
+            timing.net_request
+        }
+    }
+
+    /// Payload size in bytes (8-byte control messages; block messages carry
+    /// a 128-byte block plus an 8-byte header in the paper's machine).
+    pub const fn bytes(self, block_size: u64) -> u64 {
+        if self.carries_block() {
+            block_size + 8
+        } else {
+            8
+        }
+    }
+
+    fn stat_index(self) -> usize {
+        match self {
+            MsgKind::ReadReq => 0,
+            MsgKind::WriteReq => 1,
+            MsgKind::UpgradeReq => 2,
+            MsgKind::BlockReply => 3,
+            MsgKind::Ack => 4,
+            MsgKind::Invalidate => 5,
+            MsgKind::Inject => 6,
+            MsgKind::InjectForward => 7,
+            MsgKind::ForwardReq => 8,
+            MsgKind::Writeback => 9,
+        }
+    }
+}
+
+impl std::fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MsgKind::ReadReq => "read-req",
+            MsgKind::WriteReq => "write-req",
+            MsgKind::UpgradeReq => "upgrade-req",
+            MsgKind::BlockReply => "block-reply",
+            MsgKind::Ack => "ack",
+            MsgKind::Invalidate => "invalidate",
+            MsgKind::Inject => "inject",
+            MsgKind::InjectForward => "inject-forward",
+            MsgKind::ForwardReq => "forward-req",
+            MsgKind::Writeback => "writeback",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-crossbar traffic statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages sent, by [`MsgKind`] statistics index.
+    msgs_by_kind: [u64; 10],
+    /// Messages sent per source node.
+    sent_per_node: Vec<u64>,
+    /// Messages received per destination node.
+    recv_per_node: Vec<u64>,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+    /// Total cycles spent waiting for contended ports (0 when contention is
+    /// disabled).
+    pub contention_cycles: u64,
+    /// Messages a node sent to itself (charged no network latency).
+    pub local_msgs: u64,
+}
+
+impl NetStats {
+    fn new(nodes: usize) -> Self {
+        NetStats {
+            msgs_by_kind: [0; 10],
+            sent_per_node: vec![0; nodes],
+            recv_per_node: vec![0; nodes],
+            bytes: 0,
+            contention_cycles: 0,
+            local_msgs: 0,
+        }
+    }
+
+    /// Messages of one kind sent so far.
+    pub fn msgs_of(&self, kind: MsgKind) -> u64 {
+        self.msgs_by_kind[kind.stat_index()]
+    }
+
+    /// Total messages sent.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs_by_kind.iter().sum()
+    }
+
+    /// Messages sent by one node.
+    pub fn sent_by(&self, node: NodeId) -> u64 {
+        self.sent_per_node[node.index()]
+    }
+
+    /// Messages received by one node.
+    pub fn received_by(&self, node: NodeId) -> u64 {
+        self.recv_per_node[node.index()]
+    }
+}
+
+/// The crossbar: latency model plus statistics, with optional output-port
+/// contention.
+///
+/// With contention enabled, each destination port is busy for the message's
+/// transfer time; a message arriving at a busy port queues behind it
+/// (paper's model ignores this — it is off by default and exercised by the
+/// `ablation_contention` bench).
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    timing: Timing,
+    block_size: u64,
+    stats: NetStats,
+    /// Busy-until time per destination port; `None` disables contention.
+    port_busy_until: Option<Vec<u64>>,
+}
+
+impl Crossbar {
+    /// Creates a contention-free crossbar for `nodes` nodes (the paper's
+    /// model) with a 128-byte block payload.
+    pub fn new(nodes: u64, timing: Timing) -> Self {
+        Crossbar { timing, block_size: 128, stats: NetStats::new(nodes as usize), port_busy_until: None }
+    }
+
+    /// Enables output-port contention modelling.
+    pub fn with_contention(mut self) -> Self {
+        let n = self.stats.sent_per_node.len();
+        self.port_busy_until = Some(vec![0; n]);
+        self
+    }
+
+    /// Sets the block payload size used for byte accounting.
+    pub fn with_block_size(mut self, block_size: u64) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Sends a message at time `now`; returns its arrival time at `dst`.
+    ///
+    /// A message from a node to itself (e.g. the local node is also the
+    /// home) is free: the paper charges network latency only for remote
+    /// transactions.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, kind: MsgKind, now: u64) -> u64 {
+        if src == dst {
+            self.stats.local_msgs += 1;
+            return now;
+        }
+        self.stats.msgs_by_kind[kind.stat_index()] += 1;
+        self.stats.sent_per_node[src.index()] += 1;
+        self.stats.recv_per_node[dst.index()] += 1;
+        self.stats.bytes += kind.bytes(self.block_size);
+        let latency = kind.latency(&self.timing);
+        match &mut self.port_busy_until {
+            None => now + latency,
+            Some(ports) => {
+                let port = &mut ports[dst.index()];
+                let start = now.max(*port);
+                self.stats.contention_cycles += start - now;
+                *port = start + latency;
+                start + latency
+            }
+        }
+    }
+
+    /// Latency a message kind would incur (no state change).
+    pub fn latency_of(&self, kind: MsgKind) -> u64 {
+        kind.latency(&self.timing)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Zeroes the traffic counters (used between a warm-up pass and the
+    /// measured pass). Port busy times are also cleared.
+    pub fn reset_stats(&mut self) {
+        let n = self.stats.sent_per_node.len();
+        self.stats = NetStats::new(n);
+        if let Some(ports) = &mut self.port_busy_until {
+            ports.iter_mut().for_each(|p| *p = 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xbar() -> Crossbar {
+        Crossbar::new(4, Timing::paper())
+    }
+
+    #[test]
+    fn request_and_block_latencies_match_paper() {
+        let mut x = xbar();
+        assert_eq!(x.send(NodeId::new(0), NodeId::new(1), MsgKind::ReadReq, 0), 16);
+        assert_eq!(x.send(NodeId::new(1), NodeId::new(0), MsgKind::BlockReply, 100), 372);
+        assert_eq!(x.latency_of(MsgKind::Invalidate), 16);
+        assert_eq!(x.latency_of(MsgKind::Inject), 272);
+    }
+
+    #[test]
+    fn self_send_is_free_and_uncounted_in_traffic() {
+        let mut x = xbar();
+        let n = NodeId::new(2);
+        assert_eq!(x.send(n, n, MsgKind::BlockReply, 50), 50);
+        assert_eq!(x.stats().total_msgs(), 0);
+        assert_eq!(x.stats().local_msgs, 1);
+        assert_eq!(x.stats().bytes, 0);
+    }
+
+    #[test]
+    fn stats_count_by_kind_and_node() {
+        let mut x = xbar();
+        x.send(NodeId::new(0), NodeId::new(1), MsgKind::ReadReq, 0);
+        x.send(NodeId::new(0), NodeId::new(2), MsgKind::ReadReq, 0);
+        x.send(NodeId::new(1), NodeId::new(0), MsgKind::BlockReply, 0);
+        assert_eq!(x.stats().msgs_of(MsgKind::ReadReq), 2);
+        assert_eq!(x.stats().msgs_of(MsgKind::BlockReply), 1);
+        assert_eq!(x.stats().total_msgs(), 3);
+        assert_eq!(x.stats().sent_by(NodeId::new(0)), 2);
+        assert_eq!(x.stats().received_by(NodeId::new(0)), 1);
+        assert_eq!(x.stats().bytes, 8 + 8 + 136);
+    }
+
+    #[test]
+    fn message_size_classes() {
+        for k in ALL_MSG_KINDS {
+            if k.carries_block() {
+                assert_eq!(k.bytes(128), 136, "{k}");
+                assert_eq!(k.latency(&Timing::paper()), 272, "{k}");
+            } else {
+                assert_eq!(k.bytes(128), 8, "{k}");
+                assert_eq!(k.latency(&Timing::paper()), 16, "{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn contention_serialises_same_destination() {
+        let mut x = Crossbar::new(4, Timing::paper()).with_contention();
+        let dst = NodeId::new(3);
+        let a1 = x.send(NodeId::new(0), dst, MsgKind::ReadReq, 0);
+        let a2 = x.send(NodeId::new(1), dst, MsgKind::ReadReq, 0);
+        assert_eq!(a1, 16);
+        assert_eq!(a2, 32); // queued behind the first
+        assert_eq!(x.stats().contention_cycles, 16);
+        // Different destination unaffected.
+        let a3 = x.send(NodeId::new(1), NodeId::new(2), MsgKind::ReadReq, 0);
+        assert_eq!(a3, 16);
+    }
+
+    #[test]
+    fn contention_free_port_adds_no_delay() {
+        let mut x = Crossbar::new(4, Timing::paper()).with_contention();
+        let a1 = x.send(NodeId::new(0), NodeId::new(1), MsgKind::ReadReq, 0);
+        let a2 = x.send(NodeId::new(0), NodeId::new(1), MsgKind::ReadReq, 100);
+        assert_eq!(a1, 16);
+        assert_eq!(a2, 116);
+        assert_eq!(x.stats().contention_cycles, 0);
+    }
+
+    #[test]
+    fn custom_block_size_changes_byte_accounting() {
+        let mut x = Crossbar::new(2, Timing::paper()).with_block_size(64);
+        x.send(NodeId::new(0), NodeId::new(1), MsgKind::Writeback, 0);
+        assert_eq!(x.stats().bytes, 72);
+    }
+
+    #[test]
+    fn msg_kind_display_nonempty() {
+        for k in ALL_MSG_KINDS {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Shadow banks of TLBs/DLBs observed in parallel.
+
+use vcoma_tlb::{Tlb, TlbOrg, TlbStats};
+use vcoma_types::VPage;
+
+/// A bank of TLB (or DLB) instances of different sizes/organisations that
+/// all observe the same translation stream.
+///
+/// Only the **primary** member (index 0) affects simulated time; the others
+/// are passive shadows used to sweep a whole size axis (Figure 8, Figure 9)
+/// in a single simulation run. This is sound because in a trace-driven
+/// model the translation *stream* does not depend on the TLB's size — only
+/// the per-miss latency does, and that is charged from the primary alone.
+#[derive(Debug, Clone)]
+pub struct TlbBank {
+    members: Vec<Tlb>,
+}
+
+impl TlbBank {
+    /// Creates a bank from `(entries, organisation)` specs; the first spec
+    /// is the primary. `seed` keeps the random-replacement members
+    /// deterministic (each member derives its own stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn new(specs: &[(u64, TlbOrg)], seed: u64) -> Self {
+        assert!(!specs.is_empty(), "a TLB bank needs at least one member");
+        TlbBank {
+            members: specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(entries, org))| Tlb::new(entries, org, seed ^ ((i as u64) << 32)))
+                .collect(),
+        }
+    }
+
+    /// Presents a translation to every member; returns `true` if the
+    /// **primary** hit.
+    pub fn access(&mut self, page: VPage) -> bool {
+        let mut primary_hit = true;
+        for (i, t) in self.members.iter_mut().enumerate() {
+            let hit = t.translate(page);
+            if i == 0 {
+                primary_hit = hit;
+            }
+        }
+        primary_hit
+    }
+
+    /// Shoots a page down in every member.
+    pub fn shootdown(&mut self, page: VPage) {
+        for t in &mut self.members {
+            t.shootdown(page);
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the bank has no members (never true for a bank
+    /// built with [`TlbBank::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Statistics of one member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn stats(&self, index: usize) -> &TlbStats {
+        self.members[index].stats()
+    }
+
+    /// The primary member's statistics.
+    pub fn primary_stats(&self) -> &TlbStats {
+        self.members[0].stats()
+    }
+
+    /// Iterates over every member's statistics in spec order.
+    pub fn all_stats(&self) -> impl Iterator<Item = &TlbStats> {
+        self.members.iter().map(|t| t.stats())
+    }
+
+    /// Zeroes every member's statistics, keeping their resident mappings
+    /// (used between a warm-up pass and the measured pass).
+    pub fn reset_stats(&mut self) {
+        for t in &mut self.members {
+            t.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_members_see_every_access() {
+        let mut b = TlbBank::new(
+            &[(2, TlbOrg::FullyAssociative), (64, TlbOrg::FullyAssociative)],
+            1,
+        );
+        for p in 0..10u64 {
+            b.access(VPage::new(p));
+        }
+        assert_eq!(b.stats(0).accesses, 10);
+        assert_eq!(b.stats(1).accesses, 10);
+        // The tiny primary misses more than the big shadow.
+        assert!(b.stats(0).misses >= b.stats(1).misses);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn primary_hit_reflects_member_zero() {
+        let mut b = TlbBank::new(
+            &[(1, TlbOrg::FullyAssociative), (64, TlbOrg::FullyAssociative)],
+            1,
+        );
+        assert!(!b.access(VPage::new(1))); // cold
+        assert!(b.access(VPage::new(1))); // hit in the 1-entry primary
+        assert!(!b.access(VPage::new(2))); // displaces
+        assert!(!b.access(VPage::new(1))); // primary misses, shadow hits
+        assert_eq!(b.stats(1).misses, 2, "shadow only took the two cold misses");
+    }
+
+    #[test]
+    fn shootdown_hits_every_member() {
+        let mut b = TlbBank::new(
+            &[(8, TlbOrg::FullyAssociative), (8, TlbOrg::DirectMapped)],
+            1,
+        );
+        b.access(VPage::new(3));
+        b.shootdown(VPage::new(3));
+        assert!(!b.access(VPage::new(3)), "page must miss after shootdown");
+        assert_eq!(b.stats(0).misses, 2);
+        assert_eq!(b.stats(1).misses, 2);
+    }
+
+    #[test]
+    fn all_stats_in_spec_order() {
+        let mut b = TlbBank::new(
+            &[(1, TlbOrg::FullyAssociative), (64, TlbOrg::FullyAssociative)],
+            1,
+        );
+        for p in 0..5u64 {
+            b.access(VPage::new(p));
+        }
+        let misses: Vec<u64> = b.all_stats().map(|s| s.misses).collect();
+        assert_eq!(misses.len(), 2);
+        assert!(misses[0] >= misses[1]);
+        assert_eq!(b.primary_stats().misses, misses[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_bank_panics() {
+        TlbBank::new(&[], 0);
+    }
+}

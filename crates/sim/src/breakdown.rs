@@ -1,0 +1,105 @@
+//! Execution-time breakdown (the Figure-10 categories).
+
+/// Cycles spent by one node (or summed over nodes), split into the paper's
+/// execution-time categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TimeBreakdown {
+    /// Instruction execution (`Compute` ops plus one issue cycle per memory
+    /// reference).
+    pub busy: u64,
+    /// Waiting at barriers and locks.
+    pub sync: u64,
+    /// Local cache stalls: SLC hits and local attraction-memory hits.
+    pub local_stall: u64,
+    /// Remote stalls: coherence transactions (attraction-memory misses).
+    pub remote_stall: u64,
+    /// Address-translation overhead: TLB/DLB miss service time.
+    pub translation: u64,
+}
+
+impl TimeBreakdown {
+    /// Total cycles across all categories.
+    pub const fn total(&self) -> u64 {
+        self.busy + self.sync + self.local_stall + self.remote_stall + self.translation
+    }
+
+    /// Total processor stall time on memory accesses (local + remote), the
+    /// denominator of Table 4.
+    pub const fn stall(&self) -> u64 {
+        self.local_stall + self.remote_stall
+    }
+
+    /// Translation overhead as a fraction of memory stall time (Table 4's
+    /// metric), `0` when there was no stall time.
+    pub fn translation_over_stall(&self) -> f64 {
+        if self.stall() == 0 {
+            0.0
+        } else {
+            self.translation as f64 / self.stall() as f64
+        }
+    }
+
+    /// Accumulates another breakdown into this one.
+    pub fn merge(&mut self, o: &TimeBreakdown) {
+        self.busy += o.busy;
+        self.sync += o.sync;
+        self.local_stall += o.local_stall;
+        self.remote_stall += o.remote_stall;
+        self.translation += o.translation;
+    }
+}
+
+impl std::fmt::Display for TimeBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "busy={} sync={} loc-stall={} rem-stall={} xlat={} (total {})",
+            self.busy,
+            self.sync,
+            self.local_stall,
+            self.remote_stall,
+            self.translation,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratios() {
+        let b = TimeBreakdown {
+            busy: 100,
+            sync: 50,
+            local_stall: 30,
+            remote_stall: 70,
+            translation: 10,
+        };
+        assert_eq!(b.total(), 260);
+        assert_eq!(b.stall(), 100);
+        assert!((b.translation_over_stall() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_breakdown_has_zero_ratio() {
+        assert_eq!(TimeBreakdown::default().translation_over_stall(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TimeBreakdown { busy: 1, ..TimeBreakdown::default() };
+        a.merge(&TimeBreakdown { busy: 2, sync: 3, ..TimeBreakdown::default() });
+        assert_eq!(a.busy, 3);
+        assert_eq!(a.sync, 3);
+    }
+
+    #[test]
+    fn display_mentions_every_category() {
+        let s = TimeBreakdown::default().to_string();
+        for key in ["busy", "sync", "loc-stall", "rem-stall", "xlat"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Simulation configuration.
+
+use vcoma_coherence::InjectionPolicy;
+use vcoma_tlb::{Scheme, TlbOrg};
+use vcoma_types::MachineConfig;
+
+/// Configuration of one simulation run: the machine, the translation
+/// scheme, and the TLB/DLB geometry sweep.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Machine geometry and timing.
+    pub machine: MachineConfig,
+    /// The address-translation scheme under test.
+    pub scheme: Scheme,
+    /// TLB/DLB `(entries, organisation)` specs observed in parallel; the
+    /// first is the primary that affects simulated time. The same specs are
+    /// used for the per-node TLBs (`L0`–`L3`) or the per-home DLBs
+    /// (V-COMA), whichever the scheme needs.
+    pub translation_specs: Vec<(u64, TlbOrg)>,
+    /// Master seed: drives protocol victim selection, injection forwarding
+    /// and TLB random replacement. Equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Model crossbar output-port contention (off in the paper's model).
+    pub contention: bool,
+    /// Replay the traces once untimed before measuring, so caches,
+    /// attraction memories and TLB/DLBs start warm — the analogue of the
+    /// paper's preloaded data sets (§5.1). Off by default.
+    pub warmup: bool,
+    /// How master-copy victims search for a new slot (paper §4.2 random
+    /// forwarding by default).
+    pub injection_policy: InjectionPolicy,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the paper's default translation
+    /// structure: one 8-entry fully-associative TLB/DLB.
+    pub fn new(machine: MachineConfig, scheme: Scheme) -> Self {
+        SimConfig {
+            machine,
+            scheme,
+            translation_specs: vec![(8, TlbOrg::FullyAssociative)],
+            seed: 0xD0_5EED,
+            contention: false,
+            warmup: false,
+            injection_policy: InjectionPolicy::RandomForward,
+        }
+    }
+
+    /// Replaces the TLB/DLB specs (first entry is the primary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn with_translation_specs(mut self, specs: Vec<(u64, TlbOrg)>) -> Self {
+        assert!(!specs.is_empty(), "at least one TLB/DLB spec is required");
+        self.translation_specs = specs;
+        self
+    }
+
+    /// Convenience: a single fully-associative TLB/DLB of `entries`.
+    pub fn with_entries(self, entries: u64) -> Self {
+        self.with_translation_specs(vec![(entries, TlbOrg::FullyAssociative)])
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables crossbar contention modelling.
+    pub fn with_contention(mut self) -> Self {
+        self.contention = true;
+        self
+    }
+
+    /// Enables the warm-up pass (see [`SimConfig::warmup`]).
+    pub fn with_warmup(mut self) -> Self {
+        self.warmup = true;
+        self
+    }
+
+    /// Selects the injection policy.
+    pub fn with_injection_policy(mut self, policy: InjectionPolicy) -> Self {
+        self.injection_policy = policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SimConfig::new(MachineConfig::paper_baseline(), Scheme::L0Tlb);
+        assert_eq!(c.translation_specs, vec![(8, TlbOrg::FullyAssociative)]);
+        assert!(!c.contention);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::new(MachineConfig::tiny(), Scheme::VComa)
+            .with_entries(16)
+            .with_seed(99)
+            .with_contention();
+        assert_eq!(c.translation_specs, vec![(16, TlbOrg::FullyAssociative)]);
+        assert_eq!(c.seed, 99);
+        assert!(c.contention);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one TLB/DLB spec")]
+    fn empty_specs_panic() {
+        SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb).with_translation_specs(vec![]);
+    }
+}

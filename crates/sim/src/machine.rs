@@ -1,0 +1,911 @@
+//! The machine: nodes, memory hierarchy, translation schemes and the
+//! trace-replay engine.
+
+use crate::sync::{Barriers, Locks};
+use crate::{SimConfig, SimReport, TimeBreakdown, TlbBank};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use vcoma_cachesim::{Flc, Slc};
+use vcoma_coherence::{Access, HomeTranslation, NullTranslation, Protocol};
+use vcoma_net::{Crossbar, MsgKind};
+use vcoma_tlb::Scheme;
+use vcoma_types::{AccessKind, MachineConfig, NodeId, Op, VAddr, VPage};
+use vcoma_vm::{
+    ColoringAllocator, DirectoryAllocator, FrameAllocator, PageTable, PressureProfile,
+    RoundRobinAllocator,
+};
+
+/// Fixed sync-episode costs in cycles: a barrier release and a lock
+/// acquire/release are short control-message exchanges on the crossbar.
+const BARRIER_RELEASE_COST: u64 = 32;
+const LOCK_ACQUIRE_COST: u64 = 32;
+const LOCK_RELEASE_COST: u64 = 16;
+
+/// Per-node simulation state.
+#[derive(Debug)]
+struct NodeCtx {
+    flc: Flc,
+    slc: Slc,
+    /// The node's translation bank: its private TLB in `L0`–`L3`, its
+    /// home-side DLB in V-COMA.
+    xlb: TlbBank,
+    time: u64,
+    breakdown: TimeBreakdown,
+    refs: u64,
+    reads: u64,
+    writes: u64,
+}
+
+/// The simulated COMA machine.
+///
+/// Build one from a [`SimConfig`] and feed it one trace per node with
+/// [`Machine::run`]. A machine is single-use: `run` consumes the warm-up
+/// state; build a fresh machine per experiment point.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: SimConfig,
+    nodes: Vec<NodeCtx>,
+    protocol: Protocol,
+    net: Crossbar,
+    page_table: PageTable,
+    phys_alloc: PhysAlloc,
+    dir_alloc: DirectoryAllocator,
+    barriers: Barriers,
+    locks: Locks,
+    /// Pages the page daemon swapped out to make room (§4.3). The swap
+    /// I/O itself is not timed — the paper's runs are preloaded — but the
+    /// count makes over-capacity workloads visible instead of fatal.
+    page_faults: u64,
+}
+
+/// The physical frame allocator matching the scheme.
+#[derive(Debug)]
+enum PhysAlloc {
+    RoundRobin(RoundRobinAllocator),
+    Coloring(ColoringAllocator),
+    /// V-COMA has no physical address space.
+    None,
+}
+
+impl PhysAlloc {
+    fn as_mut(&mut self) -> &mut dyn FrameAllocator {
+        match self {
+            PhysAlloc::RoundRobin(a) => a,
+            PhysAlloc::Coloring(a) => a,
+            PhysAlloc::None => unreachable!("physical allocation requested in V-COMA"),
+        }
+    }
+}
+
+/// V-COMA's home-side translation: the protocol asks the home node's DLB
+/// for the directory address of the accessed page (paper Figure 7).
+///
+/// The DLB is keyed by the page number with the home-selector bits
+/// stripped (`vpage / nodes`): every page served by home `h` satisfies
+/// `vpage ≡ h (mod nodes)`, so indexing a direct-mapped DLB with the raw
+/// page number would collapse all of a home's pages into a single set.
+struct DlbHook<'a> {
+    nodes: &'a mut [NodeCtx],
+    blocks_per_page: u64,
+    node_count: u64,
+    penalty: u64,
+}
+
+impl HomeTranslation for DlbHook<'_> {
+    fn home_lookup(&mut self, home: NodeId, block: u64) -> u64 {
+        let key = VPage::new(block / self.blocks_per_page / self.node_count);
+        if self.nodes[home.index()].xlb.access(key) {
+            0
+        } else {
+            self.penalty
+        }
+    }
+}
+
+impl Machine {
+    /// Builds the machine for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine configuration is invalid (see
+    /// [`MachineConfig::validate`]).
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.machine.validate().expect("invalid machine configuration");
+        let m = &cfg.machine;
+        let nodes = (0..m.nodes)
+            .map(|i| NodeCtx {
+                flc: Flc::new(m.flc),
+                slc: Slc::new(m.slc),
+                xlb: TlbBank::new(&cfg.translation_specs, cfg.seed ^ (i << 17)),
+                time: 0,
+                breakdown: TimeBreakdown::default(),
+                refs: 0,
+                reads: 0,
+                writes: 0,
+            })
+            .collect();
+        let phys_alloc = match cfg.scheme {
+            Scheme::VComa => PhysAlloc::None,
+            Scheme::L3Tlb => PhysAlloc::Coloring(ColoringAllocator::new(m)),
+            _ => PhysAlloc::RoundRobin(RoundRobinAllocator::new(m)),
+        };
+        let net = if cfg.contention {
+            Crossbar::new(m.nodes, m.timing).with_contention().with_block_size(m.am.block_size)
+        } else {
+            Crossbar::new(m.nodes, m.timing).with_block_size(m.am.block_size)
+        };
+        Machine {
+            nodes,
+            protocol: Protocol::new(m, cfg.seed).with_injection_policy(cfg.injection_policy),
+            net,
+            page_table: PageTable::new(m.clone()),
+            phys_alloc,
+            dir_alloc: DirectoryAllocator::new(m),
+            barriers: Barriers::new(m.nodes as usize, BARRIER_RELEASE_COST),
+            locks: Locks::new(LOCK_ACQUIRE_COST, LOCK_RELEASE_COST),
+            page_faults: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Replays one trace per node to completion and reports statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of traces does not match the node count, if the
+    /// traces deadlock (a barrier or lock some participant never reaches),
+    /// or if the workload footprint exceeds the machine's page frames.
+    pub fn run(mut self, traces: Vec<Vec<Op>>) -> SimReport {
+        assert_eq!(
+            traces.len(),
+            self.nodes.len(),
+            "need exactly one trace per node"
+        );
+        if self.cfg.warmup {
+            self.replay(&traces);
+            self.reset_stats();
+        }
+        self.replay(&traces);
+        self.into_report()
+    }
+
+    /// Zeroes every statistics counter while keeping all warm state
+    /// (cache/AM contents, TLB/DLB mappings, page tables).
+    fn reset_stats(&mut self) {
+        for n in &mut self.nodes {
+            n.time = 0;
+            n.breakdown = TimeBreakdown::default();
+            n.refs = 0;
+            n.reads = 0;
+            n.writes = 0;
+            n.flc.reset_stats();
+            n.slc.reset_stats();
+            n.xlb.reset_stats();
+        }
+        self.protocol.reset_stats();
+        self.net.reset_stats();
+    }
+
+    /// Replays the traces to completion once.
+    fn replay(&mut self, traces: &[Vec<Op>]) {
+        let mut cursors = vec![0usize; traces.len()];
+        let mut done = vec![false; traces.len()];
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for (i, t) in traces.iter().enumerate() {
+            if t.is_empty() {
+                done[i] = true;
+            } else {
+                heap.push(Reverse((0, i)));
+            }
+        }
+
+        while let Some(Reverse((t, n))) = heap.pop() {
+            self.nodes[n].time = t;
+            let op = traces[n][cursors[n]];
+            cursors[n] += 1;
+            let mut resumes: Vec<(usize, u64)> = Vec::new();
+            match op {
+                Op::Compute(c) => {
+                    self.nodes[n].breakdown.busy += c;
+                    resumes.push((n, t + c));
+                }
+                Op::Read(va) => {
+                    let dt = self.access(n, va, AccessKind::Read);
+                    resumes.push((n, t + dt));
+                }
+                Op::Write(va) => {
+                    let dt = self.access(n, va, AccessKind::Write);
+                    resumes.push((n, t + dt));
+                }
+                Op::Barrier(id) => {
+                    if let Some(released) = self.barriers.arrive(id, n, t) {
+                        for (node, resume, sync) in released {
+                            self.nodes[node].breakdown.sync += sync;
+                            resumes.push((node, resume));
+                        }
+                    }
+                }
+                Op::Lock(id) => {
+                    if let Some((resume, sync)) = self.locks.acquire(id, n, t) {
+                        self.nodes[n].breakdown.sync += sync;
+                        resumes.push((n, resume));
+                    }
+                }
+                Op::Unlock(id) => {
+                    let ((resume, sync), next) = self.locks.release(id, n, t);
+                    self.nodes[n].breakdown.sync += sync;
+                    resumes.push((n, resume));
+                    if let Some((waiter, wresume, wsync)) = next {
+                        self.nodes[waiter].breakdown.sync += wsync;
+                        resumes.push((waiter, wresume));
+                    }
+                }
+                Op::Protect(va, prot) => {
+                    let dt = self.protect(n, va, prot);
+                    resumes.push((n, t + dt));
+                }
+            }
+            for (node, resume) in resumes {
+                self.nodes[node].time = resume;
+                if cursors[node] < traces[node].len() {
+                    heap.push(Reverse((resume, node)));
+                } else {
+                    done[node] = true;
+                }
+            }
+        }
+
+        let unfinished: Vec<usize> =
+            done.iter().enumerate().filter(|&(_, &d)| !d).map(|(i, _)| i).collect();
+        assert!(
+            unfinished.is_empty(),
+            "deadlock: nodes {unfinished:?} are parked on a barrier or lock that \
+             the other traces never reach"
+        );
+    }
+
+    /// Executes one memory reference for node `n`; returns the elapsed
+    /// cycles.
+    fn access(&mut self, n: usize, va: VAddr, kind: AccessKind) -> u64 {
+        let m = &self.cfg.machine;
+        let scheme = self.cfg.scheme;
+        let timing = m.timing;
+        let page_size = m.page_size;
+        let (flc_bs, slc_bs, am_bs) = (m.flc.block_size, m.slc.block_size, m.am.block_size);
+        let page = va.page(page_size);
+        let node_id = NodeId::new(n as u16);
+
+        // --- address-space views and home selection ---------------------
+        let (pa, home) = if scheme == Scheme::VComa {
+            self.ensure_directory_mapping(page);
+            (None, self.cfg.machine.home_of_vpage(page))
+        } else {
+            let frame = self.ensure_physical_mapping(page);
+            let pa = frame.base(page_size).raw() + va.page_offset(page_size);
+            (Some(pa), self.cfg.machine.home_of_pframe(frame.raw()))
+        };
+        let byte_of = |virt: bool| if virt { va.raw() } else { pa.expect("physical scheme") };
+        let flc_block = byte_of(scheme.virtual_flc()) / flc_bs;
+        let slc_block = byte_of(scheme.virtual_slc()) / slc_bs;
+        let am_block = byte_of(scheme.virtual_am()) / am_bs;
+
+        let t0 = self.nodes[n].time;
+        let mut t = t0;
+        let mut translated = false;
+
+        // Issue cycle.
+        {
+            let node = &mut self.nodes[n];
+            node.breakdown.busy += 1;
+            t += 1;
+            node.refs += 1;
+            match kind {
+                AccessKind::Read => node.reads += 1,
+                AccessKind::Write => node.writes += 1,
+            }
+        }
+
+        // L0: the TLB sits before the FLC and sees every reference.
+        if scheme == Scheme::L0Tlb {
+            self.translate(n, page, &mut t, &mut translated);
+        }
+
+        // --- first-level cache -------------------------------------------
+        let flc_hit = match kind {
+            AccessKind::Read => self.nodes[n].flc.read(flc_block).is_hit(),
+            AccessKind::Write => self.nodes[n].flc.write(flc_block).is_hit(),
+        };
+        t += timing.flc_hit;
+        if kind == AccessKind::Read && flc_hit {
+            return t - t0;
+        }
+
+        // L1: the TLB sits between the (virtual) FLC and the (physical)
+        // SLC; FLC read misses and every write-through store translate.
+        if scheme == Scheme::L1Tlb {
+            self.translate(n, page, &mut t, &mut translated);
+        }
+
+        // --- second-level cache ------------------------------------------
+        let slc_res = self.nodes[n].slc.access(slc_block, kind);
+        if let Some(ev) = slc_res.evicted {
+            let ratio = slc_bs / flc_bs;
+            self.nodes[n].flc.invalidate_span(ev, ratio);
+        }
+        if let Some(wb) = slc_res.writeback {
+            // Dirty victim writebacks descend towards the attraction
+            // memory. In plain L2-TLB they must translate (the paper's
+            // solid Figure-8 lines); everywhere else they bypass the TLB
+            // (physical SLC, physical pointers, or a virtual AM below).
+            if scheme.writebacks_translate() {
+                let wb_page = VPage::new(wb.block * slc_bs / page_size);
+                let hit = self.nodes[n].xlb.access(wb_page);
+                if !hit {
+                    t += timing.translation_miss;
+                    self.nodes[n].breakdown.translation += timing.translation_miss;
+                }
+            }
+        }
+        if slc_res.hit {
+            t += timing.slc_hit;
+            self.nodes[n].breakdown.local_stall += timing.slc_hit;
+            if kind == AccessKind::Read {
+                return t - t0;
+            }
+        } else if matches!(scheme, Scheme::L2Tlb | Scheme::L2TlbNoWb) {
+            // L2: the TLB sits at the SLC→AM boundary and sees every SLC
+            // miss.
+            self.translate(n, page, &mut t, &mut translated);
+        }
+
+        // --- attraction memory / coherence --------------------------------
+        let had_local_copy = self.protocol.probe(node_id, am_block, false);
+        let local_ok = self.protocol.probe(node_id, am_block, kind.is_write());
+
+        if local_ok {
+            if !slc_res.hit {
+                t += timing.am_hit;
+                self.nodes[n].breakdown.local_stall += timing.am_hit;
+            }
+            // Refresh protocol-side stats/recency; guaranteed local.
+            let out = self.run_protocol(node_id, am_block, home, kind, t);
+            debug_assert!(out.local_hit);
+            return t - t0;
+        }
+
+        // A coherence transaction is required. Any scheme whose translation
+        // point is at or below the boundary being crossed must translate
+        // now if it has not already on this reference (the L2 upgrade
+        // corner: an SLC write hit on a non-exclusive AM block still sends
+        // an ownership request below the SLC).
+        if matches!(scheme, Scheme::L2Tlb | Scheme::L2TlbNoWb | Scheme::L3Tlb) {
+            self.translate(n, page, &mut t, &mut translated);
+        }
+        // Data for an SLC miss comes from the local AM copy when one
+        // exists (the transaction is then just an upgrade).
+        if !slc_res.hit && had_local_copy {
+            t += timing.am_hit;
+            self.nodes[n].breakdown.local_stall += timing.am_hit;
+        }
+
+        let out = self.run_protocol(node_id, am_block, home, kind, t);
+        debug_assert!(!out.local_hit);
+        t += out.latency;
+        {
+            let node = &mut self.nodes[n];
+            node.breakdown.remote_stall += out.latency - out.home_lookup_cycles;
+            node.breakdown.translation += out.home_lookup_cycles;
+        }
+        if out.home_lookup_cycles > 0 {
+            // A DLB refill touches the page-table entry (reference bit).
+            let _ = self.page_table.set_referenced(page);
+        }
+        if out.took_ownership {
+            let _ = self.page_table.set_modified(page);
+        }
+        self.apply_invalidations(&out);
+        t - t0
+    }
+
+    /// Changes a page's protection (paper §4.3): the page table is
+    /// updated, translation entries for the page are shot down — every
+    /// node's TLB in the private-TLB schemes, the home's DLB in V-COMA —
+    /// and, in V-COMA, the home's protocol engine sends update messages to
+    /// every node holding a block of the page. Returns the elapsed cycles,
+    /// charged as translation-maintenance time.
+    fn protect(&mut self, n: usize, va: VAddr, prot: vcoma_types::Protection) -> u64 {
+        let cfg = self.cfg.machine.clone();
+        let page = va.page(cfg.page_size);
+        let node_id = NodeId::new(n as u16);
+        let timing = cfg.timing;
+        let t0 = self.nodes[n].time;
+        let mut t = t0 + 1;
+        self.nodes[n].breakdown.busy += 1;
+        if self.cfg.scheme == Scheme::VComa {
+            self.ensure_directory_mapping(page);
+            let _ = self.page_table.protect(page, prot);
+            let home = cfg.home_of_vpage(page);
+            // Request to the home PE, which updates the page table and its
+            // DLB entry…
+            let mut arrive = self.net.send(node_id, home, MsgKind::Ack, t);
+            self.nodes[home.index()].xlb.shootdown(VPage::new(page.raw() / cfg.nodes));
+            // …then notifies every holder of the page's blocks.
+            let first = page.raw() * cfg.blocks_per_page();
+            let mut holders = std::collections::BTreeSet::new();
+            for b in first..first + cfg.blocks_per_page() {
+                holders.extend(self.protocol.holders_of(b).into_iter().map(|h| h.raw()));
+            }
+            let mut last_ack = arrive;
+            for h in holders {
+                let h = NodeId::new(h);
+                let upd = self.net.send(home, h, MsgKind::Ack, arrive);
+                last_ack = last_ack.max(self.net.send(h, node_id, MsgKind::Ack, upd));
+            }
+            arrive = last_ack.max(self.net.send(home, node_id, MsgKind::Ack, arrive));
+            self.nodes[n].breakdown.translation += arrive - t;
+            t = arrive;
+        } else {
+            self.ensure_physical_mapping(page);
+            let _ = self.page_table.protect(page, prot);
+            // TLB consistency: shoot the page down in every node's TLB and
+            // charge one broadcast round trip.
+            for node in &mut self.nodes {
+                node.xlb.shootdown(page);
+            }
+            let cost = 2 * timing.net_request;
+            self.nodes[n].breakdown.translation += cost;
+            t += cost;
+        }
+        t - t0
+    }
+
+    /// Maps `page` to a V-COMA directory page, swapping a resident page of
+    /// the same global page set out if the set is saturated (§4.3).
+    fn ensure_directory_mapping(&mut self, page: VPage) {
+        loop {
+            match self.page_table.map_directory(page, &mut self.dir_alloc) {
+                Ok(_) => return,
+                Err(vcoma_vm::VmError::GlobalSetFull { set }) => {
+                    let cfg = self.cfg.machine.clone();
+                    let victim = self
+                        .page_table
+                        .iter()
+                        .filter(|(p, e)| {
+                            e.dir_page.is_some()
+                                && cfg.global_page_set_of(*p) == set
+                                && *p != page
+                        })
+                        .map(|(p, _)| p)
+                        .min()
+                        .expect("a saturated global set holds resident pages");
+                    self.evict_page_blocks(victim.raw() * cfg.blocks_per_page(), &cfg);
+                    // Shoot the victim down in its home's DLB (keyed above
+                    // the home-selector bits).
+                    let home = cfg.home_of_vpage(victim);
+                    self.nodes[home.index()]
+                        .xlb
+                        .shootdown(VPage::new(victim.raw() / cfg.nodes));
+                    self.dir_alloc.swap_out(victim, &cfg).expect("victim was resident");
+                    self.page_table.unmap(victim).expect("victim was mapped");
+                    self.page_faults += 1;
+                }
+                Err(e) => panic!("virtual memory error: {e}"),
+            }
+        }
+    }
+
+    /// Maps `page` to a physical frame, swapping a resident page out if
+    /// the frame pool (or the required color, under `L3-TLB`) is
+    /// exhausted.
+    fn ensure_physical_mapping(&mut self, page: VPage) -> vcoma_types::PFrame {
+        loop {
+            match self.page_table.map_physical(page, self.phys_alloc.as_mut()) {
+                Ok(f) => return f,
+                Err(vcoma_vm::VmError::OutOfFrames) => self.swap_out_physical(page, None),
+                Err(vcoma_vm::VmError::OutOfColoredFrames { color }) => {
+                    self.swap_out_physical(page, Some(color))
+                }
+                Err(e) => panic!("virtual memory error: {e}"),
+            }
+        }
+    }
+
+    fn swap_out_physical(&mut self, faulting: VPage, color: Option<u64>) {
+        let cfg = self.cfg.machine.clone();
+        let victim = self
+            .page_table
+            .iter()
+            .filter(|(p, e)| {
+                *p != faulting
+                    && e.frame.is_some_and(|f| {
+                        color.is_none_or(|c| f.raw() % cfg.global_page_sets() == c)
+                    })
+            })
+            .map(|(p, _)| p)
+            .min()
+            .expect("an exhausted frame pool holds resident pages");
+        let frame = self.page_table.frame_of(victim).expect("victim has a frame");
+        // Protocol blocks of physical schemes are keyed by the frame's
+        // block numbers; L3's virtual AM keys by the virtual page.
+        let first_block = if self.cfg.scheme.virtual_am() {
+            victim.raw() * cfg.blocks_per_page()
+        } else {
+            frame.raw() * cfg.blocks_per_page()
+        };
+        self.evict_page_blocks(first_block, &cfg);
+        // Every node's private TLB may map the victim page.
+        for node in &mut self.nodes {
+            node.xlb.shootdown(victim);
+        }
+        self.phys_alloc.as_mut().release(frame);
+        self.page_table.unmap(victim).expect("victim was mapped");
+        self.page_faults += 1;
+    }
+
+    /// Purges a page's worth of AM blocks starting at `first_block` from
+    /// the whole machine, back-invalidating the holders' caches.
+    fn evict_page_blocks(&mut self, first_block: u64, cfg: &MachineConfig) {
+        let slc_ratio = cfg.am.block_size / cfg.slc.block_size;
+        let flc_ratio = cfg.am.block_size / cfg.flc.block_size;
+        for b in first_block..first_block + cfg.blocks_per_page() {
+            for node in self.protocol.purge(b) {
+                let ctx = &mut self.nodes[node.index()];
+                ctx.slc.invalidate_span(b, slc_ratio);
+                ctx.flc.invalidate_span(b, flc_ratio);
+            }
+        }
+    }
+
+    /// Runs the protocol transaction with the scheme's home-side
+    /// translation plugged in.
+    fn run_protocol(
+        &mut self,
+        node: NodeId,
+        am_block: u64,
+        home: NodeId,
+        kind: AccessKind,
+        now: u64,
+    ) -> Access {
+        let penalty = self.cfg.machine.timing.translation_miss;
+        let blocks_per_page = self.cfg.machine.blocks_per_page();
+        if self.cfg.scheme == Scheme::VComa {
+            let node_count = self.cfg.machine.nodes;
+            let mut hook =
+                DlbHook { nodes: &mut self.nodes, blocks_per_page, node_count, penalty };
+            match kind {
+                AccessKind::Read => {
+                    self.protocol.read(node, am_block, home, &mut self.net, &mut hook, now)
+                }
+                AccessKind::Write => {
+                    self.protocol.write(node, am_block, home, &mut self.net, &mut hook, now)
+                }
+            }
+        } else {
+            let mut hook = NullTranslation;
+            match kind {
+                AccessKind::Read => {
+                    self.protocol.read(node, am_block, home, &mut self.net, &mut hook, now)
+                }
+                AccessKind::Write => {
+                    self.protocol.write(node, am_block, home, &mut self.net, &mut hook, now)
+                }
+            }
+        }
+    }
+
+    /// Consults node `n`'s TLB for `page` once per reference, charging the
+    /// miss penalty and setting the page-table reference bit on a refill.
+    fn translate(&mut self, n: usize, page: VPage, t: &mut u64, translated: &mut bool) {
+        if *translated {
+            return;
+        }
+        *translated = true;
+        let hit = self.nodes[n].xlb.access(page);
+        if !hit {
+            let penalty = self.cfg.machine.timing.translation_miss;
+            *t += penalty;
+            self.nodes[n].breakdown.translation += penalty;
+            let _ = self.page_table.set_referenced(page);
+        }
+    }
+
+    /// Back-invalidates processor caches above every attraction memory the
+    /// protocol removed a block from (inclusion, paper §2.2.2).
+    fn apply_invalidations(&mut self, out: &Access) {
+        let m = &self.cfg.machine;
+        let slc_ratio = m.am.block_size / m.slc.block_size;
+        let flc_ratio = m.am.block_size / m.flc.block_size;
+        for &(node, am_block) in &out.invalidations {
+            let ctx = &mut self.nodes[node.index()];
+            // Dirty SLC sub-blocks fold into the departing AM block; the
+            // protocol carries the data, so only the bookkeeping happens
+            // here.
+            let _dirty = ctx.slc.invalidate_span(am_block, slc_ratio);
+            ctx.flc.invalidate_span(am_block, flc_ratio);
+        }
+    }
+
+    fn into_report(self) -> SimReport {
+        let pressure =
+            PressureProfile::from_pages(self.page_table.iter().map(|(p, _)| p), &self.cfg.machine);
+        SimReport::assemble(
+            self.cfg,
+            self.nodes
+                .into_iter()
+                .map(|n| crate::report::NodeReport {
+                    time: n.time,
+                    breakdown: n.breakdown,
+                    refs: n.refs,
+                    reads: n.reads,
+                    writes: n.writes,
+                    translation: n.xlb.all_stats().copied().collect(),
+                    flc: *n.flc.stats(),
+                    slc: *n.slc.stats(),
+                })
+                .collect(),
+            *self.protocol.stats(),
+            self.net.stats().total_msgs(),
+            self.net.stats().bytes,
+            pressure,
+            self.dir_alloc.swap_outs().max(self.page_faults),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcoma_tlb::{TlbOrg, ALL_SCHEMES};
+
+    fn tiny(scheme: Scheme) -> SimConfig {
+        SimConfig::new(MachineConfig::tiny(), scheme)
+    }
+
+    /// One node streams reads over a small array; a second node then reads
+    /// the same array (producer→consumer sharing).
+    fn sharing_traces(nodes: usize, bytes: u64, stride: u64) -> Vec<Vec<Op>> {
+        let mut traces = vec![Vec::new(); nodes];
+        for a in (0..bytes).step_by(stride as usize) {
+            traces[0].push(Op::Write(VAddr::new(a)));
+        }
+        traces[0].push(Op::Barrier(vcoma_types::SyncId(0)));
+        for tr in traces.iter_mut().skip(1) {
+            tr.push(Op::Barrier(vcoma_types::SyncId(0)));
+        }
+        for a in (0..bytes).step_by(stride as usize) {
+            traces[1].push(Op::Read(VAddr::new(a)));
+        }
+        traces
+    }
+
+    #[test]
+    fn empty_traces_finish_instantly() {
+        for scheme in ALL_SCHEMES {
+            let report = Machine::new(tiny(scheme)).run(vec![Vec::new(); 4]);
+            assert_eq!(report.total_refs(), 0, "{scheme}");
+            assert_eq!(report.exec_time(), 0, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn every_scheme_runs_a_sharing_workload() {
+        for scheme in ALL_SCHEMES {
+            let report = Machine::new(tiny(scheme)).run(sharing_traces(4, 4096, 32));
+            assert_eq!(report.total_refs(), 256, "{scheme}");
+            assert!(report.exec_time() > 0, "{scheme}");
+            let b = report.aggregate_breakdown();
+            assert!(b.busy >= 256, "{scheme}: each ref has an issue cycle");
+        }
+    }
+
+    #[test]
+    fn l0_translates_every_reference() {
+        let report = Machine::new(tiny(Scheme::L0Tlb)).run(sharing_traces(4, 4096, 32));
+        assert_eq!(report.translation_accesses_total(0), 256);
+    }
+
+    #[test]
+    fn l1_translates_writes_and_flc_read_misses_only() {
+        let report = Machine::new(tiny(Scheme::L1Tlb)).run(sharing_traces(4, 4096, 32));
+        let accesses = report.translation_accesses_total(0);
+        // All 128 writes translate; reads translate only on FLC misses.
+        assert!(accesses >= 128, "got {accesses}");
+        assert!(accesses <= 256, "got {accesses}");
+    }
+
+    #[test]
+    fn filtering_effect_orders_translation_accesses() {
+        // The deeper the TLB, the fewer accesses reach it.
+        let mut acc = Vec::new();
+        for scheme in [Scheme::L0Tlb, Scheme::L1Tlb, Scheme::L2TlbNoWb, Scheme::L3Tlb] {
+            let report = Machine::new(tiny(scheme)).run(sharing_traces(4, 8192, 32));
+            acc.push((scheme, report.translation_accesses_total(0)));
+        }
+        for w in acc.windows(2) {
+            assert!(
+                w[0].1 >= w[1].1,
+                "expected {} accesses ≥ {} accesses, got {:?}",
+                w[0].0,
+                w[1].0,
+                acc
+            );
+        }
+    }
+
+    #[test]
+    fn vcoma_uses_dlbs_not_tlbs() {
+        let report = Machine::new(tiny(Scheme::VComa)).run(sharing_traces(4, 4096, 32));
+        // DLB accesses happen only at homes during remote transactions.
+        let accesses = report.translation_accesses_total(0);
+        assert!(accesses > 0);
+        assert!(accesses < 256, "DLB must see fewer lookups than references");
+    }
+
+    #[test]
+    fn barrier_produces_sync_time() {
+        let report = Machine::new(tiny(Scheme::L0Tlb)).run(sharing_traces(4, 4096, 32));
+        let b = report.aggregate_breakdown();
+        assert!(b.sync > 0, "idle nodes wait at the barrier");
+    }
+
+    #[test]
+    fn locks_serialise_critical_sections() {
+        let id = vcoma_types::SyncId(9);
+        let mut traces = vec![Vec::new(); 4];
+        for tr in traces.iter_mut() {
+            tr.push(Op::Lock(id));
+            tr.push(Op::Compute(100));
+            tr.push(Op::Unlock(id));
+        }
+        let report = Machine::new(tiny(Scheme::VComa)).run(traces);
+        let b = report.aggregate_breakdown();
+        // The last of 4 nodes waits roughly 3 × 100 cycles.
+        assert!(b.sync > 300, "sync={}", b.sync);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            Machine::new(tiny(Scheme::VComa).with_seed(7)).run(sharing_traces(4, 8192, 64))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.exec_time(), b.exec_time());
+        assert_eq!(a.translation_misses_total(0), b.translation_misses_total(0));
+        assert_eq!(a.aggregate_breakdown(), b.aggregate_breakdown());
+    }
+
+    #[test]
+    fn shadow_bank_members_do_not_change_timing() {
+        let base = Machine::new(tiny(Scheme::L0Tlb).with_seed(3))
+            .run(sharing_traces(4, 8192, 64));
+        let banked = Machine::new(
+            tiny(Scheme::L0Tlb)
+                .with_seed(3)
+                .with_translation_specs(vec![
+                    (8, TlbOrg::FullyAssociative),
+                    (64, TlbOrg::FullyAssociative),
+                    (8, TlbOrg::DirectMapped),
+                ]),
+        )
+        .run(sharing_traces(4, 8192, 64));
+        assert_eq!(base.exec_time(), banked.exec_time());
+        assert_eq!(
+            base.translation_misses_total(0),
+            banked.translation_misses_total(0)
+        );
+        // And the shadow members report their own counts.
+        assert!(banked.translation_misses_total(1) <= banked.translation_misses_total(0));
+    }
+
+    #[test]
+    fn write_sharing_costs_more_than_private_writes() {
+        // Ping-pong writes between two nodes vs. private writes.
+        let mut pingpong = vec![Vec::new(); 4];
+        let mut private = vec![Vec::new(); 4];
+        for i in 0..200u64 {
+            pingpong[(i % 2) as usize].push(Op::Write(VAddr::new(0x100)));
+            private[(i % 2) as usize].push(Op::Write(VAddr::new(0x10000 * (i % 2 + 1))));
+        }
+        let shared = Machine::new(tiny(Scheme::VComa)).run(pingpong);
+        let alone = Machine::new(tiny(Scheme::VComa)).run(private);
+        assert!(
+            shared.aggregate_breakdown().remote_stall > alone.aggregate_breakdown().remote_stall,
+            "write sharing must generate coherence traffic"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn missing_barrier_participant_is_detected() {
+        let mut traces = vec![Vec::new(); 4];
+        traces[0].push(Op::Barrier(vcoma_types::SyncId(0)));
+        Machine::new(tiny(Scheme::L0Tlb)).run(traces);
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace per node")]
+    fn wrong_trace_count_panics() {
+        Machine::new(tiny(Scheme::L0Tlb)).run(vec![Vec::new(); 3]);
+    }
+
+    #[test]
+    fn over_capacity_footprints_swap_instead_of_panicking() {
+        // The tiny machine holds 4 nodes × 64 KB AM = 256 pages of 1 KB.
+        // Touch 400 distinct pages from every node: the page daemon must
+        // swap, and the run must still complete with exact ref counts.
+        for scheme in ALL_SCHEMES {
+            let mut traces = vec![Vec::new(); 4];
+            for (i, tr) in traces.iter_mut().enumerate() {
+                for p in 0..400u64 {
+                    let page = (p + 100 * i as u64) % 400;
+                    tr.push(Op::Read(VAddr::new(page * 1024)));
+                }
+            }
+            let report = Machine::new(tiny(scheme)).run(traces);
+            assert_eq!(report.total_refs(), 1600, "{scheme}");
+            assert!(
+                report.swap_outs() > 0,
+                "{scheme}: 400 pages in a 256-page machine must swap"
+            );
+        }
+    }
+
+    #[test]
+    fn swapping_is_deterministic() {
+        let run = || {
+            let mut traces = vec![Vec::new(); 4];
+            for (i, tr) in traces.iter_mut().enumerate() {
+                for p in 0..400u64 {
+                    tr.push(Op::Write(VAddr::new(((p * 7 + i as u64 * 13) % 400) * 1024)));
+                }
+            }
+            Machine::new(tiny(Scheme::VComa).with_seed(3)).run(traces)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.swap_outs(), b.swap_outs());
+        assert_eq!(a.exec_time(), b.exec_time());
+    }
+
+    #[test]
+    fn protection_change_shoots_down_translations() {
+        use vcoma_types::Protection;
+        // Warm a page into every node's TLB, change its protection from
+        // one node, and observe the shootdowns force re-translation.
+        let mut traces = vec![Vec::new(); 4];
+        for tr in traces.iter_mut() {
+            tr.push(Op::Read(VAddr::new(0x100)));
+            tr.push(Op::Barrier(vcoma_types::SyncId(0)));
+        }
+        traces[0].push(Op::Protect(VAddr::new(0x100), Protection::read_only()));
+        for tr in traces.iter_mut() {
+            tr.push(Op::Barrier(vcoma_types::SyncId(1)));
+            tr.push(Op::Read(VAddr::new(0x100)));
+        }
+        let report = Machine::new(tiny(Scheme::L0Tlb)).run(traces.clone());
+        let shootdowns: u64 =
+            report.nodes().iter().map(|n| n.translation[0].shootdowns).sum();
+        assert_eq!(shootdowns, 4, "every node's TLB entry is shot down");
+        // The re-reads re-translate: 8 reads, but 8 accesses + 4 extra
+        // misses from the shootdown.
+        assert_eq!(report.translation_accesses_total(0), 8);
+        assert!(report.translation_misses_total(0) >= 8);
+        assert!(report.aggregate_breakdown().translation > 0);
+
+        // V-COMA: the home's DLB entry is shot down instead.
+        let report = Machine::new(tiny(Scheme::VComa)).run(traces);
+        let shootdowns: u64 =
+            report.nodes().iter().map(|n| n.translation[0].shootdowns).sum();
+        assert_eq!(shootdowns, 1, "only the home DLB maps the page");
+    }
+
+    #[test]
+    fn pressure_profile_covers_footprint() {
+        let report = Machine::new(tiny(Scheme::VComa)).run(sharing_traces(4, 16384, 128));
+        assert!(report.pressure().mean() > 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Simulation results.
+
+use crate::{SimConfig, TimeBreakdown};
+use vcoma_cachesim::CacheStats;
+use vcoma_coherence::ProtocolStats;
+use vcoma_tlb::TlbStats;
+use vcoma_vm::PressureProfile;
+
+/// Per-node results of one run.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// The node's final local time.
+    pub time: u64,
+    /// The node's time breakdown.
+    pub breakdown: TimeBreakdown,
+    /// Memory references issued.
+    pub refs: u64,
+    /// Loads issued.
+    pub reads: u64,
+    /// Stores issued.
+    pub writes: u64,
+    /// Per-bank-member translation statistics (TLB for `L0`–`L3`, DLB for
+    /// V-COMA), in spec order.
+    pub translation: Vec<TlbStats>,
+    /// FLC statistics.
+    pub flc: CacheStats,
+    /// SLC statistics.
+    pub slc: CacheStats,
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    cfg: SimConfig,
+    nodes: Vec<NodeReport>,
+    protocol: ProtocolStats,
+    net_msgs: u64,
+    net_bytes: u64,
+    pressure: PressureProfile,
+    swap_outs: u64,
+}
+
+impl SimReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        cfg: SimConfig,
+        nodes: Vec<NodeReport>,
+        protocol: ProtocolStats,
+        net_msgs: u64,
+        net_bytes: u64,
+        pressure: PressureProfile,
+        swap_outs: u64,
+    ) -> Self {
+        SimReport { cfg, nodes, protocol, net_msgs, net_bytes, pressure, swap_outs }
+    }
+
+    /// The configuration of the run.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Per-node reports.
+    pub fn nodes(&self) -> &[NodeReport] {
+        &self.nodes
+    }
+
+    /// Machine-wide protocol statistics.
+    pub fn protocol(&self) -> &ProtocolStats {
+        &self.protocol
+    }
+
+    /// Total crossbar messages.
+    pub fn net_msgs(&self) -> u64 {
+        self.net_msgs
+    }
+
+    /// Total crossbar payload bytes.
+    pub fn net_bytes(&self) -> u64 {
+        self.net_bytes
+    }
+
+    /// The end-of-run global-page-set pressure profile (Figure 11).
+    pub fn pressure(&self) -> &PressureProfile {
+        &self.pressure
+    }
+
+    /// Pages the page daemon swapped out to make room — V-COMA global-set
+    /// saturation or physical frame exhaustion (zero when the footprint
+    /// fits, as in all paper runs).
+    pub fn swap_outs(&self) -> u64 {
+        self.swap_outs
+    }
+
+    /// Execution time: the maximum node completion time.
+    pub fn exec_time(&self) -> u64 {
+        self.nodes.iter().map(|n| n.time).max().unwrap_or(0)
+    }
+
+    /// Total processor references across all nodes.
+    pub fn total_refs(&self) -> u64 {
+        self.nodes.iter().map(|n| n.refs).sum()
+    }
+
+    /// Total stores across all nodes.
+    pub fn total_writes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.writes).sum()
+    }
+
+    /// Sum of all nodes' time breakdowns.
+    pub fn aggregate_breakdown(&self) -> TimeBreakdown {
+        let mut b = TimeBreakdown::default();
+        for n in &self.nodes {
+            b.merge(&n.breakdown);
+        }
+        b
+    }
+
+    /// Average per-node breakdown (the unit of Figure 10's bars).
+    pub fn mean_breakdown(&self) -> TimeBreakdownF {
+        let agg = self.aggregate_breakdown();
+        let n = self.nodes.len().max(1) as f64;
+        TimeBreakdownF {
+            busy: agg.busy as f64 / n,
+            sync: agg.sync as f64 / n,
+            local_stall: agg.local_stall as f64 / n,
+            remote_stall: agg.remote_stall as f64 / n,
+            translation: agg.translation as f64 / n,
+        }
+    }
+
+    /// Total translation (TLB or DLB) accesses for bank member `bank`.
+    pub fn translation_accesses_total(&self, bank: usize) -> u64 {
+        self.nodes.iter().map(|n| n.translation[bank].accesses).sum()
+    }
+
+    /// Total translation misses for bank member `bank` across the machine.
+    pub fn translation_misses_total(&self, bank: usize) -> u64 {
+        self.nodes.iter().map(|n| n.translation[bank].misses).sum()
+    }
+
+    /// Average translation misses **per node** for bank member `bank` —
+    /// the y-axis of Figure 8.
+    pub fn translation_misses_per_node(&self, bank: usize) -> f64 {
+        self.translation_misses_total(bank) as f64 / self.nodes.len().max(1) as f64
+    }
+
+    /// Translation miss rate per processor reference for bank member
+    /// `bank` — the metric of Table 2.
+    pub fn translation_miss_rate(&self, bank: usize) -> f64 {
+        let refs = self.total_refs();
+        if refs == 0 {
+            0.0
+        } else {
+            self.translation_misses_total(bank) as f64 / refs as f64
+        }
+    }
+
+    /// Aggregated FLC statistics.
+    pub fn flc_total(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for n in &self.nodes {
+            s.merge(&n.flc);
+        }
+        s
+    }
+
+    /// Aggregated SLC statistics.
+    pub fn slc_total(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for n in &self.nodes {
+            s.merge(&n.slc);
+        }
+        s
+    }
+}
+
+/// A fractional time breakdown (per-node averages).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeBreakdownF {
+    /// Instruction execution.
+    pub busy: f64,
+    /// Barrier/lock waiting.
+    pub sync: f64,
+    /// Local cache/AM stalls.
+    pub local_stall: f64,
+    /// Coherence-transaction stalls.
+    pub remote_stall: f64,
+    /// Translation-miss service time.
+    pub translation: f64,
+}
+
+impl TimeBreakdownF {
+    /// Total of all categories.
+    pub fn total(&self) -> f64 {
+        self.busy + self.sync + self.local_stall + self.remote_stall + self.translation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcoma_tlb::Scheme;
+    use vcoma_types::MachineConfig;
+
+    fn empty_report() -> SimReport {
+        SimReport::assemble(
+            SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb),
+            vec![],
+            ProtocolStats::default(),
+            0,
+            0,
+            PressureProfile::from_occupancy(&[0, 0], 4),
+            0,
+        )
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = empty_report();
+        assert_eq!(r.exec_time(), 0);
+        assert_eq!(r.total_refs(), 0);
+        assert_eq!(r.translation_miss_rate(0), 0.0);
+        assert_eq!(r.mean_breakdown().total(), 0.0);
+        assert_eq!(r.net_msgs(), 0);
+        assert_eq!(r.net_bytes(), 0);
+        assert_eq!(r.swap_outs(), 0);
+    }
+
+    #[test]
+    fn aggregation_over_nodes() {
+        let mk_node = |time, refs, misses| NodeReport {
+            time,
+            breakdown: TimeBreakdown { busy: 10, ..TimeBreakdown::default() },
+            refs,
+            reads: refs,
+            writes: 0,
+            translation: vec![TlbStats { accesses: refs, misses, ..TlbStats::default() }],
+            flc: CacheStats::default(),
+            slc: CacheStats::default(),
+        };
+        let r = SimReport::assemble(
+            SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb),
+            vec![mk_node(100, 50, 5), mk_node(200, 50, 15)],
+            ProtocolStats::default(),
+            0,
+            0,
+            PressureProfile::from_occupancy(&[0], 1),
+            0,
+        );
+        assert_eq!(r.exec_time(), 200);
+        assert_eq!(r.total_refs(), 100);
+        assert_eq!(r.translation_misses_total(0), 20);
+        assert_eq!(r.translation_misses_per_node(0), 10.0);
+        assert!((r.translation_miss_rate(0) - 0.2).abs() < 1e-12);
+        assert_eq!(r.aggregate_breakdown().busy, 20);
+        assert_eq!(r.mean_breakdown().busy, 10.0);
+    }
+}

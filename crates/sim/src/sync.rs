@@ -1,0 +1,209 @@
+//! Barrier and lock bookkeeping for the engine.
+
+use std::collections::HashMap;
+use vcoma_types::SyncId;
+
+/// State of the machine-wide barriers.
+///
+/// Every node participates in every barrier; a node arriving at a barrier
+/// parks until the last node arrives, then all resume at the release time
+/// (the maximum arrival time plus a fixed release cost).
+#[derive(Debug, Clone)]
+pub struct Barriers {
+    nodes: usize,
+    /// Per-barrier-id arrival list: `(node, arrival_time)`.
+    waiting: HashMap<SyncId, Vec<(usize, u64)>>,
+    /// Fixed communication cost of a barrier episode, charged as sync time
+    /// to every participant on top of the wait.
+    pub release_cost: u64,
+}
+
+impl Barriers {
+    /// Creates barrier state for `nodes` participants with the given
+    /// release cost in cycles.
+    pub fn new(nodes: usize, release_cost: u64) -> Self {
+        Barriers { nodes, waiting: HashMap::new(), release_cost }
+    }
+
+    /// Node `node` arrives at barrier `id` at time `t`. Returns `None` if
+    /// the node must park, or `Some(resume_events)` — the full list of
+    /// `(node, resume_time, sync_cycles)` for every participant — when this
+    /// arrival releases the barrier.
+    pub fn arrive(&mut self, id: SyncId, node: usize, t: u64) -> Option<Vec<(usize, u64, u64)>> {
+        let list = self.waiting.entry(id).or_default();
+        debug_assert!(
+            !list.iter().any(|&(n, _)| n == node),
+            "node {node} arrived twice at {id}"
+        );
+        list.push((node, t));
+        if list.len() < self.nodes {
+            return None;
+        }
+        let list = self.waiting.remove(&id).expect("entry exists");
+        let release = list.iter().map(|&(_, at)| at).max().expect("non-empty") + self.release_cost;
+        Some(
+            list.into_iter()
+                .map(|(n, at)| (n, release, release - at))
+                .collect(),
+        )
+    }
+
+    /// Number of barriers currently holding parked nodes.
+    #[allow(dead_code)] // engine diagnostics + tests
+    pub fn open_barriers(&self) -> usize {
+        self.waiting.len()
+    }
+}
+
+/// State of the machine-wide locks.
+#[derive(Debug, Clone, Default)]
+pub struct Locks {
+    /// Lock id → (holder if held, FIFO of waiting `(node, arrival)`).
+    state: HashMap<SyncId, (Option<usize>, Vec<(usize, u64)>)>,
+    /// Fixed cost of an acquire on a free lock (remote atomic round trip).
+    pub acquire_cost: u64,
+    /// Fixed cost of a release.
+    pub release_cost: u64,
+}
+
+impl Locks {
+    /// Creates lock state with the given acquire/release costs in cycles.
+    pub fn new(acquire_cost: u64, release_cost: u64) -> Self {
+        Locks { state: HashMap::new(), acquire_cost, release_cost }
+    }
+
+    /// Node `node` tries to acquire lock `id` at time `t`. Returns
+    /// `Some((resume_time, sync_cycles))` if the lock was free, `None` if
+    /// the node must park behind the current holder.
+    pub fn acquire(&mut self, id: SyncId, node: usize, t: u64) -> Option<(u64, u64)> {
+        let (holder, queue) = self.state.entry(id).or_default();
+        match holder {
+            None => {
+                *holder = Some(node);
+                Some((t + self.acquire_cost, self.acquire_cost))
+            }
+            Some(h) => {
+                debug_assert_ne!(*h, node, "node {node} re-acquired {id} without releasing");
+                queue.push((node, t));
+                None
+            }
+        }
+    }
+
+    /// Node `node` releases lock `id` at time `t`. Returns the released
+    /// node's `(resume_time, sync_cycles)` for the release itself, plus the
+    /// next waiter's `(node, resume_time, sync_cycles)` if one was parked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not hold the lock.
+    pub fn release(
+        &mut self,
+        id: SyncId,
+        node: usize,
+        t: u64,
+    ) -> ((u64, u64), Option<(usize, u64, u64)>) {
+        let (holder, queue) = self.state.get_mut(&id).expect("release of unknown lock");
+        assert_eq!(*holder, Some(node), "release by non-holder");
+        let own = (t + self.release_cost, self.release_cost);
+        if queue.is_empty() {
+            *holder = None;
+            return (own, None);
+        }
+        let (next, arrival) = queue.remove(0);
+        *holder = Some(next);
+        let resume = t.max(arrival) + self.acquire_cost;
+        (own, Some((next, resume, resume - arrival)))
+    }
+
+    /// Returns `true` if any lock is held or contended.
+    #[allow(dead_code)] // engine diagnostics + tests
+    pub fn any_active(&self) -> bool {
+        self.state.values().any(|(h, q)| h.is_some() || !q.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_releases_when_all_arrive() {
+        let mut b = Barriers::new(3, 32);
+        assert!(b.arrive(SyncId(0), 0, 100).is_none());
+        assert!(b.arrive(SyncId(0), 1, 200).is_none());
+        assert_eq!(b.open_barriers(), 1);
+        let rel = b.arrive(SyncId(0), 2, 150).unwrap();
+        assert_eq!(b.open_barriers(), 0);
+        // Release at max(100,200,150)+32 = 232 for everyone.
+        let mut rel = rel;
+        rel.sort();
+        assert_eq!(rel, vec![(0, 232, 132), (1, 232, 32), (2, 232, 82)]);
+    }
+
+    #[test]
+    fn distinct_barrier_ids_are_independent() {
+        let mut b = Barriers::new(2, 0);
+        assert!(b.arrive(SyncId(0), 0, 10).is_none());
+        assert!(b.arrive(SyncId(1), 1, 20).is_none());
+        assert_eq!(b.open_barriers(), 2);
+        assert!(b.arrive(SyncId(0), 1, 30).is_some());
+        assert!(b.arrive(SyncId(1), 0, 40).is_some());
+    }
+
+    #[test]
+    fn free_lock_acquires_immediately() {
+        let mut l = Locks::new(32, 16);
+        let (resume, sync) = l.acquire(SyncId(5), 0, 100).unwrap();
+        assert_eq!(resume, 132);
+        assert_eq!(sync, 32);
+        assert!(l.any_active());
+    }
+
+    #[test]
+    fn contended_lock_parks_then_hands_over() {
+        let mut l = Locks::new(32, 16);
+        l.acquire(SyncId(5), 0, 100).unwrap();
+        assert!(l.acquire(SyncId(5), 1, 110).is_none());
+        let ((own_resume, own_sync), next) = l.release(SyncId(5), 0, 500);
+        assert_eq!(own_resume, 516);
+        assert_eq!(own_sync, 16);
+        let (node, resume, sync) = next.unwrap();
+        assert_eq!(node, 1);
+        assert_eq!(resume, 532);
+        assert_eq!(sync, 532 - 110);
+    }
+
+    #[test]
+    fn handover_to_late_waiter_uses_waiter_arrival() {
+        let mut l = Locks::new(10, 0);
+        l.acquire(SyncId(1), 0, 0).unwrap();
+        assert!(l.acquire(SyncId(1), 1, 1000).is_none());
+        // Holder releases earlier than... release at t=50 < arrival 1000 is
+        // impossible in a real run (the waiter parked after the holder
+        // acquired), but the max() guard keeps time monotone anyway.
+        let (_, next) = l.release(SyncId(1), 0, 50);
+        let (node, resume, _) = next.unwrap();
+        assert_eq!(node, 1);
+        assert_eq!(resume, 1010);
+    }
+
+    #[test]
+    fn release_frees_lock_when_no_waiters() {
+        let mut l = Locks::new(32, 16);
+        l.acquire(SyncId(5), 0, 0).unwrap();
+        let (_, next) = l.release(SyncId(5), 0, 100);
+        assert!(next.is_none());
+        assert!(!l.any_active());
+        // Re-acquire works.
+        assert!(l.acquire(SyncId(5), 2, 200).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "release by non-holder")]
+    fn release_by_non_holder_panics() {
+        let mut l = Locks::new(0, 0);
+        l.acquire(SyncId(1), 0, 0).unwrap();
+        l.release(SyncId(1), 1, 10);
+    }
+}

@@ -1,0 +1,38 @@
+//! TLB / DLB models and the five address-translation schemes.
+//!
+//! The paper's study varies *where* the translation structure sits and what
+//! it maps:
+//!
+//! * a **TLB** (Translation Lookaside Buffer) caches virtual-page →
+//!   physical-frame mappings and is private to a node (`L0`–`L3` schemes);
+//! * a **DLB** (Directory Lookaside Buffer) caches virtual-page →
+//!   directory-page mappings at the *home node* and is effectively shared by
+//!   all nodes (V-COMA).
+//!
+//! Both are structurally identical presence caches over virtual page
+//! numbers, provided here as [`Tlb`]. The paper evaluates fully-associative
+//! (random replacement) and direct-mapped organisations ([`TlbOrg`]) across
+//! sizes 8–512; a 0-entry TLB (every access misses) models the
+//! software-managed scheme of Jacob & Mudge that the paper cites as a
+//! degenerate `L2-TLB`.
+//!
+//! # Example
+//!
+//! ```
+//! use vcoma_tlb::{Tlb, TlbOrg};
+//! use vcoma_types::VPage;
+//!
+//! let mut tlb = Tlb::new(8, TlbOrg::FullyAssociative, 1);
+//! assert!(!tlb.translate(VPage::new(3))); // cold miss, then refilled
+//! assert!(tlb.translate(VPage::new(3))); // hit
+//! assert_eq!(tlb.stats().misses, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scheme;
+mod tlb;
+
+pub use scheme::{Scheme, ALL_SCHEMES, FIG8_SCHEMES};
+pub use tlb::{Tlb, TlbOrg, TlbStats};

@@ -1,0 +1,150 @@
+//! The five dynamic-address-translation schemes compared by the paper.
+
+/// Where the dynamic address-translation mechanism sits (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scheme {
+    /// Traditional design: TLB before the first-level cache; all caches and
+    /// the attraction memory are physically addressed. Every processor
+    /// reference is translated.
+    L0Tlb,
+    /// Virtual FLC, physical SLC: the TLB is consulted on FLC misses and on
+    /// every write-through store.
+    L1Tlb,
+    /// Virtual FLC and SLC, physical attraction memory: the TLB is consulted
+    /// on SLC misses *and on SLC writebacks* (the paper's solid `L2-TLB`
+    /// lines).
+    L2Tlb,
+    /// As [`Scheme::L2Tlb`], but writebacks bypass the TLB using physical
+    /// pointers stored in the virtual SLC (the paper's dashed
+    /// `L2-TLB/no_wback` lines, §2.2.2).
+    L2TlbNoWb,
+    /// Virtually indexed/tagged attraction memory with page coloring: the
+    /// TLB is consulted only on local-node (attraction-memory) misses; the
+    /// coherence protocol runs on physical addresses.
+    L3Tlb,
+    /// The proposed design: no TLB and no physical addresses. The home node
+    /// is selected by the virtual address and a shared per-home DLB
+    /// translates virtual addresses to directory addresses inside the
+    /// coherence protocol.
+    VComa,
+}
+
+/// All six scheme variants, in the paper's presentation order.
+pub const ALL_SCHEMES: [Scheme; 6] = [
+    Scheme::L0Tlb,
+    Scheme::L1Tlb,
+    Scheme::L2Tlb,
+    Scheme::L2TlbNoWb,
+    Scheme::L3Tlb,
+    Scheme::VComa,
+];
+
+/// The schemes plotted in Figure 8 (both L2 variants included).
+pub const FIG8_SCHEMES: [Scheme; 6] = ALL_SCHEMES;
+
+impl Scheme {
+    /// The paper's label for this scheme.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Scheme::L0Tlb => "L0-TLB",
+            Scheme::L1Tlb => "L1-TLB",
+            Scheme::L2Tlb => "L2-TLB",
+            Scheme::L2TlbNoWb => "L2-TLB/no_wback",
+            Scheme::L3Tlb => "L3-TLB",
+            Scheme::VComa => "V-COMA",
+        }
+    }
+
+    /// Returns `true` if the scheme uses per-node private TLBs (everything
+    /// except V-COMA).
+    pub const fn has_private_tlb(self) -> bool {
+        !matches!(self, Scheme::VComa)
+    }
+
+    /// Returns `true` if the attraction memory is virtually indexed and
+    /// tagged (L3 and V-COMA), which implies page coloring constraints.
+    pub const fn virtual_am(self) -> bool {
+        matches!(self, Scheme::L3Tlb | Scheme::VComa)
+    }
+
+    /// Returns `true` if the SLC is virtually indexed (L2 and above).
+    pub const fn virtual_slc(self) -> bool {
+        matches!(self, Scheme::L2Tlb | Scheme::L2TlbNoWb | Scheme::L3Tlb | Scheme::VComa)
+    }
+
+    /// Returns `true` if the FLC is virtually indexed (everything except
+    /// L0).
+    pub const fn virtual_flc(self) -> bool {
+        !matches!(self, Scheme::L0Tlb)
+    }
+
+    /// Returns `true` if the coherence protocol and home selection run on
+    /// virtual addresses (V-COMA only).
+    pub const fn virtual_protocol(self) -> bool {
+        matches!(self, Scheme::VComa)
+    }
+
+    /// Returns `true` if SLC writebacks consult the translation structure
+    /// (L2-TLB with the writeback penalty; L0/L1 translate before the SLC so
+    /// the question does not arise, and L3/V-COMA translate below the AM).
+    pub const fn writebacks_translate(self) -> bool {
+        matches!(self, Scheme::L2Tlb)
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Scheme::L0Tlb.to_string(), "L0-TLB");
+        assert_eq!(Scheme::L1Tlb.to_string(), "L1-TLB");
+        assert_eq!(Scheme::L2Tlb.to_string(), "L2-TLB");
+        assert_eq!(Scheme::L2TlbNoWb.to_string(), "L2-TLB/no_wback");
+        assert_eq!(Scheme::L3Tlb.to_string(), "L3-TLB");
+        assert_eq!(Scheme::VComa.to_string(), "V-COMA");
+    }
+
+    #[test]
+    fn virtuality_increases_with_level() {
+        assert!(!Scheme::L0Tlb.virtual_flc());
+        assert!(Scheme::L1Tlb.virtual_flc());
+        assert!(!Scheme::L1Tlb.virtual_slc());
+        assert!(Scheme::L2Tlb.virtual_slc());
+        assert!(!Scheme::L2Tlb.virtual_am());
+        assert!(Scheme::L3Tlb.virtual_am());
+        assert!(!Scheme::L3Tlb.virtual_protocol());
+        assert!(Scheme::VComa.virtual_protocol());
+    }
+
+    #[test]
+    fn only_plain_l2_translates_writebacks() {
+        for s in ALL_SCHEMES {
+            assert_eq!(s.writebacks_translate(), s == Scheme::L2Tlb, "{s}");
+        }
+    }
+
+    #[test]
+    fn vcoma_has_no_private_tlb() {
+        assert!(!Scheme::VComa.has_private_tlb());
+        for s in ALL_SCHEMES.iter().filter(|s| **s != Scheme::VComa) {
+            assert!(s.has_private_tlb(), "{s}");
+        }
+    }
+
+    #[test]
+    fn all_schemes_distinct() {
+        for (i, a) in ALL_SCHEMES.iter().enumerate() {
+            for b in &ALL_SCHEMES[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

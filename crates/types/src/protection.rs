@@ -1,0 +1,74 @@
+//! Page- and segment-level access rights.
+
+/// Access rights for a page or segment.
+///
+/// The paper's system checks rights at segment granularity in the common
+/// case (§2.2.4) and supports page-level protection through the home node
+/// (§4.3); both layers share this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Protection {
+    /// Loads allowed.
+    pub read: bool,
+    /// Stores allowed.
+    pub write: bool,
+}
+
+impl Protection {
+    /// Read and write allowed.
+    pub const fn read_write() -> Self {
+        Protection { read: true, write: true }
+    }
+
+    /// Read-only.
+    pub const fn read_only() -> Self {
+        Protection { read: true, write: false }
+    }
+
+    /// Returns `true` if an access of the given kind is permitted.
+    pub const fn allows(self, write: bool) -> bool {
+        if write {
+            self.write
+        } else {
+            self.read
+        }
+    }
+}
+
+impl Default for Protection {
+    fn default() -> Self {
+        Protection::read_write()
+    }
+}
+
+impl std::fmt::Display for Protection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.read, self.write) {
+            (true, true) => f.write_str("rw"),
+            (true, false) => f.write_str("r-"),
+            (false, true) => f.write_str("-w"),
+            (false, false) => f.write_str("--"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_allows() {
+        let rw = Protection::read_write();
+        assert!(rw.allows(false) && rw.allows(true));
+        let ro = Protection::read_only();
+        assert!(ro.allows(false) && !ro.allows(true));
+        assert_eq!(Protection::default(), rw);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Protection::read_write().to_string(), "rw");
+        assert_eq!(Protection::read_only().to_string(), "r-");
+        assert_eq!(Protection { read: false, write: true }.to_string(), "-w");
+        assert_eq!(Protection { read: false, write: false }.to_string(), "--");
+    }
+}

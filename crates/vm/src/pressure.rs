@@ -1,0 +1,176 @@
+//! Global-page-set memory-pressure profiles (paper Figure 11).
+
+use vcoma_types::{MachineConfig, VPage};
+
+/// The pressure profile over all global page sets: for each set, the number
+/// of resident pages divided by the set's `nodes × assoc` page slots.
+///
+/// The paper's Figure 11 shows this profile is near-uniform for all six
+/// benchmarks "without even trying", because program locality in the virtual
+/// space spreads pages evenly over the colors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PressureProfile {
+    pressures: Vec<f64>,
+    slots_per_set: u64,
+}
+
+impl PressureProfile {
+    /// Builds the profile of a set of resident virtual pages.
+    pub fn from_pages<I: IntoIterator<Item = VPage>>(pages: I, cfg: &MachineConfig) -> Self {
+        let mut counts = vec![0u64; cfg.global_page_sets() as usize];
+        for p in pages {
+            counts[cfg.global_page_set_of(p) as usize] += 1;
+        }
+        let slots = cfg.page_slots_per_global_set();
+        PressureProfile {
+            pressures: counts.iter().map(|&c| c as f64 / slots as f64).collect(),
+            slots_per_set: slots,
+        }
+    }
+
+    /// Builds the profile directly from per-set occupancy counts.
+    pub fn from_occupancy(occupancy: &[u64], slots_per_set: u64) -> Self {
+        PressureProfile {
+            pressures: occupancy.iter().map(|&c| c as f64 / slots_per_set as f64).collect(),
+            slots_per_set,
+        }
+    }
+
+    /// Pressure of one global page set.
+    pub fn pressure(&self, set: u64) -> f64 {
+        self.pressures[set as usize % self.pressures.len()]
+    }
+
+    /// All per-set pressures, indexed by global page set.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.pressures
+    }
+
+    /// Number of global page sets.
+    pub fn sets(&self) -> usize {
+        self.pressures.len()
+    }
+
+    /// Page slots per set used for normalisation.
+    pub fn slots_per_set(&self) -> u64 {
+        self.slots_per_set
+    }
+
+    /// Maximum pressure over all sets.
+    pub fn max(&self) -> f64 {
+        self.pressures.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Minimum pressure over all sets.
+    pub fn min(&self) -> f64 {
+        self.pressures.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean pressure over all sets.
+    pub fn mean(&self) -> f64 {
+        if self.pressures.is_empty() {
+            return 0.0;
+        }
+        self.pressures.iter().sum::<f64>() / self.pressures.len() as f64
+    }
+
+    /// Population standard deviation of the per-set pressures.
+    pub fn stddev(&self) -> f64 {
+        if self.pressures.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.pressures.iter().map(|p| (p - m) * (p - m)).sum::<f64>() / self.pressures.len() as f64;
+        var.sqrt()
+    }
+
+    /// Coefficient of variation (`stddev / mean`); `0` for a perfectly
+    /// uniform profile, `0` as well for an empty footprint. The paper's
+    /// "very uniform pressure" claim corresponds to a small value here.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stddev() / m
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_footprint_has_zero_cv() {
+        let cfg = MachineConfig::tiny();
+        let gps = cfg.global_page_sets();
+        // One page in every global page set.
+        let pages = (0..gps).map(VPage::new);
+        let p = PressureProfile::from_pages(pages, &cfg);
+        assert!((p.max() - p.min()).abs() < 1e-12);
+        assert_eq!(p.coefficient_of_variation(), 0.0);
+        assert!(p.mean() > 0.0);
+    }
+
+    #[test]
+    fn skewed_footprint_has_positive_cv() {
+        let cfg = MachineConfig::tiny();
+        let gps = cfg.global_page_sets();
+        // All pages in global page set 0.
+        let pages = (0..10).map(|i| VPage::new(i * gps));
+        let p = PressureProfile::from_pages(pages, &cfg);
+        assert!(p.coefficient_of_variation() > 1.0);
+        assert_eq!(p.pressure(1), 0.0);
+        assert!(p.pressure(0) > 0.0);
+    }
+
+    #[test]
+    fn empty_footprint_is_all_zero() {
+        let cfg = MachineConfig::tiny();
+        let p = PressureProfile::from_pages(std::iter::empty(), &cfg);
+        assert_eq!(p.mean(), 0.0);
+        assert_eq!(p.max(), 0.0);
+        assert_eq!(p.coefficient_of_variation(), 0.0);
+        assert_eq!(p.sets() as u64, cfg.global_page_sets());
+    }
+
+    #[test]
+    fn from_occupancy_normalises_by_slots() {
+        let p = PressureProfile::from_occupancy(&[4, 8, 0, 2], 8);
+        assert_eq!(p.pressure(0), 0.5);
+        assert_eq!(p.pressure(1), 1.0);
+        assert_eq!(p.pressure(2), 0.0);
+        assert_eq!(p.pressure(3), 0.25);
+        assert_eq!(p.slots_per_set(), 8);
+        assert_eq!(p.as_slice().len(), 4);
+    }
+
+    #[test]
+    fn stats_of_known_profile() {
+        let p = PressureProfile::from_occupancy(&[0, 4], 4);
+        assert_eq!(p.mean(), 0.5);
+        assert_eq!(p.min(), 0.0);
+        assert_eq!(p.max(), 1.0);
+        assert!((p.stddev() - 0.5).abs() < 1e-12);
+        assert!((p.coefficient_of_variation() - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn pressures_bounded_by_footprint(pages in proptest::collection::vec(0u64..10_000, 0..500)) {
+            let cfg = MachineConfig::tiny();
+            let n = pages.len() as f64;
+            let p = PressureProfile::from_pages(pages.into_iter().map(VPage::new), &cfg);
+            let slots = cfg.page_slots_per_global_set() as f64;
+            for &x in p.as_slice() {
+                prop_assert!(x >= 0.0);
+                prop_assert!(x <= n / slots + 1e-12);
+            }
+            prop_assert!(p.min() <= p.mean() + 1e-12);
+            prop_assert!(p.mean() <= p.max() + 1e-12);
+        }
+    }
+}

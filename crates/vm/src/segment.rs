@@ -1,0 +1,163 @@
+//! PowerPC-like segmentation: synonym-free global virtual addresses.
+//!
+//! The paper sidesteps the synonym problem of virtual caches by assuming a
+//! segmented memory system (§2.2.1): segment registers map a process's
+//! effective-address segments into disjoint regions of one global virtual
+//! address space, so two processes sharing data use the *same* global
+//! virtual address for it. Access rights are checked at segment granularity
+//! (§2.2.4), which is why none of the cache levels need per-block protection
+//! bits in the common case.
+
+use vcoma_types::Protection;
+
+/// Identifier of a global virtual segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SegmentId(pub u32);
+
+impl std::fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seg#{}", self.0)
+    }
+}
+
+/// One process's segment registers: effective segment index → (global
+/// segment, protection).
+///
+/// Effective addresses are divided into `2^bits` segments by their top
+/// bits; each register holds the global segment id substituted for those
+/// bits and the access rights for the whole segment.
+#[derive(Debug, Clone)]
+pub struct SegmentTable {
+    /// log2 of the per-process segment size in bytes.
+    segment_shift: u32,
+    registers: Vec<Option<(SegmentId, Protection)>>,
+}
+
+impl SegmentTable {
+    /// Creates a table of `registers` segment registers for segments of
+    /// `2^segment_shift` bytes (the 32-bit PowerPC uses 16 registers of
+    /// 256 MB segments: `segment_shift = 28`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` is zero.
+    pub fn new(registers: usize, segment_shift: u32) -> Self {
+        assert!(registers > 0, "segment table needs at least one register");
+        SegmentTable { segment_shift, registers: vec![None; registers] }
+    }
+
+    /// The PowerPC-32 shape: 16 registers of 256 MB segments.
+    pub fn powerpc32() -> Self {
+        SegmentTable::new(16, 28)
+    }
+
+    /// Segment size in bytes.
+    pub fn segment_size(&self) -> u64 {
+        1u64 << self.segment_shift
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Returns `true` if no register is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.registers.iter().all(Option::is_none)
+    }
+
+    /// Loads a segment register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn load(&mut self, index: usize, global: SegmentId, prot: Protection) {
+        self.registers[index] = Some((global, prot));
+    }
+
+    /// Translates an effective address to a global virtual address,
+    /// checking segment-level protection. Returns `None` if the segment
+    /// register is not loaded or the access violates protection.
+    pub fn translate(&self, effective: u64, write: bool) -> Option<u64> {
+        let seg = (effective >> self.segment_shift) as usize % self.registers.len();
+        let (global, prot) = self.registers[seg]?;
+        if write && !prot.write {
+            return None;
+        }
+        if !write && !prot.read {
+            return None;
+        }
+        let offset = effective & (self.segment_size() - 1);
+        Some(((global.0 as u64) << self.segment_shift) | offset)
+    }
+
+    /// Returns the register contents, if loaded.
+    pub fn register(&self, index: usize) -> Option<(SegmentId, Protection)> {
+        self.registers.get(index).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_substitutes_global_segment() {
+        let mut t = SegmentTable::new(4, 20); // 1 MB segments
+        t.load(1, SegmentId(42), Protection::read_write());
+        let ea = (1u64 << 20) + 0x123;
+        let ga = t.translate(ea, false).unwrap();
+        assert_eq!(ga, (42u64 << 20) | 0x123);
+    }
+
+    #[test]
+    fn unloaded_segment_faults() {
+        let t = SegmentTable::new(4, 20);
+        assert_eq!(t.translate(0, false), None);
+    }
+
+    #[test]
+    fn write_to_readonly_segment_faults() {
+        let mut t = SegmentTable::new(4, 20);
+        t.load(0, SegmentId(1), Protection::read_only());
+        assert!(t.translate(0x10, false).is_some());
+        assert_eq!(t.translate(0x10, true), None);
+    }
+
+    #[test]
+    fn read_of_noread_segment_faults() {
+        let mut t = SegmentTable::new(4, 20);
+        t.load(0, SegmentId(1), Protection { read: false, write: true });
+        assert_eq!(t.translate(0x10, false), None);
+        assert!(t.translate(0x10, true).is_some());
+    }
+
+    #[test]
+    fn same_global_segment_shared_by_two_processes_yields_same_va() {
+        let mut p1 = SegmentTable::new(4, 20);
+        let mut p2 = SegmentTable::new(4, 20);
+        // Different effective segments, same global segment: no synonyms.
+        p1.load(0, SegmentId(7), Protection::read_write());
+        p2.load(3, SegmentId(7), Protection::read_write());
+        let va1 = p1.translate(0x456, false).unwrap();
+        let va2 = p2.translate((3u64 << 20) + 0x456, false).unwrap();
+        assert_eq!(va1, va2);
+    }
+
+    #[test]
+    fn powerpc32_shape() {
+        let t = SegmentTable::powerpc32();
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.segment_size(), 256 << 20);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn register_readback() {
+        let mut t = SegmentTable::new(4, 20);
+        assert_eq!(t.register(2), None);
+        t.load(2, SegmentId(9), Protection::read_only());
+        assert_eq!(t.register(2), Some((SegmentId(9), Protection::read_only())));
+        assert_eq!(t.register(99), None);
+    }
+}

@@ -1,0 +1,213 @@
+//! FFT: the SPLASH-2 six-step complex 1-D FFT.
+//!
+//! Table 1: `-m20 -t`, 51.29 MB shared (two √n×√n complex matrices plus a
+//! roots-of-unity matrix). The defining behaviour: blocked all-to-all
+//! **transposes** between the source and destination matrices interleaved
+//! with purely local 1-D FFT passes. Everything streams: blocks are touched
+//! once per phase, so the FLC filters almost nothing (`L1 ≈ L0` in Figure
+//! 8) and the large dirty stripes evicted from the SLC make the `L2-TLB`
+//! writeback penalty pronounced.
+//!
+//! References are emitted every 64 bytes of the streamed stripes (64
+//! references per page), which preserves the page-touch sequence — and
+//! hence the TLB/DLB behaviour — at a manageable trace length.
+
+use crate::common::{layout, TraceBuilder};
+use crate::Workload;
+use vcoma_types::MachineConfig;
+
+/// Stream sampling granularity in bytes (one reference per SLC block).
+const STRIDE: u64 = 64;
+
+/// The FFT generator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    /// log2 of the point count (`-m`): `2^m` complex doubles.
+    pub m: u32,
+    /// Fraction of each stripe replayed per phase (1.0 = all).
+    pub scale: f64,
+}
+
+impl Fft {
+    /// Table-1 parameters.
+    pub fn paper() -> Self {
+        Fft { m: 20, scale: 1.0 }
+    }
+
+    /// Returns a copy replaying `scale` of each stripe.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Bytes of one matrix: `2^m` complex doubles of 16 bytes.
+    pub fn matrix_bytes(&self) -> u64 {
+        (1u64 << self.m) * 16
+    }
+}
+
+impl Workload for Fft {
+    fn name(&self) -> &'static str {
+        "FFT"
+    }
+
+    fn params(&self) -> String {
+        format!("-m{} -t", self.m)
+    }
+
+    fn shared_mb(&self) -> f64 {
+        51.29
+    }
+
+    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<vcoma_types::Op>> {
+        let nodes = cfg.nodes;
+        let mut l = layout(cfg);
+        let bytes = self.matrix_bytes();
+        // Odd inter-region skews, as a real allocator's headers produce:
+        // without them the three matrices sit exactly 2^24 bytes apart and
+        // pages of x/trans/roots alias to the same direct-mapped TLB slot.
+        let x = l.region("x", bytes, cfg.page_size).expect("layout");
+        l.region("skew1", 3 * cfg.page_size, cfg.page_size).expect("layout");
+        let trans = l.region("trans", bytes, cfg.page_size).expect("layout");
+        l.region("skew2", 7 * cfg.page_size, cfg.page_size).expect("layout");
+        let roots = l.region("roots", bytes, cfg.page_size).expect("layout");
+
+        let mut b = TraceBuilder::new(nodes, 0xFF7);
+        b.think = 2;
+        b.think_jitter = 5;
+        let stripe = bytes / nodes; // each node owns one stripe of rows
+        // Sub-block a node exchanges with one partner during a transpose.
+        let chunk = stripe / nodes;
+        // Scaling must not thin references within a page — that would
+        // destroy the per-page burst structure (and the cache filtering)
+        // the TLB/DLB comparison depends on. Chunks and stripe pages are
+        // therefore always swept at full density; scaling drops whole
+        // chunks/pages instead (coverage thinning).
+        let page = cfg.page_size;
+        let chunk_refs = chunk / STRIDE;
+        let chunk_prob = self.scale.clamp(0.0, 1.0);
+        let stripe_prob = self.scale.clamp(0.0, 1.0);
+
+        // Every node replays the same *number* of chunks/pages (barrier
+        // phases stay balanced); which ones is node-private random.
+        let chunks_per_node = ((nodes as f64 * chunk_prob).round() as usize).clamp(1, nodes as usize);
+        let transpose = |b: &mut TraceBuilder, src: &vcoma_vm::Region, dst: &vcoma_vm::Region| {
+            for n in 0..nodes as usize {
+                // Blocked all-to-all: with partner j, read own chunk j and
+                // write into partner j's stripe at own chunk index. Each
+                // node visits its partners in its own random order, as the
+                // real staggered transpose does once nodes drift apart.
+                let mut order: Vec<usize> = (0..nodes as usize).collect();
+                b.rng().shuffle(&mut order);
+                for &partner in order.iter().take(chunks_per_node) {
+                    let src_base = n as u64 * stripe + partner as u64 * chunk;
+                    let dst_base = partner as u64 * stripe + n as u64 * chunk;
+                    // The real transpose stages a whole sub-block through
+                    // the cache: read it, then write it out transposed.
+                    for k in 0..chunk_refs {
+                        b.read(n, src.addr(src_base + k * STRIDE % chunk));
+                    }
+                    for k in 0..chunk_refs {
+                        b.write(n, dst.addr(dst_base + k * STRIDE % chunk));
+                    }
+                }
+            }
+            b.barrier();
+        };
+        let local_fft = |b: &mut TraceBuilder, m: &vcoma_vm::Region| {
+            for n in 0..nodes as usize {
+                let base = n as u64 * stripe;
+                // Work page-by-page so coverage thinning keeps density, in
+                // a node-private random page order: nodes drift apart in a
+                // real run, so the same stripe offset is NOT processed by
+                // all nodes at the same instant (it would pile onto a
+                // single home node, since stripes are 128-page aligned).
+                let pages_per_stripe = stripe / page;
+                let refs_per_stripe_page = page / STRIDE;
+                let pages_taken = ((pages_per_stripe as f64 * stripe_prob).round() as usize)
+                    .clamp(1, pages_per_stripe as usize);
+                let mut order: Vec<u64> = (0..pages_per_stripe).collect();
+                b.rng().shuffle(&mut order);
+                for &p in order.iter().take(pages_taken) {
+                    for k in 0..refs_per_stripe_page {
+                        let off = p * page + k * (page / refs_per_stripe_page).max(STRIDE) % page;
+                        b.read(n, m.addr(base + off));
+                        b.read(n, roots.addr(base + off));
+                        b.write(n, m.addr(base + off));
+                    }
+                }
+            }
+            b.barrier();
+        };
+
+        // The six-step algorithm: transpose, FFT, transpose, FFT, transpose.
+        transpose(&mut b, &x, &trans);
+        local_fft(&mut b, &trans);
+        transpose(&mut b, &trans, &x);
+        local_fft(&mut b, &x);
+        transpose(&mut b, &x, &trans);
+        b.into_traces()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcoma_types::Op;
+
+    #[test]
+    fn paper_params() {
+        let f = Fft::paper();
+        assert_eq!(f.params(), "-m20 -t");
+        assert_eq!(f.matrix_bytes(), 16 << 20);
+    }
+
+    #[test]
+    fn transpose_writes_reach_every_partner_stripe() {
+        let cfg = MachineConfig::paper_baseline();
+        let f = Fft { m: 16, scale: 1.0 };
+        let traces = f.generate(&cfg);
+        let stripe = f.matrix_bytes() / cfg.nodes;
+        // Node 0's transpose writes must land in all 32 stripes of trans.
+        let mut stripes_written = std::collections::HashSet::new();
+        for op in &traces[0] {
+            if let Op::Write(a) = op {
+                let rel = a.raw() - 0x1000_0000;
+                if rel >= f.matrix_bytes() && rel < 2 * f.matrix_bytes() {
+                    stripes_written.insert((rel - f.matrix_bytes()) / stripe);
+                }
+            }
+        }
+        assert_eq!(stripes_written.len() as u64, cfg.nodes);
+    }
+
+    #[test]
+    fn streaming_mostly_unique_blocks() {
+        // FFT is a stream: within a phase a node rarely revisits a block,
+        // which is why the FLC cannot filter it (L1 ≈ L0 in the paper).
+        let cfg = MachineConfig::paper_baseline();
+        let traces = Fft { m: 18, scale: 0.5 }.generate(&cfg);
+        let mut seen = std::collections::HashSet::new();
+        let mut reads = 0u64;
+        for op in &traces[0] {
+            if let Op::Read(a) = op {
+                reads += 1;
+                seen.insert(a.raw() / 32);
+            }
+        }
+        assert!(
+            seen.len() as f64 > 0.45 * reads as f64,
+            "FFT reads should be mostly unique blocks: {} of {reads}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn five_phases_mean_five_barriers() {
+        let cfg = MachineConfig::tiny();
+        let traces = Fft { m: 12, scale: 1.0 }.generate(&cfg);
+        let barriers =
+            traces[0].iter().filter(|op| matches!(op, Op::Barrier(_))).count();
+        assert_eq!(barriers, 5);
+    }
+}

@@ -1,0 +1,222 @@
+//! Synthetic SPLASH-2-like workload generators.
+//!
+//! The paper drives its simulations with six SPLASH-2 benchmarks (Table 1).
+//! Running the original Sparc binaries is out of scope for this
+//! reproduction; instead, each generator here emits a deterministic
+//! per-node [`Op`] trace with the *access structure* that
+//! the SPLASH-2 characterisation paper and the studied paper itself
+//! document for that benchmark:
+//!
+//! | Generator | Structure reproduced |
+//! |---|---|
+//! | [`Radix`] | permuted writes into a large output array shared by all nodes — untempered write traffic, no TLB working set below ~512 pages |
+//! | [`Fft`] | blocked all-to-all transpose between two large matrices — streaming, so the FLC filters nothing (`L1 ≈ L0`), heavy SLC writebacks |
+//! | [`Fmm`] | pointer-chasing over a wide tree working set with strong block-level temporal locality — the FLC filters most references (`L1 ≪ L0`) |
+//! | [`Ocean`] | red-black stencil sweeps over row-partitioned grids — nearest-neighbour sharing and big sequential writeback streams |
+//! | [`Raytrace`] | read-shared scene, lock-protected work queue, and per-node private ray stacks whose 32 KB-aligned padding causes V-COMA's color conflicts (§5.3); the `v2()` variant realigns them to page size |
+//! | [`Barnes`] | octree walks with a small, hot, read-shared upper tree — tiny working set, everything filters |
+//!
+//! All generators implement [`Workload`]; [`all_benchmarks`] returns the
+//! paper's six with Table-1 parameters, and `scaled()` constructors shrink
+//! the iteration counts (not the structure) for fast tests.
+//!
+//! # Example
+//!
+//! ```
+//! use vcoma_workloads::{Workload, Radix};
+//! use vcoma_types::MachineConfig;
+//!
+//! let cfg = MachineConfig::paper_baseline();
+//! let traces = Radix::paper().scaled(0.01).generate(&cfg);
+//! assert_eq!(traces.len(), 32);
+//! assert!(traces.iter().all(|t| !t.is_empty()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod barnes;
+mod common;
+mod fft;
+mod fmm;
+mod micro;
+mod ocean;
+mod radix;
+mod raytrace;
+mod trace_io;
+
+pub use analysis::TraceAnalysis;
+pub use barnes::Barnes;
+pub use common::TraceBuilder;
+pub use fft::Fft;
+pub use fmm::Fmm;
+pub use micro::{PingPong, PrivateStream, UniformRandom};
+pub use ocean::Ocean;
+pub use radix::Radix;
+pub use raytrace::Raytrace;
+pub use trace_io::{load_traces, save_traces, ParseTraceError, TRACE_HEADER};
+
+use vcoma_types::{MachineConfig, Op};
+
+/// A benchmark that can generate per-node traces for the simulator.
+pub trait Workload {
+    /// The benchmark's name as the paper spells it (e.g. `"RADIX"`).
+    fn name(&self) -> &'static str;
+
+    /// The Table-1 parameter string (e.g. `"-n524288 -r2048 -m1048576"`).
+    fn params(&self) -> String;
+
+    /// Nominal shared-memory footprint in MB (Table 1's last column).
+    fn shared_mb(&self) -> f64;
+
+    /// Generates one trace per node.
+    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<Op>>;
+}
+
+/// The paper's six benchmarks with Table-1 parameters, in the paper's
+/// order, scaled by `scale` (1.0 = full iteration counts).
+pub fn all_benchmarks(scale: f64) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Radix::paper().scaled(scale)),
+        Box::new(Fft::paper().scaled(scale)),
+        Box::new(Fmm::paper().scaled(scale)),
+        Box::new(Ocean::paper().scaled(scale)),
+        Box::new(Raytrace::paper().scaled(scale)),
+        Box::new(Barnes::paper().scaled(scale)),
+    ]
+}
+
+/// Looks a benchmark up by its (case-insensitive) paper name.
+pub fn by_name(name: &str, scale: f64) -> Option<Box<dyn Workload>> {
+    let n = name.to_ascii_uppercase();
+    all_benchmarks(scale).into_iter().find(|w| w.name() == n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcoma_types::SyncId;
+
+    #[test]
+    fn registry_has_six_paper_benchmarks() {
+        let names: Vec<&str> = all_benchmarks(0.01).iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["RADIX", "FFT", "FMM", "OCEAN", "RAYTRACE", "BARNES"]);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(by_name("radix", 0.01).is_some());
+        assert!(by_name("Ocean", 0.01).is_some());
+        assert!(by_name("nosuch", 0.01).is_none());
+    }
+
+    #[test]
+    fn all_benchmarks_generate_consistent_barrier_sequences() {
+        let cfg = MachineConfig::paper_baseline();
+        for w in all_benchmarks(0.005) {
+            let traces = w.generate(&cfg);
+            assert_eq!(traces.len(), 32, "{}", w.name());
+            let barrier_seq = |t: &[Op]| -> Vec<SyncId> {
+                t.iter()
+                    .filter_map(|op| match op {
+                        Op::Barrier(id) => Some(*id),
+                        _ => None,
+                    })
+                    .collect()
+            };
+            let first = barrier_seq(&traces[0]);
+            for (i, t) in traces.iter().enumerate() {
+                assert_eq!(barrier_seq(t), first, "{} node {i}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn lock_unlock_are_balanced_per_node() {
+        let cfg = MachineConfig::paper_baseline();
+        for w in all_benchmarks(0.005) {
+            for (i, t) in w.generate(&cfg).iter().enumerate() {
+                let mut held: std::collections::HashMap<SyncId, i64> = Default::default();
+                for op in t {
+                    match op {
+                        Op::Lock(id) => {
+                            let c = held.entry(*id).or_default();
+                            assert_eq!(*c, 0, "{} node {i}: nested lock {id}", w.name());
+                            *c += 1;
+                        }
+                        Op::Unlock(id) => {
+                            let c = held.entry(*id).or_default();
+                            assert_eq!(*c, 1, "{} node {i}: unlock without lock", w.name());
+                            *c -= 1;
+                        }
+                        _ => {}
+                    }
+                }
+                assert!(
+                    held.values().all(|&c| c == 0),
+                    "{} node {i}: lock held at trace end",
+                    w.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = MachineConfig::paper_baseline();
+        for w in all_benchmarks(0.003) {
+            assert_eq!(w.generate(&cfg), w.generate(&cfg), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn every_benchmark_reads_and_writes() {
+        let cfg = MachineConfig::paper_baseline();
+        for w in all_benchmarks(0.005) {
+            let traces = w.generate(&cfg);
+            let reads: usize = traces
+                .iter()
+                .flatten()
+                .filter(|op| matches!(op, Op::Read(_)))
+                .count();
+            let writes: usize = traces
+                .iter()
+                .flatten()
+                .filter(|op| matches!(op, Op::Write(_)))
+                .count();
+            assert!(reads > 0, "{}", w.name());
+            assert!(writes > 0, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn shared_mb_matches_table_1() {
+        let cfg = 0.01;
+        let mb: Vec<f64> = all_benchmarks(cfg).iter().map(|w| w.shared_mb()).collect();
+        assert_eq!(mb, [6.12, 51.29, 29.23, 15.52, 34.86, 3.94]);
+    }
+
+    #[test]
+    fn radix_is_write_heavy_relative_to_barnes() {
+        let cfg = MachineConfig::paper_baseline();
+        let frac = |w: &dyn Workload| {
+            let traces = w.generate(&cfg);
+            let (mut r, mut wr) = (0usize, 0usize);
+            for op in traces.iter().flatten() {
+                match op {
+                    Op::Read(_) => r += 1,
+                    Op::Write(_) => wr += 1,
+                    _ => {}
+                }
+            }
+            wr as f64 / (r + wr) as f64
+        };
+        let radix = frac(&Radix::paper().scaled(0.01));
+        let barnes = frac(&Barnes::paper().scaled(0.01));
+        assert!(
+            radix > barnes + 0.1,
+            "RADIX write fraction {radix:.2} must exceed BARNES {barnes:.2}"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Micro-workloads for tests and ablation benchmarks.
+
+use crate::common::{layout, TraceBuilder};
+use crate::Workload;
+use vcoma_types::MachineConfig;
+
+/// Uniformly random reads/writes over a configurable page pool — a
+/// locality-free worst case for every translation scheme.
+#[derive(Debug, Clone)]
+pub struct UniformRandom {
+    /// Pages in the pool.
+    pub pages: u64,
+    /// References per node.
+    pub refs_per_node: u64,
+    /// Probability that a reference is a write.
+    pub write_fraction: f64,
+}
+
+impl UniformRandom {
+    /// A default pool: 256 pages, 10 000 refs per node, 30 % writes.
+    pub fn new() -> Self {
+        UniformRandom { pages: 256, refs_per_node: 10_000, write_fraction: 0.3 }
+    }
+}
+
+impl Default for UniformRandom {
+    fn default() -> Self {
+        UniformRandom::new()
+    }
+}
+
+impl Workload for UniformRandom {
+    fn name(&self) -> &'static str {
+        "UNIFORM"
+    }
+
+    fn params(&self) -> String {
+        format!("{} pages, {} refs/node", self.pages, self.refs_per_node)
+    }
+
+    fn shared_mb(&self) -> f64 {
+        (self.pages * 4096) as f64 / (1 << 20) as f64
+    }
+
+    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<vcoma_types::Op>> {
+        let mut l = layout(cfg);
+        let pool =
+            l.region("pool", self.pages * cfg.page_size, cfg.page_size).expect("layout");
+        let mut b = TraceBuilder::new(cfg.nodes, 0x0111);
+        b.think = 1;
+        for n in 0..cfg.nodes as usize {
+            for _ in 0..self.refs_per_node {
+                let off = b.rng().gen_range(pool.size / 32) * 32;
+                if b.rng().gen_bool(self.write_fraction) {
+                    b.write(n, pool.addr(off));
+                } else {
+                    b.read(n, pool.addr(off));
+                }
+            }
+        }
+        b.into_traces()
+    }
+}
+
+/// Each node streams privately over its own region — no sharing at all.
+#[derive(Debug, Clone)]
+pub struct PrivateStream {
+    /// Bytes per node.
+    pub bytes_per_node: u64,
+    /// Sequential passes.
+    pub passes: u64,
+}
+
+impl PrivateStream {
+    /// A default stream: 256 KB per node, two passes.
+    pub fn new() -> Self {
+        PrivateStream { bytes_per_node: 256 << 10, passes: 2 }
+    }
+}
+
+impl Default for PrivateStream {
+    fn default() -> Self {
+        PrivateStream::new()
+    }
+}
+
+impl Workload for PrivateStream {
+    fn name(&self) -> &'static str {
+        "PRIVATE-STREAM"
+    }
+
+    fn params(&self) -> String {
+        format!("{} KB/node × {}", self.bytes_per_node >> 10, self.passes)
+    }
+
+    fn shared_mb(&self) -> f64 {
+        0.0
+    }
+
+    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<vcoma_types::Op>> {
+        let mut l = layout(cfg);
+        let regions = l
+            .per_node_regions("stream", cfg.nodes, self.bytes_per_node, cfg.page_size)
+            .expect("layout");
+        let mut b = TraceBuilder::new(cfg.nodes, 0x5771);
+        b.think = 1;
+        for _ in 0..self.passes {
+            for n in 0..cfg.nodes as usize {
+                b.stream_read(n, &regions[n], 0, self.bytes_per_node, 64);
+                b.stream_write(n, &regions[n], 0, self.bytes_per_node, 64);
+            }
+        }
+        b.into_traces()
+    }
+}
+
+/// Two nodes alternately write and read one block — maximal coherence
+/// traffic.
+#[derive(Debug, Clone)]
+pub struct PingPong {
+    /// Round trips.
+    pub rounds: u64,
+}
+
+impl PingPong {
+    /// A default of 1000 rounds.
+    pub fn new() -> Self {
+        PingPong { rounds: 1000 }
+    }
+}
+
+impl Default for PingPong {
+    fn default() -> Self {
+        PingPong::new()
+    }
+}
+
+impl Workload for PingPong {
+    fn name(&self) -> &'static str {
+        "PING-PONG"
+    }
+
+    fn params(&self) -> String {
+        format!("{} rounds", self.rounds)
+    }
+
+    fn shared_mb(&self) -> f64 {
+        0.0
+    }
+
+    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<vcoma_types::Op>> {
+        assert!(cfg.nodes >= 2, "ping-pong needs at least two nodes");
+        let mut l = layout(cfg);
+        let flag = l.region("flag", cfg.page_size, cfg.page_size).expect("layout");
+        let mut b = TraceBuilder::new(cfg.nodes, 0x1919);
+        b.think = 1;
+        for _ in 0..self.rounds {
+            b.write(0, flag.addr(0));
+            b.read(1, flag.addr(0));
+            b.write(1, flag.addr(64));
+            b.read(0, flag.addr(64));
+        }
+        b.into_traces()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcoma_types::Op;
+
+    #[test]
+    fn uniform_random_spans_the_pool() {
+        let cfg = MachineConfig::tiny();
+        let traces = UniformRandom { pages: 16, refs_per_node: 1000, write_fraction: 0.5 }
+            .generate(&cfg);
+        let pages: std::collections::HashSet<u64> = traces
+            .iter()
+            .flatten()
+            .filter_map(|op| op.addr())
+            .map(|a| a.page(cfg.page_size).raw())
+            .collect();
+        assert_eq!(pages.len(), 16);
+    }
+
+    #[test]
+    fn private_stream_has_no_cross_node_sharing() {
+        let cfg = MachineConfig::tiny();
+        let traces = PrivateStream { bytes_per_node: 4096, passes: 1 }.generate(&cfg);
+        let pages_of = |t: &[Op]| -> std::collections::HashSet<u64> {
+            t.iter().filter_map(|op| op.addr()).map(|a| a.page(1024).raw()).collect()
+        };
+        let p0 = pages_of(&traces[0]);
+        let p1 = pages_of(&traces[1]);
+        assert!(p0.is_disjoint(&p1));
+    }
+
+    #[test]
+    fn ping_pong_alternates_writers() {
+        let cfg = MachineConfig::tiny();
+        let traces = PingPong { rounds: 3 }.generate(&cfg);
+        assert!(traces[0].iter().any(|op| matches!(op, Op::Write(_))));
+        assert!(traces[1].iter().any(|op| matches!(op, Op::Write(_))));
+        assert!(traces[2].is_empty());
+    }
+
+    #[test]
+    fn micro_names_and_footprints() {
+        assert_eq!(UniformRandom::new().name(), "UNIFORM");
+        assert!(UniformRandom::new().shared_mb() > 0.0);
+        assert_eq!(PrivateStream::new().shared_mb(), 0.0);
+        assert_eq!(PingPong::new().name(), "PING-PONG");
+        assert!(!PingPong::new().params().is_empty());
+        assert!(!PrivateStream::new().params().is_empty());
+    }
+}

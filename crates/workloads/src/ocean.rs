@@ -1,0 +1,187 @@
+//! OCEAN: the SPLASH-2 ocean-current simulation (contiguous partitions).
+//!
+//! Table 1: `258×258`, 15.52 MB shared (about twenty-five 258×258 grids of
+//! doubles). The defining behaviour: red-black Gauss-Seidel stencil sweeps
+//! over row-partitioned grids — every interior point reads its four
+//! neighbours and writes itself, so a node's sweep alternates between
+//! three row-pages of two grids at once (strong pressure on a small TLB),
+//! band boundaries are read by the neighbouring node (nearest-neighbour
+//! coherence), and the long dirty sweeps evict from the SLC as writebacks
+//! with poor locality — the other workload the paper singles out for the
+//! `L2-TLB` writeback penalty.
+
+use crate::common::{layout, TraceBuilder};
+use crate::Workload;
+use vcoma_types::MachineConfig;
+
+/// The OCEAN generator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Ocean {
+    /// Grid edge (`258` in Table 1, including border cells).
+    pub n: u64,
+    /// Number of grids cycled through by the solver sweeps.
+    pub grids: u64,
+    /// Relaxation iterations (each is a red sweep + a black sweep).
+    pub iterations: u64,
+    /// Fraction of each sweep replayed (1.0 = all).
+    pub scale: f64,
+}
+
+impl Ocean {
+    /// Table-1 parameters: 258×258, the multigrid working set, enough
+    /// iterations for steady-state behaviour.
+    pub fn paper() -> Self {
+        Ocean { n: 258, grids: 25, iterations: 8, scale: 1.0 }
+    }
+
+    /// Returns a copy replaying `scale` of each sweep.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Bytes of one grid of doubles.
+    pub fn grid_bytes(&self) -> u64 {
+        self.n * self.n * 8
+    }
+
+    /// Bytes of one grid row.
+    pub fn row_bytes(&self) -> u64 {
+        self.n * 8
+    }
+}
+
+impl Workload for Ocean {
+    fn name(&self) -> &'static str {
+        "OCEAN"
+    }
+
+    fn params(&self) -> String {
+        format!("{}*{}", self.n, self.n)
+    }
+
+    fn shared_mb(&self) -> f64 {
+        15.52
+    }
+
+    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<vcoma_types::Op>> {
+        let nodes = cfg.nodes;
+        let mut l = layout(cfg);
+        // The multigrid solver owns many grids; sweeps cycle through pairs.
+        let grids: Vec<_> = (0..self.grids.max(6))
+            .map(|_| l.region("grid", self.grid_bytes(), cfg.page_size).expect("layout"))
+            .collect();
+
+        let mut b = TraceBuilder::new(nodes, 0x0CEA);
+        b.think = 2;
+        b.think_jitter = 5;
+        let rows_per_node = (self.n / nodes).max(1);
+        let row = self.row_bytes();
+        // One reference per 64 bytes of a row (8 doubles). Rows are always
+        // swept at full density so the per-page burst structure survives;
+        // scaling reduces the number of relaxation iterations instead.
+        let refs_per_row = row / 64;
+        let iterations =
+            ((self.iterations as f64 * self.scale).round() as u64).clamp(4, self.iterations.max(4));
+
+        for it in 0..iterations {
+            // Each iteration relaxes one grid against a right-hand-side
+            // grid, cycling through the multigrid hierarchy.
+            // The relaxation window reuses a small set of grids: the two
+            // red/black solution grids, their right-hand sides, and two
+            // coefficient fields (γ, friction). The remaining multigrid
+            // levels exist in the footprint but are cold in this window.
+            let cur = &grids[(it % 2) as usize];
+            let rhs = &grids[(2 + it % 2) as usize];
+            let aux1 = &grids[4];
+            let aux2 = &grids[5];
+            for color in 0..2u64 {
+                // Red sweep then black sweep, barrier after each.
+                for n in 0..nodes as usize {
+                    let first_row = n as u64 * rows_per_node;
+                    for r in 0..rows_per_node {
+                        let gr = first_row + r;
+                        if gr == 0 || gr + 1 >= self.n {
+                            continue; // border rows are fixed
+                        }
+                        if (gr + color) % 2 != 0 {
+                            continue; // wrong color this half-sweep
+                        }
+                        for k in 0..refs_per_row {
+                            let off = gr * row + (k * 64) % row;
+                            // Stencil: self, north, south (the north/south
+                            // rows of the band edges belong to the
+                            // neighbouring nodes' bands), the right-hand
+                            // side and two coefficient grids; write self.
+                            b.read(n, cur.addr(off));
+                            b.read(n, cur.addr(off - row));
+                            b.read(n, cur.addr(off + row));
+                            b.read(n, rhs.addr(off));
+                            b.read(n, aux1.addr(off));
+                            b.read(n, aux2.addr(off));
+                            b.write(n, cur.addr(off));
+                        }
+                    }
+                }
+                b.barrier();
+            }
+        }
+        b.into_traces()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcoma_types::Op;
+
+    #[test]
+    fn paper_params() {
+        let o = Ocean::paper();
+        assert_eq!(o.params(), "258*258");
+        assert_eq!(o.grid_bytes(), 258 * 258 * 8);
+    }
+
+    #[test]
+    fn band_edges_are_shared_between_neighbours() {
+        let cfg = MachineConfig::paper_baseline();
+        let traces = Ocean::paper().scaled(0.5).generate(&cfg);
+        // Node 1 must read at least one address that node 0 writes (the
+        // boundary row between their bands).
+        let written_by_0: std::collections::HashSet<u64> = traces[0]
+            .iter()
+            .filter_map(|op| match op {
+                Op::Write(a) => Some(a.raw()),
+                _ => None,
+            })
+            .collect();
+        let shared = traces[1]
+            .iter()
+            .filter_map(|op| match op {
+                Op::Read(a) => Some(a.raw()),
+                _ => None,
+            })
+            .filter(|a| written_by_0.contains(a))
+            .count();
+        assert!(shared > 0, "neighbour bands must share boundary rows");
+    }
+
+    #[test]
+    fn sweeps_produce_write_streams() {
+        let cfg = MachineConfig::paper_baseline();
+        let traces = Ocean::paper().scaled(1.0).generate(&cfg);
+        let writes = traces[0].iter().filter(|op| matches!(op, Op::Write(_))).count();
+        let reads = traces[0].iter().filter(|op| matches!(op, Op::Read(_))).count();
+        assert_eq!(reads, writes * 6, "stencil: six reads per write");
+    }
+
+    #[test]
+    fn barrier_per_half_sweep() {
+        let cfg = MachineConfig::tiny();
+        let o = Ocean { n: 64, grids: 6, iterations: 5, scale: 1.0 };
+        let traces = o.generate(&cfg);
+        let barriers =
+            traces[0].iter().filter(|op| matches!(op, Op::Barrier(_))).count();
+        assert_eq!(barriers, 10, "two barriers per iteration");
+    }
+}

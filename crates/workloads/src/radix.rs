@@ -1,0 +1,241 @@
+//! RADIX: the SPLASH-2 integer radix sort.
+//!
+//! Table 1: `-n524288 -r2048 -m1048576`, 6.12 MB shared. The defining
+//! behaviour (paper §5.2): in each pass every node writes its keys into a
+//! large output array *shared and distributed among all nodes*; these
+//! permutation writes are not filtered by any cache, show no TLB working
+//! set below the array size (~512 pages), and are the workload where
+//! V-COMA's shared, prefetching DLB wins by the largest margin.
+//!
+//! Trace structure per pass:
+//! 1. **Histogram**: each node streams its key partition (reads) while
+//!    updating its private histogram (hot local writes); barrier.
+//! 2. **Prefix**: each node reads every node's histogram (all-to-all
+//!    read sharing of small regions); barrier.
+//! 3. **Permutation**: per key block, one partition read plus permutation
+//!    writes into the shared output array — a mix of *uniform* scatter
+//!    (the digit-driven component, spanning the whole array) and
+//!    *cursor-run* writes (consecutive keys of the same digit landing in
+//!    the same bucket block); barrier.
+
+use crate::common::{layout, scaled_count, TraceBuilder};
+use crate::Workload;
+use vcoma_types::{MachineConfig, Op};
+
+/// The RADIX generator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Radix {
+    /// Number of keys (`-n`).
+    pub keys: u64,
+    /// Radix (`-r`): buckets per pass.
+    pub radix: u64,
+    /// Maximum key value (`-m`); together with `radix` this fixes the pass
+    /// count.
+    pub max_key: u64,
+    /// Fraction of the keys actually replayed (1.0 = all). Scaling down
+    /// shortens the trace without shrinking the arrays, so the TLB/DLB
+    /// behaviour keeps its shape.
+    pub scale: f64,
+}
+
+impl Radix {
+    /// Table-1 parameters.
+    pub fn paper() -> Self {
+        Radix { keys: 524_288, radix: 2048, max_key: 1_048_576, scale: 1.0 }
+    }
+
+    /// Returns a copy replaying `scale` of the keys.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sort passes: `ceil(log_radix(max_key))` — two with the paper's
+    /// parameters.
+    pub fn passes(&self) -> u32 {
+        let mut passes = 0;
+        let mut covered: u64 = 1;
+        while covered < self.max_key {
+            covered = covered.saturating_mul(self.radix);
+            passes += 1;
+        }
+        passes.max(1)
+    }
+}
+
+impl Workload for Radix {
+    fn name(&self) -> &'static str {
+        "RADIX"
+    }
+
+    fn params(&self) -> String {
+        format!("-n{} -r{} -m{}", self.keys, self.radix, self.max_key)
+    }
+
+    fn shared_mb(&self) -> f64 {
+        6.12
+    }
+
+    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<Op>> {
+        let nodes = cfg.nodes;
+        let mut l = layout(cfg);
+        let key_bytes = self.keys * 4;
+        let keys_r = l.region("keys", key_bytes, cfg.page_size).expect("layout");
+        let out_r = l.region("output", key_bytes, cfg.page_size).expect("layout");
+        // One histogram page-pair per node, page-aligned so they do not
+        // false-share.
+        let hist_r: Vec<_> = (0..nodes)
+            .map(|_| l.region("histogram", self.radix * 4, cfg.page_size).expect("layout"))
+            .collect();
+
+        let mut b = TraceBuilder::new(nodes, 0xAD1);
+        b.think = 2;
+        b.think_jitter = 5;
+        let keys_per_node = self.keys / nodes;
+        let blocks_per_node = scaled_count(keys_per_node * 4 / 32, self.scale);
+        let part = key_bytes / nodes;
+
+        for pass in 0..self.passes() {
+            // Alternate source/destination arrays between passes.
+            let (src, dst) = if pass % 2 == 0 { (&keys_r, &out_r) } else { (&out_r, &keys_r) };
+
+            // Phase 1: local histogram over the key partition. Key pages
+            // are visited in a node-private random order (block-sequential
+            // within a page): partitions are stripe-aligned, so a lockstep
+            // sweep would hit one home node at a time machine-wide.
+            for n in 0..nodes as usize {
+                let base = n as u64 * part;
+                let pages = (part / cfg.page_size).max(1);
+                let mut order: Vec<u64> = (0..pages).collect();
+                b.rng().shuffle(&mut order);
+                let blocks_per_page = cfg.page_size / 32;
+                for blk in 0..blocks_per_node {
+                    let vpage = order[((blk / blocks_per_page) % pages) as usize];
+                    let off = (vpage * cfg.page_size + (blk % blocks_per_page) * 32) % part;
+                    b.read(n, src.addr(base + off));
+                    // Two histogram bucket updates per key block (hot,
+                    // private pages).
+                    for _ in 0..2 {
+                        let bucket = b.rng().gen_range(self.radix);
+                        b.write(n, hist_r[n].addr(bucket * 4));
+                    }
+                }
+            }
+            b.barrier();
+
+            // Phase 2: global prefix sums — every node reads every
+            // histogram (sampled with the same scale as the key streams).
+            let prefix_reads = scaled_count(self.radix * 4 / 256, self.scale);
+            for n in 0..nodes as usize {
+                for h in &hist_r {
+                    for k in 0..prefix_reads {
+                        b.read(n, h.addr((k * 256) % (self.radix * 4)));
+                    }
+                }
+            }
+            b.barrier();
+
+            // Phase 3: permutation. Prefix sums partition every bucket
+            // among the nodes, so a node's permutation writes land in its
+            // own slots — 128-byte chunks strided by the node count across
+            // the whole output array. There is no intra-pass write sharing
+            // (coherence traffic comes from the next pass reading the
+            // scattered output), but the page stream is essentially random
+            // over the whole array, which is what starves every private
+            // TLB below ~512 entries (paper §5.2).
+            let chunks = key_bytes / (128 * nodes);
+            for n in 0..nodes as usize {
+                let base = n as u64 * part;
+                // Byte address of this node's chunk `c`.
+                let own_chunk = |c: u64| (c % chunks * nodes + n as u64) * 128;
+                let mut cursor = b.rng().gen_range(chunks);
+                let pages = (part / cfg.page_size).max(1);
+                let mut order: Vec<u64> = (0..pages).collect();
+                b.rng().shuffle(&mut order);
+                let blocks_per_page = cfg.page_size / 32;
+                for blk in 0..blocks_per_node {
+                    let vpage = order[((blk / blocks_per_page) % pages) as usize];
+                    let off = (vpage * cfg.page_size + (blk % blocks_per_page) * 32) % part;
+                    b.read(n, src.addr(base + off));
+                    // An isolated key of a rare digit now and then: a
+                    // random own slot anywhere in the output array.
+                    if blk % 2 == 0 {
+                        let stray = b.rng().gen_range(chunks);
+                        let stray_off = b.rng().gen_range(4) * 32;
+                        b.write(n, dst.addr(own_chunk(stray) + stray_off));
+                    }
+                    // A run of keys with equal digits: the bucket cursor's
+                    // current 32-byte quarter of the node's chunk.
+                    let quarter = (blk % 4) * 32;
+                    for k in 0..6u64 {
+                        b.write(n, dst.addr(own_chunk(cursor) + quarter + k * 4));
+                    }
+                    if blk % 4 == 3 {
+                        // Chunk exhausted; jump to a fresh bucket slot.
+                        cursor = b.rng().gen_range(chunks);
+                    }
+                }
+            }
+            b.barrier();
+        }
+        b.into_traces()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_give_two_passes() {
+        assert_eq!(Radix::paper().passes(), 2);
+        assert_eq!(Radix::paper().params(), "-n524288 -r2048 -m1048576");
+    }
+
+    #[test]
+    fn passes_of_other_geometries() {
+        let r = Radix { keys: 16, radix: 4, max_key: 64, scale: 1.0 };
+        assert_eq!(r.passes(), 3);
+        let r = Radix { keys: 16, radix: 1024, max_key: 4, scale: 1.0 };
+        assert_eq!(r.passes(), 1);
+    }
+
+    #[test]
+    fn trace_is_write_heavy() {
+        let cfg = MachineConfig::paper_baseline();
+        let traces = Radix::paper().scaled(0.01).generate(&cfg);
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for op in traces.iter().flatten() {
+            match op {
+                Op::Read(_) => reads += 1,
+                Op::Write(_) => writes += 1,
+                _ => {}
+            }
+        }
+        assert!(writes > reads, "radix is write-dominated: {writes} vs {reads}");
+    }
+
+    #[test]
+    fn permutation_writes_span_the_whole_output_array() {
+        let cfg = MachineConfig::paper_baseline();
+        let traces = Radix::paper().scaled(0.02).generate(&cfg);
+        let mut pages = std::collections::HashSet::new();
+        for op in traces.iter().flatten() {
+            if let Op::Write(a) = op {
+                pages.insert(a.page(cfg.page_size));
+            }
+        }
+        // Output array is 2 MB = 512 pages; scatter should reach most of it.
+        assert!(pages.len() > 300, "only {} distinct written pages", pages.len());
+    }
+
+    #[test]
+    fn scaling_shortens_the_trace() {
+        let cfg = MachineConfig::paper_baseline();
+        let small: usize =
+            Radix::paper().scaled(0.01).generate(&cfg).iter().map(Vec::len).sum();
+        let big: usize =
+            Radix::paper().scaled(0.02).generate(&cfg).iter().map(Vec::len).sum();
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,207 @@
+//! RAYTRACE: the SPLASH-2 ray tracer (car scene).
+//!
+//! Table 1: `car`, 34.86 MB shared. The defining behaviours:
+//!
+//! * a large **read-only scene** traversed with moderate locality;
+//! * a lock-protected **work queue** of ray bundles;
+//! * per-node **private ray-tree stacks** (`raystruct`) whose
+//!   false-sharing padding is aligned on multiples of **32 KB** in the
+//!   virtual address space. Paper §5.3: in V-COMA this alignment
+//!   concentrates the stacks' hot pages on a fraction of the page colors —
+//!   and, because the home node of a page is its low page-number bits, on
+//!   only `32 KB / 4 KB = 8`-strided home nodes — causing uneven conflicts
+//!   and extra synchronisation time. Re-aligning the padding to one page
+//!   (the paper's `DLB/8/V2` bar, [`Raytrace::v2`]) restores the balance.
+
+use crate::common::{layout, scaled_count, TraceBuilder};
+use crate::Workload;
+use vcoma_types::MachineConfig;
+
+/// The RAYTRACE generator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Raytrace {
+    /// Ray bundles traced per node per frame.
+    pub bundles_per_node: u64,
+    /// Frames rendered.
+    pub frames: u64,
+    /// Alignment of each node's `raystruct` stack in bytes: `32 KB` in the
+    /// original source, one page in the `V2` layout.
+    pub stack_align: u64,
+    /// Fraction of the bundles replayed.
+    pub scale: f64,
+}
+
+impl Raytrace {
+    /// Table-1 parameters with the original 32 KB-aligned padding.
+    pub fn paper() -> Self {
+        Raytrace { bundles_per_node: 2_500, frames: 2, stack_align: 32 << 10, scale: 1.0 }
+    }
+
+    /// The paper's `V2` layout: the same workload with the `raystruct`
+    /// padding aligned to one page (4 KB) instead of 32 KB.
+    pub fn v2() -> Self {
+        Raytrace { stack_align: 4 << 10, ..Raytrace::paper() }
+    }
+
+    /// Returns a copy replaying `scale` of the bundles.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+}
+
+impl Workload for Raytrace {
+    fn name(&self) -> &'static str {
+        "RAYTRACE"
+    }
+
+    fn params(&self) -> String {
+        let align = if self.stack_align == 32 << 10 { "car" } else { "car (V2 layout)" };
+        align.to_string()
+    }
+
+    fn shared_mb(&self) -> f64 {
+        34.86
+    }
+
+    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<vcoma_types::Op>> {
+        let nodes = cfg.nodes;
+        let mut l = layout(cfg);
+        let scene = l.region("scene", 32 << 20, cfg.page_size).expect("layout");
+        let framebuf = l.region("framebuffer", 1 << 20, cfg.page_size).expect("layout");
+        let queue = l.region("workqueue", cfg.page_size, cfg.page_size).expect("layout");
+        // The raystruct array: one padded private stack per node. The
+        // alignment is the experiment's lever (32 KB vs one page).
+        let stacks = l
+            .per_node_regions("raystruct", nodes, 16 << 10, self.stack_align)
+            .expect("layout");
+
+        let mut b = TraceBuilder::new(nodes, 0x4A75);
+        b.think = 3;
+        b.think_jitter = 5;
+        let page = cfg.page_size;
+        let scene_pages = scene.size / page;
+        let bundles = scaled_count(self.bundles_per_node, self.scale);
+        const QUEUE_LOCK: u32 = 0;
+
+        for _frame in 0..self.frames {
+            for n in 0..nodes as usize {
+                for bu in 0..bundles {
+                    // Refill from the shared work queue every couple dozen
+                    // bundles (the tracer dequeues work in chunks).
+                    if bu % 24 == 0 {
+                        b.critical_section(n, QUEUE_LOCK, |b, n| {
+                            b.read(n, queue.addr(0));
+                            b.write(n, queue.addr(0));
+                        });
+                    }
+                    // Trace the rays: a bundle stays in one scene area
+                    // (rays of a bundle are spatially coherent), with a hot
+                    // bias towards the part of the model the camera sees.
+                    let r = b.rng().gen_range(100);
+                    let area = if r < 80 {
+                        b.rng().gen_range(24) // hot geometry
+                    } else {
+                        b.rng().gen_range(scene_pages)
+                    };
+                    for hop in 0..3u64 {
+                        let page_idx = (area + hop / 2) % scene_pages;
+                        let off = page_idx * page + b.rng().gen_range(page / 64) * 64;
+                        for k in 0..6u64 {
+                            b.read(n, scene.addr(off + (k % 3) * 16));
+                        }
+                        // Push the ray-tree node on the private stack
+                        // (fine-grained, hot first three pages).
+                        let depth = b.rng().gen_range(12 * 1024 / 8) * 8;
+                        b.write(n, stacks[n].addr(depth));
+                        b.read(n, stacks[n].addr(depth));
+                    }
+                    // Pop back up the ray tree and write the pixel.
+                    let pop = b.rng().gen_range(1024);
+                    b.read(n, stacks[n].addr(pop));
+                    let pixel = (n as u64 * bundles + bu) * 32 % framebuf.size;
+                    b.write(n, framebuf.addr(pixel));
+                }
+            }
+            b.barrier();
+        }
+        b.into_traces()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcoma_types::Op;
+
+    #[test]
+    fn v1_stacks_are_32k_aligned_v2_page_aligned() {
+        let cfg = MachineConfig::paper_baseline();
+        let hot_stack_pages = |w: &Raytrace| -> Vec<u64> {
+            let traces = w.generate(&cfg);
+            let mut pages = Vec::new();
+            for t in &traces {
+                // The last write before the frame barrier hits the stack or
+                // framebuffer; find stack pages via the region math instead:
+                // stack writes are the high-address private writes below the
+                // framebuffer... simpler: collect all written pages per node
+                // that no other node touches.
+                let _ = t;
+            }
+            let mut l = crate::common::layout(&cfg);
+            l.region("scene", 32 << 20, cfg.page_size).unwrap();
+            l.region("framebuffer", 1 << 20, cfg.page_size).unwrap();
+            l.region("workqueue", cfg.page_size, cfg.page_size).unwrap();
+            let stacks = l
+                .per_node_regions("raystruct", cfg.nodes, 16 << 10, w.stack_align)
+                .unwrap();
+            for s in &stacks {
+                pages.push(s.base.raw() / cfg.page_size);
+            }
+            pages
+        };
+        let v1 = hot_stack_pages(&Raytrace::paper());
+        let v2 = hot_stack_pages(&Raytrace::v2());
+        // V1: all stack base pages are 8-page aligned → home nodes stride 8.
+        let v1_homes: std::collections::HashSet<u64> =
+            v1.iter().map(|p| p % cfg.nodes).collect();
+        let v2_homes: std::collections::HashSet<u64> =
+            v2.iter().map(|p| p % cfg.nodes).collect();
+        assert!(
+            v1_homes.len() <= 4,
+            "32 KB alignment concentrates stack homes: got {v1_homes:?}"
+        );
+        assert!(
+            v2_homes.len() > v1_homes.len(),
+            "V2 spreads stack homes: {} vs {}",
+            v2_homes.len(),
+            v1_homes.len()
+        );
+    }
+
+    #[test]
+    fn queue_is_lock_protected() {
+        let cfg = MachineConfig::paper_baseline();
+        let traces = Raytrace::paper().scaled(0.02).generate(&cfg);
+        for t in &traces {
+            let locks = t.iter().filter(|op| matches!(op, Op::Lock(_))).count();
+            assert!(locks > 0);
+        }
+    }
+
+    #[test]
+    fn scene_reads_dominate_stack_writes_exist() {
+        let cfg = MachineConfig::paper_baseline();
+        let traces = Raytrace::paper().scaled(0.05).generate(&cfg);
+        let reads = traces[0].iter().filter(|op| matches!(op, Op::Read(_))).count();
+        let writes = traces[0].iter().filter(|op| matches!(op, Op::Write(_))).count();
+        assert!(reads > writes, "ray tracing is read-dominated");
+        assert!(writes > 0);
+    }
+
+    #[test]
+    fn params_distinguish_v2() {
+        assert_eq!(Raytrace::paper().params(), "car");
+        assert_eq!(Raytrace::v2().params(), "car (V2 layout)");
+    }
+}

@@ -1,0 +1,48 @@
+//! RADIX case study: sweep the TLB/DLB size and watch the sharing and
+//! prefetching effects.
+//!
+//! The paper singles RADIX out (§5.2): each pass writes a key into a large
+//! output array shared by all nodes, so a private TLB sees no working set
+//! below the array size (~512 pages), while the shared DLB at the home
+//! node is refilled *once per page machine-wide* — a 16-entry DLB beats a
+//! 512-entry per-node TLB.
+//!
+//! ```text
+//! cargo run --release --example radix_study
+//! ```
+
+use vcoma::workloads::Radix;
+use vcoma::{Scheme, Simulator, TlbOrg};
+
+fn main() {
+    let sizes: Vec<u64> = vec![8, 16, 32, 64, 128, 256, 512];
+    let workload = Radix::paper().scaled(0.1);
+
+    // One run per scheme: the first spec is the timing-affecting primary,
+    // the rest are passive shadow TLB/DLBs that observe the same stream.
+    let specs: Vec<(u64, TlbOrg)> =
+        sizes.iter().map(|&s| (s, TlbOrg::FullyAssociative)).collect();
+
+    println!("RADIX translation misses per node vs TLB/DLB size (paper Fig. 8 top-left)\n");
+    print!("{:<16}", "scheme");
+    for s in &sizes {
+        print!("{s:>10}");
+    }
+    println!();
+
+    for scheme in [Scheme::L0Tlb, Scheme::L2Tlb, Scheme::L3Tlb, Scheme::VComa] {
+        let report = Simulator::new(scheme).specs(specs.clone()).run(&workload);
+        print!("{:<16}", scheme.label());
+        for bank in 0..sizes.len() {
+            print!("{:>10.0}", report.translation_misses_per_node(bank));
+        }
+        println!();
+    }
+
+    println!(
+        "\nReading the table: the L0/L2 rows stay almost flat until the TLB reaches\n\
+         the output array's page count, then drop (no intermediate working set);\n\
+         the V-COMA row is orders of magnitude lower at *every* size because DLB\n\
+         entries are shared by all writers of a page and prefetch for each other."
+    );
+}

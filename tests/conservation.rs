@@ -1,0 +1,164 @@
+//! Conservation and accounting invariants that must hold across the whole
+//! stack, whatever the scheme or workload.
+
+use vcoma::workloads::{all_benchmarks, Workload};
+use vcoma::{Simulator, ALL_SCHEMES};
+use vcoma_types::Op;
+
+#[test]
+fn reference_counts_match_the_traces() {
+    let machine = vcoma::MachineConfig::paper_baseline();
+    for w in all_benchmarks(0.003) {
+        let traces = w.generate(&machine);
+        let trace_reads = traces
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, Op::Read(_)))
+            .count() as u64;
+        let trace_writes = traces
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, Op::Write(_)))
+            .count() as u64;
+        for scheme in ALL_SCHEMES {
+            let report = Simulator::new(scheme).run_traces(traces.clone());
+            assert_eq!(report.total_refs(), trace_reads + trace_writes, "{scheme}");
+            assert_eq!(report.total_writes(), trace_writes, "{scheme}");
+        }
+    }
+}
+
+#[test]
+fn time_accounting_is_consistent() {
+    let machine = vcoma::MachineConfig::paper_baseline();
+    for w in all_benchmarks(0.003) {
+        for scheme in ALL_SCHEMES {
+            let report = Simulator::new(scheme).run(w.as_ref());
+            for (i, n) in report.nodes().iter().enumerate() {
+                // A node's final clock equals the sum of its breakdown
+                // categories: every elapsed cycle is attributed exactly
+                // once.
+                assert_eq!(
+                    n.time,
+                    n.breakdown.total(),
+                    "{} {scheme} node {i}: clock {} != breakdown {}",
+                    w.name(),
+                    n.time,
+                    n.breakdown.total()
+                );
+                // Busy time includes at least the one issue cycle per ref.
+                assert!(n.breakdown.busy >= n.refs, "{} {scheme} node {i}", w.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn translation_misses_never_exceed_accesses() {
+    let machine = vcoma::MachineConfig::paper_baseline();
+    let _ = machine;
+    for w in all_benchmarks(0.003) {
+        for scheme in ALL_SCHEMES {
+            let report = Simulator::new(scheme).run(w.as_ref());
+            assert!(
+                report.translation_misses_total(0) <= report.translation_accesses_total(0),
+                "{} {scheme}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn protocol_hits_plus_transactions_cover_probes() {
+    // Every memory reference that reaches the AM level either hits locally
+    // or produces exactly one protocol transaction; the sum is bounded by
+    // the reference count.
+    for w in all_benchmarks(0.003) {
+        for scheme in ALL_SCHEMES {
+            let report = Simulator::new(scheme).run(w.as_ref());
+            let p = report.protocol();
+            let am_level = p.local_read_hits + p.local_write_hits + p.remote_transactions();
+            assert!(
+                am_level <= report.total_refs(),
+                "{} {scheme}: AM-level events {} exceed refs {}",
+                w.name(),
+                am_level,
+                report.total_refs()
+            );
+        }
+    }
+}
+
+#[test]
+fn over_capacity_workload_swaps_and_conserves_refs() {
+    // 400 distinct pages on the 256-page tiny machine: the page daemon
+    // must swap, and accounting must stay exact, in every scheme.
+    use vcoma::{MachineConfig, VAddr};
+    for scheme in ALL_SCHEMES {
+        let machine = MachineConfig::tiny();
+        let mut traces = vec![Vec::new(); machine.nodes as usize];
+        for (i, tr) in traces.iter_mut().enumerate() {
+            for p in 0..400u64 {
+                let page = (p * 3 + i as u64 * 17) % 400;
+                tr.push(Op::Read(VAddr::new(page * machine.page_size)));
+            }
+        }
+        let report =
+            Simulator::new(scheme).machine(machine).run_traces(traces);
+        assert_eq!(report.total_refs(), 1600, "{scheme}");
+        assert!(report.swap_outs() > 0, "{scheme}: must swap");
+        for n in report.nodes() {
+            assert_eq!(n.time, n.breakdown.total(), "{scheme}");
+        }
+    }
+}
+
+#[test]
+fn protection_changes_are_accounted_and_deterministic() {
+    use vcoma::{Protection, Scheme, VAddr};
+    let mk = || {
+        let mut traces = vec![Vec::new(); 32];
+        for (i, tr) in traces.iter_mut().enumerate() {
+            for k in 0..50u64 {
+                tr.push(Op::Read(VAddr::new((k % 8) * 4096)));
+                if i == 0 && k % 10 == 9 {
+                    let prot = if k % 20 == 9 {
+                        Protection::read_only()
+                    } else {
+                        Protection::read_write()
+                    };
+                    tr.push(Op::Protect(VAddr::new((k % 8) * 4096), prot));
+                }
+            }
+        }
+        traces
+    };
+    for scheme in [Scheme::L0Tlb, Scheme::L3Tlb, Scheme::VComa] {
+        let a = Simulator::new(scheme).seed(4).run_traces(mk());
+        let b = Simulator::new(scheme).seed(4).run_traces(mk());
+        assert_eq!(a.exec_time(), b.exec_time(), "{scheme}");
+        assert_eq!(a.total_refs(), 32 * 50, "{scheme}: protects are not refs");
+        let shootdowns: u64 =
+            a.nodes().iter().map(|n| n.translation[0].shootdowns).sum();
+        assert!(shootdowns > 0, "{scheme}: protection changes must shoot down");
+    }
+}
+
+#[test]
+fn no_spills_on_paper_workloads() {
+    // The paper's working sets fit (§5.1): the injection protocol must
+    // never be forced to spill a master copy to backing store.
+    for w in all_benchmarks(0.01) {
+        for scheme in ALL_SCHEMES {
+            let report = Simulator::new(scheme).run(w.as_ref());
+            assert_eq!(
+                report.protocol().spills,
+                0,
+                "{} {scheme}: memory pressure forced {} spills",
+                w.name(),
+                report.protocol().spills
+            );
+        }
+    }
+}

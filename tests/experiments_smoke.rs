@@ -1,0 +1,82 @@
+//! Smoke test: every experiment module produces a renderable artifact.
+
+use vcoma_experiments::{
+    ablations, fig10, fig11, fig8, fig9, table1, table2, table3, table4, ExperimentConfig,
+};
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig::smoke().with_scale(0.005)
+}
+
+#[test]
+fn table1_renders() {
+    let t = table1::render(&table1::run(&cfg()));
+    assert_eq!(t.len(), 6);
+    assert!(t.render().contains("RADIX"));
+    assert!(!t.to_csv().is_empty());
+}
+
+#[test]
+fn fig8_renders() {
+    let panels = fig8::run_schemes(&cfg(), &[vcoma::Scheme::L0Tlb, vcoma::Scheme::VComa]);
+    assert_eq!(panels.len(), 6);
+    for p in &panels {
+        let t = fig8::render(p);
+        assert_eq!(t.len(), 2);
+        assert!(t.render().contains(&p.benchmark));
+    }
+}
+
+#[test]
+fn table2_renders() {
+    let t = table2::render(&table2::run(&cfg()));
+    assert_eq!(t.len(), 6);
+    assert!(t.render().contains("V-COMA/128"));
+}
+
+#[test]
+fn table3_renders() {
+    let rows = table3::run(&cfg());
+    assert_eq!(rows.len(), 6);
+    let t = table3::render(&rows);
+    assert!(t.render().contains("L0-TLB"));
+}
+
+#[test]
+fn fig9_renders() {
+    let panels = fig9::run(&cfg());
+    assert_eq!(panels.len(), 6);
+    assert!(fig9::render(&panels[0]).render().contains("/DM"));
+}
+
+#[test]
+fn table4_renders() {
+    let t = table4::render(&table4::run(&cfg()));
+    assert!(t.render().contains("L0-TLB/8"));
+    assert!(t.render().contains("DLB/16"));
+}
+
+#[test]
+fn fig10_renders() {
+    let panels = fig10::run(&cfg());
+    assert_eq!(panels.len(), 6);
+    let ray = panels.iter().find(|p| p.benchmark == "RAYTRACE").unwrap();
+    assert!(fig10::render(ray).render().contains("DLB/8/V2"));
+}
+
+#[test]
+fn fig11_renders() {
+    let t = fig11::render(&fig11::run(&cfg()));
+    assert_eq!(t.len(), 6);
+}
+
+#[test]
+fn ablations_render() {
+    let c = cfg();
+    let mut rows = ablations::contention(&c);
+    rows.extend(ablations::coloring(&c));
+    rows.extend(ablations::injection(&c));
+    rows.extend(ablations::software_managed(&c));
+    assert_eq!(rows.len(), 24);
+    assert!(!ablations::render(&rows).render().is_empty());
+}
