@@ -1,11 +1,12 @@
 //! Ablations: injection policy, crossbar contention and page coloring
 //! (DESIGN.md §5).
 
+#[cfg(feature = "criterion-benches")]
 use criterion::{criterion_group, criterion_main, Criterion};
 use vcoma_bench::{bench_config, print_config};
 use vcoma_experiments::{ablations, ccnuma};
 
-fn bench(c: &mut Criterion) {
+fn print_artifact() {
     println!("\n=== Ablations (smoke scale) ===");
     let pc = print_config();
     let mut rows = ablations::contention(&pc);
@@ -15,6 +16,11 @@ fn bench(c: &mut Criterion) {
     println!("{}", ablations::render(&rows).render());
     println!("CC-NUMA motivation (paper §2):");
     println!("{}", ccnuma::render(&ccnuma::run(&pc)).render());
+}
+
+#[cfg(feature = "criterion-benches")]
+fn bench(c: &mut Criterion) {
+    print_artifact();
 
     let cfg = bench_config();
     let mut g = c.benchmark_group("ablations");
@@ -27,5 +33,29 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
+#[cfg(feature = "criterion-benches")]
 criterion_group!(benches, bench);
+#[cfg(feature = "criterion-benches")]
 criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    print_artifact();
+
+    let cfg = bench_config();
+    vcoma_bench::plain_bench("ablations/contention", 10, || {
+        std::hint::black_box(ablations::contention(&cfg));
+    });
+    vcoma_bench::plain_bench("ablations/coloring", 10, || {
+        std::hint::black_box(ablations::coloring(&cfg));
+    });
+    vcoma_bench::plain_bench("ablations/injection", 10, || {
+        std::hint::black_box(ablations::injection(&cfg));
+    });
+    vcoma_bench::plain_bench("ablations/software_managed", 10, || {
+        std::hint::black_box(ablations::software_managed(&cfg));
+    });
+    vcoma_bench::plain_bench("ablations/ccnuma_motivation", 10, || {
+        std::hint::black_box(ccnuma::run(&cfg));
+    });
+}

@@ -1,14 +1,20 @@
 //! Figure 10: execution-time breakdown per node.
 
+#[cfg(feature = "criterion-benches")]
 use criterion::{criterion_group, criterion_main, Criterion};
 use vcoma_bench::{bench_config, print_config};
 use vcoma_experiments::fig10;
 
-fn bench(c: &mut Criterion) {
+fn print_artifact() {
     println!("\n=== Figure 10 (smoke scale): execution-time breakdown ===");
     for panel in fig10::run(&print_config()) {
         println!("{}", fig10::render(&panel).render());
     }
+}
+
+#[cfg(feature = "criterion-benches")]
+fn bench(c: &mut Criterion) {
+    print_artifact();
 
     let cfg = bench_config();
     let mut g = c.benchmark_group("fig10");
@@ -17,5 +23,17 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
+#[cfg(feature = "criterion-benches")]
 criterion_group!(benches, bench);
+#[cfg(feature = "criterion-benches")]
 criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    print_artifact();
+
+    let cfg = bench_config();
+    vcoma_bench::plain_bench("fig10/breakdown_bars", 10, || {
+        std::hint::black_box(fig10::run(&cfg));
+    });
+}

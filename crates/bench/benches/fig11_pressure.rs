@@ -1,12 +1,18 @@
 //! Figure 11: global-page-set pressure profiles.
 
+#[cfg(feature = "criterion-benches")]
 use criterion::{criterion_group, criterion_main, Criterion};
 use vcoma_bench::{bench_config, print_config};
 use vcoma_experiments::fig11;
 
-fn bench(c: &mut Criterion) {
+fn print_artifact() {
     println!("\n=== Figure 11 (smoke scale): pressure profiles ===");
     println!("{}", fig11::render(&fig11::run(&print_config())).render());
+}
+
+#[cfg(feature = "criterion-benches")]
+fn bench(c: &mut Criterion) {
+    print_artifact();
 
     let cfg = bench_config();
     let mut g = c.benchmark_group("fig11");
@@ -15,5 +21,17 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
+#[cfg(feature = "criterion-benches")]
 criterion_group!(benches, bench);
+#[cfg(feature = "criterion-benches")]
 criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    print_artifact();
+
+    let cfg = bench_config();
+    vcoma_bench::plain_bench("fig11/pressure_profiles", 10, || {
+        std::hint::black_box(fig11::run(&cfg));
+    });
+}

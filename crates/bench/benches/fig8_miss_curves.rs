@@ -3,16 +3,22 @@
 //! Prints every benchmark's panel once, then measures regenerating a
 //! reduced two-scheme grid.
 
+#[cfg(feature = "criterion-benches")]
 use criterion::{criterion_group, criterion_main, Criterion};
 use vcoma::Scheme;
 use vcoma_bench::{bench_config, print_config};
 use vcoma_experiments::fig8;
 
-fn bench(c: &mut Criterion) {
+fn print_artifact() {
     println!("\n=== Figure 8 (smoke scale): translation misses/node vs TLB/DLB size ===");
     for panel in fig8::run(&print_config()) {
         println!("{}", fig8::render(&panel).render());
     }
+}
+
+#[cfg(feature = "criterion-benches")]
+fn bench(c: &mut Criterion) {
+    print_artifact();
 
     let cfg = bench_config();
     let mut g = c.benchmark_group("fig8");
@@ -23,5 +29,17 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
+#[cfg(feature = "criterion-benches")]
 criterion_group!(benches, bench);
+#[cfg(feature = "criterion-benches")]
 criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    print_artifact();
+
+    let cfg = bench_config();
+    vcoma_bench::plain_bench("fig8/two_scheme_grid", 10, || {
+        std::hint::black_box(fig8::run_schemes(&cfg, &[Scheme::L0Tlb, Scheme::VComa]));
+    });
+}

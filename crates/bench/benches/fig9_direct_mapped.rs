@@ -1,10 +1,11 @@
 //! Figure 9: direct-mapped vs fully-associative TLB/DLB.
 
+#[cfg(feature = "criterion-benches")]
 use criterion::{criterion_group, criterion_main, Criterion};
 use vcoma_bench::{bench_config, print_config};
 use vcoma_experiments::fig9;
 
-fn bench(c: &mut Criterion) {
+fn print_artifact() {
     println!("\n=== Figure 9 (smoke scale): direct-mapped vs fully-associative ===");
     let panels = fig9::run(&print_config());
     for panel in &panels {
@@ -19,6 +20,11 @@ fn bench(c: &mut Criterion) {
             .collect();
         println!("{}: mean DM/FA gap: {}", panel.benchmark, gaps.join(", "));
     }
+}
+
+#[cfg(feature = "criterion-benches")]
+fn bench(c: &mut Criterion) {
+    print_artifact();
 
     let cfg = bench_config();
     let mut g = c.benchmark_group("fig9");
@@ -27,5 +33,17 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
+#[cfg(feature = "criterion-benches")]
 criterion_group!(benches, bench);
+#[cfg(feature = "criterion-benches")]
 criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    print_artifact();
+
+    let cfg = bench_config();
+    vcoma_bench::plain_bench("fig9/dm_vs_fa_grid", 10, || {
+        std::hint::black_box(fig9::run(&cfg));
+    });
+}

@@ -1,13 +1,19 @@
 //! Table 1: benchmark parameters and trace-generation throughput.
 
+#[cfg(feature = "criterion-benches")]
 use criterion::{criterion_group, criterion_main, Criterion};
 use vcoma::workloads::by_name;
 use vcoma_bench::{bench_config, print_config};
 use vcoma_experiments::table1;
 
-fn bench(c: &mut Criterion) {
+fn print_artifact() {
     println!("\n=== Table 1 (smoke scale): benchmark parameters ===");
     println!("{}", table1::render(&table1::run(&print_config())).render());
+}
+
+#[cfg(feature = "criterion-benches")]
+fn bench(c: &mut Criterion) {
+    print_artifact();
 
     let cfg = bench_config();
     let mut g = c.benchmark_group("table1");
@@ -22,5 +28,23 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
+#[cfg(feature = "criterion-benches")]
 criterion_group!(benches, bench);
+#[cfg(feature = "criterion-benches")]
 criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    print_artifact();
+
+    let cfg = bench_config();
+    vcoma_bench::plain_bench("table1/summarise_traces", 10, || {
+        std::hint::black_box(table1::run(&cfg));
+    });
+    for name in ["RADIX", "FFT", "OCEAN"] {
+        let w = by_name(name, cfg.scale).expect("known benchmark");
+        vcoma_bench::plain_bench(&format!("table1/generate_{name}"), 10, || {
+            std::hint::black_box(w.generate(&cfg.machine));
+        });
+    }
+}

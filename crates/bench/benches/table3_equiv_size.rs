@@ -1,12 +1,18 @@
 //! Table 3: the TLB size equivalent to an 8-entry DLB.
 
+#[cfg(feature = "criterion-benches")]
 use criterion::{criterion_group, criterion_main, Criterion};
 use vcoma_bench::{bench_config, print_config};
 use vcoma_experiments::table3;
 
-fn bench(c: &mut Criterion) {
+fn print_artifact() {
     println!("\n=== Table 3 (smoke scale): TLB size equivalent to an 8-entry DLB ===");
     println!("{}", table3::render(&table3::run(&print_config())).render());
+}
+
+#[cfg(feature = "criterion-benches")]
+fn bench(c: &mut Criterion) {
+    print_artifact();
 
     let cfg = bench_config();
     let mut g = c.benchmark_group("table3");
@@ -15,5 +21,17 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
+#[cfg(feature = "criterion-benches")]
 criterion_group!(benches, bench);
+#[cfg(feature = "criterion-benches")]
 criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    print_artifact();
+
+    let cfg = bench_config();
+    vcoma_bench::plain_bench("table3/equivalence_search", 10, || {
+        std::hint::black_box(table3::run(&cfg));
+    });
+}

@@ -1,12 +1,18 @@
 //! Table 4: translation time / total stall time.
 
+#[cfg(feature = "criterion-benches")]
 use criterion::{criterion_group, criterion_main, Criterion};
 use vcoma_bench::{bench_config, print_config};
 use vcoma_experiments::table4;
 
-fn bench(c: &mut Criterion) {
+fn print_artifact() {
     println!("\n=== Table 4 (smoke scale): translation time / stall time (%) ===");
     println!("{}", table4::render(&table4::run(&print_config())).render());
+}
+
+#[cfg(feature = "criterion-benches")]
+fn bench(c: &mut Criterion) {
+    print_artifact();
 
     let cfg = bench_config();
     let mut g = c.benchmark_group("table4");
@@ -15,5 +21,17 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
+#[cfg(feature = "criterion-benches")]
 criterion_group!(benches, bench);
+#[cfg(feature = "criterion-benches")]
 criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    print_artifact();
+
+    let cfg = bench_config();
+    vcoma_bench::plain_bench("table4/overhead_ratios", 10, || {
+        std::hint::black_box(table4::run(&cfg));
+    });
+}

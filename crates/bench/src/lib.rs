@@ -20,6 +20,23 @@ pub fn print_config() -> ExperimentConfig {
     ExperimentConfig::smoke()
 }
 
+/// Minimal wall-clock harness used when the `criterion-benches` feature is
+/// off: one warmup run, then `samples` timed runs, printing mean/min/max
+/// milliseconds in the same spirit as the Criterion output.
+pub fn plain_bench<F: FnMut()>(label: &str, samples: u32, mut f: F) {
+    f();
+    let mut times = Vec::with_capacity(samples as usize);
+    for _ in 0..samples.max(1) {
+        let t0 = std::time::Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!("bench {label}: mean {mean:.3} ms, min {min:.3} ms, max {max:.3} ms ({} samples)", times.len());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -222,7 +222,6 @@ impl<T> SetAssocArray<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn lru_array(sets: u64, assoc: u64) -> SetAssocArray<u32> {
         SetAssocArray::new(sets, assoc, Replacement::Lru)
@@ -364,45 +363,51 @@ mod tests {
         let _ = lru_array(0, 1);
     }
 
-    proptest! {
-        #[test]
-        fn never_exceeds_capacity(ops in proptest::collection::vec((0u64..64, 0u32..100), 0..200)) {
-            let mut a = lru_array(4, 2);
-            for (b, v) in ops {
-                a.insert(b, v);
-                prop_assert!(a.len() <= a.capacity());
-                for s in 0..4u64 {
-                    prop_assert!(a.set_occupancy(s) <= 2);
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn never_exceeds_capacity(ops in proptest::collection::vec((0u64..64, 0u32..100), 0..200)) {
+                let mut a = lru_array(4, 2);
+                for (b, v) in ops {
+                    a.insert(b, v);
+                    prop_assert!(a.len() <= a.capacity());
+                    for s in 0..4u64 {
+                        prop_assert!(a.set_occupancy(s) <= 2);
+                    }
                 }
             }
-        }
 
-        #[test]
-        fn lookup_after_insert_always_hits(blocks in proptest::collection::vec(0u64..1000, 1..100)) {
-            let mut a = lru_array(16, 4);
-            for b in blocks {
-                a.insert(b, b as u32);
-                prop_assert_eq!(a.peek(b), Some(&(b as u32)));
-            }
-        }
-
-        #[test]
-        fn eviction_comes_from_same_set(blocks in proptest::collection::vec(0u64..256, 1..200)) {
-            let mut a = lru_array(8, 2);
-            for b in blocks {
-                if let Some((victim, _)) = a.insert(b, 0) {
-                    prop_assert_eq!(victim % 8, b % 8);
+            #[test]
+            fn lookup_after_insert_always_hits(blocks in proptest::collection::vec(0u64..1000, 1..100)) {
+                let mut a = lru_array(16, 4);
+                for b in blocks {
+                    a.insert(b, b as u32);
+                    prop_assert_eq!(a.peek(b), Some(&(b as u32)));
                 }
             }
-        }
 
-        #[test]
-        fn random_policy_respects_capacity(seed in 0u64..1000, blocks in proptest::collection::vec(0u64..64, 0..200)) {
-            let mut a: SetAssocArray<u32> =
-                SetAssocArray::new(2, 4, Replacement::Random(DetRng::new(seed)));
-            for b in blocks {
-                a.insert(b, 0);
-                prop_assert!(a.len() <= 8);
+            #[test]
+            fn eviction_comes_from_same_set(blocks in proptest::collection::vec(0u64..256, 1..200)) {
+                let mut a = lru_array(8, 2);
+                for b in blocks {
+                    if let Some((victim, _)) = a.insert(b, 0) {
+                        prop_assert_eq!(victim % 8, b % 8);
+                    }
+                }
+            }
+
+            #[test]
+            fn random_policy_respects_capacity(seed in 0u64..1000, blocks in proptest::collection::vec(0u64..64, 0..200)) {
+                let mut a: SetAssocArray<u32> =
+                    SetAssocArray::new(2, 4, Replacement::Random(DetRng::new(seed)));
+                for b in blocks {
+                    a.insert(b, 0);
+                    prop_assert!(a.len() <= 8);
+                }
             }
         }
     }

@@ -174,7 +174,6 @@ impl Slc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn paper_slc() -> Slc {
         Slc::new(CacheGeometry::new(64 << 10, 4, 64).unwrap())
@@ -271,31 +270,37 @@ mod tests {
         assert!(c.is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn capacity_never_exceeded(ops in proptest::collection::vec((0u64..512, prop::bool::ANY), 0..300)) {
-            let mut c = tiny_slc();
-            for (b, w) in ops {
-                let kind = if w { AccessKind::Write } else { AccessKind::Read };
-                c.access(b, kind);
-                prop_assert!(c.len() <= 2);
-            }
-        }
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn writeback_only_for_previously_written_blocks(
-            ops in proptest::collection::vec((0u64..16, prop::bool::ANY), 0..300)
-        ) {
-            let mut c = tiny_slc();
-            let mut ever_written = std::collections::HashSet::new();
-            for (b, w) in ops {
-                let kind = if w { AccessKind::Write } else { AccessKind::Read };
-                if w {
-                    ever_written.insert(b);
+        proptest! {
+            #[test]
+            fn capacity_never_exceeded(ops in proptest::collection::vec((0u64..512, prop::bool::ANY), 0..300)) {
+                let mut c = tiny_slc();
+                for (b, w) in ops {
+                    let kind = if w { AccessKind::Write } else { AccessKind::Read };
+                    c.access(b, kind);
+                    prop_assert!(c.len() <= 2);
                 }
-                let r = c.access(b, kind);
-                if let Some(wb) = r.writeback {
-                    prop_assert!(ever_written.contains(&wb.block));
+            }
+
+            #[test]
+            fn writeback_only_for_previously_written_blocks(
+                ops in proptest::collection::vec((0u64..16, prop::bool::ANY), 0..300)
+            ) {
+                let mut c = tiny_slc();
+                let mut ever_written = std::collections::HashSet::new();
+                for (b, w) in ops {
+                    let kind = if w { AccessKind::Write } else { AccessKind::Read };
+                    if w {
+                        ever_written.insert(b);
+                    }
+                    let r = c.access(b, kind);
+                    if let Some(wb) = r.writeback {
+                        prop_assert!(ever_written.contains(&wb.block));
+                    }
                 }
             }
         }

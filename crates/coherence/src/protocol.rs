@@ -573,7 +573,6 @@ impl Protocol {
 mod tests {
     use super::*;
     use crate::NullTranslation;
-    use proptest::prelude::*;
 
     fn setup() -> (MachineConfig, Protocol, Crossbar, NullTranslation) {
         let cfg = MachineConfig::tiny();
@@ -865,52 +864,58 @@ mod tests {
         assert!(p.purge(0xDEAD).is_empty());
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn invariants_hold_under_random_traffic(
-            seed in 0u64..1000,
-            ops in proptest::collection::vec((0u16..4, 0u64..64, prop::bool::ANY), 1..200),
-        ) {
-            let cfg = MachineConfig::tiny();
-            let mut p = Protocol::new(&cfg, seed);
-            let mut net = Crossbar::new(cfg.nodes, cfg.timing);
-            let mut xl = NullTranslation;
-            // Use few distinct blocks in few sets to provoke replacements.
-            let sets = cfg.am.sets();
-            for (node, b, w) in ops {
-                let block = (b % 16) * sets + (b / 16); // 16 blocks per set, 4 sets
-                let home = NodeId::new((block % cfg.nodes) as u16);
-                let node = NodeId::new(node);
-                if w {
-                    p.write(node, block, home, &mut net, &mut xl, 0);
-                } else {
-                    p.read(node, block, home, &mut net, &mut xl, 0);
-                }
-                if let Err(e) = p.check_invariants() {
-                    return Err(TestCaseError::fail(e));
-                }
-            }
-        }
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn reads_after_write_always_find_data(
-            seed in 0u64..100,
-            writer in 0u16..4,
-            readers in proptest::collection::vec(0u16..4, 1..8),
-        ) {
-            let cfg = MachineConfig::tiny();
-            let mut p = Protocol::new(&cfg, seed);
-            let mut net = Crossbar::new(cfg.nodes, cfg.timing);
-            let mut xl = NullTranslation;
-            let home = NodeId::new(3);
-            p.write(NodeId::new(writer), 42, home, &mut net, &mut xl, 0);
-            for r in readers {
-                let out = p.read(NodeId::new(r), 42, home, &mut net, &mut xl, 0);
-                prop_assert!(out.local_hit || out.latency > 0);
-                prop_assert!(p.probe(NodeId::new(r), 42, false));
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn invariants_hold_under_random_traffic(
+                seed in 0u64..1000,
+                ops in proptest::collection::vec((0u16..4, 0u64..64, prop::bool::ANY), 1..200),
+            ) {
+                let cfg = MachineConfig::tiny();
+                let mut p = Protocol::new(&cfg, seed);
+                let mut net = Crossbar::new(cfg.nodes, cfg.timing);
+                let mut xl = NullTranslation;
+                // Use few distinct blocks in few sets to provoke replacements.
+                let sets = cfg.am.sets();
+                for (node, b, w) in ops {
+                    let block = (b % 16) * sets + (b / 16); // 16 blocks per set, 4 sets
+                    let home = NodeId::new((block % cfg.nodes) as u16);
+                    let node = NodeId::new(node);
+                    if w {
+                        p.write(node, block, home, &mut net, &mut xl, 0);
+                    } else {
+                        p.read(node, block, home, &mut net, &mut xl, 0);
+                    }
+                    if let Err(e) = p.check_invariants() {
+                        return Err(TestCaseError::fail(e));
+                    }
+                }
             }
-            p.check_invariants().map_err(TestCaseError::fail)?;
+
+            #[test]
+            fn reads_after_write_always_find_data(
+                seed in 0u64..100,
+                writer in 0u16..4,
+                readers in proptest::collection::vec(0u16..4, 1..8),
+            ) {
+                let cfg = MachineConfig::tiny();
+                let mut p = Protocol::new(&cfg, seed);
+                let mut net = Crossbar::new(cfg.nodes, cfg.timing);
+                let mut xl = NullTranslation;
+                let home = NodeId::new(3);
+                p.write(NodeId::new(writer), 42, home, &mut net, &mut xl, 0);
+                for r in readers {
+                    let out = p.read(NodeId::new(r), 42, home, &mut net, &mut xl, 0);
+                    prop_assert!(out.local_hit || out.latency > 0);
+                    prop_assert!(p.probe(NodeId::new(r), 42, false));
+                }
+                p.check_invariants().map_err(TestCaseError::fail)?;
+            }
         }
     }
 }

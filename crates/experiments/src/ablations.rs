@@ -10,6 +10,7 @@
 //!   and compare AM-level behaviour).
 
 use crate::render::TextTable;
+use crate::sweep::{self, SweepPoint, SweepResult};
 use crate::ExperimentConfig;
 use vcoma::workloads::Workload;
 use vcoma::{Scheme, SimReport};
@@ -35,23 +36,51 @@ fn exec(report: &SimReport) -> u64 {
     report.exec_time()
 }
 
-/// Contention ablation: V-COMA with and without crossbar port contention.
-pub fn contention(cfg: &ExperimentConfig) -> Vec<AblationRow> {
-    cfg.benchmarks()
-        .iter()
-        .map(|w| {
-            let base = cfg.simulator(Scheme::VComa).run(w.as_ref());
-            let variant = cfg.simulator(Scheme::VComa).contention().run(w.as_ref());
+/// Runs one ablation as a sweep with one point per benchmark; `eval`
+/// produces the base/variant report pair for one workload.
+fn sweep_pairs<F>(
+    name: &str,
+    what: &'static str,
+    cfg: &ExperimentConfig,
+    eval: F,
+    metric: impl Fn(&SimReport) -> f64 + Sync,
+) -> Vec<AblationRow>
+where
+    F: Fn(&dyn Workload) -> (SimReport, SimReport) + Sync,
+{
+    let points =
+        cfg.benchmarks().into_iter().map(|w| SweepPoint::new(w.name(), w)).collect();
+    sweep::run(name, cfg.effective_jobs(), points, |w| {
+        let (base, variant) = eval(w.as_ref());
+        let cycles = base.simulated_cycles().saturating_add(variant.simulated_cycles());
+        SweepResult::new(
             AblationRow {
                 benchmark: w.name().to_string(),
-                what: "crossbar contention off/on",
+                what,
                 base_exec: exec(&base),
                 variant_exec: exec(&variant),
-                base_metric: base.mean_breakdown().remote_stall,
-                variant_metric: variant.mean_breakdown().remote_stall,
-            }
-        })
-        .collect()
+                base_metric: metric(&base),
+                variant_metric: metric(&variant),
+            },
+            cycles,
+        )
+    })
+}
+
+/// Contention ablation: V-COMA with and without crossbar port contention.
+pub fn contention(cfg: &ExperimentConfig) -> Vec<AblationRow> {
+    sweep_pairs(
+        "ablation_contention",
+        "crossbar contention off/on",
+        cfg,
+        |w| {
+            (
+                cfg.simulator(Scheme::VComa).run(w),
+                cfg.simulator(Scheme::VComa).contention().run(w),
+            )
+        },
+        |r| r.mean_breakdown().remote_stall,
+    )
 }
 
 /// Coloring ablation: the same workload under round-robin physical frames
@@ -59,22 +88,13 @@ pub fn contention(cfg: &ExperimentConfig) -> Vec<AblationRow> {
 /// (`L3-TLB`, virtual AM). The metric is protocol spills + injections —
 /// the AM conflict pressure the coloring constraint induces.
 pub fn coloring(cfg: &ExperimentConfig) -> Vec<AblationRow> {
-    cfg.benchmarks()
-        .iter()
-        .map(|w| {
-            let base = cfg.simulator(Scheme::L2Tlb).run(w.as_ref());
-            let variant = cfg.simulator(Scheme::L3Tlb).run(w.as_ref());
-            AblationRow {
-                benchmark: w.name().to_string(),
-                what: "AM indexing: physical(rr)/virtual(colored)",
-                base_exec: exec(&base),
-                variant_exec: exec(&variant),
-                base_metric: (base.protocol().injections() + base.protocol().spills) as f64,
-                variant_metric: (variant.protocol().injections() + variant.protocol().spills)
-                    as f64,
-            }
-        })
-        .collect()
+    sweep_pairs(
+        "ablation_coloring",
+        "AM indexing: physical(rr)/virtual(colored)",
+        cfg,
+        |w| (cfg.simulator(Scheme::L2Tlb).run(w), cfg.simulator(Scheme::L3Tlb).run(w)),
+        |r| (r.protocol().injections() + r.protocol().spills) as f64,
+    )
 }
 
 /// Injection-policy ablation: the paper's random forwarding (§4.2, where
@@ -83,24 +103,20 @@ pub fn coloring(cfg: &ExperimentConfig) -> Vec<AblationRow> {
 /// injection forwarding hops — the protocol traffic the policy saves.
 pub fn injection(cfg: &ExperimentConfig) -> Vec<AblationRow> {
     use vcoma::coherence::InjectionPolicy;
-    cfg.benchmarks()
-        .iter()
-        .map(|w| {
-            let base = cfg.simulator(Scheme::VComa).run(w.as_ref());
-            let variant = cfg
-                .simulator(Scheme::VComa)
-                .injection_policy(InjectionPolicy::HomeDisplace)
-                .run(w.as_ref());
-            AblationRow {
-                benchmark: w.name().to_string(),
-                what: "injection: random-forward vs home-displace",
-                base_exec: exec(&base),
-                variant_exec: exec(&variant),
-                base_metric: base.protocol().injection_hops as f64,
-                variant_metric: variant.protocol().injection_hops as f64,
-            }
-        })
-        .collect()
+    sweep_pairs(
+        "ablation_injection",
+        "injection: random-forward vs home-displace",
+        cfg,
+        |w| {
+            (
+                cfg.simulator(Scheme::VComa).run(w),
+                cfg.simulator(Scheme::VComa)
+                    .injection_policy(InjectionPolicy::HomeDisplace)
+                    .run(w),
+            )
+        },
+        |r| r.protocol().injection_hops as f64,
+    )
 }
 
 /// Software-managed address translation (Jacob & Mudge, cited in §3.3 as a
@@ -108,21 +124,18 @@ pub fn injection(cfg: &ExperimentConfig) -> Vec<AblationRow> {
 /// 8-entry L2 TLB against the 0-entry variant. The metric is translation
 /// cycles per node.
 pub fn software_managed(cfg: &ExperimentConfig) -> Vec<AblationRow> {
-    cfg.benchmarks()
-        .iter()
-        .map(|w| {
-            let base = cfg.simulator(Scheme::L2TlbNoWb).entries(8).run(w.as_ref());
-            let variant = cfg.simulator(Scheme::L2TlbNoWb).entries(0).run(w.as_ref());
-            AblationRow {
-                benchmark: w.name().to_string(),
-                what: "L2 TLB: 8-entry vs software-managed (0-entry)",
-                base_exec: exec(&base),
-                variant_exec: exec(&variant),
-                base_metric: base.mean_breakdown().translation,
-                variant_metric: variant.mean_breakdown().translation,
-            }
-        })
-        .collect()
+    sweep_pairs(
+        "ablation_software_managed",
+        "L2 TLB: 8-entry vs software-managed (0-entry)",
+        cfg,
+        |w| {
+            (
+                cfg.simulator(Scheme::L2TlbNoWb).entries(8).run(w),
+                cfg.simulator(Scheme::L2TlbNoWb).entries(0).run(w),
+            )
+        },
+        |r| r.mean_breakdown().translation,
+    )
 }
 
 /// Renders ablation rows.

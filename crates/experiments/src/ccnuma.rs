@@ -7,6 +7,7 @@
 //! address, "capacity misses are remote most of the time".
 
 use crate::render::TextTable;
+use crate::sweep::{self, SweepPoint, SweepResult};
 use crate::ExperimentConfig;
 use vcoma::sim::ccnuma::{NumaMachine, NumaScheme};
 use vcoma::{Op, Scheme, SimConfig, VAddr};
@@ -47,25 +48,30 @@ pub fn private_traces(cfg: &ExperimentConfig, bytes_per_node: u64, passes: u64) 
     traces
 }
 
-/// Runs the experiment.
+/// Runs the experiment (one sweep point per CC-NUMA scheme; all four
+/// share the same generated traces).
 pub fn run(cfg: &ExperimentConfig) -> Vec<CcNumaRow> {
     let bytes = (cfg.machine.slc.size_bytes * 4).max(64 << 10);
     let traces = private_traces(cfg, bytes, 2);
     let sim_cfg = SimConfig::new(cfg.machine.clone(), Scheme::L0Tlb)
         .with_translation_specs(vec![(32, vcoma::TlbOrg::FullyAssociative)])
         .with_seed(cfg.seed);
-    NUMA_SCHEMES
-        .iter()
-        .map(|&scheme| {
-            let report = NumaMachine::new(sim_cfg.clone(), scheme).run(traces.clone());
+    let points =
+        NUMA_SCHEMES.iter().map(|&s| SweepPoint::new(s.label(), s)).collect();
+    let traces = &traces;
+    let sim_cfg = &sim_cfg;
+    sweep::run("ccnuma", cfg.effective_jobs(), points, |&scheme| {
+        let report = NumaMachine::new(sim_cfg.clone(), scheme).run(traces.clone());
+        SweepResult::new(
             CcNumaRow {
                 scheme,
                 exec_time: report.exec_time,
                 translation_misses: report.translation_misses,
                 remote_fraction: report.remote_fraction(),
-            }
-        })
-        .collect()
+            },
+            report.exec_time,
+        )
+    })
 }
 
 /// Renders the rows.

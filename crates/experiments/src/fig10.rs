@@ -10,6 +10,7 @@
 //!   for RAYTRACE, where the paper reports the sync-time recovery.
 
 use crate::render::TextTable;
+use crate::sweep::{self, SweepPoint, SweepResult};
 use crate::ExperimentConfig;
 use vcoma::workloads::{Raytrace, Workload};
 use vcoma::{Scheme, SimReport, TlbOrg};
@@ -60,27 +61,44 @@ pub struct Fig10Panel {
     pub bars: Vec<Bar>,
 }
 
-/// Runs the Figure-10 experiment (warm machines, steady-state windows).
+/// Runs the Figure-10 experiment (warm machines, steady-state windows):
+/// one sweep point per bar, merged back into per-benchmark panels.
 pub fn run(cfg: &ExperimentConfig) -> Vec<Fig10Panel> {
-    let mut panels = Vec::new();
-    for w in cfg.benchmarks() {
-        let mut bars = Vec::new();
-        let fa = vec![(8u64, TlbOrg::FullyAssociative)];
-        let dm = vec![(8u64, TlbOrg::DirectMapped)];
-        let run = |scheme: Scheme, specs: &[(u64, TlbOrg)], wl: &dyn Workload| {
-            cfg.simulator(scheme).specs(specs.to_vec()).warmup().run(wl)
-        };
-        bars.push(Bar::from_report("TLB/8", &run(Scheme::L0Tlb, &fa, w.as_ref())));
-        bars.push(Bar::from_report("TLB/8/DM", &run(Scheme::L0Tlb, &dm, w.as_ref())));
-        bars.push(Bar::from_report("DLB/8", &run(Scheme::VComa, &fa, w.as_ref())));
-        bars.push(Bar::from_report("DLB/8/DM", &run(Scheme::VComa, &dm, w.as_ref())));
+    let benchmarks = cfg.benchmarks();
+    let v2 = Raytrace::v2().scaled(cfg.scale);
+    let fa = [(8u64, TlbOrg::FullyAssociative)];
+    let dm = [(8u64, TlbOrg::DirectMapped)];
+    type BarSpec<'a> = (&'static str, Scheme, &'a [(u64, TlbOrg)], &'a dyn Workload);
+    let mut points: Vec<SweepPoint<BarSpec>> = Vec::new();
+    let mut bars_per_panel = Vec::new();
+    for w in &benchmarks {
+        let mut bars: Vec<BarSpec> = vec![
+            ("TLB/8", Scheme::L0Tlb, &fa, w.as_ref()),
+            ("TLB/8/DM", Scheme::L0Tlb, &dm, w.as_ref()),
+            ("DLB/8", Scheme::VComa, &fa, w.as_ref()),
+            ("DLB/8/DM", Scheme::VComa, &dm, w.as_ref()),
+        ];
         if w.name() == "RAYTRACE" {
-            let v2 = Raytrace::v2().scaled(cfg.scale);
-            bars.push(Bar::from_report("DLB/8/V2", &run(Scheme::VComa, &fa, &v2)));
+            bars.push(("DLB/8/V2", Scheme::VComa, &fa, &v2));
         }
-        panels.push(Fig10Panel { benchmark: w.name().to_string(), bars });
+        bars_per_panel.push(bars.len());
+        for bar in bars {
+            points.push(SweepPoint::new(format!("{}/{}", w.name(), bar.0), bar));
+        }
     }
-    panels
+    let bars = sweep::run("fig10", cfg.effective_jobs(), points, |&(label, scheme, specs, wl)| {
+        let report = cfg.simulator(scheme).specs(specs.to_vec()).warmup().run(wl);
+        SweepResult::new(Bar::from_report(label, &report), report.simulated_cycles())
+    });
+    let mut bars = bars.into_iter();
+    benchmarks
+        .iter()
+        .zip(bars_per_panel)
+        .map(|(w, count)| Fig10Panel {
+            benchmark: w.name().to_string(),
+            bars: bars.by_ref().take(count).collect(),
+        })
+        .collect()
 }
 
 /// Renders one panel.

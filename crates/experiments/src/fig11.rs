@@ -2,6 +2,7 @@
 //! V-COMA.
 
 use crate::render::TextTable;
+use crate::sweep::{self, SweepPoint, SweepResult};
 use crate::ExperimentConfig;
 use vcoma::Scheme;
 
@@ -20,22 +21,24 @@ pub struct Fig11Row {
     pub cv: f64,
 }
 
-/// Runs the Figure-11 experiment.
+/// Runs the Figure-11 experiment (one sweep point per benchmark).
 pub fn run(cfg: &ExperimentConfig) -> Vec<Fig11Row> {
-    cfg.benchmarks()
-        .iter()
-        .map(|w| {
-            let report = cfg.simulator(Scheme::VComa).run(w.as_ref());
-            let p = report.pressure();
+    let points =
+        cfg.benchmarks().into_iter().map(|w| SweepPoint::new(w.name(), w)).collect();
+    sweep::run("fig11", cfg.effective_jobs(), points, |w| {
+        let report = cfg.simulator(Scheme::VComa).run(w.as_ref());
+        let p = report.pressure();
+        SweepResult::new(
             Fig11Row {
                 benchmark: w.name().to_string(),
                 profile: p.as_slice().to_vec(),
                 mean: p.mean(),
                 max: p.max(),
                 cv: p.coefficient_of_variation(),
-            }
-        })
-        .collect()
+            },
+            report.simulated_cycles(),
+        )
+    })
 }
 
 /// Renders the summary statistics table (the full profile is available on

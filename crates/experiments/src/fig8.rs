@@ -5,7 +5,9 @@
 //! shadow TLB/DLB bank, so the 6×6 grid needs 36 runs.
 
 use crate::render::TextTable;
+use crate::sweep::{self, SweepPoint, SweepResult};
 use crate::{ExperimentConfig, SIZE_AXIS};
+use vcoma::workloads::Workload;
 use vcoma::{Scheme, TlbOrg, ALL_SCHEMES};
 
 /// One scheme's miss curve for one benchmark.
@@ -31,30 +33,48 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Fig8Panel> {
     run_schemes(cfg, &ALL_SCHEMES)
 }
 
-/// Runs the Figure-8 sweep for a subset of schemes.
+/// Runs the Figure-8 sweep for a subset of schemes: one sweep point per
+/// (benchmark, scheme), the whole size axis riding in one shadow bank.
 pub fn run_schemes(cfg: &ExperimentConfig, schemes: &[Scheme]) -> Vec<Fig8Panel> {
+    let benchmarks = cfg.benchmarks();
+    if schemes.is_empty() {
+        return benchmarks
+            .iter()
+            .map(|w| Fig8Panel { benchmark: w.name().to_string(), curves: Vec::new() })
+            .collect();
+    }
     let specs: Vec<(u64, TlbOrg)> =
         SIZE_AXIS.iter().map(|&s| (s, TlbOrg::FullyAssociative)).collect();
-    cfg.benchmarks()
+    let points: Vec<SweepPoint<(&dyn Workload, Scheme)>> = benchmarks
         .iter()
-        .map(|w| Fig8Panel {
-            benchmark: w.name().to_string(),
-            curves: schemes
-                .iter()
-                .map(|&scheme| {
-                    let report =
-                        cfg.simulator(scheme).specs(specs.clone()).run(w.as_ref());
-                    Curve {
-                        scheme,
-                        points: SIZE_AXIS
-                            .iter()
-                            .enumerate()
-                            .map(|(i, &s)| (s, report.translation_misses_per_node(i)))
-                            .collect(),
-                    }
-                })
-                .collect(),
+        .flat_map(|w| {
+            schemes.iter().map(move |&scheme| {
+                SweepPoint::new(
+                    format!("{}/{}", w.name(), scheme.label()),
+                    (w.as_ref(), scheme),
+                )
+            })
         })
+        .collect();
+    let specs = &specs;
+    let curves = sweep::run("fig8", cfg.effective_jobs(), points, |&(w, scheme)| {
+        let report = cfg.simulator(scheme).specs(specs.clone()).run(w);
+        SweepResult::new(
+            Curve {
+                scheme,
+                points: SIZE_AXIS
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| (s, report.translation_misses_per_node(i)))
+                    .collect(),
+            },
+            report.simulated_cycles(),
+        )
+    });
+    benchmarks
+        .iter()
+        .zip(curves.chunks(schemes.len()))
+        .map(|(w, cs)| Fig8Panel { benchmark: w.name().to_string(), curves: cs.to_vec() })
         .collect()
 }
 

@@ -6,7 +6,9 @@
 //! the stream the structure must capture.
 
 use crate::render::TextTable;
+use crate::sweep::{self, SweepPoint, SweepResult};
 use crate::{ExperimentConfig, SIZE_AXIS};
+use vcoma::workloads::Workload;
 use vcoma::{Scheme, TlbOrg};
 
 /// The schemes Figure 9 plots.
@@ -31,38 +33,51 @@ pub struct Fig9Panel {
     pub curves: Vec<DmFaCurves>,
 }
 
-/// Runs the Figure-9 grid (FA and DM ride in one shadow bank per run).
+/// Runs the Figure-9 grid (FA and DM ride in one shadow bank per run; one
+/// sweep point per (benchmark, scheme)).
 pub fn run(cfg: &ExperimentConfig) -> Vec<Fig9Panel> {
     let mut specs: Vec<(u64, TlbOrg)> = Vec::new();
     for &s in &SIZE_AXIS {
         specs.push((s, TlbOrg::FullyAssociative));
         specs.push((s, TlbOrg::DirectMapped));
     }
-    cfg.benchmarks()
+    let benchmarks = cfg.benchmarks();
+    let points: Vec<SweepPoint<(&dyn Workload, Scheme)>> = benchmarks
         .iter()
-        .map(|w| Fig9Panel {
-            benchmark: w.name().to_string(),
-            curves: FIG9_SCHEMES
-                .iter()
-                .map(|&scheme| {
-                    let report = cfg.simulator(scheme).specs(specs.clone()).run(w.as_ref());
-                    DmFaCurves {
-                        scheme,
-                        points: SIZE_AXIS
-                            .iter()
-                            .enumerate()
-                            .map(|(i, &s)| {
-                                (
-                                    s,
-                                    report.translation_misses_per_node(2 * i),
-                                    report.translation_misses_per_node(2 * i + 1),
-                                )
-                            })
-                            .collect(),
-                    }
-                })
-                .collect(),
+        .flat_map(|w| {
+            FIG9_SCHEMES.iter().map(move |&scheme| {
+                SweepPoint::new(
+                    format!("{}/{}", w.name(), scheme.label()),
+                    (w.as_ref(), scheme),
+                )
+            })
         })
+        .collect();
+    let specs = &specs;
+    let curves = sweep::run("fig9", cfg.effective_jobs(), points, |&(w, scheme)| {
+        let report = cfg.simulator(scheme).specs(specs.clone()).run(w);
+        SweepResult::new(
+            DmFaCurves {
+                scheme,
+                points: SIZE_AXIS
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| {
+                        (
+                            s,
+                            report.translation_misses_per_node(2 * i),
+                            report.translation_misses_per_node(2 * i + 1),
+                        )
+                    })
+                    .collect(),
+            },
+            report.simulated_cycles(),
+        )
+    });
+    benchmarks
+        .iter()
+        .zip(curves.chunks(FIG9_SCHEMES.len()))
+        .map(|(w, cs)| Fig9Panel { benchmark: w.name().to_string(), curves: cs.to_vec() })
         .collect()
 }
 

@@ -30,6 +30,7 @@ pub mod fig11;
 pub mod fig8;
 pub mod fig9;
 pub mod render;
+pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -49,25 +50,54 @@ pub struct ExperimentConfig {
     pub scale: f64,
     /// Master seed for all runs.
     pub seed: u64,
+    /// Worker threads for sweep evaluation; `0` means one per available
+    /// core. The sweep output is byte-identical for any value.
+    pub jobs: usize,
 }
 
 impl ExperimentConfig {
     /// The default setup: paper machine, 10 % workload scale.
     pub fn new() -> Self {
-        ExperimentConfig { machine: MachineConfig::paper_baseline(), scale: 0.1, seed: 0x5EED }
+        ExperimentConfig {
+            machine: MachineConfig::paper_baseline(),
+            scale: 0.1,
+            seed: 0x5EED,
+            jobs: 0,
+        }
     }
 
     /// A very small setup for smoke tests and benches: the paper machine
     /// at ~1 % scale. (The node count stays at 32: the benchmarks'
     /// footprints need the full machine's memory, as in the paper.)
     pub fn smoke() -> Self {
-        ExperimentConfig { machine: MachineConfig::paper_baseline(), scale: 0.01, seed: 0x5EED }
+        ExperimentConfig {
+            machine: MachineConfig::paper_baseline(),
+            scale: 0.01,
+            seed: 0x5EED,
+            jobs: 0,
+        }
     }
 
     /// Sets the workload scale.
     pub fn with_scale(mut self, scale: f64) -> Self {
         self.scale = scale;
         self
+    }
+
+    /// Sets the sweep worker count (`0` = one per available core).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The worker count sweeps actually use: `jobs`, or the machine's
+    /// available parallelism when `jobs` is `0`.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
     }
 
     /// The paper's six benchmarks at this configuration's scale.
@@ -106,6 +136,13 @@ mod tests {
         let c = ExperimentConfig::smoke();
         assert_eq!(c.machine.nodes, 32);
         assert!(c.scale < 0.1);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_auto() {
+        let c = ExperimentConfig::smoke();
+        assert!(c.effective_jobs() >= 1);
+        assert_eq!(c.with_jobs(3).effective_jobs(), 3);
     }
 
     #[test]

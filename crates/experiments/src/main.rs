@@ -7,12 +7,12 @@
 
 use std::path::PathBuf;
 use vcoma_experiments::{
-    ablations, ccnuma, fig10, fig11, fig8, fig9, table1, table2, table3, table4,
+    ablations, ccnuma, fig10, fig11, fig8, fig9, sweep, table1, table2, table3, table4,
     ExperimentConfig,
 };
 
 const USAGE: &str = "\
-usage: vcoma-experiments [ARTIFACT...] [--scale F] [--nodes N] [--out DIR]
+usage: vcoma-experiments [ARTIFACT...] [--scale F] [--nodes N] [--jobs N] [--out DIR]
 
 artifacts: table1 fig8 table2 table3 fig9 table4 fig10 fig11 ablations ccnuma all
            (default: all)
@@ -20,13 +20,19 @@ artifacts: table1 fig8 table2 table3 fig9 table4 fig10 fig11 ablations ccnuma al
 options:
   --scale F   fraction of each benchmark's iterations to replay (default 0.1)
   --nodes N   node count (default 32, the paper's machine)
+  --jobs N    sweep worker threads (default: one per available core);
+              tables and CSVs are byte-identical for any value
   --out DIR   also write each artifact as CSV into DIR
+
+Sweep throughput is printed per artifact and summarised in
+BENCH_sweep.json (written to the current directory, never to --out).
 ";
 
 fn main() {
     let mut artifacts: Vec<String> = Vec::new();
     let mut scale = 0.1f64;
     let mut nodes = 32u64;
+    let mut jobs = 0usize;
     let mut out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -34,6 +40,7 @@ fn main() {
         match a.as_str() {
             "--scale" => scale = args.next().expect("--scale needs a value").parse().expect("scale"),
             "--nodes" => nodes = args.next().expect("--nodes needs a value").parse().expect("nodes"),
+            "--jobs" => jobs = args.next().expect("--jobs needs a value").parse().expect("jobs"),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a value"))),
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -54,10 +61,13 @@ fn main() {
     }
 
     let machine = vcoma::MachineConfig::builder().nodes(nodes).build().expect("valid machine");
-    let cfg = ExperimentConfig { machine, ..ExperimentConfig::new() }.with_scale(scale);
+    let cfg = ExperimentConfig { machine, ..ExperimentConfig::new() }
+        .with_scale(scale)
+        .with_jobs(jobs);
     println!(
-        "machine: {} nodes, scale {scale} (paper geometry, paper timing)\n",
-        cfg.machine.nodes
+        "machine: {} nodes, scale {scale}, {} sweep workers (paper geometry, paper timing)\n",
+        cfg.machine.nodes,
+        cfg.effective_jobs()
     );
     if let Some(dir) = &out {
         std::fs::create_dir_all(dir).expect("create output directory");
@@ -155,5 +165,22 @@ fn main() {
             }
         }
         println!("[{a} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+
+    // Sweep throughput summary. BENCH_sweep.json goes to the working
+    // directory, not --out: the --out CSVs stay byte-identical across
+    // worker counts, while wall-clock figures never are.
+    let stats = sweep::take_stats();
+    if !stats.is_empty() {
+        let json = sweep::bench_json(&stats, cfg.effective_jobs());
+        std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+        let total_wall: f64 = stats.iter().map(|s| s.wall_seconds).sum();
+        let total_cycles: u64 = stats.iter().map(|s| s.simulated_cycles).sum();
+        println!(
+            "sweeps: {} points in {:.1}s wall ({:.3e} simulated cycles/s) -> BENCH_sweep.json",
+            stats.iter().map(|s| s.points).sum::<usize>(),
+            total_wall,
+            if total_wall > 0.0 { total_cycles as f64 / total_wall } else { 0.0 }
+        );
     }
 }

@@ -1,6 +1,7 @@
 //! Table 1 — benchmark parameters.
 
 use crate::render::TextTable;
+use crate::sweep::{self, SweepPoint, SweepResult};
 use crate::ExperimentConfig;
 use vcoma::workloads::TraceAnalysis;
 
@@ -27,13 +28,15 @@ pub struct Table1Row {
     pub mean_sharing: f64,
 }
 
-/// Generates each benchmark's traces and summarises them.
+/// Generates each benchmark's traces and summarises them (one sweep point
+/// per benchmark; no simulation, so the sweep reports zero cycles).
 pub fn run(cfg: &ExperimentConfig) -> Vec<Table1Row> {
-    cfg.benchmarks()
-        .iter()
-        .map(|w| {
-            let traces = w.generate(&cfg.machine);
-            let a = TraceAnalysis::of(&traces, &cfg.machine);
+    let points =
+        cfg.benchmarks().into_iter().map(|w| SweepPoint::new(w.name(), w)).collect();
+    sweep::run("table1", cfg.effective_jobs(), points, |w| {
+        let traces = w.generate(&cfg.machine);
+        let a = TraceAnalysis::of(&traces, &cfg.machine);
+        SweepResult::new(
             Table1Row {
                 name: w.name(),
                 params: w.params(),
@@ -44,9 +47,10 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Table1Row> {
                 write_fraction: a.write_fraction(),
                 shared_pages: a.shared_pages(),
                 mean_sharing: a.mean_sharing_degree(),
-            }
-        })
-        .collect()
+            },
+            0,
+        )
+    })
 }
 
 /// Renders the rows as a paper-style table.

@@ -3,7 +3,9 @@
 //! `L2` with writebacks, `L3`, V-COMA).
 
 use crate::render::{pct, TextTable};
+use crate::sweep::{self, SweepPoint, SweepResult};
 use crate::ExperimentConfig;
+use vcoma::workloads::Workload;
 use vcoma::{Scheme, TlbOrg};
 
 /// The sizes Table 2 tabulates.
@@ -27,21 +29,35 @@ pub struct Table2Row {
 pub fn run(cfg: &ExperimentConfig) -> Vec<Table2Row> {
     let specs: Vec<(u64, TlbOrg)> =
         TABLE2_SIZES.iter().map(|&s| (s, TlbOrg::FullyAssociative)).collect();
-    cfg.benchmarks()
+    let benchmarks = cfg.benchmarks();
+    let points: Vec<SweepPoint<(&dyn Workload, Scheme)>> = benchmarks
         .iter()
-        .map(|w| {
-            let mut by_scheme = Vec::new();
-            for &scheme in &TABLE2_SCHEMES {
-                let report = cfg.simulator(scheme).specs(specs.clone()).run(w.as_ref());
-                by_scheme.push(
-                    (0..TABLE2_SIZES.len())
-                        .map(|i| report.translation_miss_rate(i))
-                        .collect::<Vec<f64>>(),
-                );
-            }
+        .flat_map(|w| {
+            TABLE2_SCHEMES.iter().map(move |&scheme| {
+                SweepPoint::new(
+                    format!("{}/{}", w.name(), scheme.label()),
+                    (w.as_ref(), scheme),
+                )
+            })
+        })
+        .collect();
+    let specs = &specs;
+    let by_scheme = sweep::run("table2", cfg.effective_jobs(), points, |&(w, scheme)| {
+        let report = cfg.simulator(scheme).specs(specs.clone()).run(w);
+        SweepResult::new(
+            (0..TABLE2_SIZES.len())
+                .map(|i| report.translation_miss_rate(i))
+                .collect::<Vec<f64>>(),
+            report.simulated_cycles(),
+        )
+    });
+    benchmarks
+        .iter()
+        .zip(by_scheme.chunks(TABLE2_SCHEMES.len()))
+        .map(|(w, rates_by_scheme)| {
             // Transpose to [size][scheme].
             let rates = (0..TABLE2_SIZES.len())
-                .map(|si| by_scheme.iter().map(|v| v[si]).collect())
+                .map(|si| rates_by_scheme.iter().map(|v| v[si]).collect())
                 .collect();
             Table2Row { benchmark: w.name().to_string(), rates }
         })

@@ -6,7 +6,9 @@
 //! grid sizes that bracket the V-COMA target.
 
 use crate::render::TextTable;
+use crate::sweep::{self, SweepPoint, SweepResult};
 use crate::ExperimentConfig;
+use vcoma::workloads::Workload;
 use vcoma::{Scheme, TlbOrg};
 
 /// The dense size grid used for interpolation.
@@ -28,25 +30,60 @@ pub struct Table3Row {
     pub equivalent: Vec<Option<f64>>,
 }
 
-/// Runs the Table-3 experiment.
+/// One Table-3 sweep point's outcome: either the 8-entry DLB target run
+/// or one scheme's dense miss curve.
+enum Probe {
+    Target(u64),
+    Curve(Vec<(u64, u64)>),
+}
+
+/// Runs the Table-3 experiment: per benchmark, one sweep point for the
+/// V-COMA target run plus one per tabulated scheme.
 pub fn run(cfg: &ExperimentConfig) -> Vec<Table3Row> {
     let specs: Vec<(u64, TlbOrg)> =
         GRID.iter().map(|&s| (s, TlbOrg::FullyAssociative)).collect();
-    cfg.benchmarks()
+    let benchmarks = cfg.benchmarks();
+    let mut points: Vec<SweepPoint<(&dyn Workload, Option<Scheme>)>> = Vec::new();
+    for w in &benchmarks {
+        points.push(SweepPoint::new(format!("{}/DLB-8", w.name()), (w.as_ref(), None)));
+        for &scheme in &TABLE3_SCHEMES {
+            points.push(SweepPoint::new(
+                format!("{}/{}", w.name(), scheme.label()),
+                (w.as_ref(), Some(scheme)),
+            ));
+        }
+    }
+    let specs = &specs;
+    let probes = sweep::run("table3", cfg.effective_jobs(), points, |&(w, scheme)| {
+        match scheme {
+            None => {
+                let vc = cfg.simulator(Scheme::VComa).entries(8).run(w);
+                SweepResult::new(Probe::Target(vc.translation_misses_total(0)), vc.simulated_cycles())
+            }
+            Some(scheme) => {
+                let report = cfg.simulator(scheme).specs(specs.clone()).run(w);
+                let curve = GRID
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| (s, report.translation_misses_total(i)))
+                    .collect();
+                SweepResult::new(Probe::Curve(curve), report.simulated_cycles())
+            }
+        }
+    });
+    benchmarks
         .iter()
-        .map(|w| {
-            let vc = cfg.simulator(Scheme::VComa).entries(8).run(w.as_ref());
-            let target = vc.translation_misses_total(0);
-            let equivalent = TABLE3_SCHEMES
+        .zip(probes.chunks(1 + TABLE3_SCHEMES.len()))
+        .map(|(w, chunk)| {
+            let target = match &chunk[0] {
+                Probe::Target(t) => *t,
+                Probe::Curve(_) => unreachable!("target probe leads each chunk"),
+            };
+            let equivalent = chunk[1..]
                 .iter()
-                .map(|&scheme| {
-                    let report = cfg.simulator(scheme).specs(specs.clone()).run(w.as_ref());
-                    let curve: Vec<(u64, u64)> = GRID
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &s)| (s, report.translation_misses_total(i)))
-                        .collect();
-                    equivalent_size(&curve, target)
+                .map(|p| match p {
+                    Probe::Curve(curve) => equivalent_size(curve, target),
+                    Probe::Target(_) => unreachable!("curve probes follow the target"),
                 })
                 .collect();
             Table3Row { benchmark: w.name().to_string(), dlb8_misses: target, equivalent }

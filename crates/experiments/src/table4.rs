@@ -5,7 +5,9 @@
 //! in the paper's preloaded measurement window.
 
 use crate::render::TextTable;
+use crate::sweep::{self, SweepPoint, SweepResult};
 use crate::ExperimentConfig;
+use vcoma::workloads::Workload;
 use vcoma::Scheme;
 
 /// The sizes Table 4 tabulates.
@@ -22,21 +24,35 @@ pub struct Table4Col {
     pub dlb: Vec<f64>,
 }
 
-/// Runs the Table-4 experiment.
+/// Runs the Table-4 experiment: one sweep point per
+/// (benchmark, scheme, size), merged back into per-benchmark columns.
 pub fn run(cfg: &ExperimentConfig) -> Vec<Table4Col> {
-    cfg.benchmarks()
-        .iter()
-        .map(|w| {
-            let ratio = |scheme: Scheme, entries: u64| {
-                let report =
-                    cfg.simulator(scheme).entries(entries).warmup().run(w.as_ref());
-                report.aggregate_breakdown().translation_over_stall()
-            };
-            Table4Col {
-                benchmark: w.name().to_string(),
-                l0: TABLE4_SIZES.iter().map(|&s| ratio(Scheme::L0Tlb, s)).collect(),
-                dlb: TABLE4_SIZES.iter().map(|&s| ratio(Scheme::VComa, s)).collect(),
+    let benchmarks = cfg.benchmarks();
+    let mut points: Vec<SweepPoint<(&dyn Workload, Scheme, u64)>> = Vec::new();
+    for w in &benchmarks {
+        for scheme in [Scheme::L0Tlb, Scheme::VComa] {
+            for &size in &TABLE4_SIZES {
+                points.push(SweepPoint::new(
+                    format!("{}/{}/{}", w.name(), scheme.label(), size),
+                    (w.as_ref(), scheme, size),
+                ));
             }
+        }
+    }
+    let ratios = sweep::run("table4", cfg.effective_jobs(), points, |&(w, scheme, entries)| {
+        let report = cfg.simulator(scheme).entries(entries).warmup().run(w);
+        SweepResult::new(
+            report.aggregate_breakdown().translation_over_stall(),
+            report.simulated_cycles(),
+        )
+    });
+    benchmarks
+        .iter()
+        .zip(ratios.chunks(2 * TABLE4_SIZES.len()))
+        .map(|(w, chunk)| Table4Col {
+            benchmark: w.name().to_string(),
+            l0: chunk[..TABLE4_SIZES.len()].to_vec(),
+            dlb: chunk[TABLE4_SIZES.len()..].to_vec(),
         })
         .collect()
 }

@@ -96,6 +96,12 @@ impl SimReport {
         self.nodes.iter().map(|n| n.time).max().unwrap_or(0)
     }
 
+    /// Total simulated cycles across all nodes — the work metric behind
+    /// the sweep harness's cycles-per-second throughput figure.
+    pub fn simulated_cycles(&self) -> u64 {
+        self.nodes.iter().map(|n| n.time).sum()
+    }
+
     /// Total processor references across all nodes.
     pub fn total_refs(&self) -> u64 {
         self.nodes.iter().map(|n| n.refs).sum()
@@ -215,6 +221,14 @@ mod tests {
     }
 
     #[test]
+    fn reports_cross_thread_boundaries() {
+        // The sweep harness moves reports out of worker threads; keep
+        // `SimReport` `Send` (a compile-time property, asserted here).
+        fn assert_send<T: Send>() {}
+        assert_send::<SimReport>();
+    }
+
+    #[test]
     fn empty_report_is_all_zero() {
         let r = empty_report();
         assert_eq!(r.exec_time(), 0);
@@ -248,6 +262,7 @@ mod tests {
             0,
         );
         assert_eq!(r.exec_time(), 200);
+        assert_eq!(r.simulated_cycles(), 300);
         assert_eq!(r.total_refs(), 100);
         assert_eq!(r.translation_misses_total(0), 20);
         assert_eq!(r.translation_misses_per_node(0), 10.0);

@@ -190,7 +190,6 @@ impl Tlb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn cold_miss_then_hit() {
@@ -308,36 +307,42 @@ mod tests {
         assert_eq!(TlbOrg::DirectMapped.to_string(), "DM");
     }
 
-    proptest! {
-        #[test]
-        fn len_never_exceeds_entries(
-            entries in 1u64..32,
-            pages in proptest::collection::vec(0u64..1000, 0..200),
-            dm in prop::bool::ANY,
-        ) {
-            let org = if dm { TlbOrg::DirectMapped } else { TlbOrg::FullyAssociative };
-            let mut t = Tlb::new(entries, org, 1);
-            for p in pages {
-                t.translate(VPage::new(p));
-                prop_assert!(t.len() as u64 <= entries);
-            }
-        }
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn translate_twice_in_a_row_hits(page in 0u64..1000) {
-            let mut t = Tlb::new(8, TlbOrg::DirectMapped, 0);
-            t.translate(VPage::new(page));
-            prop_assert!(t.translate(VPage::new(page)));
-        }
-
-        #[test]
-        fn misses_bounded_by_accesses(pages in proptest::collection::vec(0u64..100, 0..200)) {
-            let mut t = Tlb::new(4, TlbOrg::FullyAssociative, 3);
-            for p in pages {
-                t.translate(VPage::new(p));
+        proptest! {
+            #[test]
+            fn len_never_exceeds_entries(
+                entries in 1u64..32,
+                pages in proptest::collection::vec(0u64..1000, 0..200),
+                dm in prop::bool::ANY,
+            ) {
+                let org = if dm { TlbOrg::DirectMapped } else { TlbOrg::FullyAssociative };
+                let mut t = Tlb::new(entries, org, 1);
+                for p in pages {
+                    t.translate(VPage::new(p));
+                    prop_assert!(t.len() as u64 <= entries);
+                }
             }
-            prop_assert!(t.stats().misses <= t.stats().accesses);
-            prop_assert!(t.stats().miss_ratio() <= 1.0);
+
+            #[test]
+            fn translate_twice_in_a_row_hits(page in 0u64..1000) {
+                let mut t = Tlb::new(8, TlbOrg::DirectMapped, 0);
+                t.translate(VPage::new(page));
+                prop_assert!(t.translate(VPage::new(page)));
+            }
+
+            #[test]
+            fn misses_bounded_by_accesses(pages in proptest::collection::vec(0u64..100, 0..200)) {
+                let mut t = Tlb::new(4, TlbOrg::FullyAssociative, 3);
+                for p in pages {
+                    t.translate(VPage::new(p));
+                }
+                prop_assert!(t.stats().misses <= t.stats().accesses);
+                prop_assert!(t.stats().miss_ratio() <= 1.0);
+            }
         }
     }
 }

@@ -125,7 +125,6 @@ impl FrameAllocator for ColoringAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn round_robin_rotates_homes() {
@@ -220,13 +219,19 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn coloring_invariant_holds_for_any_page(p in 0u64..100_000) {
-            let cfg = MachineConfig::paper_baseline();
-            let mut a = ColoringAllocator::new(&cfg);
-            let f = a.allocate(VPage::new(p), &cfg).unwrap();
-            prop_assert_eq!(f.raw() % cfg.global_page_sets(), cfg.global_page_set_of(VPage::new(p)));
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn coloring_invariant_holds_for_any_page(p in 0u64..100_000) {
+                let cfg = MachineConfig::paper_baseline();
+                let mut a = ColoringAllocator::new(&cfg);
+                let f = a.allocate(VPage::new(p), &cfg).unwrap();
+                prop_assert_eq!(f.raw() % cfg.global_page_sets(), cfg.global_page_set_of(VPage::new(p)));
+            }
         }
     }
 }

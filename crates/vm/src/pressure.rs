@@ -101,7 +101,6 @@ impl PressureProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn uniform_footprint_has_zero_cv() {
@@ -158,19 +157,25 @@ mod tests {
         assert!((p.coefficient_of_variation() - 1.0).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn pressures_bounded_by_footprint(pages in proptest::collection::vec(0u64..10_000, 0..500)) {
-            let cfg = MachineConfig::tiny();
-            let n = pages.len() as f64;
-            let p = PressureProfile::from_pages(pages.into_iter().map(VPage::new), &cfg);
-            let slots = cfg.page_slots_per_global_set() as f64;
-            for &x in p.as_slice() {
-                prop_assert!(x >= 0.0);
-                prop_assert!(x <= n / slots + 1e-12);
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn pressures_bounded_by_footprint(pages in proptest::collection::vec(0u64..10_000, 0..500)) {
+                let cfg = MachineConfig::tiny();
+                let n = pages.len() as f64;
+                let p = PressureProfile::from_pages(pages.into_iter().map(VPage::new), &cfg);
+                let slots = cfg.page_slots_per_global_set() as f64;
+                for &x in p.as_slice() {
+                    prop_assert!(x >= 0.0);
+                    prop_assert!(x <= n / slots + 1e-12);
+                }
+                prop_assert!(p.min() <= p.mean() + 1e-12);
+                prop_assert!(p.mean() <= p.max() + 1e-12);
             }
-            prop_assert!(p.min() <= p.mean() + 1e-12);
-            prop_assert!(p.mean() <= p.max() + 1e-12);
         }
     }
 }

@@ -60,7 +60,11 @@ pub use trace_io::{load_traces, save_traces, ParseTraceError, TRACE_HEADER};
 use vcoma_types::{MachineConfig, Op};
 
 /// A benchmark that can generate per-node traces for the simulator.
-pub trait Workload {
+///
+/// Workloads are `Send + Sync` so a sweep can evaluate many
+/// (benchmark, scheme) points against the same boxed workload set from
+/// worker threads.
+pub trait Workload: Send + Sync {
     /// The benchmark's name as the paper spells it (e.g. `"RADIX"`).
     fn name(&self) -> &'static str;
 

@@ -160,7 +160,6 @@ pub fn load_traces(text: &str) -> Result<Vec<Vec<Op>>, ParseTraceError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn roundtrip_hand_built_trace() {
@@ -228,40 +227,46 @@ mod tests {
         assert_eq!(traces, vec![vec![Op::Read(VAddr::new(0x40))]]);
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip_random_traces(
-            ops in proptest::collection::vec(
-                proptest::collection::vec((0u8..7, 0u64..1 << 40), 0..40),
-                1..4,
-            )
-        ) {
-            let traces: Vec<Vec<Op>> = ops
-                .iter()
-                .map(|node| {
-                    node.iter()
-                        .map(|&(k, v)| match k {
-                            0 => Op::Read(VAddr::new(v)),
-                            1 => Op::Write(VAddr::new(v)),
-                            2 => Op::Compute(v),
-                            3 => Op::Barrier(SyncId(v as u32)),
-                            4 => Op::Lock(SyncId(v as u32)),
-                            5 => Op::Unlock(SyncId(v as u32)),
-                            _ => Op::Protect(
-                                VAddr::new(v),
-                                match v % 4 {
-                                    0 => Protection::read_write(),
-                                    1 => Protection::read_only(),
-                                    2 => Protection { read: false, write: true },
-                                    _ => Protection { read: false, write: false },
-                                },
-                            ),
-                        })
-                        .collect()
-                })
-                .collect();
-            let text = save_traces(&traces);
-            prop_assert_eq!(load_traces(&text).unwrap(), traces);
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn roundtrip_random_traces(
+                ops in proptest::collection::vec(
+                    proptest::collection::vec((0u8..7, 0u64..1 << 40), 0..40),
+                    1..4,
+                )
+            ) {
+                let traces: Vec<Vec<Op>> = ops
+                    .iter()
+                    .map(|node| {
+                        node.iter()
+                            .map(|&(k, v)| match k {
+                                0 => Op::Read(VAddr::new(v)),
+                                1 => Op::Write(VAddr::new(v)),
+                                2 => Op::Compute(v),
+                                3 => Op::Barrier(SyncId(v as u32)),
+                                4 => Op::Lock(SyncId(v as u32)),
+                                5 => Op::Unlock(SyncId(v as u32)),
+                                _ => Op::Protect(
+                                    VAddr::new(v),
+                                    match v % 4 {
+                                        0 => Protection::read_write(),
+                                        1 => Protection::read_only(),
+                                        2 => Protection { read: false, write: true },
+                                        _ => Protection { read: false, write: false },
+                                    },
+                                ),
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let text = save_traces(&traces);
+                prop_assert_eq!(load_traces(&text).unwrap(), traces);
+            }
         }
     }
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build+test, the golden-report regression suite,
+# and a CLI-level check that parallel sweeps are byte-deterministic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: build"
+cargo build --workspace --release
+
+echo "==> tier-1: tests"
+cargo test --workspace -q
+
+echo "==> golden-report regression suite"
+cargo test -q -p vcoma-integration --test golden_reports
+
+echo "==> parallel determinism smoke sweep (--jobs 1 vs --jobs 2)"
+out1=$(mktemp -d)
+out2=$(mktemp -d)
+trap 'rm -rf "$out1" "$out2"' EXIT
+cargo run --release -p vcoma-experiments -- table2 fig8 \
+    --scale 0.01 --out "$out1" --jobs 1
+cargo run --release -p vcoma-experiments -- table2 fig8 \
+    --scale 0.01 --out "$out2" --jobs 2
+diff -r "$out1" "$out2"
+echo "==> CSVs byte-identical across worker counts"
+
+echo "==> ci.sh: all green"

@@ -146,6 +146,44 @@ fn protection_changes_are_accounted_and_deterministic() {
 }
 
 #[test]
+fn fixed_seed_grid_conserves_refs_and_messages() {
+    // A plain (non-proptest) grid over all five schemes and two master
+    // seeds, so the accounting invariants are exercised even when the
+    // `proptest-tests` feature is off: every reference is a read or a
+    // write, every translation/cache access is a hit or a miss, and the
+    // protocol's remote transactions are carried by crossbar messages.
+    for &seed in &[1u64, 0x5EED] {
+        for w in all_benchmarks(0.003) {
+            for scheme in ALL_SCHEMES {
+                let report = Simulator::new(scheme).seed(seed).run(w.as_ref());
+                for (i, n) in report.nodes().iter().enumerate() {
+                    let ctx = || format!("{} {scheme} seed {seed} node {i}", w.name());
+                    assert_eq!(n.refs, n.reads + n.writes, "{}", ctx());
+                    for t in &n.translation {
+                        assert_eq!(t.hits() + t.misses, t.accesses, "{}", ctx());
+                    }
+                    assert_eq!(n.flc.hits() + n.flc.misses(), n.flc.accesses(), "{}", ctx());
+                    assert_eq!(n.slc.hits() + n.slc.misses(), n.slc.accesses(), "{}", ctx());
+                }
+                let p = report.protocol();
+                assert!(
+                    p.remote_transactions() <= report.net_msgs(),
+                    "{} {scheme} seed {seed}: {} remote transactions but only {} messages",
+                    w.name(),
+                    p.remote_transactions(),
+                    report.net_msgs()
+                );
+                assert!(
+                    p.injections_forwarded <= p.injection_hops,
+                    "{} {scheme} seed {seed}: forwarded acceptances without hops",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn no_spills_on_paper_workloads() {
     // The paper's working sets fit (§5.1): the injection protocol must
     // never be forced to spill a master copy to backing store.

@@ -1,0 +1,76 @@
+//! Golden-report regression suite.
+//!
+//! The rendered Table 2, Figure 8 and Figure 10 artifacts at smoke scale
+//! are snapshotted as byte-exact fixtures under `tests/golden/`. Any
+//! change to trace generation, cache/TLB behaviour, protocol timing or
+//! rendering shows up here as a diff — Figure 10 in particular carries
+//! absolute cycle counts, so even a one-cycle latency change fails the
+//! suite.
+//!
+//! To regenerate after an intentional behaviour change:
+//!
+//! ```text
+//! VCOMA_BLESS=1 cargo test -p vcoma-integration --test golden_reports
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use vcoma_experiments::{fig10, fig8, table2, ExperimentConfig};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden"))
+}
+
+/// The suite runs the sweeps on two workers: the fixtures double as a
+/// check that parallel evaluation leaves the rendered bytes untouched.
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig::smoke().with_jobs(2)
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("VCOMA_BLESS").is_some() {
+        fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        fs::write(&path, actual).expect("write fixture");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); create it with VCOMA_BLESS=1",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "golden mismatch for {name}; if the change is intentional, regenerate with\n\
+         VCOMA_BLESS=1 cargo test -p vcoma-integration --test golden_reports\n\
+         --- expected ---\n{expected}--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn table2_matches_golden() {
+    let rows = table2::run(&cfg());
+    check("table2_smoke.txt", &table2::render(&rows).render());
+}
+
+#[test]
+fn fig8_matches_golden() {
+    let mut out = String::new();
+    for panel in fig8::run(&cfg()) {
+        out.push_str(&fig8::render(&panel).render());
+        out.push('\n');
+    }
+    check("fig8_smoke.txt", &out);
+}
+
+#[test]
+fn fig10_matches_golden() {
+    let mut out = String::new();
+    for panel in fig10::run(&cfg()) {
+        out.push_str(&fig10::render(&panel).render());
+        out.push('\n');
+    }
+    check("fig10_smoke.txt", &out);
+}

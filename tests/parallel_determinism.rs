@@ -1,0 +1,62 @@
+//! Determinism under parallelism: `--jobs N` must never change results.
+//!
+//! Every artifact module is run twice — once on a single sweep worker,
+//! once on eight — and the rendered CSVs must be byte-identical. This is
+//! the library-level counterpart of diffing the CLI's `--out` directories
+//! (which `scripts/ci.sh` also does).
+
+use vcoma_experiments::{
+    ablations, ccnuma, fig10, fig11, fig8, fig9, table1, table2, table3, table4,
+    ExperimentConfig,
+};
+
+fn all_csvs(cfg: &ExperimentConfig) -> Vec<(&'static str, String)> {
+    let join = |csvs: Vec<String>| csvs.join("\n");
+    vec![
+        ("table1", table1::render(&table1::run(cfg)).to_csv()),
+        (
+            "fig8",
+            join(fig8::run(cfg).iter().map(|p| fig8::render(p).to_csv()).collect()),
+        ),
+        ("table2", table2::render(&table2::run(cfg)).to_csv()),
+        ("table3", table3::render(&table3::run(cfg)).to_csv()),
+        (
+            "fig9",
+            join(fig9::run(cfg).iter().map(|p| fig9::render(p).to_csv()).collect()),
+        ),
+        ("table4", table4::render(&table4::run(cfg)).to_csv()),
+        (
+            "fig10",
+            join(fig10::run(cfg).iter().map(|p| fig10::render(p).to_csv()).collect()),
+        ),
+        ("fig11", fig11::render(&fig11::run(cfg)).to_csv()),
+        (
+            "ablations",
+            ablations::render(&{
+                let mut rows = ablations::contention(cfg);
+                rows.extend(ablations::coloring(cfg));
+                rows.extend(ablations::injection(cfg));
+                rows.extend(ablations::software_managed(cfg));
+                rows
+            })
+            .to_csv(),
+        ),
+        ("ccnuma", ccnuma::render(&ccnuma::run(cfg)).to_csv()),
+    ]
+}
+
+#[test]
+fn every_artifact_is_identical_between_jobs_1_and_8() {
+    let base = ExperimentConfig::smoke().with_scale(0.003);
+    let serial = all_csvs(&base.clone().with_jobs(1));
+    let parallel = all_csvs(&base.with_jobs(8));
+    assert_eq!(serial.len(), parallel.len());
+    for ((name, a), (name_b, b)) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(name, name_b);
+        assert!(
+            a == b,
+            "{name}: parallel sweep (8 workers) diverged from serial\n\
+             --- jobs 1 ---\n{a}--- jobs 8 ---\n{b}"
+        );
+    }
+}
