@@ -1,7 +1,10 @@
 //! Per-cache statistics counters.
 
+use serde::Serialize;
+use vcoma_metrics::Mergeable;
+
 /// Event counters accumulated by a cache model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
 pub struct CacheStats {
     /// Read accesses presented to the cache.
     pub reads: u64,
@@ -45,8 +48,10 @@ impl CacheStats {
         }
     }
 
-    /// Accumulates another stats block into this one.
-    pub fn merge(&mut self, other: &CacheStats) {
+}
+
+impl Mergeable for CacheStats {
+    fn merge(&mut self, other: &Self) {
         self.reads += other.reads;
         self.writes += other.writes;
         self.read_hits += other.read_hits;

@@ -3,6 +3,7 @@
 use crate::{AmState, DirEntry, HomeTranslation, ProtocolStats};
 use std::collections::HashMap;
 use vcoma_cachesim::SetAssocArray;
+use vcoma_metrics::MetricsRegistry;
 use vcoma_net::{Crossbar, MsgKind};
 use vcoma_types::{DetRng, MachineConfig, NodeId, Timing};
 
@@ -31,6 +32,15 @@ pub struct Access {
     /// Portion of `latency` spent translating at home nodes (DLB misses in
     /// V-COMA; zero under [`crate::NullTranslation`]).
     pub home_lookup_cycles: u64,
+    /// Portion of `latency` on the wire: message latencies along the
+    /// transaction's critical path.
+    pub net_cycles: u64,
+    /// Portion of `latency` in memory service: directory lookups and
+    /// attraction-memory accesses along the critical path.
+    pub mem_cycles: u64,
+    /// Portion of `latency` waiting for contended crossbar output ports
+    /// (zero in the contention-free model).
+    pub queue_cycles: u64,
     /// AM blocks removed from nodes' attraction memories during this
     /// transaction (coherence invalidations, replacement victims and
     /// injection displacements). The caller must back-invalidate the
@@ -48,8 +58,95 @@ impl Access {
             local_hit: true,
             latency: 0,
             home_lookup_cycles: 0,
+            net_cycles: 0,
+            mem_cycles: 0,
+            queue_cycles: 0,
             invalidations: Vec::new(),
             took_ownership: false,
+        }
+    }
+}
+
+/// Attribution-tracking clock for one transaction's critical path.
+///
+/// Advances exactly like the plain arrival-time arithmetic it replaces —
+/// identical cycle math and identical `net.send` call order, so timing
+/// and traffic statistics are bit-for-bit unchanged — while recording
+/// which component (wire, queue, memory, translation) each elapsed cycle
+/// belongs to. The invariant `t - start == net + queue + mem + lookup`
+/// holds by construction: every advance goes through one of the methods.
+#[derive(Debug, Clone, Copy)]
+struct Path {
+    t: u64,
+    net: u64,
+    queue: u64,
+    mem: u64,
+    lookup: u64,
+}
+
+impl Path {
+    fn start(now: u64) -> Self {
+        Path { t: now, net: 0, queue: 0, mem: 0, lookup: 0 }
+    }
+
+    /// Sends a message along the critical path: wire latency goes to
+    /// `net`, contention wait to `queue`. Self-sends are free and charge
+    /// nothing, matching [`Crossbar::send`].
+    fn send(&mut self, net: &mut Crossbar, src: NodeId, dst: NodeId, kind: MsgKind) {
+        let arrive = net.send(src, dst, kind, self.t);
+        let delta = arrive - self.t;
+        if delta > 0 {
+            let wire = net.latency_of(kind);
+            self.net += wire;
+            self.queue += delta - wire;
+        }
+        self.t = arrive;
+    }
+
+    /// Charges memory service time (directory or attraction-memory access).
+    fn mem(&mut self, cycles: u64) {
+        self.t += cycles;
+        self.mem += cycles;
+    }
+
+    /// Charges home-side translation time (a DLB walk).
+    fn lookup(&mut self, cycles: u64) {
+        self.t += cycles;
+        self.lookup += cycles;
+    }
+
+    /// The later of two alternative paths (ties keep `self`) — the
+    /// attribution-carrying replacement for `max` over arrival times.
+    fn later(self, other: Path) -> Path {
+        if other.t > self.t {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Finishes the transaction, packaging the attribution.
+    fn into_access(
+        self,
+        now: u64,
+        invalidations: Vec<(NodeId, u64)>,
+        took_ownership: bool,
+    ) -> Access {
+        let latency = self.t - now;
+        debug_assert_eq!(
+            latency,
+            self.lookup + self.net + self.mem + self.queue,
+            "every critical-path cycle must be attributed exactly once"
+        );
+        Access {
+            local_hit: false,
+            latency,
+            home_lookup_cycles: self.lookup,
+            net_cycles: self.net,
+            mem_cycles: self.mem,
+            queue_cycles: self.queue,
+            invalidations,
+            took_ownership,
         }
     }
 }
@@ -70,6 +167,9 @@ pub struct Protocol {
     rng: DetRng,
     policy: InjectionPolicy,
     stats: ProtocolStats,
+    /// Named state-transition counters (`transition.*`), alongside the
+    /// fixed [`ProtocolStats`] counters.
+    metrics: MetricsRegistry,
 }
 
 impl Protocol {
@@ -88,6 +188,7 @@ impl Protocol {
             rng: DetRng::new(seed ^ 0xC0A_0C0A),
             policy: InjectionPolicy::RandomForward,
             stats: ProtocolStats::default(),
+            metrics: MetricsRegistry::new(0),
         }
     }
 
@@ -141,10 +242,16 @@ impl Protocol {
         &self.stats
     }
 
+    /// Named state-transition counters (`transition.*` keys).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Zeroes the statistics counters, keeping all attraction-memory and
     /// directory state (used between a warm-up pass and the measured pass).
     pub fn reset_stats(&mut self) {
         self.stats = ProtocolStats::default();
+        self.metrics.reset();
     }
 
     /// A processor read of `block` by `requester`, whose home is `home`.
@@ -165,9 +272,10 @@ impl Protocol {
             return Access::local();
         }
         let mut invals = Vec::new();
-        let mut t = net.send(requester, home, MsgKind::ReadReq, now);
-        let lookup = xl.home_lookup(home, block) + self.timing.dir_lookup;
-        t += lookup;
+        let mut path = Path::start(now);
+        path.send(net, requester, home, MsgKind::ReadReq);
+        path.lookup(xl.home_lookup(home, block));
+        path.mem(self.timing.dir_lookup);
 
         let entry = self.dir.entry(block).or_insert(DirEntry::empty(home));
         debug_assert_eq!(entry.home, home, "home mismatch for block {block:#x}");
@@ -176,11 +284,12 @@ impl Protocol {
             // Cold fill: the home materialises the block from its backing
             // store; the requester becomes the master.
             self.stats.cold_fills += 1;
-            t += self.timing.am_hit;
-            t = net.send(home, requester, MsgKind::BlockReply, t);
+            self.metrics.incr("transition.uncached_to_master_shared");
+            path.mem(self.timing.am_hit);
+            path.send(net, home, requester, MsgKind::BlockReply);
             self.dir.get_mut(&block).expect("just inserted").add(requester);
             self.dir.get_mut(&block).expect("just inserted").master = Some(requester);
-            self.install(requester, block, AmState::MasterShared, net, t, &mut invals);
+            self.install(requester, block, AmState::MasterShared, net, path.t, &mut invals);
         } else {
             let master = entry.master.expect("cached block must have a master");
             debug_assert_ne!(
@@ -188,27 +297,23 @@ impl Protocol {
                 "requester missed locally but directory says it is master"
             );
             self.stats.remote_reads += 1;
-            t = net.send(home, master, MsgKind::ForwardReq, t);
-            t += self.timing.am_hit;
-            t = net.send(master, requester, MsgKind::BlockReply, t);
+            path.send(net, home, master, MsgKind::ForwardReq);
+            path.mem(self.timing.am_hit);
+            path.send(net, master, requester, MsgKind::BlockReply);
             // A read demotes an Exclusive master to Master-shared.
             if let Some(s) = self.ams[master.index()].peek_mut(block) {
                 if *s == AmState::Exclusive {
                     *s = AmState::MasterShared;
+                    self.metrics.incr("transition.exclusive_to_master_shared");
                 }
             } else {
                 debug_assert!(false, "directory master {master} does not hold {block:#x}");
             }
+            self.metrics.incr("transition.install_shared");
             self.dir.get_mut(&block).expect("entry exists").add(requester);
-            self.install(requester, block, AmState::Shared, net, t, &mut invals);
+            self.install(requester, block, AmState::Shared, net, path.t, &mut invals);
         }
-        Access {
-            local_hit: false,
-            latency: t - now,
-            home_lookup_cycles: lookup - self.timing.dir_lookup,
-            invalidations: invals,
-            took_ownership: false,
-        }
+        path.into_access(now, invals, false)
     }
 
     /// A processor write of `block` by `requester`, whose home is `home`.
@@ -227,12 +332,13 @@ impl Protocol {
             return Access::local();
         }
         let mut invals = Vec::new();
-        let mut t = match local_state {
-            Some(_) => net.send(requester, home, MsgKind::UpgradeReq, now),
-            None => net.send(requester, home, MsgKind::WriteReq, now),
-        };
-        let lookup = xl.home_lookup(home, block) + self.timing.dir_lookup;
-        t += lookup;
+        let mut path = Path::start(now);
+        match local_state {
+            Some(_) => path.send(net, requester, home, MsgKind::UpgradeReq),
+            None => path.send(net, requester, home, MsgKind::WriteReq),
+        }
+        path.lookup(xl.home_lookup(home, block));
+        path.mem(self.timing.dir_lookup);
 
         let entry = *self.dir.entry(block).or_insert(DirEntry::empty(home));
         debug_assert_eq!(entry.home, home, "home mismatch for block {block:#x}");
@@ -241,9 +347,11 @@ impl Protocol {
             Some(_) => {
                 // Upgrade: invalidate every other copy, then grant.
                 self.stats.upgrades += 1;
-                let ack_t = self.invalidate_others(block, requester, home, net, t, &mut invals);
-                let grant_t = net.send(home, requester, MsgKind::Ack, t);
-                t = ack_t.max(grant_t);
+                self.metrics.incr("transition.upgrade_to_exclusive");
+                let ack_path = self.invalidate_others(block, requester, home, net, path, &mut invals);
+                let mut grant_path = path;
+                grant_path.send(net, home, requester, MsgKind::Ack);
+                path = ack_path.later(grant_path);
                 let e = self.dir.get_mut(&block).expect("entry exists");
                 e.copyset = 1 << requester.index();
                 e.master = Some(requester);
@@ -254,23 +362,26 @@ impl Protocol {
             None if entry.is_uncached() => {
                 // Cold write fill: requester becomes the exclusive owner.
                 self.stats.cold_fills += 1;
-                t += self.timing.am_hit;
-                t = net.send(home, requester, MsgKind::BlockReply, t);
+                self.metrics.incr("transition.uncached_to_exclusive");
+                path.mem(self.timing.am_hit);
+                path.send(net, home, requester, MsgKind::BlockReply);
                 let e = self.dir.get_mut(&block).expect("entry exists");
                 e.add(requester);
                 e.master = Some(requester);
-                self.install(requester, block, AmState::Exclusive, net, t, &mut invals);
+                self.install(requester, block, AmState::Exclusive, net, path.t, &mut invals);
             }
             None => {
                 // Write miss served by the current master; all other copies
                 // are invalidated in parallel.
                 self.stats.remote_writes += 1;
+                self.metrics.incr("transition.ownership_transfer");
                 let master = entry.master.expect("cached block must have a master");
-                let ack_t = self.invalidate_others(block, requester, home, net, t, &mut invals);
-                let mut data_t = net.send(home, master, MsgKind::ForwardReq, t);
-                data_t += self.timing.am_hit;
-                data_t = net.send(master, requester, MsgKind::BlockReply, data_t);
-                t = ack_t.max(data_t);
+                let ack_path = self.invalidate_others(block, requester, home, net, path, &mut invals);
+                let mut data_path = path;
+                data_path.send(net, home, master, MsgKind::ForwardReq);
+                data_path.mem(self.timing.am_hit);
+                data_path.send(net, master, requester, MsgKind::BlockReply);
+                path = ack_path.later(data_path);
                 // Ownership transfer: the master's copy dies with the reply.
                 if self.ams[master.index()].invalidate(block).is_some() {
                     invals.push((master, block));
@@ -278,34 +389,29 @@ impl Protocol {
                 let e = self.dir.get_mut(&block).expect("entry exists");
                 e.copyset = 1 << requester.index();
                 e.master = Some(requester);
-                self.install(requester, block, AmState::Exclusive, net, t, &mut invals);
+                self.install(requester, block, AmState::Exclusive, net, path.t, &mut invals);
             }
         }
-        Access {
-            local_hit: false,
-            latency: t - now,
-            home_lookup_cycles: lookup - self.timing.dir_lookup,
-            invalidations: invals,
-            took_ownership: true,
-        }
+        path.into_access(now, invals, true)
     }
 
     /// Invalidates every holder of `block` except `keep` (and except the
     /// master when the caller transfers ownership separately — the master
     /// here is only invalidated if it is a plain holder in the copy set
-    /// walk). Returns the time the last acknowledgement reaches `keep`.
+    /// walk). Returns the path on which the last acknowledgement reaches
+    /// `keep` (or `from` unchanged when nothing is invalidated).
     fn invalidate_others(
         &mut self,
         block: u64,
         keep: NodeId,
         home: NodeId,
         net: &mut Crossbar,
-        t: u64,
+        from: Path,
         invals: &mut Vec<(NodeId, u64)>,
-    ) -> u64 {
+    ) -> Path {
         let entry = *self.dir.get(&block).expect("entry exists");
         let master = entry.master;
-        let mut last_ack = t;
+        let mut last_ack = from;
         for holder in entry.holders_except(keep) {
             // The master of a write miss supplies data and is invalidated by
             // the caller at data-transfer time; skip it here.
@@ -313,13 +419,16 @@ impl Protocol {
                 continue;
             }
             self.stats.invalidations += 1;
-            let inv_t = net.send(home, holder, MsgKind::Invalidate, t);
+            self.metrics.incr("transition.invalidated");
+            let mut branch = from;
+            branch.send(net, home, holder, MsgKind::Invalidate);
             if self.ams[holder.index()].invalidate(block).is_some() {
                 invals.push((holder, block));
             }
             let e = self.dir.get_mut(&block).expect("entry exists");
             e.remove(holder);
-            last_ack = last_ack.max(net.send(holder, keep, MsgKind::Ack, inv_t));
+            branch.send(net, holder, keep, MsgKind::Ack);
+            last_ack = last_ack.later(branch);
         }
         last_ack
     }
@@ -352,6 +461,7 @@ impl Protocol {
                 // Dropping a Shared copy: hint the home so the copy set
                 // stays exact.
                 self.stats.shared_drops += 1;
+                self.metrics.incr("transition.shared_dropped");
                 let vhome = self.dir.get(&victim).expect("resident block has an entry").home;
                 net.send(node, vhome, MsgKind::Ack, now);
                 self.dir.get_mut(&victim).expect("entry exists").remove(node);
@@ -402,6 +512,7 @@ impl Protocol {
                 *s = AmState::MasterShared;
                 self.dir.get_mut(&block).expect("entry exists").master = Some(home);
                 self.stats.injections_home += 1;
+                self.metrics.incr("transition.shared_to_master_shared");
                 return;
             }
             if self.ams[home.index()].set_has_room(block) {
@@ -436,6 +547,7 @@ impl Protocol {
                 *s = AmState::MasterShared;
                 self.dir.get_mut(&block).expect("entry exists").master = Some(cand);
                 self.stats.injections_forwarded += 1;
+                self.metrics.incr("transition.shared_to_master_shared");
                 return;
             }
             if self.ams[cand.index()].set_has_room(block) {
@@ -454,12 +566,14 @@ impl Protocol {
         // store; the next access will cold-fill it. With memory pressure
         // below one this is rare; it is counted so experiments can see it.
         self.stats.spills += 1;
+        self.metrics.incr("transition.spilled");
         if self.dir.get(&block).expect("entry exists").is_uncached() {
             self.dir.get_mut(&block).expect("entry exists").master = None;
         }
     }
 
     fn accept_injection(&mut self, node: NodeId, block: u64) {
+        self.metrics.incr("transition.inject_accepted");
         self.ams[node.index()].insert(block, AmState::MasterShared);
         let e = self.dir.get_mut(&block).expect("entry exists");
         e.add(node);

@@ -1,7 +1,10 @@
 //! Protocol event counters.
 
+use serde::Serialize;
+use vcoma_metrics::Mergeable;
+
 /// Machine-wide protocol statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
 pub struct ProtocolStats {
     /// Reads satisfied by the local attraction memory.
     pub local_read_hits: u64,
@@ -47,8 +50,10 @@ impl ProtocolStats {
         self.injections_home + self.injections_forwarded
     }
 
-    /// Accumulates another stats block into this one.
-    pub fn merge(&mut self, o: &ProtocolStats) {
+}
+
+impl Mergeable for ProtocolStats {
+    fn merge(&mut self, o: &Self) {
         self.local_read_hits += o.local_read_hits;
         self.local_write_hits += o.local_write_hits;
         self.remote_reads += o.remote_reads;

@@ -42,7 +42,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use vcoma_sim::{Machine, NodeReport, SimConfig, SimReport, TimeBreakdown, TlbBank};
+pub use vcoma_sim::{
+    LatencyBreakdown, Machine, NodeReport, SimConfig, SimReport, SimReportBuilder,
+    TimeBreakdown, TlbBank, LATENCY_CATEGORIES,
+};
 pub use vcoma_tlb::{Scheme, Tlb, TlbOrg, TlbStats, ALL_SCHEMES};
 pub use vcoma_types::{
     AccessKind, CacheGeometry, ConfigError, DetRng, MachineConfig, NodeId, Op, Protection,
@@ -62,6 +65,12 @@ pub mod coherence {
 /// The crossbar interconnect model.
 pub mod net {
     pub use vcoma_net::*;
+}
+
+/// The metrics registry, histograms and event tracing behind
+/// [`SimReport::metrics`] and the CLI's `--metrics-out`/`--breakdown`.
+pub mod metrics {
+    pub use vcoma_metrics::*;
 }
 
 /// The virtual-memory subsystem (page tables, coloring, directory pages,

@@ -1,0 +1,125 @@
+//! Fine-grained latency breakdown (`--breakdown`) and the merged metrics
+//! snapshot behind `--metrics-out`.
+//!
+//! Runs every translation scheme over every benchmark with the paper's
+//! default 8-entry fully-associative TLB/DLB and attributes **every**
+//! simulated cycle to one of the [`LATENCY_CATEGORIES`]: issue/compute,
+//! barrier/lock waiting, TLB walks, DLB lookups, local hierarchy stalls,
+//! remote memory service, wire latency and port queueing. The attribution
+//! is conservative by construction — for each row the category total
+//! equals the run's [`SimReport::simulated_cycles`] exactly, which the
+//! conservation integration test enforces for all five schemes.
+
+use crate::render::TextTable;
+use crate::sweep::{self, SweepPoint, SweepResult};
+use crate::ExperimentConfig;
+use vcoma::metrics::{Mergeable, MetricsSnapshot};
+use vcoma::workloads::Workload;
+use vcoma::{LatencyBreakdown, Scheme, SimReport, ALL_SCHEMES, LATENCY_CATEGORIES};
+
+/// One scheme × benchmark row of the breakdown table.
+#[derive(Debug, Clone)]
+pub struct BreakdownRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The translation scheme.
+    pub scheme: Scheme,
+    /// Machine-wide fine latency attribution (summed over nodes).
+    pub fine: LatencyBreakdown,
+    /// Total simulated cycles of the run; equals `fine.total()`.
+    pub simulated_cycles: u64,
+    /// The run's merged metrics snapshot (machine + protocol).
+    pub metrics: MetricsSnapshot,
+}
+
+impl BreakdownRow {
+    fn from_report(benchmark: &str, scheme: Scheme, report: &SimReport) -> Self {
+        BreakdownRow {
+            benchmark: benchmark.to_string(),
+            scheme,
+            fine: report.aggregate_fine(),
+            simulated_cycles: report.simulated_cycles(),
+            metrics: report.metrics().clone(),
+        }
+    }
+}
+
+/// Runs every scheme over every benchmark (cold machines, full traces at
+/// the configured scale) and returns one row per pair.
+pub fn run(cfg: &ExperimentConfig) -> Vec<BreakdownRow> {
+    let benchmarks = cfg.benchmarks();
+    type RowSpec<'a> = (Scheme, &'a dyn Workload);
+    let mut points: Vec<SweepPoint<RowSpec>> = Vec::new();
+    for w in &benchmarks {
+        for scheme in ALL_SCHEMES {
+            points.push(SweepPoint::new(format!("{}/{scheme}", w.name()), (scheme, w.as_ref())));
+        }
+    }
+    sweep::run("breakdown", cfg.effective_jobs(), points, |&(scheme, wl)| {
+        let report = cfg.simulator(scheme).run(wl);
+        SweepResult::new(
+            BreakdownRow::from_report(wl.name(), scheme, &report),
+            report.simulated_cycles(),
+        )
+    })
+}
+
+/// Renders the rows as the `--breakdown` table: one column per
+/// [`LATENCY_CATEGORIES`] entry plus the conserved total.
+pub fn render(rows: &[BreakdownRow]) -> TextTable {
+    let mut header: Vec<String> = vec!["benchmark/scheme".to_string()];
+    header.extend(LATENCY_CATEGORIES.iter().map(|c| c.to_string()));
+    header.push("total".to_string());
+    let mut t = TextTable::new(header);
+    for r in rows {
+        let mut cells = vec![format!("{}/{}", r.benchmark, r.scheme)];
+        cells.extend(r.fine.as_array().iter().map(|v| v.to_string()));
+        cells.push(r.fine.total().to_string());
+        t.row(cells);
+    }
+    t
+}
+
+/// Folds every row's metrics snapshot into one machine-readable document
+/// (the payload of `--metrics-out`).
+pub fn merged_metrics(rows: &[BreakdownRow]) -> MetricsSnapshot {
+    let mut merged = MetricsSnapshot::default();
+    for r in rows {
+        merged.merge(&r.metrics);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_conserves_cycles_and_renders() {
+        let rows = run(&ExperimentConfig::smoke());
+        assert_eq!(rows.len(), 6 * ALL_SCHEMES.len());
+        for r in &rows {
+            assert_eq!(
+                r.fine.total(),
+                r.simulated_cycles,
+                "{}/{}: fine breakdown must conserve simulated cycles",
+                r.benchmark,
+                r.scheme
+            );
+        }
+        // V-COMA attributes translation to DLB lookups, the TLB schemes to
+        // TLB walks.
+        for r in rows.iter().filter(|r| r.scheme == Scheme::VComa) {
+            assert_eq!(r.fine.tlb_walk, 0, "{}: V-COMA has no node TLB walks", r.benchmark);
+        }
+        for r in rows.iter().filter(|r| r.scheme == Scheme::L0Tlb) {
+            assert_eq!(r.fine.dlb_lookup, 0, "{}: L0-TLB has no home DLBs", r.benchmark);
+        }
+        let table = render(&rows).render();
+        for c in LATENCY_CATEGORIES {
+            assert!(table.contains(c), "missing column {c}");
+        }
+        let merged = merged_metrics(&rows);
+        assert!(merged.histogram("latency.read").is_some());
+    }
+}

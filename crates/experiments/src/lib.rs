@@ -19,11 +19,13 @@
 //! | [`fig11`] | Figure 11 — global-page-set pressure profile |
 //! | [`ablations`] | design-choice ablations (injection policy, contention, coloring) |
 //! | [`ccnuma`] | §2 motivation: SHARED-TLB in CC-NUMA vs first-touch placement |
+//! | [`breakdown`] | fine latency attribution (`--breakdown`, `--metrics-out`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod breakdown;
 pub mod ccnuma;
 pub mod fig10;
 pub mod fig11;

@@ -7,22 +7,35 @@
 
 use std::path::PathBuf;
 use vcoma_experiments::{
-    ablations, ccnuma, fig10, fig11, fig8, fig9, sweep, table1, table2, table3, table4,
-    ExperimentConfig,
+    ablations, breakdown, ccnuma, fig10, fig11, fig8, fig9, sweep, table1, table2, table3,
+    table4, ExperimentConfig,
 };
+
+/// Every artifact name the CLI accepts, in default execution order
+/// (`breakdown` opts in through its flag rather than running under `all`).
+const VALID_ARTIFACTS: [&str; 11] = [
+    "table1", "fig8", "table2", "table3", "fig9", "table4", "fig10", "fig11", "ablations",
+    "ccnuma", "breakdown",
+];
 
 const USAGE: &str = "\
 usage: vcoma-experiments [ARTIFACT...] [--scale F] [--nodes N] [--jobs N] [--out DIR]
+                         [--breakdown] [--metrics-out FILE]
 
-artifacts: table1 fig8 table2 table3 fig9 table4 fig10 fig11 ablations ccnuma all
-           (default: all)
+artifacts: table1 fig8 table2 table3 fig9 table4 fig10 fig11 ablations ccnuma
+           breakdown all
+           (default: all, which runs everything except breakdown)
 
 options:
-  --scale F   fraction of each benchmark's iterations to replay (default 0.1)
-  --nodes N   node count (default 32, the paper's machine)
-  --jobs N    sweep worker threads (default: one per available core);
-              tables and CSVs are byte-identical for any value
-  --out DIR   also write each artifact as CSV into DIR
+  --scale F          fraction of each benchmark's iterations to replay (default 0.1)
+  --nodes N          node count (default 32, the paper's machine)
+  --jobs N           sweep worker threads (default: one per available core);
+                     tables and CSVs are byte-identical for any value
+  --out DIR          also write each artifact as CSV into DIR
+  --breakdown        print the fine latency-attribution table (scheme x benchmark;
+                     per-row totals equal the run's simulated cycles exactly)
+  --metrics-out FILE write the merged metrics snapshot (counters, histograms,
+                     traced events) of the breakdown runs as JSON to FILE
 
 Sweep throughput is printed per artifact and summarised in
 BENCH_sweep.json (written to the current directory, never to --out).
@@ -34,6 +47,8 @@ fn main() {
     let mut nodes = 32u64;
     let mut jobs = 0usize;
     let mut out: Option<PathBuf> = None;
+    let mut want_breakdown = false;
+    let mut metrics_out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -42,6 +57,10 @@ fn main() {
             "--nodes" => nodes = args.next().expect("--nodes needs a value").parse().expect("nodes"),
             "--jobs" => jobs = args.next().expect("--jobs needs a value").parse().expect("jobs"),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a value"))),
+            "--breakdown" => want_breakdown = true,
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(args.next().expect("--metrics-out needs a value")));
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return;
@@ -53,11 +72,33 @@ fn main() {
             other => artifacts.push(other.to_string()),
         }
     }
+    // Validate every artifact name before any work runs, so a typo fails
+    // fast instead of surfacing minutes into a sweep.
+    let unknown: Vec<&String> =
+        artifacts.iter().filter(|a| *a != "all" && !VALID_ARTIFACTS.contains(&a.as_str())).collect();
+    if !unknown.is_empty() {
+        for a in &unknown {
+            eprintln!("error: unknown artifact '{a}'");
+        }
+        eprintln!("valid artifacts: {} all", VALID_ARTIFACTS.join(" "));
+        std::process::exit(2);
+    }
+    if want_breakdown || metrics_out.is_some() {
+        if !artifacts.iter().any(|a| a == "breakdown") {
+            artifacts.push("breakdown".to_string());
+        }
+    } else if artifacts.iter().any(|a| a == "breakdown") {
+        want_breakdown = true;
+    }
     if artifacts.is_empty() || artifacts.iter().any(|a| a == "all") {
+        let keep_breakdown = artifacts.iter().any(|a| a == "breakdown");
         artifacts = ["table1", "fig8", "table2", "table3", "fig9", "table4", "fig10", "fig11", "ablations", "ccnuma"]
             .iter()
             .map(|s| s.to_string())
             .collect();
+        if keep_breakdown {
+            artifacts.push("breakdown".to_string());
+        }
     }
 
     let machine = vcoma::MachineConfig::builder().nodes(nodes).build().expect("valid machine");
@@ -159,10 +200,22 @@ fn main() {
                 println!("{}", t.render());
                 save("ablations", t.to_csv());
             }
-            other => {
-                eprintln!("unknown artifact {other}\n{USAGE}");
-                std::process::exit(2);
+            "breakdown" => {
+                println!("== Fine latency attribution: scheme x benchmark ==");
+                let rows = breakdown::run(&cfg);
+                if want_breakdown {
+                    let t = breakdown::render(&rows);
+                    println!("{}", t.render());
+                    save("breakdown", t.to_csv());
+                }
+                if let Some(path) = &metrics_out {
+                    let json = vcoma::metrics::json::to_json_pretty(&breakdown::merged_metrics(&rows))
+                        .expect("metrics snapshot serializes");
+                    std::fs::write(path, json).expect("write --metrics-out file");
+                    println!("  -> wrote {}", path.display());
+                }
             }
+            other => unreachable!("artifact '{other}' passed validation but has no runner"),
         }
         println!("[{a} took {:.1}s]\n", t0.elapsed().as_secs_f64());
     }

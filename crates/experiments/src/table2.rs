@@ -116,14 +116,14 @@ mod tests {
             // traces' high transaction rate can push streaming benchmarks
             // (FFT) slightly above — a documented deviation — so the
             // 8-entry check allows a 1.5× band.
-            for si in 1..TABLE2_SIZES.len() {
+            for (si, &size) in TABLE2_SIZES.iter().enumerate().skip(1) {
                 assert!(
                     r.vcoma(si) <= r.l0(si) + 1e-9,
                     "{}: V-COMA {} > L0 {} at size {}",
                     r.benchmark,
                     r.vcoma(si),
                     r.l0(si),
-                    TABLE2_SIZES[si]
+                    size
                 );
             }
             assert!(

@@ -1,0 +1,297 @@
+//! A minimal, deterministic JSON writer over the `serde` data model.
+//!
+//! The workspace has no data-format crates (no registry access), so this
+//! module provides the one encoder the simulator needs: pretty-printed
+//! JSON with two-space indentation. Output is deterministic because every
+//! map the workspace serializes is a `BTreeMap`.
+
+use serde::ser::{Serialize, SerializeMap, SerializeSeq, SerializeStruct, Serializer};
+use std::fmt::Write as _;
+
+/// Error produced by the JSON writer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// A map key serialized to something other than a JSON string.
+    NonStringKey,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonStringKey => write!(f, "JSON map keys must serialize as strings"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Serializes `value` to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Returns [`JsonError::NonStringKey`] if a map key is not a string.
+pub fn to_json_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, JsonError> {
+    let mut out = String::new();
+    value.serialize(JsonSerializer { out: &mut out, indent: 0 })?;
+    out.push('\n');
+    Ok(out)
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+struct JsonSerializer<'a> {
+    out: &'a mut String,
+    indent: usize,
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeStruct = JsonCompound<'a>;
+    type SerializeSeq = JsonCompound<'a>;
+    type SerializeMap = JsonCompound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), JsonError> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), JsonError> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), JsonError> {
+        if v.is_finite() {
+            // `{v}` prints integral floats without a fraction ("1"), which
+            // is still valid JSON and round-trips exactly.
+            let _ = write!(self.out, "{v}");
+        } else {
+            // NaN / infinity have no JSON representation.
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
+        push_json_str(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<JsonCompound<'a>, JsonError> {
+        self.out.push('[');
+        Ok(JsonCompound { out: self.out, indent: self.indent + 1, first: true, close: ']' })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<JsonCompound<'a>, JsonError> {
+        self.out.push('{');
+        Ok(JsonCompound { out: self.out, indent: self.indent + 1, first: true, close: '}' })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<JsonCompound<'a>, JsonError> {
+        self.serialize_map(Some(len))
+    }
+}
+
+struct JsonCompound<'a> {
+    out: &'a mut String,
+    indent: usize,
+    first: bool,
+    close: char,
+}
+
+impl JsonCompound<'_> {
+    fn begin_item(&mut self) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push('\n');
+        push_indent(self.out, self.indent);
+    }
+
+    fn finish(self) {
+        if !self.first {
+            self.out.push('\n');
+            push_indent(self.out, self.indent - 1);
+        }
+        self.out.push(self.close);
+    }
+
+    fn write_key<K: Serialize + ?Sized>(&mut self, key: &K) -> Result<(), JsonError> {
+        let mut buf = String::new();
+        key.serialize(JsonSerializer { out: &mut buf, indent: 0 })?;
+        if !buf.starts_with('"') {
+            return Err(JsonError::NonStringKey);
+        }
+        self.out.push_str(&buf);
+        self.out.push_str(": ");
+        Ok(())
+    }
+}
+
+impl SerializeStruct for JsonCompound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.begin_item();
+        push_json_str(self.out, key);
+        self.out.push_str(": ");
+        value.serialize(JsonSerializer { out: self.out, indent: self.indent })
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl SerializeSeq for JsonCompound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.begin_item();
+        value.serialize(JsonSerializer { out: self.out, indent: self.indent })
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl SerializeMap for JsonCompound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), JsonError> {
+        self.begin_item();
+        self.write_key(key)?;
+        value.serialize(JsonSerializer { out: self.out, indent: self.indent })
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.finish();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, MetricsRegistry};
+    use serde::Serialize;
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize)]
+    struct Sample {
+        name: String,
+        hits: u64,
+        ratio: f64,
+        empty: Option<u64>,
+        tags: Vec<String>,
+    }
+
+    #[test]
+    fn struct_serializes_to_pretty_json() {
+        let s = Sample {
+            name: "l1\"tlb\"".to_string(),
+            hits: 42,
+            ratio: 0.5,
+            empty: None,
+            tags: vec!["a".to_string()],
+        };
+        let json = to_json_pretty(&s).unwrap();
+        assert_eq!(
+            json,
+            "{\n  \"name\": \"l1\\\"tlb\\\"\",\n  \"hits\": 42,\n  \"ratio\": 0.5,\n  \
+             \"empty\": null,\n  \"tags\": [\n    \"a\"\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_containers_stay_on_one_line() {
+        let empty_map: BTreeMap<String, u64> = BTreeMap::new();
+        assert_eq!(to_json_pretty(&empty_map).unwrap(), "{}\n");
+        let empty_vec: Vec<u64> = Vec::new();
+        assert_eq!(to_json_pretty(&empty_vec).unwrap(), "[]\n");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_json_pretty(&f64::NAN).unwrap(), "null\n");
+        assert_eq!(to_json_pretty(&f64::INFINITY).unwrap(), "null\n");
+    }
+
+    #[test]
+    fn non_string_map_keys_are_rejected() {
+        let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+        m.insert(1, 2);
+        assert_eq!(to_json_pretty(&m), Err(JsonError::NonStringKey));
+    }
+
+    #[test]
+    fn metrics_snapshot_serializes_end_to_end() {
+        let mut reg = MetricsRegistry::new(4);
+        reg.count("reads", 3);
+        reg.observe("latency", 74);
+        reg.trace(Event { cycle: 10, node: 2, kind: "tlb_miss", addr: 0x1000 });
+        let json = to_json_pretty(&reg.snapshot()).unwrap();
+        assert!(json.contains("\"reads\": 3"));
+        assert!(json.contains("\"latency\""));
+        assert!(json.contains("\"tlb_miss\""));
+        assert!(json.contains("\"dropped_events\": 0"));
+        // Deterministic: serializing twice yields identical bytes.
+        assert_eq!(json, to_json_pretty(&reg.snapshot()).unwrap());
+    }
+}

@@ -1,0 +1,34 @@
+//! Unified metrics and event-tracing subsystem for the V-COMA simulator.
+//!
+//! This crate is deliberately domain-agnostic: it knows nothing about
+//! TLBs, coherence protocols or crossbars. It provides four building
+//! blocks the rest of the workspace composes:
+//!
+//! * [`Mergeable`] — the one-method accumulation trait every statistics
+//!   type in the workspace implements, replacing the hand-rolled
+//!   `fn merge(&mut self, other: &Self)` inherent methods that used to be
+//!   copy-pasted per crate.
+//! * [`Histogram`] — a fixed-shape power-of-two-bucketed histogram for
+//!   cycle counts, cheap enough to live on the simulation fast path.
+//! * [`EventRing`] — a bounded, cycle-stamped structured event buffer
+//!   with an overwrite-oldest policy and a drop counter.
+//! * [`MetricsRegistry`] — named counters, gauges and histograms keyed by
+//!   `&'static str`, snapshotted into the serializable
+//!   [`MetricsSnapshot`].
+//!
+//! Snapshots serialize to deterministic pretty-printed JSON through
+//! [`json::to_json_pretty`]; determinism comes from `BTreeMap` key order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+pub mod json;
+mod mergeable;
+mod registry;
+mod ring;
+
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use mergeable::Mergeable;
+pub use registry::{MetricsRegistry, MetricsSnapshot};
+pub use ring::{Event, EventRing, EventSnapshot};

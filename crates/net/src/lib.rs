@@ -29,6 +29,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use serde::Serialize;
+use vcoma_metrics::{Histogram, Mergeable};
 use vcoma_types::{NodeId, Timing};
 
 /// Coherence-protocol message kinds.
@@ -134,7 +136,7 @@ impl std::fmt::Display for MsgKind {
 }
 
 /// Per-crossbar traffic statistics.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct NetStats {
     /// Messages sent, by [`MsgKind`] statistics index.
     msgs_by_kind: [u64; 10],
@@ -142,6 +144,9 @@ pub struct NetStats {
     sent_per_node: Vec<u64>,
     /// Messages received per destination node.
     recv_per_node: Vec<u64>,
+    /// Per-message output-port queue wait, in cycles (all-zero samples
+    /// when contention is disabled).
+    queue_wait: Histogram,
     /// Total payload bytes moved.
     pub bytes: u64,
     /// Total cycles spent waiting for contended ports (0 when contention is
@@ -151,12 +156,21 @@ pub struct NetStats {
     pub local_msgs: u64,
 }
 
+impl Default for NetStats {
+    /// An empty statistics block with no per-node slots; merging grows the
+    /// per-node vectors to the widest operand.
+    fn default() -> Self {
+        NetStats::new(0)
+    }
+}
+
 impl NetStats {
     fn new(nodes: usize) -> Self {
         NetStats {
             msgs_by_kind: [0; 10],
             sent_per_node: vec![0; nodes],
             recv_per_node: vec![0; nodes],
+            queue_wait: Histogram::new(),
             bytes: 0,
             contention_cycles: 0,
             local_msgs: 0,
@@ -181,6 +195,31 @@ impl NetStats {
     /// Messages received by one node.
     pub fn received_by(&self, node: NodeId) -> u64 {
         self.recv_per_node[node.index()]
+    }
+
+    /// Histogram of per-message output-port queue waits.
+    pub fn queue_wait(&self) -> &Histogram {
+        &self.queue_wait
+    }
+}
+
+impl Mergeable for NetStats {
+    fn merge(&mut self, other: &Self) {
+        self.msgs_by_kind.merge(&other.msgs_by_kind);
+        if other.sent_per_node.len() > self.sent_per_node.len() {
+            self.sent_per_node.resize(other.sent_per_node.len(), 0);
+            self.recv_per_node.resize(other.recv_per_node.len(), 0);
+        }
+        for (a, b) in self.sent_per_node.iter_mut().zip(other.sent_per_node.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.recv_per_node.iter_mut().zip(other.recv_per_node.iter()) {
+            *a += b;
+        }
+        self.queue_wait.merge(&other.queue_wait);
+        self.bytes += other.bytes;
+        self.contention_cycles += other.contention_cycles;
+        self.local_msgs += other.local_msgs;
     }
 }
 
@@ -236,11 +275,15 @@ impl Crossbar {
         self.stats.bytes += kind.bytes(self.block_size);
         let latency = kind.latency(&self.timing);
         match &mut self.port_busy_until {
-            None => now + latency,
+            None => {
+                self.stats.queue_wait.record(0);
+                now + latency
+            }
             Some(ports) => {
                 let port = &mut ports[dst.index()];
                 let start = now.max(*port);
                 self.stats.contention_cycles += start - now;
+                self.stats.queue_wait.record(start - now);
                 *port = start + latency;
                 start + latency
             }
@@ -351,6 +394,36 @@ mod tests {
         let mut x = Crossbar::new(2, Timing::paper()).with_block_size(64);
         x.send(NodeId::new(0), NodeId::new(1), MsgKind::Writeback, 0);
         assert_eq!(x.stats().bytes, 72);
+    }
+
+    #[test]
+    fn queue_wait_histogram_records_contention_waits() {
+        let mut x = Crossbar::new(4, Timing::paper()).with_contention();
+        let dst = NodeId::new(3);
+        x.send(NodeId::new(0), dst, MsgKind::ReadReq, 0);
+        x.send(NodeId::new(1), dst, MsgKind::ReadReq, 0); // waits 16
+        let h = x.stats().queue_wait();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 16);
+        assert_eq!(h.max(), Some(16));
+    }
+
+    #[test]
+    fn net_stats_merge_folds_counters_and_histograms() {
+        let mut a = xbar();
+        let mut b = xbar();
+        a.send(NodeId::new(0), NodeId::new(1), MsgKind::ReadReq, 0);
+        b.send(NodeId::new(1), NodeId::new(2), MsgKind::BlockReply, 0);
+        b.send(NodeId::new(2), NodeId::new(2), MsgKind::Ack, 0);
+        let mut merged = a.stats().clone();
+        merged.merge(b.stats());
+        assert_eq!(merged.total_msgs(), 2);
+        assert_eq!(merged.msgs_of(MsgKind::ReadReq), 1);
+        assert_eq!(merged.msgs_of(MsgKind::BlockReply), 1);
+        assert_eq!(merged.local_msgs, 1);
+        assert_eq!(merged.bytes, 8 + 136);
+        assert_eq!(merged.sent_by(NodeId::new(1)), 1);
+        assert_eq!(merged.queue_wait().count(), 2);
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! Execution-time breakdown (the Figure-10 categories).
+//! Execution-time breakdowns: the paper's coarse Figure-10 categories and
+//! the finer per-request latency attribution behind `--breakdown`.
+
+use serde::Serialize;
+use vcoma_metrics::Mergeable;
 
 /// Cycles spent by one node (or summed over nodes), split into the paper's
 /// execution-time categories.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
 pub struct TimeBreakdown {
     /// Instruction execution (`Compute` ops plus one issue cycle per memory
     /// reference).
@@ -39,13 +43,117 @@ impl TimeBreakdown {
         }
     }
 
-    /// Accumulates another breakdown into this one.
-    pub fn merge(&mut self, o: &TimeBreakdown) {
+}
+
+impl Mergeable for TimeBreakdown {
+    fn merge(&mut self, o: &Self) {
         self.busy += o.busy;
         self.sync += o.sync;
         self.local_stall += o.local_stall;
         self.remote_stall += o.remote_stall;
         self.translation += o.translation;
+    }
+}
+
+/// Fine-grained latency attribution for one node (or summed over nodes).
+///
+/// Every elapsed cycle of a node's simulated time lands in exactly one of
+/// these categories, so for any run `total() == node.time` — enforced by
+/// the conservation integration test. This refines [`TimeBreakdown`]:
+/// `busy`/`sync` match its categories, `tlb_walk + dlb_lookup` refines
+/// `translation`, and `coherence + network + queue` refines
+/// `remote_stall`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
+pub struct LatencyBreakdown {
+    /// Instruction execution (`Compute` ops plus one issue cycle per
+    /// memory reference).
+    pub busy: u64,
+    /// Waiting at barriers and locks.
+    pub sync: u64,
+    /// Page-table walks on node TLB misses (including writeback and
+    /// protection-change translations under the TLB schemes).
+    pub tlb_walk: u64,
+    /// Home-node DLB lookups and walks (V-COMA's in-memory translation).
+    pub dlb_lookup: u64,
+    /// Local hierarchy stalls: FLC hits, SLC hits and local
+    /// attraction-memory hits.
+    pub local_stall: u64,
+    /// Remote memory service time: directory lookups and
+    /// attraction-memory access at the home or owner.
+    pub coherence: u64,
+    /// Wire latency of coherence messages.
+    pub network: u64,
+    /// Waiting for contended crossbar output ports (zero in the paper's
+    /// contention-free model).
+    pub queue: u64,
+}
+
+/// Category names of [`LatencyBreakdown`], in field order (matches
+/// [`LatencyBreakdown::as_array`]).
+pub const LATENCY_CATEGORIES: [&str; 8] = [
+    "busy",
+    "sync",
+    "tlb_walk",
+    "dlb_lookup",
+    "local_stall",
+    "coherence",
+    "network",
+    "queue",
+];
+
+impl LatencyBreakdown {
+    /// Total cycles across all categories.
+    pub const fn total(&self) -> u64 {
+        self.busy
+            + self.sync
+            + self.tlb_walk
+            + self.dlb_lookup
+            + self.local_stall
+            + self.coherence
+            + self.network
+            + self.queue
+    }
+
+    /// Translation overhead (node TLB walks plus home DLB lookups).
+    pub const fn translation(&self) -> u64 {
+        self.tlb_walk + self.dlb_lookup
+    }
+
+    /// The category values in [`LATENCY_CATEGORIES`] order.
+    pub const fn as_array(&self) -> [u64; 8] {
+        [
+            self.busy,
+            self.sync,
+            self.tlb_walk,
+            self.dlb_lookup,
+            self.local_stall,
+            self.coherence,
+            self.network,
+            self.queue,
+        ]
+    }
+}
+
+impl Mergeable for LatencyBreakdown {
+    fn merge(&mut self, o: &Self) {
+        self.busy += o.busy;
+        self.sync += o.sync;
+        self.tlb_walk += o.tlb_walk;
+        self.dlb_lookup += o.dlb_lookup;
+        self.local_stall += o.local_stall;
+        self.coherence += o.coherence;
+        self.network += o.network;
+        self.queue += o.queue;
+    }
+}
+
+impl std::fmt::Display for LatencyBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let vals = self.as_array();
+        for (name, v) in LATENCY_CATEGORIES.iter().zip(vals.iter()) {
+            write!(f, "{name}={v} ")?;
+        }
+        write!(f, "(total {})", self.total())
     }
 }
 
@@ -99,6 +207,40 @@ mod tests {
     fn display_mentions_every_category() {
         let s = TimeBreakdown::default().to_string();
         for key in ["busy", "sync", "loc-stall", "rem-stall", "xlat"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn latency_breakdown_total_covers_every_category() {
+        let fine = LatencyBreakdown {
+            busy: 1,
+            sync: 2,
+            tlb_walk: 4,
+            dlb_lookup: 8,
+            local_stall: 16,
+            coherence: 32,
+            network: 64,
+            queue: 128,
+        };
+        assert_eq!(fine.total(), 255);
+        assert_eq!(fine.translation(), 12);
+        assert_eq!(fine.as_array().iter().sum::<u64>(), fine.total());
+        assert_eq!(fine.as_array().len(), LATENCY_CATEGORIES.len());
+    }
+
+    #[test]
+    fn latency_breakdown_merge_accumulates() {
+        let mut a = LatencyBreakdown { network: 10, ..LatencyBreakdown::default() };
+        a.merge(&LatencyBreakdown { network: 5, queue: 7, ..LatencyBreakdown::default() });
+        assert_eq!(a.network, 15);
+        assert_eq!(a.queue, 7);
+    }
+
+    #[test]
+    fn latency_display_mentions_every_category() {
+        let s = LatencyBreakdown::default().to_string();
+        for key in LATENCY_CATEGORIES {
             assert!(s.contains(key), "missing {key} in {s}");
         }
     }

@@ -36,6 +36,7 @@
 
 use crate::{SimConfig, TimeBreakdown, TlbBank};
 use std::collections::HashMap;
+use vcoma_metrics::Mergeable;
 use vcoma_cachesim::{Flc, Slc};
 use vcoma_net::{Crossbar, MsgKind};
 use vcoma_types::{AccessKind, NodeId, Op, VAddr, VPage};

@@ -29,6 +29,11 @@ pub struct SimConfig {
     /// How master-copy victims search for a new slot (paper §4.2 random
     /// forwarding by default).
     pub injection_policy: InjectionPolicy,
+    /// Capacity of the machine's structured-event ring: the newest
+    /// `event_capacity` traced events (TLB/DLB misses, shootdowns,
+    /// swap-outs) are kept; older ones are dropped and counted. Zero
+    /// disables event tracing entirely.
+    pub event_capacity: usize,
 }
 
 impl SimConfig {
@@ -43,6 +48,7 @@ impl SimConfig {
             contention: false,
             warmup: false,
             injection_policy: InjectionPolicy::RandomForward,
+            event_capacity: 1024,
         }
     }
 
@@ -85,6 +91,12 @@ impl SimConfig {
         self.injection_policy = policy;
         self
     }
+
+    /// Sets the event-ring capacity (see [`SimConfig::event_capacity`]).
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -103,10 +115,12 @@ mod tests {
         let c = SimConfig::new(MachineConfig::tiny(), Scheme::VComa)
             .with_entries(16)
             .with_seed(99)
-            .with_contention();
+            .with_contention()
+            .with_event_capacity(4);
         assert_eq!(c.translation_specs, vec![(16, TlbOrg::FullyAssociative)]);
         assert_eq!(c.seed, 99);
         assert!(c.contention);
+        assert_eq!(c.event_capacity, 4);
     }
 
     #[test]

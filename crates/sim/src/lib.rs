@@ -53,7 +53,7 @@ mod report;
 mod sync;
 
 pub use bank::TlbBank;
-pub use breakdown::TimeBreakdown;
+pub use breakdown::{LatencyBreakdown, TimeBreakdown, LATENCY_CATEGORIES};
 pub use config::SimConfig;
 pub use machine::Machine;
-pub use report::{NodeReport, SimReport};
+pub use report::{BuildError, NodeReport, SimReport, SimReportBuilder, TimeBreakdownF};

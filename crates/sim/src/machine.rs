@@ -1,12 +1,14 @@
 //! The machine: nodes, memory hierarchy, translation schemes and the
 //! trace-replay engine.
 
+use crate::breakdown::LatencyBreakdown;
 use crate::sync::{Barriers, Locks};
 use crate::{SimConfig, SimReport, TimeBreakdown, TlbBank};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use vcoma_cachesim::{Flc, Slc};
 use vcoma_coherence::{Access, HomeTranslation, NullTranslation, Protocol};
+use vcoma_metrics::{Event, Mergeable, MetricsRegistry};
 use vcoma_net::{Crossbar, MsgKind};
 use vcoma_tlb::Scheme;
 use vcoma_types::{AccessKind, MachineConfig, NodeId, Op, VAddr, VPage};
@@ -31,6 +33,9 @@ struct NodeCtx {
     xlb: TlbBank,
     time: u64,
     breakdown: TimeBreakdown,
+    /// Fine latency attribution; every cycle of `time` lands in exactly
+    /// one of its categories (`fine.total() == time`).
+    fine: LatencyBreakdown,
     refs: u64,
     reads: u64,
     writes: u64,
@@ -56,6 +61,10 @@ pub struct Machine {
     /// I/O itself is not timed — the paper's runs are preloaded — but the
     /// count makes over-capacity workloads visible instead of fatal.
     page_faults: u64,
+    /// Machine-level metrics: per-request latency histograms and traced
+    /// events (TLB/DLB misses, shootdowns, swap-outs). Observation-only —
+    /// never feeds back into timing.
+    metrics: MetricsRegistry,
 }
 
 /// The physical frame allocator matching the scheme.
@@ -86,9 +95,11 @@ impl PhysAlloc {
 /// page number would collapse all of a home's pages into a single set.
 struct DlbHook<'a> {
     nodes: &'a mut [NodeCtx],
+    metrics: &'a mut MetricsRegistry,
     blocks_per_page: u64,
     node_count: u64,
     penalty: u64,
+    now: u64,
 }
 
 impl HomeTranslation for DlbHook<'_> {
@@ -97,6 +108,12 @@ impl HomeTranslation for DlbHook<'_> {
         if self.nodes[home.index()].xlb.access(key) {
             0
         } else {
+            self.metrics.trace(Event {
+                cycle: self.now,
+                node: home.raw(),
+                kind: "dlb_miss",
+                addr: key.raw(),
+            });
             self.penalty
         }
     }
@@ -119,6 +136,7 @@ impl Machine {
                 xlb: TlbBank::new(&cfg.translation_specs, cfg.seed ^ (i << 17)),
                 time: 0,
                 breakdown: TimeBreakdown::default(),
+                fine: LatencyBreakdown::default(),
                 refs: 0,
                 reads: 0,
                 writes: 0,
@@ -144,6 +162,7 @@ impl Machine {
             barriers: Barriers::new(m.nodes as usize, BARRIER_RELEASE_COST),
             locks: Locks::new(LOCK_ACQUIRE_COST, LOCK_RELEASE_COST),
             page_faults: 0,
+            metrics: MetricsRegistry::new(cfg.event_capacity),
             cfg,
         }
     }
@@ -180,6 +199,7 @@ impl Machine {
         for n in &mut self.nodes {
             n.time = 0;
             n.breakdown = TimeBreakdown::default();
+            n.fine = LatencyBreakdown::default();
             n.refs = 0;
             n.reads = 0;
             n.writes = 0;
@@ -189,6 +209,7 @@ impl Machine {
         }
         self.protocol.reset_stats();
         self.net.reset_stats();
+        self.metrics.reset();
     }
 
     /// Replays the traces to completion once.
@@ -212,6 +233,7 @@ impl Machine {
             match op {
                 Op::Compute(c) => {
                     self.nodes[n].breakdown.busy += c;
+                    self.nodes[n].fine.busy += c;
                     resumes.push((n, t + c));
                 }
                 Op::Read(va) => {
@@ -226,6 +248,7 @@ impl Machine {
                     if let Some(released) = self.barriers.arrive(id, n, t) {
                         for (node, resume, sync) in released {
                             self.nodes[node].breakdown.sync += sync;
+                            self.nodes[node].fine.sync += sync;
                             resumes.push((node, resume));
                         }
                     }
@@ -233,15 +256,18 @@ impl Machine {
                 Op::Lock(id) => {
                     if let Some((resume, sync)) = self.locks.acquire(id, n, t) {
                         self.nodes[n].breakdown.sync += sync;
+                        self.nodes[n].fine.sync += sync;
                         resumes.push((n, resume));
                     }
                 }
                 Op::Unlock(id) => {
                     let ((resume, sync), next) = self.locks.release(id, n, t);
                     self.nodes[n].breakdown.sync += sync;
+                    self.nodes[n].fine.sync += sync;
                     resumes.push((n, resume));
                     if let Some((waiter, wresume, wsync)) = next {
                         self.nodes[waiter].breakdown.sync += wsync;
+                        self.nodes[waiter].fine.sync += wsync;
                         resumes.push((waiter, wresume));
                     }
                 }
@@ -270,8 +296,18 @@ impl Machine {
     }
 
     /// Executes one memory reference for node `n`; returns the elapsed
-    /// cycles.
+    /// cycles and feeds the per-request latency histograms.
     fn access(&mut self, n: usize, va: VAddr, kind: AccessKind) -> u64 {
+        let dt = self.access_inner(n, va, kind);
+        let name = match kind {
+            AccessKind::Read => "latency.read",
+            AccessKind::Write => "latency.write",
+        };
+        self.metrics.observe(name, dt);
+        dt
+    }
+
+    fn access_inner(&mut self, n: usize, va: VAddr, kind: AccessKind) -> u64 {
         let m = &self.cfg.machine;
         let scheme = self.cfg.scheme;
         let timing = m.timing;
@@ -282,10 +318,10 @@ impl Machine {
 
         // --- address-space views and home selection ---------------------
         let (pa, home) = if scheme == Scheme::VComa {
-            self.ensure_directory_mapping(page);
+            self.ensure_directory_mapping(n, page);
             (None, self.cfg.machine.home_of_vpage(page))
         } else {
-            let frame = self.ensure_physical_mapping(page);
+            let frame = self.ensure_physical_mapping(n, page);
             let pa = frame.base(page_size).raw() + va.page_offset(page_size);
             (Some(pa), self.cfg.machine.home_of_pframe(frame.raw()))
         };
@@ -302,6 +338,7 @@ impl Machine {
         {
             let node = &mut self.nodes[n];
             node.breakdown.busy += 1;
+            node.fine.busy += 1;
             t += 1;
             node.refs += 1;
             match kind {
@@ -321,6 +358,7 @@ impl Machine {
             AccessKind::Write => self.nodes[n].flc.write(flc_block).is_hit(),
         };
         t += timing.flc_hit;
+        self.nodes[n].fine.local_stall += timing.flc_hit;
         if kind == AccessKind::Read && flc_hit {
             return t - t0;
         }
@@ -348,12 +386,20 @@ impl Machine {
                 if !hit {
                     t += timing.translation_miss;
                     self.nodes[n].breakdown.translation += timing.translation_miss;
+                    self.nodes[n].fine.tlb_walk += timing.translation_miss;
+                    self.metrics.trace(Event {
+                        cycle: t,
+                        node: n as u16,
+                        kind: "tlb_miss",
+                        addr: wb_page.raw(),
+                    });
                 }
             }
         }
         if slc_res.hit {
             t += timing.slc_hit;
             self.nodes[n].breakdown.local_stall += timing.slc_hit;
+            self.nodes[n].fine.local_stall += timing.slc_hit;
             if kind == AccessKind::Read {
                 return t - t0;
             }
@@ -371,6 +417,7 @@ impl Machine {
             if !slc_res.hit {
                 t += timing.am_hit;
                 self.nodes[n].breakdown.local_stall += timing.am_hit;
+                self.nodes[n].fine.local_stall += timing.am_hit;
             }
             // Refresh protocol-side stats/recency; guaranteed local.
             let out = self.run_protocol(node_id, am_block, home, kind, t);
@@ -391,6 +438,7 @@ impl Machine {
         if !slc_res.hit && had_local_copy {
             t += timing.am_hit;
             self.nodes[n].breakdown.local_stall += timing.am_hit;
+            self.nodes[n].fine.local_stall += timing.am_hit;
         }
 
         let out = self.run_protocol(node_id, am_block, home, kind, t);
@@ -400,6 +448,10 @@ impl Machine {
             let node = &mut self.nodes[n];
             node.breakdown.remote_stall += out.latency - out.home_lookup_cycles;
             node.breakdown.translation += out.home_lookup_cycles;
+            node.fine.dlb_lookup += out.home_lookup_cycles;
+            node.fine.coherence += out.mem_cycles;
+            node.fine.network += out.net_cycles;
+            node.fine.queue += out.queue_cycles;
         }
         if out.home_lookup_cycles > 0 {
             // A DLB refill touches the page-table entry (reference bit).
@@ -426,8 +478,9 @@ impl Machine {
         let t0 = self.nodes[n].time;
         let mut t = t0 + 1;
         self.nodes[n].breakdown.busy += 1;
+        self.nodes[n].fine.busy += 1;
         if self.cfg.scheme == Scheme::VComa {
-            self.ensure_directory_mapping(page);
+            self.ensure_directory_mapping(n, page);
             let _ = self.page_table.protect(page, prot);
             let home = cfg.home_of_vpage(page);
             // Request to the home PE, which updates the page table and its
@@ -448,9 +501,16 @@ impl Machine {
             }
             arrive = last_ack.max(self.net.send(home, node_id, MsgKind::Ack, arrive));
             self.nodes[n].breakdown.translation += arrive - t;
+            self.nodes[n].fine.dlb_lookup += arrive - t;
+            self.metrics.trace(Event {
+                cycle: arrive,
+                node: home.raw(),
+                kind: "shootdown",
+                addr: page.raw(),
+            });
             t = arrive;
         } else {
-            self.ensure_physical_mapping(page);
+            self.ensure_physical_mapping(n, page);
             let _ = self.page_table.protect(page, prot);
             // TLB consistency: shoot the page down in every node's TLB and
             // charge one broadcast round trip.
@@ -459,14 +519,22 @@ impl Machine {
             }
             let cost = 2 * timing.net_request;
             self.nodes[n].breakdown.translation += cost;
+            self.nodes[n].fine.tlb_walk += cost;
+            self.metrics.trace(Event {
+                cycle: t + cost,
+                node: n as u16,
+                kind: "shootdown",
+                addr: page.raw(),
+            });
             t += cost;
         }
         t - t0
     }
 
-    /// Maps `page` to a V-COMA directory page, swapping a resident page of
-    /// the same global page set out if the set is saturated (§4.3).
-    fn ensure_directory_mapping(&mut self, page: VPage) {
+    /// Maps `page` to a V-COMA directory page for requester `n`, swapping
+    /// a resident page of the same global page set out if the set is
+    /// saturated (§4.3).
+    fn ensure_directory_mapping(&mut self, n: usize, page: VPage) {
         loop {
             match self.page_table.map_directory(page, &mut self.dir_alloc) {
                 Ok(_) => return,
@@ -493,29 +561,35 @@ impl Machine {
                     self.dir_alloc.swap_out(victim, &cfg).expect("victim was resident");
                     self.page_table.unmap(victim).expect("victim was mapped");
                     self.page_faults += 1;
+                    self.metrics.trace(Event {
+                        cycle: self.nodes[n].time,
+                        node: n as u16,
+                        kind: "swap_out",
+                        addr: victim.raw(),
+                    });
                 }
                 Err(e) => panic!("virtual memory error: {e}"),
             }
         }
     }
 
-    /// Maps `page` to a physical frame, swapping a resident page out if
-    /// the frame pool (or the required color, under `L3-TLB`) is
-    /// exhausted.
-    fn ensure_physical_mapping(&mut self, page: VPage) -> vcoma_types::PFrame {
+    /// Maps `page` to a physical frame for requester `n`, swapping a
+    /// resident page out if the frame pool (or the required color, under
+    /// `L3-TLB`) is exhausted.
+    fn ensure_physical_mapping(&mut self, n: usize, page: VPage) -> vcoma_types::PFrame {
         loop {
             match self.page_table.map_physical(page, self.phys_alloc.as_mut()) {
                 Ok(f) => return f,
-                Err(vcoma_vm::VmError::OutOfFrames) => self.swap_out_physical(page, None),
+                Err(vcoma_vm::VmError::OutOfFrames) => self.swap_out_physical(n, page, None),
                 Err(vcoma_vm::VmError::OutOfColoredFrames { color }) => {
-                    self.swap_out_physical(page, Some(color))
+                    self.swap_out_physical(n, page, Some(color))
                 }
                 Err(e) => panic!("virtual memory error: {e}"),
             }
         }
     }
 
-    fn swap_out_physical(&mut self, faulting: VPage, color: Option<u64>) {
+    fn swap_out_physical(&mut self, n: usize, faulting: VPage, color: Option<u64>) {
         let cfg = self.cfg.machine.clone();
         let victim = self
             .page_table
@@ -545,6 +619,12 @@ impl Machine {
         self.phys_alloc.as_mut().release(frame);
         self.page_table.unmap(victim).expect("victim was mapped");
         self.page_faults += 1;
+        self.metrics.trace(Event {
+            cycle: self.nodes[n].time,
+            node: n as u16,
+            kind: "swap_out",
+            addr: victim.raw(),
+        });
     }
 
     /// Purges a page's worth of AM blocks starting at `first_block` from
@@ -575,8 +655,14 @@ impl Machine {
         let blocks_per_page = self.cfg.machine.blocks_per_page();
         if self.cfg.scheme == Scheme::VComa {
             let node_count = self.cfg.machine.nodes;
-            let mut hook =
-                DlbHook { nodes: &mut self.nodes, blocks_per_page, node_count, penalty };
+            let mut hook = DlbHook {
+                nodes: &mut self.nodes,
+                metrics: &mut self.metrics,
+                blocks_per_page,
+                node_count,
+                penalty,
+                now,
+            };
             match kind {
                 AccessKind::Read => {
                     self.protocol.read(node, am_block, home, &mut self.net, &mut hook, now)
@@ -610,6 +696,13 @@ impl Machine {
             let penalty = self.cfg.machine.timing.translation_miss;
             *t += penalty;
             self.nodes[n].breakdown.translation += penalty;
+            self.nodes[n].fine.tlb_walk += penalty;
+            self.metrics.trace(Event {
+                cycle: *t,
+                node: n as u16,
+                kind: "tlb_miss",
+                addr: page.raw(),
+            });
             let _ = self.page_table.set_referenced(page);
         }
     }
@@ -633,27 +726,33 @@ impl Machine {
     fn into_report(self) -> SimReport {
         let pressure =
             PressureProfile::from_pages(self.page_table.iter().map(|(p, _)| p), &self.cfg.machine);
-        SimReport::assemble(
-            self.cfg,
-            self.nodes
-                .into_iter()
-                .map(|n| crate::report::NodeReport {
-                    time: n.time,
-                    breakdown: n.breakdown,
-                    refs: n.refs,
-                    reads: n.reads,
-                    writes: n.writes,
-                    translation: n.xlb.all_stats().copied().collect(),
-                    flc: *n.flc.stats(),
-                    slc: *n.slc.stats(),
-                })
-                .collect(),
-            *self.protocol.stats(),
-            self.net.stats().total_msgs(),
-            self.net.stats().bytes,
-            pressure,
-            self.dir_alloc.swap_outs().max(self.page_faults),
-        )
+        let mut metrics = self.metrics.snapshot();
+        metrics.merge(&self.protocol.metrics().snapshot());
+        SimReport::builder()
+            .config(self.cfg)
+            .nodes(
+                self.nodes
+                    .into_iter()
+                    .map(|n| crate::report::NodeReport {
+                        time: n.time,
+                        breakdown: n.breakdown,
+                        fine: n.fine,
+                        refs: n.refs,
+                        reads: n.reads,
+                        writes: n.writes,
+                        translation: n.xlb.all_stats().copied().collect(),
+                        flc: *n.flc.stats(),
+                        slc: *n.slc.stats(),
+                    })
+                    .collect(),
+            )
+            .protocol(*self.protocol.stats())
+            .net(self.net.stats().clone())
+            .pressure(pressure)
+            .swap_outs(self.dir_alloc.swap_outs().max(self.page_faults))
+            .metrics(metrics)
+            .build()
+            .expect("the simulator sets every report field")
     }
 }
 

@@ -1,8 +1,11 @@
-//! Simulation results.
+//! Simulation results and the [`SimReportBuilder`] that assembles them.
 
+use crate::breakdown::LatencyBreakdown;
 use crate::{SimConfig, TimeBreakdown};
 use vcoma_cachesim::CacheStats;
 use vcoma_coherence::ProtocolStats;
+use vcoma_metrics::{Mergeable, MetricsSnapshot};
+use vcoma_net::NetStats;
 use vcoma_tlb::TlbStats;
 use vcoma_vm::PressureProfile;
 
@@ -13,6 +16,9 @@ pub struct NodeReport {
     pub time: u64,
     /// The node's time breakdown.
     pub breakdown: TimeBreakdown,
+    /// The node's fine-grained latency attribution; conserves cycles:
+    /// `fine.total() == time`.
+    pub fine: LatencyBreakdown,
     /// Memory references issued.
     pub refs: u64,
     /// Loads issued.
@@ -29,29 +35,142 @@ pub struct NodeReport {
 }
 
 /// Results of one simulation run.
+///
+/// Built by the simulator through [`SimReport::builder`]; read through the
+/// getters and aggregate helpers.
 #[derive(Debug, Clone)]
 pub struct SimReport {
     cfg: SimConfig,
     nodes: Vec<NodeReport>,
     protocol: ProtocolStats,
-    net_msgs: u64,
-    net_bytes: u64,
+    net: NetStats,
     pressure: PressureProfile,
     swap_outs: u64,
+    metrics: MetricsSnapshot,
 }
 
+/// Staged construction of a [`SimReport`].
+///
+/// Every field has a typed setter; [`SimReportBuilder::build`] refuses to
+/// produce a report until all of them have been supplied, naming the
+/// missing ones. This replaces the old positional `assemble` constructor,
+/// whose seven same-typed arguments were easy to transpose silently.
+#[derive(Debug, Default)]
+pub struct SimReportBuilder {
+    cfg: Option<SimConfig>,
+    nodes: Option<Vec<NodeReport>>,
+    protocol: Option<ProtocolStats>,
+    net: Option<NetStats>,
+    pressure: Option<PressureProfile>,
+    swap_outs: Option<u64>,
+    metrics: Option<MetricsSnapshot>,
+}
+
+impl SimReportBuilder {
+    /// Sets the run configuration.
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = Some(cfg);
+        self
+    }
+
+    /// Sets the per-node reports.
+    pub fn nodes(mut self, nodes: Vec<NodeReport>) -> Self {
+        self.nodes = Some(nodes);
+        self
+    }
+
+    /// Sets the machine-wide protocol statistics.
+    pub fn protocol(mut self, protocol: ProtocolStats) -> Self {
+        self.protocol = Some(protocol);
+        self
+    }
+
+    /// Sets the crossbar traffic statistics.
+    pub fn net(mut self, net: NetStats) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// Sets the end-of-run pressure profile.
+    pub fn pressure(mut self, pressure: PressureProfile) -> Self {
+        self.pressure = Some(pressure);
+        self
+    }
+
+    /// Sets the page-daemon swap-out count.
+    pub fn swap_outs(mut self, swap_outs: u64) -> Self {
+        self.swap_outs = Some(swap_outs);
+        self
+    }
+
+    /// Sets the merged metrics snapshot (machine + protocol registries).
+    pub fn metrics(mut self, metrics: MetricsSnapshot) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Finishes the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the names of the fields that were never set.
+    pub fn build(self) -> Result<SimReport, BuildError> {
+        let mut missing = Vec::new();
+        if self.cfg.is_none() {
+            missing.push("config");
+        }
+        if self.nodes.is_none() {
+            missing.push("nodes");
+        }
+        if self.protocol.is_none() {
+            missing.push("protocol");
+        }
+        if self.net.is_none() {
+            missing.push("net");
+        }
+        if self.pressure.is_none() {
+            missing.push("pressure");
+        }
+        if self.swap_outs.is_none() {
+            missing.push("swap_outs");
+        }
+        if self.metrics.is_none() {
+            missing.push("metrics");
+        }
+        if !missing.is_empty() {
+            return Err(BuildError { missing });
+        }
+        Ok(SimReport {
+            cfg: self.cfg.expect("checked"),
+            nodes: self.nodes.expect("checked"),
+            protocol: self.protocol.expect("checked"),
+            net: self.net.expect("checked"),
+            pressure: self.pressure.expect("checked"),
+            swap_outs: self.swap_outs.expect("checked"),
+            metrics: self.metrics.expect("checked"),
+        })
+    }
+}
+
+/// A [`SimReportBuilder::build`] call was missing required fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError {
+    /// Names of the unset fields, in declaration order.
+    pub missing: Vec<&'static str>,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimReport is missing fields: {}", self.missing.join(", "))
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 impl SimReport {
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn assemble(
-        cfg: SimConfig,
-        nodes: Vec<NodeReport>,
-        protocol: ProtocolStats,
-        net_msgs: u64,
-        net_bytes: u64,
-        pressure: PressureProfile,
-        swap_outs: u64,
-    ) -> Self {
-        SimReport { cfg, nodes, protocol, net_msgs, net_bytes, pressure, swap_outs }
+    /// Starts building a report.
+    pub fn builder() -> SimReportBuilder {
+        SimReportBuilder::default()
     }
 
     /// The configuration of the run.
@@ -69,14 +188,25 @@ impl SimReport {
         &self.protocol
     }
 
+    /// Crossbar traffic statistics.
+    pub fn net(&self) -> &NetStats {
+        &self.net
+    }
+
     /// Total crossbar messages.
     pub fn net_msgs(&self) -> u64 {
-        self.net_msgs
+        self.net.total_msgs()
     }
 
     /// Total crossbar payload bytes.
     pub fn net_bytes(&self) -> u64 {
-        self.net_bytes
+        self.net.bytes
+    }
+
+    /// The merged metrics snapshot: counters, histograms and traced events
+    /// from the machine and protocol registries.
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
     }
 
     /// The end-of-run global-page-set pressure profile (Figure 11).
@@ -117,6 +247,16 @@ impl SimReport {
         let mut b = TimeBreakdown::default();
         for n in &self.nodes {
             b.merge(&n.breakdown);
+        }
+        b
+    }
+
+    /// Sum of all nodes' fine latency breakdowns; conserves cycles:
+    /// `aggregate_fine().total() == simulated_cycles()`.
+    pub fn aggregate_fine(&self) -> LatencyBreakdown {
+        let mut b = LatencyBreakdown::default();
+        for n in &self.nodes {
+            b.merge(&n.fine);
         }
         b
     }
@@ -209,15 +349,16 @@ mod tests {
     use vcoma_types::MachineConfig;
 
     fn empty_report() -> SimReport {
-        SimReport::assemble(
-            SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb),
-            vec![],
-            ProtocolStats::default(),
-            0,
-            0,
-            PressureProfile::from_occupancy(&[0, 0], 4),
-            0,
-        )
+        SimReport::builder()
+            .config(SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb))
+            .nodes(vec![])
+            .protocol(ProtocolStats::default())
+            .net(NetStats::default())
+            .pressure(PressureProfile::from_occupancy(&[0, 0], 4))
+            .swap_outs(0)
+            .metrics(MetricsSnapshot::default())
+            .build()
+            .expect("all fields set")
     }
 
     #[test]
@@ -235,9 +376,23 @@ mod tests {
         assert_eq!(r.total_refs(), 0);
         assert_eq!(r.translation_miss_rate(0), 0.0);
         assert_eq!(r.mean_breakdown().total(), 0.0);
+        assert_eq!(r.aggregate_fine().total(), 0);
         assert_eq!(r.net_msgs(), 0);
         assert_eq!(r.net_bytes(), 0);
         assert_eq!(r.swap_outs(), 0);
+        assert_eq!(r.metrics().counter("anything"), 0);
+    }
+
+    #[test]
+    fn builder_reports_missing_fields_by_name() {
+        let err = SimReport::builder()
+            .protocol(ProtocolStats::default())
+            .swap_outs(0)
+            .build()
+            .expect_err("incomplete builder must fail");
+        assert_eq!(err.missing, vec!["config", "nodes", "net", "pressure", "metrics"]);
+        let msg = err.to_string();
+        assert!(msg.contains("config") && msg.contains("metrics"), "bad message: {msg}");
     }
 
     #[test]
@@ -245,6 +400,7 @@ mod tests {
         let mk_node = |time, refs, misses| NodeReport {
             time,
             breakdown: TimeBreakdown { busy: 10, ..TimeBreakdown::default() },
+            fine: LatencyBreakdown { busy: 10, network: 5, ..LatencyBreakdown::default() },
             refs,
             reads: refs,
             writes: 0,
@@ -252,15 +408,16 @@ mod tests {
             flc: CacheStats::default(),
             slc: CacheStats::default(),
         };
-        let r = SimReport::assemble(
-            SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb),
-            vec![mk_node(100, 50, 5), mk_node(200, 50, 15)],
-            ProtocolStats::default(),
-            0,
-            0,
-            PressureProfile::from_occupancy(&[0], 1),
-            0,
-        );
+        let r = SimReport::builder()
+            .config(SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb))
+            .nodes(vec![mk_node(100, 50, 5), mk_node(200, 50, 15)])
+            .protocol(ProtocolStats::default())
+            .net(NetStats::default())
+            .pressure(PressureProfile::from_occupancy(&[0], 1))
+            .swap_outs(0)
+            .metrics(MetricsSnapshot::default())
+            .build()
+            .expect("all fields set");
         assert_eq!(r.exec_time(), 200);
         assert_eq!(r.simulated_cycles(), 300);
         assert_eq!(r.total_refs(), 100);
@@ -268,6 +425,7 @@ mod tests {
         assert_eq!(r.translation_misses_per_node(0), 10.0);
         assert!((r.translation_miss_rate(0) - 0.2).abs() < 1e-12);
         assert_eq!(r.aggregate_breakdown().busy, 20);
+        assert_eq!(r.aggregate_fine().network, 10);
         assert_eq!(r.mean_breakdown().busy, 10.0);
     }
 }

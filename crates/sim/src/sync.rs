@@ -55,11 +55,18 @@ impl Barriers {
     }
 }
 
+/// One lock's state: the holder (if held) plus the FIFO of waiting
+/// `(node, arrival_time)` pairs.
+type LockState = (Option<usize>, Vec<(usize, u64)>);
+
+/// A woken waiter: `(node, resume_time, sync_cycles)`.
+type Handover = (usize, u64, u64);
+
 /// State of the machine-wide locks.
 #[derive(Debug, Clone, Default)]
 pub struct Locks {
-    /// Lock id → (holder if held, FIFO of waiting `(node, arrival)`).
-    state: HashMap<SyncId, (Option<usize>, Vec<(usize, u64)>)>,
+    /// Lock id → holder and wait queue.
+    state: HashMap<SyncId, LockState>,
     /// Fixed cost of an acquire on a free lock (remote atomic round trip).
     pub acquire_cost: u64,
     /// Fixed cost of a release.
@@ -102,7 +109,7 @@ impl Locks {
         id: SyncId,
         node: usize,
         t: u64,
-    ) -> ((u64, u64), Option<(usize, u64, u64)>) {
+    ) -> ((u64, u64), Option<Handover>) {
         let (holder, queue) = self.state.get_mut(&id).expect("release of unknown lock");
         assert_eq!(*holder, Some(node), "release by non-holder");
         let own = (t + self.release_cost, self.release_cost);

@@ -1,6 +1,8 @@
 //! The TLB/DLB structure.
 
+use serde::Serialize;
 use vcoma_cachesim::{Replacement, SetAssocArray};
+use vcoma_metrics::Mergeable;
 use vcoma_types::{DetRng, VPage};
 
 /// Organisation of a TLB or DLB.
@@ -23,7 +25,7 @@ impl std::fmt::Display for TlbOrg {
 }
 
 /// Hit/miss counters for a TLB or DLB.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
 pub struct TlbStats {
     /// Translations requested.
     pub accesses: u64,
@@ -50,8 +52,10 @@ impl TlbStats {
         }
     }
 
-    /// Accumulates another stats block into this one.
-    pub fn merge(&mut self, other: &TlbStats) {
+}
+
+impl Mergeable for TlbStats {
+    fn merge(&mut self, other: &Self) {
         self.accesses += other.accesses;
         self.misses += other.misses;
         self.evictions += other.evictions;

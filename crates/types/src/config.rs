@@ -217,7 +217,7 @@ impl MachineConfig {
         }
         // A page must span a whole number of AM sets so that a page occupies
         // "the same slots in consecutive global sets" (paper §3.4).
-        if self.am.sets() % self.blocks_per_page() != 0 {
+        if !self.am.sets().is_multiple_of(self.blocks_per_page()) {
             return Err(ConfigError::PageSetMismatch {
                 am_sets: self.am.sets(),
                 blocks_per_page: self.blocks_per_page(),

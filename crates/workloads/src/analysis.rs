@@ -66,7 +66,7 @@ impl TraceAnalysis {
         let buckets = traces.len().max(1);
         let mut sharing = vec![0u64; buckets];
         let mut write_shared = 0u64;
-        for (_, &(r, w)) in &readers_writers {
+        for &(r, w) in readers_writers.values() {
             let degree = (r | w).count_ones() as usize;
             sharing[degree.saturating_sub(1).min(buckets - 1)] += 1;
             if w.count_ones() >= 2 {

@@ -68,9 +68,9 @@ impl Workload for Barnes {
         let walks = scaled_count(self.walks_per_node, self.scale);
 
         for _it in 0..self.iterations {
-            for n in 0..nodes as usize {
+            for (n, body_region) in bodies.iter().enumerate() {
                 let subtree_base = (n as u64 * 4) % tree_pages;
-                let bodies_per_node = bodies[n].size / 64;
+                let bodies_per_node = body_region.size / 64;
                 for w in 0..walks {
                     // Every walk starts at the shared root cells (one very
                     // hot page read by all nodes).
@@ -95,8 +95,8 @@ impl Workload for Barnes {
                     // Update the walked body: walks proceed over the node's
                     // bodies in order (sequential private pages).
                     let body = (w % bodies_per_node) * 64;
-                    b.read(n, bodies[n].addr(body));
-                    b.write(n, bodies[n].addr(body));
+                    b.read(n, body_region.addr(body));
+                    b.write(n, body_region.addr(body));
                 }
             }
             // Tree rebuild: each node republishes its subtree cells

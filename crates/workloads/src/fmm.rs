@@ -71,13 +71,13 @@ impl Workload for Fmm {
         let steps = scaled_count(self.steps_per_node, self.scale);
 
         for _it in 0..self.iterations {
-            for n in 0..nodes as usize {
+            for (n, particles) in particles_r.iter().enumerate() {
                 // A node's subtree: a compact run of hot pages; its
                 // interaction lists: a wider window overlapping the
                 // neighbouring nodes' subtrees.
                 let hot_base = n as u64 * 8 % cell_pages;
                 let wide_base = n as u64 * 8;
-                let particles_per_node = particles_r[n].size / 128;
+                let particles_per_node = particles.size / 128;
                 for step in 0..steps {
                     let r = b.rng().gen_range(100);
                     let page_idx = if r < 72 {
@@ -103,9 +103,9 @@ impl Workload for Fmm {
                     // read early and written back once per couple of cell
                     // visits, walking the node's bodies in order.
                     let p_off = (step / 2) % particles_per_node * 128;
-                    b.read(n, particles_r[n].addr(p_off));
+                    b.read(n, particles.addr(p_off));
                     if step % 2 == 1 {
-                        b.write(n, particles_r[n].addr(p_off));
+                        b.write(n, particles.addr(p_off));
                     }
                 }
             }

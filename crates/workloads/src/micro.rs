@@ -105,9 +105,9 @@ impl Workload for PrivateStream {
         let mut b = TraceBuilder::new(cfg.nodes, 0x5771);
         b.think = 1;
         for _ in 0..self.passes {
-            for n in 0..cfg.nodes as usize {
-                b.stream_read(n, &regions[n], 0, self.bytes_per_node, 64);
-                b.stream_write(n, &regions[n], 0, self.bytes_per_node, 64);
+            for (n, region) in regions.iter().enumerate() {
+                b.stream_read(n, region, 0, self.bytes_per_node, 64);
+                b.stream_write(n, region, 0, self.bytes_per_node, 64);
             }
         }
         b.into_traces()

@@ -104,7 +104,7 @@ impl Workload for Ocean {
                         if gr == 0 || gr + 1 >= self.n {
                             continue; // border rows are fixed
                         }
-                        if (gr + color) % 2 != 0 {
+                        if !(gr + color).is_multiple_of(2) {
                             continue; // wrong color this half-sweep
                         }
                         for k in 0..refs_per_row {

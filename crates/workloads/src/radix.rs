@@ -103,7 +103,7 @@ impl Workload for Radix {
             // are visited in a node-private random order (block-sequential
             // within a page): partitions are stripe-aligned, so a lockstep
             // sweep would hit one home node at a time machine-wide.
-            for n in 0..nodes as usize {
+            for (n, hist) in hist_r.iter().enumerate() {
                 let base = n as u64 * part;
                 let pages = (part / cfg.page_size).max(1);
                 let mut order: Vec<u64> = (0..pages).collect();
@@ -117,7 +117,7 @@ impl Workload for Radix {
                     // private pages).
                     for _ in 0..2 {
                         let bucket = b.rng().gen_range(self.radix);
-                        b.write(n, hist_r[n].addr(bucket * 4));
+                        b.write(n, hist.addr(bucket * 4));
                     }
                 }
             }

@@ -85,7 +85,7 @@ impl Workload for Raytrace {
         const QUEUE_LOCK: u32 = 0;
 
         for _frame in 0..self.frames {
-            for n in 0..nodes as usize {
+            for (n, stack) in stacks.iter().enumerate() {
                 for bu in 0..bundles {
                     // Refill from the shared work queue every couple dozen
                     // bundles (the tracer dequeues work in chunks).
@@ -113,12 +113,12 @@ impl Workload for Raytrace {
                         // Push the ray-tree node on the private stack
                         // (fine-grained, hot first three pages).
                         let depth = b.rng().gen_range(12 * 1024 / 8) * 8;
-                        b.write(n, stacks[n].addr(depth));
-                        b.read(n, stacks[n].addr(depth));
+                        b.write(n, stack.addr(depth));
+                        b.read(n, stack.addr(depth));
                     }
                     // Pop back up the ray tree and write the pixel.
                     let pop = b.rng().gen_range(1024);
-                    b.read(n, stacks[n].addr(pop));
+                    b.read(n, stack.addr(pop));
                     let pixel = (n as u64 * bundles + bu) * 32 % framebuf.size;
                     b.write(n, framebuf.addr(pixel));
                 }

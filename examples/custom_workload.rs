@@ -28,7 +28,7 @@ fn main() {
 
     let mut b = TraceBuilder::new(machine.nodes, 1234);
     b.think = 2;
-    for n in 0..machine.nodes as usize {
+    for (n, result) in results.iter().enumerate() {
         for _task in 0..200 {
             // Claim a task.
             b.critical_section(n, 0, |b, n| {
@@ -40,8 +40,8 @@ fn main() {
             for k in 0..4 {
                 b.read(n, table.addr((off + k * 64) % table.size));
             }
-            let r = b.rng().gen_range(results[n].size / 64) * 64;
-            b.write(n, results[n].addr(r));
+            let r = b.rng().gen_range(result.size / 64) * 64;
+            b.write(n, result.addr(r));
         }
     }
     b.barrier();

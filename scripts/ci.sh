@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> lint: clippy (warnings are errors)"
+cargo clippy --all-targets -- -D warnings
+
 echo "==> tier-1: build"
 cargo build --workspace --release
 

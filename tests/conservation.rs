@@ -1,7 +1,7 @@
 //! Conservation and accounting invariants that must hold across the whole
 //! stack, whatever the scheme or workload.
 
-use vcoma::workloads::{all_benchmarks, Workload};
+use vcoma::workloads::all_benchmarks;
 use vcoma::{Simulator, ALL_SCHEMES};
 use vcoma_types::Op;
 
@@ -30,7 +30,6 @@ fn reference_counts_match_the_traces() {
 
 #[test]
 fn time_accounting_is_consistent() {
-    let machine = vcoma::MachineConfig::paper_baseline();
     for w in all_benchmarks(0.003) {
         for scheme in ALL_SCHEMES {
             let report = Simulator::new(scheme).run(w.as_ref());
@@ -54,9 +53,95 @@ fn time_accounting_is_consistent() {
 }
 
 #[test]
+fn fine_breakdown_conserves_every_cycle() {
+    // The fine latency attribution behind `--breakdown` must account for
+    // every simulated cycle, per node and machine-wide, in all five
+    // schemes — and refine the coarse Figure-10 categories exactly.
+    for w in all_benchmarks(0.003) {
+        for scheme in ALL_SCHEMES {
+            let report = Simulator::new(scheme).run(w.as_ref());
+            for (i, n) in report.nodes().iter().enumerate() {
+                let ctx = || format!("{} {scheme} node {i}", w.name());
+                assert_eq!(n.time, n.fine.total(), "{}: fine breakdown leaks cycles", ctx());
+                // Category-by-category refinement of the coarse breakdown.
+                assert_eq!(n.fine.busy, n.breakdown.busy, "{}", ctx());
+                assert_eq!(n.fine.sync, n.breakdown.sync, "{}", ctx());
+                assert_eq!(n.fine.local_stall, n.breakdown.local_stall, "{}", ctx());
+                assert_eq!(
+                    n.fine.translation(),
+                    n.breakdown.translation,
+                    "{}: tlb_walk + dlb_lookup must equal coarse translation",
+                    ctx()
+                );
+                assert_eq!(
+                    n.fine.coherence + n.fine.network + n.fine.queue,
+                    n.breakdown.remote_stall,
+                    "{}: coherence + network + queue must equal coarse remote stall",
+                    ctx()
+                );
+            }
+            let fine = report.aggregate_fine();
+            assert_eq!(
+                fine.total(),
+                report.simulated_cycles(),
+                "{} {scheme}: machine-wide fine total != simulated cycles",
+                w.name()
+            );
+            // Scheme-specific attribution: node TLB walks belong to the
+            // TLB schemes, home DLB lookups to V-COMA.
+            if scheme == vcoma::Scheme::VComa {
+                assert_eq!(fine.tlb_walk, 0, "{}: V-COMA has no node TLBs", w.name());
+            } else {
+                assert_eq!(fine.dlb_lookup, 0, "{} {scheme}: only V-COMA has DLBs", w.name());
+            }
+            // The contention-free paper model never queues at ports.
+            assert_eq!(fine.queue, 0, "{} {scheme}: queueing without contention", w.name());
+        }
+    }
+}
+
+#[test]
+fn metrics_reconcile_with_report_counters() {
+    // The observation-only metrics layer must agree with the first-class
+    // statistics it mirrors.
+    for w in all_benchmarks(0.003) {
+        for scheme in ALL_SCHEMES {
+            let report = Simulator::new(scheme).run(w.as_ref());
+            let m = report.metrics();
+            let reads: u64 = report.nodes().iter().map(|n| n.reads).sum();
+            let writes = report.total_writes();
+            let h_read = m.histogram("latency.read");
+            let h_write = m.histogram("latency.write");
+            assert_eq!(
+                h_read.map_or(0, |h| h.count),
+                reads,
+                "{} {scheme}: read-latency histogram must have one sample per load",
+                w.name()
+            );
+            assert_eq!(
+                h_write.map_or(0, |h| h.count),
+                writes,
+                "{} {scheme}: write-latency histogram must have one sample per store",
+                w.name()
+            );
+            assert_eq!(
+                m.counter("transition.invalidated"),
+                report.protocol().invalidations,
+                "{} {scheme}: transition counter disagrees with ProtocolStats",
+                w.name()
+            );
+            assert_eq!(
+                m.counter("transition.spilled"),
+                report.protocol().spills,
+                "{} {scheme}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn translation_misses_never_exceed_accesses() {
-    let machine = vcoma::MachineConfig::paper_baseline();
-    let _ = machine;
     for w in all_benchmarks(0.003) {
         for scheme in ALL_SCHEMES {
             let report = Simulator::new(scheme).run(w.as_ref());

@@ -1,7 +1,7 @@
 //! Cross-crate integration: all six scheme variants run every benchmark
 //! end to end on the paper machine.
 
-use vcoma::workloads::{all_benchmarks, PingPong, PrivateStream, UniformRandom, Workload};
+use vcoma::workloads::{all_benchmarks, PingPong, PrivateStream, UniformRandom};
 use vcoma::{Scheme, Simulator, ALL_SCHEMES};
 
 #[test]

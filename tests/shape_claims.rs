@@ -2,8 +2,8 @@
 //! reduced scale. Absolute numbers differ from the paper — the claims here
 //! are about orderings and magnitudes of effects.
 
-use vcoma::workloads::{Radix, Raytrace, Workload};
-use vcoma::{Scheme, Simulator, TlbOrg};
+use vcoma::workloads::{Radix, Raytrace};
+use vcoma::{Scheme, TlbOrg};
 use vcoma_experiments::{fig8, fig9, table2, table4, ExperimentConfig};
 
 fn cfg() -> ExperimentConfig {

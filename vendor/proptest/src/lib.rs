@@ -380,7 +380,8 @@ mod tests {
             flags in prop::collection::vec(prop::bool::ANY, 0..10),
         ) {
             prop_assert!(seed < 100);
-            prop_assert_eq!(flags.len(), flags.iter().count());
+            let negated: Vec<bool> = flags.iter().map(|f| !f).collect();
+            prop_assert_eq!(flags.len(), negated.len());
             prop_assert_ne!(seed, 100);
         }
     }

@@ -1,0 +1,267 @@
+//! A dependency-free, offline shim for the `serde` serialization
+//! framework.
+//!
+//! The build environment has no registry access, so the workspace's
+//! statistics and metrics types compile against this local subset of the
+//! real `serde` API: the [`Serialize`] / [`Serializer`] traits, the
+//! struct / sequence / map sub-serializers, and `Serialize` impls for the
+//! std types the workspace actually serializes (integers, floats, bools,
+//! strings, slices, `Vec`, `Option`, references and string-keyed
+//! `BTreeMap`s). `#[derive(Serialize)]` comes from the sibling
+//! `serde_derive` shim and generates the same call sequence as the real
+//! derive.
+//!
+//! No `Deserialize`, no data-format crates: the workspace's only consumer
+//! is the hand-rolled JSON writer in `vcoma-metrics`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+pub use serde_derive::Serialize;
+
+/// The serializer-side traits, mirroring `serde::ser`.
+pub mod ser {
+    /// A data structure that can be serialized into any data format.
+    pub trait Serialize {
+        /// Serializes `self` with the given serializer.
+        ///
+        /// # Errors
+        ///
+        /// Propagates whatever error the serializer produces.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// A data format that can serialize the data model subset the
+    /// workspace uses.
+    pub trait Serializer: Sized {
+        /// Output produced on success.
+        type Ok;
+        /// Error produced on failure.
+        type Error;
+        /// Sub-serializer for structs.
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Sub-serializer for sequences.
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        /// Sub-serializer for maps.
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Serializes a `bool`.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an unsigned integer.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a signed integer.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a floating-point number.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a string.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `Option::None`.
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `Option::Some(value)`.
+        fn serialize_some<T: Serialize + ?Sized>(
+            self,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Begins a sequence of `len` elements (when known).
+        ///
+        /// # Errors
+        ///
+        /// Propagates whatever error the serializer produces.
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        /// Begins a map of `len` entries (when known).
+        ///
+        /// # Errors
+        ///
+        /// Propagates whatever error the serializer produces.
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+        /// Begins a struct with `len` fields.
+        ///
+        /// # Errors
+        ///
+        /// Propagates whatever error the serializer produces.
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+    }
+
+    /// Returned from [`Serializer::serialize_struct`].
+    pub trait SerializeStruct {
+        /// Output produced on success.
+        type Ok;
+        /// Error produced on failure.
+        type Error;
+        /// Serializes one named field.
+        ///
+        /// # Errors
+        ///
+        /// Propagates whatever error the serializer produces.
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the struct.
+        ///
+        /// # Errors
+        ///
+        /// Propagates whatever error the serializer produces.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Returned from [`Serializer::serialize_seq`].
+    pub trait SerializeSeq {
+        /// Output produced on success.
+        type Ok;
+        /// Error produced on failure.
+        type Error;
+        /// Serializes one element.
+        ///
+        /// # Errors
+        ///
+        /// Propagates whatever error the serializer produces.
+        fn serialize_element<T: Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the sequence.
+        ///
+        /// # Errors
+        ///
+        /// Propagates whatever error the serializer produces.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Returned from [`Serializer::serialize_map`].
+    pub trait SerializeMap {
+        /// Output produced on success.
+        type Ok;
+        /// Error produced on failure.
+        type Error;
+        /// Serializes one key/value entry.
+        ///
+        /// # Errors
+        ///
+        /// Propagates whatever error the serializer produces.
+        fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+            &mut self,
+            key: &K,
+            value: &V,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the map.
+        ///
+        /// # Errors
+        ///
+        /// Propagates whatever error the serializer produces.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub use ser::{Serialize, SerializeMap, SerializeSeq, SerializeStruct, Serializer};
+
+macro_rules! impl_serialize_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(u64::from(*self))
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64);
+
+macro_rules! impl_serialize_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(i64::from(*self))
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_some(v),
+            None => s.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut seq = s.serialize_seq(Some(self.len()))?;
+        for e in self {
+            seq.serialize_element(e)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut map = s.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}

@@ -1,0 +1,131 @@
+//! A dependency-free, offline shim for the `serde_derive` proc-macro
+//! crate.
+//!
+//! The build environment has no registry access, so the workspace derives
+//! [`Serialize`] through this hand-rolled macro instead of the real
+//! `serde_derive` (which needs `syn`/`quote`). It supports the one shape
+//! the workspace's statistics types use — non-generic structs with named
+//! fields — and generates the standard
+//! `serializer.serialize_struct(..)` / `serialize_field(..)` / `end()`
+//! call sequence, so the code it emits compiles unchanged against the
+//! real `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a non-generic struct with named fields.
+///
+/// Enums, tuple structs, unit structs and generic structs are rejected
+/// with a compile error naming this shim, since the workspace never needs
+/// them.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("shim derive emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("valid compile_error"),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[..]`) and visibility ahead of `struct`.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "struct" => break,
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err(format!(
+                    "the vendored serde_derive shim only supports structs, not {id}s"
+                ));
+            }
+            _ => i += 1,
+        }
+    }
+    let Some(TokenTree::Ident(_)) = tokens.get(i) else {
+        return Err("the vendored serde_derive shim found no `struct` keyword".to_string());
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("the vendored serde_derive shim expected a struct name".to_string()),
+    };
+    i += 1;
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "the vendored serde_derive shim does not support generics on `{name}`"
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "the vendored serde_derive shim does not support tuple struct `{name}`"
+                ));
+            }
+            Some(_) => i += 1,
+            None => {
+                return Err(format!(
+                    "the vendored serde_derive shim does not support unit struct `{name}`"
+                ));
+            }
+        }
+    };
+
+    let fields = field_names(body)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize<S: serde::Serializer>(&self, serializer: S) \
+              -> core::result::Result<S::Ok, S::Error> {{\n\
+             use serde::ser::SerializeStruct as _;\n\
+             let mut state = serializer.serialize_struct({name:?}, {})?;\n",
+        fields.len()
+    ));
+    for f in &fields {
+        out.push_str(&format!("        state.serialize_field({f:?}, &self.{f})?;\n"));
+    }
+    out.push_str("        state.end()\n    }\n}\n");
+    Ok(out)
+}
+
+/// Extracts the field names from the brace body of a named-field struct.
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut current: Option<String> = None; // last ident seen before `:`
+    let mut in_type = false; // between `:` and the next top-level `,`
+    let mut depth = 0usize; // < > nesting inside a type
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' && !in_type => {
+                // Skip the attribute group that follows.
+                let _ = iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' && in_type => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && in_type => {
+                depth = depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && !in_type => {
+                // `::` would mean we mis-parsed; field `:` is single.
+                in_type = true;
+                match current.take() {
+                    Some(name) => fields.push(name),
+                    None => return Err("field without a name".to_string()),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && in_type && depth == 0 => {
+                in_type = false;
+            }
+            TokenTree::Ident(id) if !in_type => {
+                let s = id.to_string();
+                if s != "pub" {
+                    current = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(fields)
+}
