@@ -3,8 +3,9 @@
 use crate::{AmState, DirEntry, HomeTranslation, ProtocolStats};
 use std::collections::HashMap;
 use vcoma_cachesim::SetAssocArray;
+use vcoma_faults::{FaultPlan, TxnFaults};
 use vcoma_metrics::MetricsRegistry;
-use vcoma_net::{Crossbar, MsgKind};
+use vcoma_net::{Crossbar, MsgKind, SendOutcome};
 use vcoma_types::{DetRng, MachineConfig, NodeId, Timing};
 
 /// How a master/exclusive victim searches for a new slot.
@@ -41,6 +42,10 @@ pub struct Access {
     /// Portion of `latency` waiting for contended crossbar output ports
     /// (zero in the contention-free model).
     pub queue_cycles: u64,
+    /// Portion of `latency` caused by injected faults: retry backoff,
+    /// timeout waits, NACK round trips' extra delay and fault-added wire
+    /// delay (zero when fault injection is disabled).
+    pub fault_cycles: u64,
     /// AM blocks removed from nodes' attraction memories during this
     /// transaction (coherence invalidations, replacement victims and
     /// injection displacements). The caller must back-invalidate the
@@ -61,6 +66,7 @@ impl Access {
             net_cycles: 0,
             mem_cycles: 0,
             queue_cycles: 0,
+            fault_cycles: 0,
             invalidations: Vec::new(),
             took_ownership: false,
         }
@@ -82,11 +88,12 @@ struct Path {
     queue: u64,
     mem: u64,
     lookup: u64,
+    fault: u64,
 }
 
 impl Path {
     fn start(now: u64) -> Self {
-        Path { t: now, net: 0, queue: 0, mem: 0, lookup: 0 }
+        Path { t: now, net: 0, queue: 0, mem: 0, lookup: 0, fault: 0 }
     }
 
     /// Sends a message along the critical path: wire latency goes to
@@ -115,6 +122,27 @@ impl Path {
         self.lookup += cycles;
     }
 
+    /// Charges fault-recovery wait time (retry backoff, timeout detection).
+    fn fault_wait(&mut self, cycles: u64) {
+        self.t += cycles;
+        self.fault += cycles;
+    }
+
+    /// Absorbs a [`Crossbar::send_faulty`] delivery into the path: wire
+    /// latency goes to `net`, fault-added delay to `fault`, the rest of
+    /// the gap to `queue`. Matches [`Path::send`] exactly when
+    /// `fault_delay` is zero.
+    fn absorb_delivery(&mut self, net: &Crossbar, kind: MsgKind, arrive: u64, fault_delay: u64) {
+        let delta = arrive - self.t;
+        if delta > 0 {
+            let wire = net.latency_of(kind);
+            self.net += wire;
+            self.fault += fault_delay;
+            self.queue += delta - wire - fault_delay;
+        }
+        self.t = arrive;
+    }
+
     /// The later of two alternative paths (ties keep `self`) — the
     /// attribution-carrying replacement for `max` over arrival times.
     fn later(self, other: Path) -> Path {
@@ -135,7 +163,7 @@ impl Path {
         let latency = self.t - now;
         debug_assert_eq!(
             latency,
-            self.lookup + self.net + self.mem + self.queue,
+            self.lookup + self.net + self.mem + self.queue + self.fault,
             "every critical-path cycle must be attributed exactly once"
         );
         Access {
@@ -145,6 +173,7 @@ impl Path {
             net_cycles: self.net,
             mem_cycles: self.mem,
             queue_cycles: self.queue,
+            fault_cycles: self.fault,
             invalidations,
             took_ownership,
         }
@@ -170,6 +199,10 @@ pub struct Protocol {
     /// Named state-transition counters (`transition.*`), alongside the
     /// fixed [`ProtocolStats`] counters.
     metrics: MetricsRegistry,
+    /// Transaction-level fault policy (home NACKs plus retry pacing);
+    /// `None` disables the retry path entirely, keeping fault-free runs on
+    /// the exact pre-fault code path.
+    faults: Option<TxnFaults>,
 }
 
 impl Protocol {
@@ -189,12 +222,21 @@ impl Protocol {
             policy: InjectionPolicy::RandomForward,
             stats: ProtocolStats::default(),
             metrics: MetricsRegistry::new(0),
+            faults: None,
         }
     }
 
     /// Selects the injection policy (default [`InjectionPolicy::RandomForward`]).
     pub fn with_injection_policy(mut self, policy: InjectionPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Enables transaction-level fault injection: home directories NACK
+    /// per the plan and lost requests are detected by timeout, both
+    /// recovered by bounded exponential-backoff retries.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(TxnFaults::new(plan, self.nodes as usize));
         self
     }
 
@@ -254,6 +296,119 @@ impl Protocol {
         self.metrics.reset();
     }
 
+    /// Sends the transaction's opening request with end-to-end recovery.
+    ///
+    /// Only this hop (and the home's NACK decision right after it) can
+    /// abort a transaction — both happen before any state mutation, so an
+    /// aborted attempt leaves the machine exactly as it was and the retry
+    /// re-runs the whole transaction logic trivially: nothing happened
+    /// yet. Lost requests are detected by the requester's timeout; NACKs
+    /// arrive as explicit [`MsgKind::Nack`] replies. Both back off
+    /// exponentially; after the attempt budget the request is delivered
+    /// reliably so every run terminates.
+    fn request_phase(
+        &mut self,
+        path: &mut Path,
+        net: &mut Crossbar,
+        requester: NodeId,
+        home: NodeId,
+        kind: MsgKind,
+    ) {
+        let Self { faults, stats, metrics, .. } = self;
+        let Some(fx) = faults.as_mut() else {
+            path.send(net, requester, home, kind);
+            return;
+        };
+        let mut attempt = 0u32;
+        loop {
+            match net.send_faulty(requester, home, kind, path.t) {
+                SendOutcome::Delivered { arrive, fault_delay } => {
+                    path.absorb_delivery(net, kind, arrive, fault_delay);
+                    if attempt < fx.max_attempts() && fx.nack(home) {
+                        stats.nacks += 1;
+                        stats.retries += 1;
+                        metrics.incr("fault.nack");
+                        metrics.incr("fault.retry");
+                        path.send(net, home, requester, MsgKind::Nack);
+                        path.fault_wait(fx.backoff(attempt));
+                        attempt += 1;
+                        continue;
+                    }
+                    return;
+                }
+                SendOutcome::Dropped => {
+                    stats.timeouts += 1;
+                    metrics.incr("fault.timeout");
+                    if attempt + 1 >= fx.max_attempts() {
+                        stats.retry_exhausted += 1;
+                        metrics.incr("fault.exhausted");
+                        path.fault_wait(fx.timeout());
+                        path.send(net, requester, home, kind);
+                        return;
+                    }
+                    stats.retries += 1;
+                    metrics.incr("fault.retry");
+                    path.fault_wait(fx.timeout() + fx.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Sends a post-request critical-path hop with link-level recovery: a
+    /// lost message costs a timeout and is retransmitted reliably, so the
+    /// already-started atomic transaction always completes.
+    fn path_send_ft(
+        &mut self,
+        path: &mut Path,
+        net: &mut Crossbar,
+        src: NodeId,
+        dst: NodeId,
+        kind: MsgKind,
+    ) {
+        let Self { faults, stats, metrics, .. } = self;
+        let Some(fx) = faults.as_mut() else {
+            path.send(net, src, dst, kind);
+            return;
+        };
+        match net.send_faulty(src, dst, kind, path.t) {
+            SendOutcome::Delivered { arrive, fault_delay } => {
+                path.absorb_delivery(net, kind, arrive, fault_delay);
+            }
+            SendOutcome::Dropped => {
+                stats.link_retries += 1;
+                metrics.incr("fault.link_retry");
+                path.fault_wait(fx.timeout());
+                path.send(net, src, dst, kind);
+            }
+        }
+    }
+
+    /// Sends an off-critical-path message (injection chain, replacement
+    /// hints) through the fault hook. Drops are retransmitted reliably —
+    /// the protocol has already committed to the state change — but the
+    /// retransmission is counted.
+    fn lossy_send_offpath(
+        &mut self,
+        net: &mut Crossbar,
+        src: NodeId,
+        dst: NodeId,
+        kind: MsgKind,
+        t: u64,
+    ) -> u64 {
+        if self.faults.is_none() {
+            return net.send(src, dst, kind, t);
+        }
+        match net.send_faulty(src, dst, kind, t) {
+            SendOutcome::Delivered { arrive, .. } => arrive,
+            SendOutcome::Dropped => {
+                self.stats.link_retries += 1;
+                self.metrics.incr("fault.link_retry");
+                net.send(src, dst, kind, t)
+            }
+        }
+    }
+
     /// A processor read of `block` by `requester`, whose home is `home`.
     /// `now` is the requester's current time; latencies are derived from
     /// crossbar arrival times so that transactions touching only the local
@@ -273,7 +428,7 @@ impl Protocol {
         }
         let mut invals = Vec::new();
         let mut path = Path::start(now);
-        path.send(net, requester, home, MsgKind::ReadReq);
+        self.request_phase(&mut path, net, requester, home, MsgKind::ReadReq);
         path.lookup(xl.home_lookup(home, block));
         path.mem(self.timing.dir_lookup);
 
@@ -286,7 +441,7 @@ impl Protocol {
             self.stats.cold_fills += 1;
             self.metrics.incr("transition.uncached_to_master_shared");
             path.mem(self.timing.am_hit);
-            path.send(net, home, requester, MsgKind::BlockReply);
+            self.path_send_ft(&mut path, net, home, requester, MsgKind::BlockReply);
             self.dir.get_mut(&block).expect("just inserted").add(requester);
             self.dir.get_mut(&block).expect("just inserted").master = Some(requester);
             self.install(requester, block, AmState::MasterShared, net, path.t, &mut invals);
@@ -297,9 +452,9 @@ impl Protocol {
                 "requester missed locally but directory says it is master"
             );
             self.stats.remote_reads += 1;
-            path.send(net, home, master, MsgKind::ForwardReq);
+            self.path_send_ft(&mut path, net, home, master, MsgKind::ForwardReq);
             path.mem(self.timing.am_hit);
-            path.send(net, master, requester, MsgKind::BlockReply);
+            self.path_send_ft(&mut path, net, master, requester, MsgKind::BlockReply);
             // A read demotes an Exclusive master to Master-shared.
             if let Some(s) = self.ams[master.index()].peek_mut(block) {
                 if *s == AmState::Exclusive {
@@ -334,8 +489,8 @@ impl Protocol {
         let mut invals = Vec::new();
         let mut path = Path::start(now);
         match local_state {
-            Some(_) => path.send(net, requester, home, MsgKind::UpgradeReq),
-            None => path.send(net, requester, home, MsgKind::WriteReq),
+            Some(_) => self.request_phase(&mut path, net, requester, home, MsgKind::UpgradeReq),
+            None => self.request_phase(&mut path, net, requester, home, MsgKind::WriteReq),
         }
         path.lookup(xl.home_lookup(home, block));
         path.mem(self.timing.dir_lookup);
@@ -350,7 +505,7 @@ impl Protocol {
                 self.metrics.incr("transition.upgrade_to_exclusive");
                 let ack_path = self.invalidate_others(block, requester, home, net, path, &mut invals);
                 let mut grant_path = path;
-                grant_path.send(net, home, requester, MsgKind::Ack);
+                self.path_send_ft(&mut grant_path, net, home, requester, MsgKind::Ack);
                 path = ack_path.later(grant_path);
                 let e = self.dir.get_mut(&block).expect("entry exists");
                 e.copyset = 1 << requester.index();
@@ -364,7 +519,7 @@ impl Protocol {
                 self.stats.cold_fills += 1;
                 self.metrics.incr("transition.uncached_to_exclusive");
                 path.mem(self.timing.am_hit);
-                path.send(net, home, requester, MsgKind::BlockReply);
+                self.path_send_ft(&mut path, net, home, requester, MsgKind::BlockReply);
                 let e = self.dir.get_mut(&block).expect("entry exists");
                 e.add(requester);
                 e.master = Some(requester);
@@ -378,9 +533,9 @@ impl Protocol {
                 let master = entry.master.expect("cached block must have a master");
                 let ack_path = self.invalidate_others(block, requester, home, net, path, &mut invals);
                 let mut data_path = path;
-                data_path.send(net, home, master, MsgKind::ForwardReq);
+                self.path_send_ft(&mut data_path, net, home, master, MsgKind::ForwardReq);
                 data_path.mem(self.timing.am_hit);
-                data_path.send(net, master, requester, MsgKind::BlockReply);
+                self.path_send_ft(&mut data_path, net, master, requester, MsgKind::BlockReply);
                 path = ack_path.later(data_path);
                 // Ownership transfer: the master's copy dies with the reply.
                 if self.ams[master.index()].invalidate(block).is_some() {
@@ -421,13 +576,13 @@ impl Protocol {
             self.stats.invalidations += 1;
             self.metrics.incr("transition.invalidated");
             let mut branch = from;
-            branch.send(net, home, holder, MsgKind::Invalidate);
+            self.path_send_ft(&mut branch, net, home, holder, MsgKind::Invalidate);
             if self.ams[holder.index()].invalidate(block).is_some() {
                 invals.push((holder, block));
             }
             let e = self.dir.get_mut(&block).expect("entry exists");
             e.remove(holder);
-            branch.send(net, holder, keep, MsgKind::Ack);
+            self.path_send_ft(&mut branch, net, holder, keep, MsgKind::Ack);
             last_ack = last_ack.later(branch);
         }
         last_ack
@@ -463,7 +618,7 @@ impl Protocol {
                 self.stats.shared_drops += 1;
                 self.metrics.incr("transition.shared_dropped");
                 let vhome = self.dir.get(&victim).expect("resident block has an entry").home;
-                net.send(node, vhome, MsgKind::Ack, now);
+                self.lossy_send_offpath(net, node, vhome, MsgKind::Ack, now);
                 self.dir.get_mut(&victim).expect("entry exists").remove(node);
             }
         }
@@ -500,7 +655,7 @@ impl Protocol {
         invals: &mut Vec<(NodeId, u64)>,
     ) {
         let home = self.dir.get(&block).expect("owner block has an entry").home;
-        let mut t = net.send(from, home, MsgKind::Inject, now);
+        let mut t = self.lossy_send_offpath(net, from, home, MsgKind::Inject, now);
         self.dir.get_mut(&block).expect("entry exists").remove(from);
 
         // The home accepts with a spare Invalid way — or, if it already
@@ -540,7 +695,7 @@ impl Protocol {
         for cand_raw in order {
             let cand = NodeId::new(cand_raw);
             self.stats.injection_hops += 1;
-            t = net.send(prev, cand, MsgKind::InjectForward, t);
+            t = self.lossy_send_offpath(net, prev, cand, MsgKind::InjectForward, t);
             prev = cand;
             if let Some(s) = self.ams[cand.index()].peek_mut(block) {
                 // The candidate already holds a Shared copy: promote it.
@@ -630,56 +785,119 @@ impl Protocol {
     }
 
     /// Checks every protocol invariant, returning a description of the
-    /// first violation. Used by tests and property tests.
+    /// first violation. Used by tests, property tests and the simulator's
+    /// coherence auditor (full sweep).
     ///
     /// # Errors
     ///
     /// Returns a human-readable description of the violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (&block, entry) in &self.dir {
-            let mut owners = 0;
-            for i in 0..self.nodes as usize {
-                let node = NodeId::new(i as u16);
-                let resident = self.ams[i].peek(block);
-                if entry.holds(node) != resident.is_some() {
+        for &block in self.dir.keys() {
+            self.check_block_invariants(block)?;
+        }
+        // Reverse-residence pass: a copy living in some attraction memory
+        // without a directory entry would be invisible to the per-entry
+        // walk above (a lost-last-copy / orphan-copy corruption).
+        for (i, am) in self.ams.iter().enumerate() {
+            for (block, _) in am.iter() {
+                if !self.dir.contains_key(&block) {
                     return Err(format!(
-                        "block {block:#x}: directory bit for {node} is {} but residence is {}",
-                        entry.holds(node),
-                        resident.is_some()
+                        "node {i}: resident block {block:#x} has no directory entry"
                     ));
-                }
-                if let Some(s) = resident {
-                    if s.is_owner() {
-                        owners += 1;
-                        if entry.master != Some(node) {
-                            return Err(format!(
-                                "block {block:#x}: {node} holds {s} but master is {:?}",
-                                entry.master
-                            ));
-                        }
-                    }
-                    if *s == AmState::Exclusive && entry.copies() != 1 {
-                        return Err(format!(
-                            "block {block:#x}: Exclusive at {node} with {} copies",
-                            entry.copies()
-                        ));
-                    }
-                }
-            }
-            if !entry.is_uncached() {
-                if owners != 1 {
-                    return Err(format!("block {block:#x}: {owners} owners for a cached block"));
-                }
-            } else if owners != 0 {
-                return Err(format!("block {block:#x}: uncached but {owners} owners"));
-            }
-            if let Some(m) = entry.master {
-                if !entry.holds(m) {
-                    return Err(format!("block {block:#x}: master {m} not in copy set"));
                 }
             }
         }
         Ok(())
+    }
+
+    /// Checks the protocol invariants for one block: directory/residence
+    /// agreement, exactly one owner for a cached block, Exclusive implies
+    /// a single copy, master in the copy set. The simulator's auditor
+    /// calls this on just the blocks a transaction touched, keeping the
+    /// per-transaction audit cost proportional to the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    pub fn check_block_invariants(&self, block: u64) -> Result<(), String> {
+        let Some(entry) = self.dir.get(&block) else {
+            for i in 0..self.nodes as usize {
+                if self.ams[i].peek(block).is_some() {
+                    return Err(format!(
+                        "block {block:#x}: resident at node {i} with no directory entry"
+                    ));
+                }
+            }
+            return Ok(());
+        };
+        let mut owners = 0;
+        for i in 0..self.nodes as usize {
+            let node = NodeId::new(i as u16);
+            let resident = self.ams[i].peek(block);
+            if entry.holds(node) != resident.is_some() {
+                return Err(format!(
+                    "block {block:#x}: directory bit for {node} is {} but residence is {}",
+                    entry.holds(node),
+                    resident.is_some()
+                ));
+            }
+            if let Some(s) = resident {
+                if s.is_owner() {
+                    owners += 1;
+                    if entry.master != Some(node) {
+                        return Err(format!(
+                            "block {block:#x}: {node} holds {s} but master is {:?}",
+                            entry.master
+                        ));
+                    }
+                }
+                if *s == AmState::Exclusive && entry.copies() != 1 {
+                    return Err(format!(
+                        "block {block:#x}: Exclusive at {node} with {} copies",
+                        entry.copies()
+                    ));
+                }
+            }
+        }
+        if !entry.is_uncached() {
+            if owners != 1 {
+                return Err(format!("block {block:#x}: {owners} owners for a cached block"));
+            }
+        } else if owners != 0 {
+            return Err(format!("block {block:#x}: uncached but {owners} owners"));
+        }
+        if let Some(m) = entry.master {
+            if !entry.holds(m) {
+                return Err(format!("block {block:#x}: master {m} not in copy set"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Every block the machine currently knows about: directory entries
+    /// plus any resident copies. Audit-sweep helper.
+    pub fn cached_blocks(&self) -> Vec<u64> {
+        let mut blocks: Vec<u64> = self.dir.keys().copied().collect();
+        for am in &self.ams {
+            blocks.extend(am.iter().map(|(b, _)| b));
+        }
+        blocks.sort_unstable();
+        blocks.dedup();
+        blocks
+    }
+
+    /// Deliberately corrupts the directory — clears the master pointer of
+    /// a cached block — so tests can prove the auditor catches genuine
+    /// protocol violations. Returns `false` if the block was not cached.
+    #[doc(hidden)]
+    pub fn corrupt_master_for_tests(&mut self, block: u64) -> bool {
+        match self.dir.get_mut(&block) {
+            Some(e) if !e.is_uncached() => {
+                e.master = None;
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -687,6 +905,7 @@ impl Protocol {
 mod tests {
     use super::*;
     use crate::NullTranslation;
+    use vcoma_faults::FaultPlan;
 
     fn setup() -> (MachineConfig, Protocol, Crossbar, NullTranslation) {
         let cfg = MachineConfig::tiny();
@@ -976,6 +1195,106 @@ mod tests {
         assert_eq!(p.stats().cold_fills, before + 1);
         // Purging an unknown block is a no-op.
         assert!(p.purge(0xDEAD).is_empty());
+    }
+
+    #[test]
+    fn nack_retries_complete_and_are_counted() {
+        let cfg = MachineConfig::tiny();
+        let plan = FaultPlan::parse("nack=0.5").unwrap();
+        let mut p = Protocol::new(&cfg, 7).with_faults(plan);
+        let mut net = Crossbar::new(cfg.nodes, cfg.timing);
+        let mut xl = NullTranslation;
+        let mut fault_cycles = 0;
+        for b in 0..64 {
+            let out = p.read(N1, b, N0, &mut net, &mut xl, 0);
+            assert!(!out.local_hit);
+            fault_cycles += out.fault_cycles;
+        }
+        let s = *p.stats();
+        assert!(s.nacks > 0, "p=0.5 over 64 requests must NACK at least once");
+        assert_eq!(s.retries, s.nacks, "every NACK forces one retry");
+        assert!(fault_cycles > 0, "backoff must be charged to the fault category");
+        assert!(net.stats().msgs_of(MsgKind::Nack) > 0);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dropped_requests_time_out_and_complete() {
+        let cfg = MachineConfig::tiny();
+        let plan = FaultPlan::parse("drop=0.3,dup=0.05,delay=16").unwrap();
+        let hook = vcoma_faults::LinkFaultInjector::new(plan.clone(), cfg.nodes as usize);
+        let mut p = Protocol::new(&cfg, 7).with_faults(plan);
+        let mut net = Crossbar::new(cfg.nodes, cfg.timing).with_fault_hook(Box::new(hook));
+        let mut xl = NullTranslation;
+        for b in 0..128u64 {
+            if b % 3 == 0 {
+                p.write(N2, b, N0, &mut net, &mut xl, 0);
+            } else {
+                p.read(N1, b, N0, &mut net, &mut xl, 0);
+            }
+        }
+        let s = *p.stats();
+        assert!(s.timeouts > 0, "p=0.3 over 128 requests must drop at least once");
+        assert!(s.fault_recoveries() > 0);
+        assert!(net.stats().dropped_msgs > 0);
+        p.check_invariants().unwrap();
+        // Every block is readable afterwards: nothing was lost.
+        for b in 0..128u64 {
+            assert!(
+                p.read(N1, b, N0, &mut net, &mut xl, 0).local_hit
+                    || p.probe(N1, b, false),
+                "block {b} lost under faults"
+            );
+        }
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn zero_fault_plan_is_byte_inert() {
+        let cfg = MachineConfig::tiny();
+        let zero = FaultPlan::default();
+        let hook = vcoma_faults::LinkFaultInjector::new(zero.clone(), cfg.nodes as usize);
+        let mut plain_p = Protocol::new(&cfg, 7);
+        let mut plain_net = Crossbar::new(cfg.nodes, cfg.timing);
+        let mut faulty_p = Protocol::new(&cfg, 7).with_faults(zero);
+        let mut faulty_net =
+            Crossbar::new(cfg.nodes, cfg.timing).with_fault_hook(Box::new(hook));
+        let mut xl = NullTranslation;
+        for b in 0..64u64 {
+            let a = if b % 3 == 0 {
+                plain_p.write(N2, b, N0, &mut plain_net, &mut xl, 0)
+            } else {
+                plain_p.read(N1, b, N0, &mut plain_net, &mut xl, 0)
+            };
+            let f = if b % 3 == 0 {
+                faulty_p.write(N2, b, N0, &mut faulty_net, &mut xl, 0)
+            } else {
+                faulty_p.read(N1, b, N0, &mut faulty_net, &mut xl, 0)
+            };
+            assert_eq!(a, f, "zero plan must not perturb transaction {b}");
+        }
+        assert_eq!(plain_p.stats(), faulty_p.stats());
+        assert_eq!(plain_net.stats(), faulty_net.stats());
+    }
+
+    #[test]
+    fn auditor_catches_deliberate_corruption() {
+        let (_, mut p, mut net, mut xl) = setup();
+        p.read(N1, 10, N0, &mut net, &mut xl, 0);
+        p.check_block_invariants(10).unwrap();
+        assert!(p.corrupt_master_for_tests(10));
+        assert!(p.check_block_invariants(10).is_err());
+        assert!(p.check_invariants().is_err());
+        assert!(!p.corrupt_master_for_tests(0xDEAD), "unknown block is not corruptible");
+    }
+
+    #[test]
+    fn cached_blocks_covers_directory_and_residence() {
+        let (_, mut p, mut net, mut xl) = setup();
+        assert!(p.cached_blocks().is_empty());
+        p.read(N1, 10, N0, &mut net, &mut xl, 0);
+        p.write(N2, 11, N0, &mut net, &mut xl, 0);
+        assert_eq!(p.cached_blocks(), vec![10, 11]);
     }
 
     #[cfg(feature = "proptest-tests")]

@@ -37,6 +37,19 @@ pub struct ProtocolStats {
     /// backing store — the COMA analogue of a forced swap-out. Should be
     /// zero when memory pressure is below one.
     pub spills: u64,
+    /// Transient NACKs received from busy home directories (fault
+    /// injection only).
+    pub nacks: u64,
+    /// End-to-end transaction retries (after a NACK or a lost request).
+    pub retries: u64,
+    /// Link-level retransmissions of non-request hops lost in flight.
+    pub link_retries: u64,
+    /// Request timeouts observed (lost request hop detected by the
+    /// requester's timer).
+    pub timeouts: u64,
+    /// Transactions that exhausted the retry budget and fell back to
+    /// reliable delivery.
+    pub retry_exhausted: u64,
 }
 
 impl ProtocolStats {
@@ -50,6 +63,11 @@ impl ProtocolStats {
         self.injections_home + self.injections_forwarded
     }
 
+    /// All fault-induced recovery events (end-to-end retries plus
+    /// link-level retransmissions).
+    pub const fn fault_recoveries(&self) -> u64 {
+        self.retries + self.link_retries
+    }
 }
 
 impl Mergeable for ProtocolStats {
@@ -67,6 +85,11 @@ impl Mergeable for ProtocolStats {
         self.injection_displacements += o.injection_displacements;
         self.shared_drops += o.shared_drops;
         self.spills += o.spills;
+        self.nacks += o.nacks;
+        self.retries += o.retries;
+        self.link_retries += o.link_retries;
+        self.timeouts += o.timeouts;
+        self.retry_exhausted += o.retry_exhausted;
     }
 }
 
@@ -75,7 +98,8 @@ impl std::fmt::Display for ProtocolStats {
         write!(
             f,
             "local hits={} (r={} w={}) remote r={} w={} upgrades={} cold={} inval={} \
-             inj(home={} fwd={} hops={} displ={}) drops={} spills={}",
+             inj(home={} fwd={} hops={} displ={}) drops={} spills={} \
+             faults(nack={} retry={} linkretry={} timeout={} exhausted={})",
             self.local_read_hits + self.local_write_hits,
             self.local_read_hits,
             self.local_write_hits,
@@ -90,6 +114,11 @@ impl std::fmt::Display for ProtocolStats {
             self.injection_displacements,
             self.shared_drops,
             self.spills,
+            self.nacks,
+            self.retries,
+            self.link_retries,
+            self.timeouts,
+            self.retry_exhausted,
         )
     }
 }
@@ -115,11 +144,19 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = ProtocolStats { spills: 1, ..ProtocolStats::default() };
-        let b = ProtocolStats { spills: 2, upgrades: 3, ..ProtocolStats::default() };
+        let mut a = ProtocolStats { spills: 1, retries: 4, ..ProtocolStats::default() };
+        let b = ProtocolStats { spills: 2, upgrades: 3, nacks: 5, retries: 1, ..ProtocolStats::default() };
         a.merge(&b);
         assert_eq!(a.spills, 3);
         assert_eq!(a.upgrades, 3);
+        assert_eq!(a.nacks, 5);
+        assert_eq!(a.retries, 5);
+    }
+
+    #[test]
+    fn fault_recoveries_sums_retry_kinds() {
+        let s = ProtocolStats { retries: 3, link_retries: 4, ..ProtocolStats::default() };
+        assert_eq!(s.fault_recoveries(), 7);
     }
 
     #[test]

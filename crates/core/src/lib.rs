@@ -43,8 +43,8 @@
 #![warn(missing_docs)]
 
 pub use vcoma_sim::{
-    LatencyBreakdown, Machine, NodeReport, SimConfig, SimReport, SimReportBuilder,
-    TimeBreakdown, TlbBank, LATENCY_CATEGORIES,
+    AuditError, LatencyBreakdown, Machine, NodeReport, SimConfig, SimError, SimReport,
+    SimReportBuilder, TimeBreakdown, TlbBank, LATENCY_CATEGORIES,
 };
 pub use vcoma_tlb::{Scheme, Tlb, TlbOrg, TlbStats, ALL_SCHEMES};
 pub use vcoma_types::{
@@ -65,6 +65,12 @@ pub mod coherence {
 /// The crossbar interconnect model.
 pub mod net {
     pub use vcoma_net::*;
+}
+
+/// Deterministic fault injection: seeded plans for message drops,
+/// duplication, extra delay, transient home NACKs and node pause windows.
+pub mod faults {
+    pub use vcoma_faults::*;
 }
 
 /// The metrics registry, histograms and event tracing behind
@@ -177,23 +183,68 @@ impl Simulator {
         self
     }
 
+    /// Installs a deterministic fault plan (see [`faults::FaultPlan`]):
+    /// messages may be dropped, duplicated or delayed at the crossbar
+    /// boundary, home directories may answer with transient NACKs, and
+    /// nodes may pause. Equal plans and seeds give bit-identical runs.
+    pub fn fault_plan(mut self, plan: faults::FaultPlan) -> Self {
+        self.cfg = self.cfg.clone().with_fault_plan(plan);
+        self
+    }
+
+    /// Enables the coherence-invariant auditor: after every remote
+    /// transaction the touched blocks are checked, with periodic and
+    /// end-of-run full sweeps. Violations surface as [`SimError::Audit`]
+    /// from [`Simulator::try_run`].
+    pub fn audit(mut self) -> Self {
+        self.cfg = self.cfg.clone().with_audit();
+        self
+    }
+
     /// The assembled simulation configuration.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
     }
 
     /// Generates the workload's traces and runs them on a fresh machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`SimError`] (virtual-memory exhaustion or an audit
+    /// violation); use [`Simulator::try_run`] to handle those as values.
     pub fn run(&self, workload: &dyn Workload) -> SimReport {
+        self.try_run(workload).unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Generates the workload's traces and runs them on a fresh machine,
+    /// surfacing simulation failures as values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Vm`] if the virtual-memory system hits an
+    /// unrecoverable condition, and [`SimError::Audit`] if auditing is
+    /// enabled and a coherence invariant is violated.
+    pub fn try_run(&self, workload: &dyn Workload) -> Result<SimReport, SimError> {
         let traces = workload.generate(&self.cfg.machine);
-        Machine::new(self.cfg.clone()).run(traces)
+        self.try_run_traces(traces)
     }
 
     /// Runs pre-built traces (one per node) on a fresh machine.
     ///
     /// # Panics
     ///
-    /// See [`Machine::run`].
+    /// Panics on a [`SimError`]; see also [`Machine::run`].
     pub fn run_traces(&self, traces: Vec<Vec<Op>>) -> SimReport {
+        self.try_run_traces(traces).unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Runs pre-built traces (one per node) on a fresh machine, surfacing
+    /// simulation failures as values.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::try_run`].
+    pub fn try_run_traces(&self, traces: Vec<Vec<Op>>) -> Result<SimReport, SimError> {
         Machine::new(self.cfg.clone()).run(traces)
     }
 }
@@ -238,5 +289,16 @@ mod tests {
             let r = Simulator::new(scheme).run(&w);
             assert_eq!(r.total_refs(), 32 * 200, "{scheme}");
         }
+    }
+
+    #[test]
+    fn faulty_audited_run_completes_deterministically() {
+        let plan = faults::FaultPlan::parse("drop=0.01,nack=0.02").unwrap().with_seed(7);
+        let s = Simulator::new(Scheme::VComa).tiny().fault_plan(plan).audit();
+        let w = UniformRandom { pages: 32, refs_per_node: 300, write_fraction: 0.5 };
+        let a = s.try_run(&w).expect("faulty run completes");
+        let b = s.try_run(&w).expect("faulty run completes");
+        assert_eq!(a.exec_time(), b.exec_time());
+        assert!(a.protocol().fault_recoveries() + a.protocol().nacks > 0);
     }
 }

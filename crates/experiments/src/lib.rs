@@ -20,6 +20,7 @@
 //! | [`ablations`] | design-choice ablations (injection policy, contention, coloring) |
 //! | [`ccnuma`] | §2 motivation: SHARED-TLB in CC-NUMA vs first-touch placement |
 //! | [`breakdown`] | fine latency attribution (`--breakdown`, `--metrics-out`) |
+//! | [`faults`] | fault-injection robustness sweep (`--fault-plan`, `--fault-seed`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +28,7 @@
 pub mod ablations;
 pub mod breakdown;
 pub mod ccnuma;
+pub mod faults;
 pub mod fig10;
 pub mod fig11;
 pub mod fig8;

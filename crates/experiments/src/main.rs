@@ -7,24 +7,26 @@
 
 use std::path::PathBuf;
 use vcoma_experiments::{
-    ablations, breakdown, ccnuma, fig10, fig11, fig8, fig9, sweep, table1, table2, table3,
-    table4, ExperimentConfig,
+    ablations, breakdown, ccnuma, faults, fig10, fig11, fig8, fig9, sweep, table1, table2,
+    table3, table4, ExperimentConfig,
 };
 
 /// Every artifact name the CLI accepts, in default execution order
-/// (`breakdown` opts in through its flag rather than running under `all`).
-const VALID_ARTIFACTS: [&str; 11] = [
+/// (`breakdown` and `faults` opt in through their flags or by name rather
+/// than running under `all`).
+const VALID_ARTIFACTS: [&str; 12] = [
     "table1", "fig8", "table2", "table3", "fig9", "table4", "fig10", "fig11", "ablations",
-    "ccnuma", "breakdown",
+    "ccnuma", "breakdown", "faults",
 ];
 
 const USAGE: &str = "\
 usage: vcoma-experiments [ARTIFACT...] [--scale F] [--nodes N] [--jobs N] [--out DIR]
                          [--breakdown] [--metrics-out FILE]
+                         [--fault-plan SPEC] [--fault-seed S]
 
 artifacts: table1 fig8 table2 table3 fig9 table4 fig10 fig11 ablations ccnuma
-           breakdown all
-           (default: all, which runs everything except breakdown)
+           breakdown faults all
+           (default: all, which runs everything except breakdown and faults)
 
 options:
   --scale F          fraction of each benchmark's iterations to replay (default 0.1)
@@ -36,10 +38,31 @@ options:
                      per-row totals equal the run's simulated cycles exactly)
   --metrics-out FILE write the merged metrics snapshot (counters, histograms,
                      traced events) of the breakdown runs as JSON to FILE
+  --fault-plan SPEC  base fault plan for the faults artifact, e.g.
+                     drop=0.01,dup=0.005,delay=32,nack=0.02 (that is the
+                     default when faults runs without this flag)
+  --fault-seed S     fault-decision seed (default 0xFA17); equal seeds give
+                     bit-identical fault runs at any --jobs value
+
+exit status: 0 on success, 2 on a usage error, 3 when a run fails (a
+coherence-invariant violation under --fault-plan, or VM exhaustion).
 
 Sweep throughput is printed per artifact and summarised in
 BENCH_sweep.json (written to the current directory, never to --out).
 ";
+
+/// Parses a numeric flag value, exiting with a one-line usage error (status
+/// 2) on garbage instead of a panic backtrace.
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let raw = value.unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    });
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} got '{raw}', expected a number");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let mut artifacts: Vec<String> = Vec::new();
@@ -49,13 +72,60 @@ fn main() {
     let mut out: Option<PathBuf> = None;
     let mut want_breakdown = false;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut fault_plan: Option<vcoma::faults::FaultPlan> = None;
+    let mut fault_seed: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--scale" => scale = args.next().expect("--scale needs a value").parse().expect("scale"),
-            "--nodes" => nodes = args.next().expect("--nodes needs a value").parse().expect("nodes"),
-            "--jobs" => jobs = args.next().expect("--jobs needs a value").parse().expect("jobs"),
+            "--scale" => {
+                scale = parse_flag("--scale", args.next());
+                if !(scale > 0.0 && scale.is_finite()) {
+                    eprintln!("error: --scale must be a positive fraction, got {scale}");
+                    std::process::exit(2);
+                }
+            }
+            "--nodes" => {
+                nodes = parse_flag("--nodes", args.next());
+                if nodes == 0 {
+                    eprintln!("error: --nodes must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--jobs" => {
+                jobs = parse_flag("--jobs", args.next());
+                if jobs == 0 {
+                    eprintln!("error: --jobs must be at least 1 (omit the flag for one per core)");
+                    std::process::exit(2);
+                }
+            }
+            "--fault-seed" => {
+                let raw: String = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --fault-seed needs a value");
+                    std::process::exit(2);
+                });
+                let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => raw.parse(),
+                };
+                fault_seed = Some(parsed.unwrap_or_else(|_| {
+                    eprintln!("error: --fault-seed got '{raw}', expected a decimal or 0x-hex number");
+                    std::process::exit(2);
+                }));
+            }
+            "--fault-plan" => {
+                let spec = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --fault-plan needs a value");
+                    std::process::exit(2);
+                });
+                match vcoma::faults::FaultPlan::parse(&spec) {
+                    Ok(p) => fault_plan = Some(p),
+                    Err(e) => {
+                        eprintln!("error: --fault-plan {spec}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a value"))),
             "--breakdown" => want_breakdown = true,
             "--metrics-out" => {
@@ -90,14 +160,23 @@ fn main() {
     } else if artifacts.iter().any(|a| a == "breakdown") {
         want_breakdown = true;
     }
+    if (fault_plan.is_some() || fault_seed.is_some())
+        && !artifacts.iter().any(|a| a == "faults")
+    {
+        artifacts.push("faults".to_string());
+    }
     if artifacts.is_empty() || artifacts.iter().any(|a| a == "all") {
         let keep_breakdown = artifacts.iter().any(|a| a == "breakdown");
+        let keep_faults = artifacts.iter().any(|a| a == "faults");
         artifacts = ["table1", "fig8", "table2", "table3", "fig9", "table4", "fig10", "fig11", "ablations", "ccnuma"]
             .iter()
             .map(|s| s.to_string())
             .collect();
         if keep_breakdown {
             artifacts.push("breakdown".to_string());
+        }
+        if keep_faults {
+            artifacts.push("faults".to_string());
         }
     }
 
@@ -213,6 +292,25 @@ fn main() {
                         .expect("metrics snapshot serializes");
                     std::fs::write(path, json).expect("write --metrics-out file");
                     println!("  -> wrote {}", path.display());
+                }
+            }
+            "faults" => {
+                println!("== Fault injection: robustness sweep (auditor on) ==");
+                let mut base = fault_plan.clone().unwrap_or_else(faults::default_plan);
+                if let Some(seed) = fault_seed {
+                    base = base.with_seed(seed);
+                }
+                println!("base plan: {base} (seed {:#x})", base.seed);
+                match faults::run(&cfg, &base) {
+                    Ok(rows) => {
+                        let t = faults::render(&base, &rows);
+                        println!("{}", t.render());
+                        save("faults", t.to_csv());
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(3);
+                    }
                 }
             }
             other => unreachable!("artifact '{other}' passed validation but has no runner"),

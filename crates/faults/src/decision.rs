@@ -1,0 +1,109 @@
+//! Keyed, splittable fault decisions.
+//!
+//! Instead of a stateful RNG shared across call sites (whose draw order
+//! would couple unrelated decisions), every fault decision hashes its full
+//! coordinate — `(seed, stream, a, b, n)` — through a SplitMix64-style
+//! finalizer. Decisions are therefore independent of each other and of
+//! evaluation order: the nth message on a given link always sees the same
+//! fate for a given seed, no matter what else the run did first.
+
+/// Decision streams: a domain-separation tag so the same coordinates never
+/// collide across fault kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum Stream {
+    /// Message-drop decisions.
+    Drop = 1,
+    /// Message-duplication decisions.
+    Duplicate = 2,
+    /// Extra-delay magnitudes.
+    Delay = 3,
+    /// Home-directory transient NACKs.
+    Nack = 4,
+    /// Node pause-window phases.
+    Pause = 5,
+}
+
+/// Mixes a decision coordinate into a uniform 64-bit value.
+///
+/// The constants are SplitMix64's (the same generator behind
+/// `vcoma_types::DetRng`), applied as a hash over the key words rather
+/// than as a sequential stream.
+#[must_use]
+pub fn keyed_hash(seed: u64, stream: Stream, a: u64, b: u64, n: u64) -> u64 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut z = seed
+        .wrapping_add((stream as u64).wrapping_mul(GOLDEN))
+        .wrapping_add(a.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(b.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(n.wrapping_mul(GOLDEN << 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `true` with probability `p` for this coordinate (clamped to `[0, 1]`).
+#[must_use]
+pub fn decide(seed: u64, stream: Stream, a: u64, b: u64, n: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    let x = (keyed_hash(seed, stream, a, b, n) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    x < p
+}
+
+/// A uniform value in `0..bound` for this coordinate.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+#[must_use]
+pub fn uniform(seed: u64, stream: Stream, a: u64, b: u64, n: u64, bound: u64) -> u64 {
+    assert!(bound > 0, "uniform bound must be positive");
+    keyed_hash(seed, stream, a, b, n) % bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_functions_of_their_coordinates() {
+        for n in 0..64 {
+            assert_eq!(
+                keyed_hash(7, Stream::Drop, 1, 2, n),
+                keyed_hash(7, Stream::Drop, 1, 2, n)
+            );
+        }
+    }
+
+    #[test]
+    fn streams_and_coordinates_separate() {
+        let a = keyed_hash(7, Stream::Drop, 1, 2, 3);
+        assert_ne!(a, keyed_hash(7, Stream::Duplicate, 1, 2, 3));
+        assert_ne!(a, keyed_hash(8, Stream::Drop, 1, 2, 3));
+        assert_ne!(a, keyed_hash(7, Stream::Drop, 2, 1, 3));
+        assert_ne!(a, keyed_hash(7, Stream::Drop, 1, 2, 4));
+    }
+
+    #[test]
+    fn decide_matches_probability_roughly() {
+        let hits = (0..10_000).filter(|&n| decide(42, Stream::Drop, 0, 1, n, 0.1)).count();
+        assert!((800..1200).contains(&hits), "got {hits} hits for p=0.1");
+        assert_eq!((0..1000).filter(|&n| decide(42, Stream::Drop, 0, 1, n, 0.0)).count(), 0);
+        assert_eq!((0..1000).filter(|&n| decide(42, Stream::Drop, 0, 1, n, 1.0)).count(), 1000);
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        for n in 0..1000 {
+            assert!(uniform(3, Stream::Delay, 0, 1, n, 33) < 33);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform bound must be positive")]
+    fn uniform_zero_bound_panics() {
+        let _ = uniform(0, Stream::Delay, 0, 0, 0, 0);
+    }
+}

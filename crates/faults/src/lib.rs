@@ -1,0 +1,48 @@
+//! Deterministic fault injection for the V-COMA simulator.
+//!
+//! A [`FaultPlan`] describes how hard to stress the machine: per-message
+//! probabilities for loss and duplication at the crossbar boundary, a
+//! bound on random extra wire delay, a transient-NACK probability for busy
+//! home directories, and periodic node pause windows. The plan is pure
+//! configuration — every actual decision is a *keyed* hash of
+//! `(seed, stream, src, dst, msg_index)` (see [`decision`]), so a run is a
+//! pure function of its configuration: byte-reproducible, independent of
+//! worker count, and stable under re-execution.
+//!
+//! Two consumers sit on top of the plan:
+//!
+//! * [`LinkFaultInjector`] implements [`vcoma_net::FaultHook`] and decides
+//!   drop/duplicate/delay per message inside
+//!   [`Crossbar::send_faulty`](vcoma_net::Crossbar::send_faulty);
+//! * [`TxnFaults`] models the home-directory NACK decision plus the
+//!   requester-side retry policy (timeout detection, bounded exponential
+//!   backoff) used by the coherence protocol's retry path.
+//!
+//! With every probability at zero both consumers are inert: `send_faulty`
+//! degenerates to `send` and the retry loop takes its fast path, keeping
+//! fault-free runs byte-identical to builds without a plan.
+//!
+//! # Example
+//!
+//! ```
+//! use vcoma_faults::FaultPlan;
+//!
+//! let plan = FaultPlan::parse("drop=0.01,dup=0.005,delay=32,nack=0.02").unwrap();
+//! assert!(!plan.is_zero());
+//! assert_eq!(plan.delay, 32);
+//! // Round-trips through Display.
+//! assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decision;
+mod link;
+mod plan;
+mod txn;
+
+pub use decision::{decide, keyed_hash, uniform, Stream};
+pub use link::LinkFaultInjector;
+pub use plan::{FaultPlan, DEFAULT_FAULT_SEED};
+pub use txn::TxnFaults;

@@ -1,0 +1,153 @@
+//! The crossbar-boundary fault hook: drop / duplicate / delay / pause.
+
+use vcoma_net::{FaultHook, LinkFault, MsgKind};
+use vcoma_types::NodeId;
+
+use crate::decision::{decide, uniform, Stream};
+use crate::plan::{FaultPlan, PAUSE_PERIOD_FACTOR};
+
+/// A [`FaultHook`] that injects link-level faults per the plan.
+///
+/// Each `(src, dst)` pair carries its own message counter, so the fate of
+/// the nth message on a link is a pure function of `(seed, src, dst, n)`
+/// — independent of what any other link did and of worker scheduling.
+#[derive(Debug, Clone)]
+pub struct LinkFaultInjector {
+    plan: FaultPlan,
+    nodes: u64,
+    msg_seq: Vec<u64>,
+}
+
+impl LinkFaultInjector {
+    /// Builds an injector for a machine with `nodes` nodes.
+    #[must_use]
+    pub fn new(plan: FaultPlan, nodes: usize) -> Self {
+        let nodes = nodes as u64;
+        LinkFaultInjector { plan, nodes, msg_seq: vec![0; (nodes * nodes) as usize] }
+    }
+
+    /// The plan this injector was built from.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Extra hold time if `dst` is inside one of its periodic pause
+    /// windows at cycle `now`.
+    fn pause_hold(&self, dst: NodeId, now: u64) -> u64 {
+        if self.plan.pause == 0 {
+            return 0;
+        }
+        let period = self.plan.pause * PAUSE_PERIOD_FACTOR;
+        let phase = uniform(self.plan.seed, Stream::Pause, u64::from(dst.raw()), 0, 0, period);
+        let pos = (now + period - phase % period) % period;
+        self.plan.pause.saturating_sub(pos)
+    }
+}
+
+impl FaultHook for LinkFaultInjector {
+    fn on_send(&mut self, src: NodeId, dst: NodeId, _kind: MsgKind, now: u64) -> LinkFault {
+        let (seed, s, d) = (self.plan.seed, u64::from(src.raw()), u64::from(dst.raw()));
+        let pair = (s * self.nodes + d) as usize;
+        let n = self.msg_seq[pair];
+        self.msg_seq[pair] += 1;
+
+        let drop = decide(seed, Stream::Drop, s, d, n, self.plan.drop);
+        // A dropped message never reaches the wire, so it cannot also be
+        // duplicated or delayed.
+        if drop {
+            return LinkFault { drop: true, duplicate: false, extra_delay: 0 };
+        }
+        let duplicate = decide(seed, Stream::Duplicate, s, d, n, self.plan.dup);
+        let mut extra_delay = if self.plan.delay > 0 {
+            uniform(seed, Stream::Delay, s, d, n, self.plan.delay + 1)
+        } else {
+            0
+        };
+        extra_delay += self.pause_hold(dst, now + extra_delay);
+        LinkFault { drop: false, duplicate, extra_delay }
+    }
+
+    fn box_clone(&self) -> Box<dyn FaultHook> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn zero_plan_is_inert() {
+        let mut inj = LinkFaultInjector::new(FaultPlan::default(), 4);
+        for n in 0..256 {
+            assert_eq!(inj.on_send(node(0), node(1), MsgKind::ReadReq, n), LinkFault::NONE);
+        }
+    }
+
+    #[test]
+    fn decisions_replay_identically_regardless_of_interleaving() {
+        let plan = FaultPlan::parse("drop=0.2,dup=0.1,delay=16").unwrap();
+        // Sequential: all of link (0,1) first, then link (2,3).
+        let mut a = LinkFaultInjector::new(plan.clone(), 4);
+        let seq01: Vec<_> = (0..100).map(|n| a.on_send(node(0), node(1), MsgKind::ReadReq, n)).collect();
+        let seq23: Vec<_> = (0..100).map(|n| a.on_send(node(2), node(3), MsgKind::ReadReq, n)).collect();
+        // Interleaved: alternate links message by message.
+        let mut b = LinkFaultInjector::new(plan, 4);
+        let mut int01 = Vec::new();
+        let mut int23 = Vec::new();
+        for n in 0..100 {
+            int01.push(b.on_send(node(0), node(1), MsgKind::ReadReq, n));
+            int23.push(b.on_send(node(2), node(3), MsgKind::ReadReq, n));
+        }
+        assert_eq!(seq01, int01);
+        assert_eq!(seq23, int23);
+    }
+
+    #[test]
+    fn drop_excludes_duplicate_and_delay() {
+        let plan = FaultPlan::parse("drop=0.5,dup=0.5,delay=64").unwrap();
+        let mut inj = LinkFaultInjector::new(plan, 2);
+        let mut saw_drop = false;
+        for n in 0..200 {
+            let f = inj.on_send(node(0), node(1), MsgKind::ReadReq, n);
+            if f.drop {
+                saw_drop = true;
+                assert!(!f.duplicate);
+                assert_eq!(f.extra_delay, 0);
+            }
+        }
+        assert!(saw_drop);
+    }
+
+    #[test]
+    fn delay_stays_within_bound_when_pauses_disabled() {
+        let plan = FaultPlan::parse("delay=32").unwrap();
+        let mut inj = LinkFaultInjector::new(plan, 2);
+        for n in 0..500 {
+            let f = inj.on_send(node(0), node(1), MsgKind::BlockReply, n);
+            assert!(f.extra_delay <= 32);
+        }
+    }
+
+    #[test]
+    fn pause_windows_hold_messages_until_window_end() {
+        let plan = FaultPlan::parse("pause=100").unwrap();
+        let mut inj = LinkFaultInjector::new(plan, 4);
+        let period = 100 * PAUSE_PERIOD_FACTOR;
+        // Scan a full period; somewhere in it dst=1 must be paused, and the
+        // hold must never exceed the window length.
+        let mut held = 0u64;
+        for now in 0..period {
+            let f = inj.on_send(node(0), node(1), MsgKind::ReadReq, now);
+            assert!(f.extra_delay <= 100);
+            held += u64::from(f.extra_delay > 0);
+        }
+        assert!(held > 0, "no pause window observed in a full period");
+        assert!(held <= 100, "pause window longer than configured");
+    }
+}

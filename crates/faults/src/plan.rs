@@ -1,0 +1,177 @@
+//! The fault plan: intensity knobs plus the master fault seed.
+
+/// A deterministic fault plan.
+///
+/// Parsed from the CLI syntax `drop=P,dup=P,delay=N,nack=P[,pause=N]`
+/// (any subset of keys, in any order; omitted keys stay zero). All
+/// randomness derived from a plan is keyed on [`FaultPlan::seed`], never
+/// on global state, so equal plans give byte-identical runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Per-message probability that a crossbar message is lost.
+    pub drop: f64,
+    /// Per-message probability that a spurious duplicate is injected.
+    pub dup: f64,
+    /// Maximum extra wire delay per message, in cycles (uniform in
+    /// `0..=delay`).
+    pub delay: u64,
+    /// Probability that a busy home directory NACKs a request, forcing the
+    /// requester to back off and retry the transaction.
+    pub nack: f64,
+    /// Length of each periodic per-node pause window in cycles (`0`
+    /// disables pauses). Messages arriving at a paused node are held until
+    /// the window ends.
+    pub pause: u64,
+    /// Master fault seed (the CLI's `--fault-seed`).
+    pub seed: u64,
+}
+
+/// Default fault seed when none is given.
+pub const DEFAULT_FAULT_SEED: u64 = 0xFA17;
+
+/// Pause windows repeat every `pause * PAUSE_PERIOD_FACTOR` cycles.
+pub(crate) const PAUSE_PERIOD_FACTOR: u64 = 16;
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan { drop: 0.0, dup: 0.0, delay: 0, nack: 0.0, pause: 0, seed: DEFAULT_FAULT_SEED }
+    }
+}
+
+impl FaultPlan {
+    /// Parses the CLI plan syntax, e.g. `drop=0.01,dup=0.005,delay=32,nack=0.02`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the first malformed field:
+    /// unknown key, unparsable number, probability outside `[0, 1)`, or a
+    /// repeated key.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        let mut seen: Vec<&str> = Vec::new();
+        for field in spec.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("fault-plan field '{field}' is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            if seen.contains(&key) {
+                return Err(format!("fault-plan key '{key}' given twice"));
+            }
+            match key {
+                "drop" => plan.drop = parse_probability(key, value)?,
+                "dup" => plan.dup = parse_probability(key, value)?,
+                "nack" => plan.nack = parse_probability(key, value)?,
+                "delay" => plan.delay = parse_cycles(key, value)?,
+                "pause" => plan.pause = parse_cycles(key, value)?,
+                _ => {
+                    return Err(format!(
+                        "unknown fault-plan key '{key}' (expected drop/dup/delay/nack/pause)"
+                    ))
+                }
+            }
+            seen.push(key);
+        }
+        Ok(plan)
+    }
+
+    /// `true` if the plan injects nothing (the auditor may still run).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.drop == 0.0 && self.dup == 0.0 && self.delay == 0 && self.nack == 0.0 && self.pause == 0
+    }
+
+    /// Sets the fault seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scales every probability by `factor` (clamped below 1) and the
+    /// delay/pause magnitudes proportionally — the fault-intensity axis of
+    /// the `faults` experiment artifact. A factor of zero gives a zero
+    /// plan with the same seed.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        let p = |x: f64| (x * factor).clamp(0.0, 0.95);
+        FaultPlan {
+            drop: p(self.drop),
+            dup: p(self.dup),
+            delay: (self.delay as f64 * factor).round() as u64,
+            nack: p(self.nack),
+            pause: (self.pause as f64 * factor).round() as u64,
+            seed: self.seed,
+        }
+    }
+}
+
+fn parse_probability(key: &str, value: &str) -> Result<f64, String> {
+    let p: f64 = value
+        .parse()
+        .map_err(|_| format!("fault-plan {key}={value}: not a number"))?;
+    if !(0.0..1.0).contains(&p) {
+        return Err(format!("fault-plan {key}={value}: probability must be in [0, 1)"));
+    }
+    Ok(p)
+}
+
+fn parse_cycles(key: &str, value: &str) -> Result<u64, String> {
+    value.parse().map_err(|_| format!("fault-plan {key}={value}: not a cycle count"))
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "drop={},dup={},delay={},nack={},pause={}",
+            self.drop, self.dup, self.delay, self.nack, self.pause
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_and_partial_specs() {
+        let p = FaultPlan::parse("drop=0.01,dup=0.005,delay=32,nack=0.02").unwrap();
+        assert_eq!(p.drop, 0.01);
+        assert_eq!(p.dup, 0.005);
+        assert_eq!(p.delay, 32);
+        assert_eq!(p.nack, 0.02);
+        assert_eq!(p.pause, 0);
+        let q = FaultPlan::parse("pause=100").unwrap();
+        assert_eq!(q.pause, 100);
+        assert_eq!(q.drop, 0.0);
+        assert!(FaultPlan::parse("").unwrap().is_zero());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("drop=x").is_err());
+        assert!(FaultPlan::parse("drop=1.5").is_err());
+        assert!(FaultPlan::parse("drop=-0.1").is_err());
+        assert!(FaultPlan::parse("delay=-3").is_err());
+        assert!(FaultPlan::parse("frobnicate=1").is_err());
+        assert!(FaultPlan::parse("drop=0.1,drop=0.2").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let p = FaultPlan::parse("drop=0.25,delay=7,pause=64").unwrap();
+        assert_eq!(FaultPlan::parse(&p.to_string()).unwrap(), p);
+    }
+
+    #[test]
+    fn scaling_is_monotone_and_clamped() {
+        let p = FaultPlan::parse("drop=0.4,dup=0.1,delay=10,nack=0.3").unwrap();
+        let double = p.scaled(2.0);
+        assert_eq!(double.drop, 0.8);
+        assert_eq!(double.delay, 20);
+        assert_eq!(p.scaled(10.0).drop, 0.95, "clamped below certainty");
+        assert!(p.scaled(0.0).is_zero());
+        assert_eq!(p.scaled(0.0).seed, p.seed);
+    }
+}

@@ -1,0 +1,106 @@
+//! Transaction-level fault policy: home-directory NACKs and the
+//! requester-side retry schedule.
+
+use vcoma_types::NodeId;
+
+use crate::decision::{decide, Stream};
+use crate::plan::FaultPlan;
+
+/// Cycles a requester waits before declaring a request hop lost.
+const TIMEOUT_CYCLES: u64 = 600;
+
+/// Base backoff quantum in cycles; doubles each attempt up to a cap.
+const BACKOFF_BASE: u64 = 32;
+
+/// Maximum end-to-end attempts before the protocol falls back to a
+/// reliable delivery (so every run terminates).
+const MAX_ATTEMPTS: u32 = 8;
+
+/// Decides home-directory NACKs and paces the retry loop.
+///
+/// Each home directory carries its own request counter, so whether the nth
+/// request arriving at a given home gets NACKed is a pure function of
+/// `(seed, home, n)`.
+#[derive(Debug, Clone)]
+pub struct TxnFaults {
+    plan: FaultPlan,
+    nack_seq: Vec<u64>,
+}
+
+impl TxnFaults {
+    /// Builds the transaction fault policy for a machine with `nodes` nodes.
+    #[must_use]
+    pub fn new(plan: FaultPlan, nodes: usize) -> Self {
+        TxnFaults { plan, nack_seq: vec![0; nodes] }
+    }
+
+    /// The plan this policy was built from.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decides whether the home directory NACKs this request (it was busy),
+    /// advancing that home's request counter.
+    pub fn nack(&mut self, home: NodeId) -> bool {
+        let n = self.nack_seq[home.index()];
+        self.nack_seq[home.index()] += 1;
+        decide(self.plan.seed, Stream::Nack, u64::from(home.raw()), 0, n, self.plan.nack)
+    }
+
+    /// Cycles the requester waits before treating a request as lost.
+    #[must_use]
+    pub fn timeout(&self) -> u64 {
+        TIMEOUT_CYCLES
+    }
+
+    /// Exponential backoff before retry `attempt` (0-based), capped.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        BACKOFF_BASE << attempt.min(6)
+    }
+
+    /// Attempts after which the protocol stops gambling and delivers the
+    /// request reliably.
+    #[must_use]
+    pub fn max_attempts(&self) -> u32 {
+        MAX_ATTEMPTS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_nack_probability_never_nacks() {
+        let mut tf = TxnFaults::new(FaultPlan::default(), 4);
+        assert!((0..1000).all(|_| !tf.nack(NodeId::new(2))));
+    }
+
+    #[test]
+    fn nack_rate_tracks_probability_and_is_per_home() {
+        let plan = FaultPlan::parse("nack=0.1").unwrap();
+        let mut a = TxnFaults::new(plan.clone(), 4);
+        let hits = (0..10_000).filter(|_| a.nack(NodeId::new(1))).count();
+        assert!((800..1200).contains(&hits), "got {hits} NACKs for p=0.1");
+
+        // Same plan replayed on a different instance gives the same answers.
+        let mut b = TxnFaults::new(plan, 4);
+        let mut c = TxnFaults::new(FaultPlan::parse("nack=0.1").unwrap(), 4);
+        for _ in 0..500 {
+            assert_eq!(b.nack(NodeId::new(3)), c.nack(NodeId::new(3)));
+        }
+    }
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let tf = TxnFaults::new(FaultPlan::default(), 1);
+        assert_eq!(tf.backoff(0), 32);
+        assert_eq!(tf.backoff(1), 64);
+        assert_eq!(tf.backoff(6), 32 << 6);
+        assert_eq!(tf.backoff(20), 32 << 6, "backoff must cap");
+        assert!(tf.max_attempts() >= 2);
+        assert!(tf.timeout() > 0);
+    }
+}

@@ -56,10 +56,13 @@ pub enum MsgKind {
     ForwardReq,
     /// Writeback of a dirty block to the level below — block-sized.
     Writeback,
+    /// Negative acknowledgement from a busy home directory — control-sized.
+    /// Tells the requester to back off and retry the whole transaction.
+    Nack,
 }
 
 /// All message kinds, for iteration in statistics code.
-pub const ALL_MSG_KINDS: [MsgKind; 10] = [
+pub const ALL_MSG_KINDS: [MsgKind; 11] = [
     MsgKind::ReadReq,
     MsgKind::WriteReq,
     MsgKind::UpgradeReq,
@@ -70,6 +73,7 @@ pub const ALL_MSG_KINDS: [MsgKind; 10] = [
     MsgKind::InjectForward,
     MsgKind::ForwardReq,
     MsgKind::Writeback,
+    MsgKind::Nack,
 ];
 
 impl MsgKind {
@@ -113,6 +117,7 @@ impl MsgKind {
             MsgKind::InjectForward => 7,
             MsgKind::ForwardReq => 8,
             MsgKind::Writeback => 9,
+            MsgKind::Nack => 10,
         }
     }
 }
@@ -130,6 +135,7 @@ impl std::fmt::Display for MsgKind {
             MsgKind::InjectForward => "inject-forward",
             MsgKind::ForwardReq => "forward-req",
             MsgKind::Writeback => "writeback",
+            MsgKind::Nack => "nack",
         };
         f.write_str(s)
     }
@@ -139,7 +145,7 @@ impl std::fmt::Display for MsgKind {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct NetStats {
     /// Messages sent, by [`MsgKind`] statistics index.
-    msgs_by_kind: [u64; 10],
+    msgs_by_kind: [u64; 11],
     /// Messages sent per source node.
     sent_per_node: Vec<u64>,
     /// Messages received per destination node.
@@ -154,6 +160,16 @@ pub struct NetStats {
     pub contention_cycles: u64,
     /// Messages a node sent to itself (charged no network latency).
     pub local_msgs: u64,
+    /// Messages lost at the crossbar boundary by an injected fault (the
+    /// traffic counters above still count them: they were injected and
+    /// consumed wire bandwidth, but never arrived).
+    pub dropped_msgs: u64,
+    /// Spurious duplicate copies injected by a fault (each also counted in
+    /// the traffic counters; the receiver discards them).
+    pub duplicated_msgs: u64,
+    /// Extra wire cycles added to delivered messages by fault-injected
+    /// delays and node pause windows.
+    pub fault_delay_cycles: u64,
 }
 
 impl Default for NetStats {
@@ -167,13 +183,16 @@ impl Default for NetStats {
 impl NetStats {
     fn new(nodes: usize) -> Self {
         NetStats {
-            msgs_by_kind: [0; 10],
+            msgs_by_kind: [0; 11],
             sent_per_node: vec![0; nodes],
             recv_per_node: vec![0; nodes],
             queue_wait: Histogram::new(),
             bytes: 0,
             contention_cycles: 0,
             local_msgs: 0,
+            dropped_msgs: 0,
+            duplicated_msgs: 0,
+            fault_delay_cycles: 0,
         }
     }
 
@@ -220,7 +239,61 @@ impl Mergeable for NetStats {
         self.bytes += other.bytes;
         self.contention_cycles += other.contention_cycles;
         self.local_msgs += other.local_msgs;
+        self.dropped_msgs += other.dropped_msgs;
+        self.duplicated_msgs += other.duplicated_msgs;
+        self.fault_delay_cycles += other.fault_delay_cycles;
     }
+}
+
+/// Fault decision for one message at the crossbar boundary, produced by a
+/// [`FaultHook`]. The default is no fault.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Lose the message: it is injected (and counted) but never arrives.
+    pub drop: bool,
+    /// Inject a spurious second copy that consumes bandwidth and is
+    /// discarded on arrival.
+    pub duplicate: bool,
+    /// Extra wire cycles added on top of the nominal latency.
+    pub extra_delay: u64,
+}
+
+impl LinkFault {
+    /// The no-fault decision.
+    pub const NONE: LinkFault = LinkFault { drop: false, duplicate: false, extra_delay: 0 };
+}
+
+/// Injection point consulted by [`Crossbar::send_faulty`] for every
+/// node-to-node message. Implementations must be deterministic functions
+/// of their own state and the call arguments so runs stay reproducible
+/// (see `vcoma-faults` for the seeded plan-driven implementation).
+pub trait FaultHook: std::fmt::Debug {
+    /// Decides the fault (if any) for one message about to be sent.
+    fn on_send(&mut self, src: NodeId, dst: NodeId, kind: MsgKind, now: u64) -> LinkFault;
+
+    /// Clones the hook into a fresh box (object-safe `Clone`).
+    fn box_clone(&self) -> Box<dyn FaultHook>;
+}
+
+impl Clone for Box<dyn FaultHook> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// Outcome of a [`Crossbar::send_faulty`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message arrived at `arrive`; `fault_delay` of those cycles were
+    /// added by the fault hook (zero without one).
+    Delivered {
+        /// Arrival time at the destination.
+        arrive: u64,
+        /// Portion of the flight time injected by the fault hook.
+        fault_delay: u64,
+    },
+    /// The message was lost; the sender must detect this by timeout.
+    Dropped,
 }
 
 /// The crossbar: latency model plus statistics, with optional output-port
@@ -237,13 +310,22 @@ pub struct Crossbar {
     stats: NetStats,
     /// Busy-until time per destination port; `None` disables contention.
     port_busy_until: Option<Vec<u64>>,
+    /// Fault-injection hook consulted by [`Crossbar::send_faulty`]; `None`
+    /// (the default) makes `send_faulty` behave exactly like [`Crossbar::send`].
+    fault_hook: Option<Box<dyn FaultHook>>,
 }
 
 impl Crossbar {
     /// Creates a contention-free crossbar for `nodes` nodes (the paper's
     /// model) with a 128-byte block payload.
     pub fn new(nodes: u64, timing: Timing) -> Self {
-        Crossbar { timing, block_size: 128, stats: NetStats::new(nodes as usize), port_busy_until: None }
+        Crossbar {
+            timing,
+            block_size: 128,
+            stats: NetStats::new(nodes as usize),
+            port_busy_until: None,
+            fault_hook: None,
+        }
     }
 
     /// Enables output-port contention modelling.
@@ -257,6 +339,17 @@ impl Crossbar {
     pub fn with_block_size(mut self, block_size: u64) -> Self {
         self.block_size = block_size;
         self
+    }
+
+    /// Installs a fault-injection hook consulted by [`Crossbar::send_faulty`].
+    pub fn with_fault_hook(mut self, hook: Box<dyn FaultHook>) -> Self {
+        self.fault_hook = Some(hook);
+        self
+    }
+
+    /// `true` if a fault hook is installed.
+    pub fn has_fault_hook(&self) -> bool {
+        self.fault_hook.is_some()
     }
 
     /// Sends a message at time `now`; returns its arrival time at `dst`.
@@ -288,6 +381,35 @@ impl Crossbar {
                 start + latency
             }
         }
+    }
+
+    /// Sends a message through the fault hook (if any): the hook may drop
+    /// it, duplicate it or delay it. Without a hook this is exactly
+    /// [`Crossbar::send`] — identical arrival time, identical statistics.
+    ///
+    /// A dropped message is still counted as sent traffic (it was injected
+    /// and consumed wire bandwidth) but never reaches the destination's
+    /// receive counter. A duplicate charges a second full message. Self
+    /// sends never fault: they touch no link.
+    pub fn send_faulty(&mut self, src: NodeId, dst: NodeId, kind: MsgKind, now: u64) -> SendOutcome {
+        let fault = match &mut self.fault_hook {
+            Some(hook) if src != dst => hook.on_send(src, dst, kind, now),
+            _ => LinkFault::NONE,
+        };
+        if fault.drop {
+            self.stats.msgs_by_kind[kind.stat_index()] += 1;
+            self.stats.sent_per_node[src.index()] += 1;
+            self.stats.bytes += kind.bytes(self.block_size);
+            self.stats.dropped_msgs += 1;
+            return SendOutcome::Dropped;
+        }
+        let arrive = self.send(src, dst, kind, now) + fault.extra_delay;
+        self.stats.fault_delay_cycles += fault.extra_delay;
+        if fault.duplicate {
+            self.stats.duplicated_msgs += 1;
+            let _ = self.send(src, dst, kind, now);
+        }
+        SendOutcome::Delivered { arrive, fault_delay: fault.extra_delay }
     }
 
     /// Latency a message kind would incur (no state change).
@@ -431,5 +553,91 @@ mod tests {
         for k in ALL_MSG_KINDS {
             assert!(!k.to_string().is_empty());
         }
+    }
+
+    /// A hook replaying a fixed script of decisions (then no faults).
+    #[derive(Debug, Clone)]
+    struct Scripted(Vec<LinkFault>);
+
+    impl FaultHook for Scripted {
+        fn on_send(&mut self, _s: NodeId, _d: NodeId, _k: MsgKind, _now: u64) -> LinkFault {
+            if self.0.is_empty() {
+                LinkFault::NONE
+            } else {
+                self.0.remove(0)
+            }
+        }
+        fn box_clone(&self) -> Box<dyn FaultHook> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn send_faulty_without_hook_matches_send() {
+        let mut a = xbar();
+        let mut b = xbar();
+        let plain = a.send(NodeId::new(0), NodeId::new(1), MsgKind::ReadReq, 5);
+        let faulty = b.send_faulty(NodeId::new(0), NodeId::new(1), MsgKind::ReadReq, 5);
+        assert_eq!(faulty, SendOutcome::Delivered { arrive: plain, fault_delay: 0 });
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn dropped_message_counts_traffic_but_never_arrives() {
+        let mut x = xbar().with_fault_hook(Box::new(Scripted(vec![LinkFault {
+            drop: true,
+            ..LinkFault::NONE
+        }])));
+        let out = x.send_faulty(NodeId::new(0), NodeId::new(1), MsgKind::ReadReq, 0);
+        assert_eq!(out, SendOutcome::Dropped);
+        assert_eq!(x.stats().dropped_msgs, 1);
+        assert_eq!(x.stats().msgs_of(MsgKind::ReadReq), 1, "the lost message was injected");
+        assert_eq!(x.stats().received_by(NodeId::new(1)), 0, "but never received");
+        // The next message is clean again.
+        let out = x.send_faulty(NodeId::new(0), NodeId::new(1), MsgKind::ReadReq, 0);
+        assert_eq!(out, SendOutcome::Delivered { arrive: 16, fault_delay: 0 });
+    }
+
+    #[test]
+    fn duplicate_and_delay_accounting() {
+        let mut x = xbar().with_fault_hook(Box::new(Scripted(vec![LinkFault {
+            drop: false,
+            duplicate: true,
+            extra_delay: 10,
+        }])));
+        let out = x.send_faulty(NodeId::new(0), NodeId::new(1), MsgKind::ReadReq, 0);
+        assert_eq!(out, SendOutcome::Delivered { arrive: 26, fault_delay: 10 });
+        assert_eq!(x.stats().duplicated_msgs, 1);
+        assert_eq!(x.stats().fault_delay_cycles, 10);
+        assert_eq!(x.stats().msgs_of(MsgKind::ReadReq), 2, "the duplicate is real traffic");
+        assert_eq!(x.stats().bytes, 16);
+    }
+
+    #[test]
+    fn self_sends_never_fault() {
+        let mut x = xbar().with_fault_hook(Box::new(Scripted(vec![LinkFault {
+            drop: true,
+            ..LinkFault::NONE
+        }])));
+        let n = NodeId::new(2);
+        let out = x.send_faulty(n, n, MsgKind::BlockReply, 50);
+        assert_eq!(out, SendOutcome::Delivered { arrive: 50, fault_delay: 0 });
+        assert_eq!(x.stats().dropped_msgs, 0);
+    }
+
+    #[test]
+    fn fault_counters_merge() {
+        let mut a = NetStats::default();
+        let b = NetStats {
+            dropped_msgs: 2,
+            duplicated_msgs: 3,
+            fault_delay_cycles: 40,
+            ..NetStats::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.dropped_msgs, 4);
+        assert_eq!(a.duplicated_msgs, 6);
+        assert_eq!(a.fault_delay_cycles, 80);
     }
 }

@@ -1,0 +1,77 @@
+//! The coherence-invariant auditor's violation report.
+
+use vcoma_metrics::EventSnapshot;
+
+/// How many trailing traced events the violation report prints.
+const TRACE_TAIL: usize = 8;
+
+/// A coherence-invariant violation found by the auditor.
+///
+/// Carries the simulated cycle of the transaction that exposed the
+/// violation, the protocol's description of the broken invariant, and the
+/// machine's cycle-stamped event trace (the newest events from the metrics
+/// ring) for post-mortem debugging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditError {
+    /// Simulated cycle at which the violation was detected.
+    pub cycle: u64,
+    /// Description of the violated invariant, from
+    /// [`vcoma_coherence::Protocol::check_block_invariants`].
+    pub message: String,
+    /// The most recent traced events (TLB/DLB misses, shootdowns,
+    /// swap-outs), oldest first — the flight recorder leading up to the
+    /// violation.
+    pub trace: Vec<EventSnapshot>,
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "coherence invariant violated at cycle {}: {}",
+            self.cycle, self.message
+        )?;
+        if self.trace.is_empty() {
+            return write!(f, " (no traced events; raise the event capacity for a trace)");
+        }
+        let tail = &self.trace[self.trace.len().saturating_sub(TRACE_TAIL)..];
+        write!(f, "; last {} traced events:", tail.len())?;
+        for e in tail {
+            write!(f, "\n  cycle {:>8} node {:>2} {} addr {:#x}", e.cycle, e.node, e.kind, e.addr)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_cycle_message_and_trace_tail() {
+        let e = AuditError {
+            cycle: 1234,
+            message: "block 0x10: two owners".into(),
+            trace: (0..20)
+                .map(|i| EventSnapshot {
+                    cycle: i,
+                    node: 1,
+                    kind: "dlb_miss".into(),
+                    addr: 0x40,
+                })
+                .collect(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cycle 1234"), "{s}");
+        assert!(s.contains("two owners"), "{s}");
+        assert!(s.contains("dlb_miss"), "{s}");
+        // Only the tail is printed.
+        assert_eq!(s.matches("dlb_miss").count(), TRACE_TAIL);
+    }
+
+    #[test]
+    fn empty_trace_is_explained() {
+        let e = AuditError { cycle: 0, message: "m".into(), trace: Vec::new() };
+        assert!(e.to_string().contains("no traced events"));
+    }
+}

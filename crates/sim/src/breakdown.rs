@@ -86,11 +86,15 @@ pub struct LatencyBreakdown {
     /// Waiting for contended crossbar output ports (zero in the paper's
     /// contention-free model).
     pub queue: u64,
+    /// Fault-recovery time: retry backoff, timeout detection, NACK round
+    /// trips and fault-added wire delay (zero unless fault injection is
+    /// enabled).
+    pub fault: u64,
 }
 
 /// Category names of [`LatencyBreakdown`], in field order (matches
 /// [`LatencyBreakdown::as_array`]).
-pub const LATENCY_CATEGORIES: [&str; 8] = [
+pub const LATENCY_CATEGORIES: [&str; 9] = [
     "busy",
     "sync",
     "tlb_walk",
@@ -99,6 +103,7 @@ pub const LATENCY_CATEGORIES: [&str; 8] = [
     "coherence",
     "network",
     "queue",
+    "fault",
 ];
 
 impl LatencyBreakdown {
@@ -112,6 +117,7 @@ impl LatencyBreakdown {
             + self.coherence
             + self.network
             + self.queue
+            + self.fault
     }
 
     /// Translation overhead (node TLB walks plus home DLB lookups).
@@ -120,7 +126,7 @@ impl LatencyBreakdown {
     }
 
     /// The category values in [`LATENCY_CATEGORIES`] order.
-    pub const fn as_array(&self) -> [u64; 8] {
+    pub const fn as_array(&self) -> [u64; 9] {
         [
             self.busy,
             self.sync,
@@ -130,6 +136,7 @@ impl LatencyBreakdown {
             self.coherence,
             self.network,
             self.queue,
+            self.fault,
         ]
     }
 }
@@ -144,6 +151,7 @@ impl Mergeable for LatencyBreakdown {
         self.coherence += o.coherence;
         self.network += o.network;
         self.queue += o.queue;
+        self.fault += o.fault;
     }
 }
 
@@ -222,8 +230,9 @@ mod tests {
             coherence: 32,
             network: 64,
             queue: 128,
+            fault: 256,
         };
-        assert_eq!(fine.total(), 255);
+        assert_eq!(fine.total(), 511);
         assert_eq!(fine.translation(), 12);
         assert_eq!(fine.as_array().iter().sum::<u64>(), fine.total());
         assert_eq!(fine.as_array().len(), LATENCY_CATEGORIES.len());

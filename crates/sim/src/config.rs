@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use vcoma_coherence::InjectionPolicy;
+use vcoma_faults::FaultPlan;
 use vcoma_tlb::{Scheme, TlbOrg};
 use vcoma_types::MachineConfig;
 
@@ -34,6 +35,17 @@ pub struct SimConfig {
     /// swap-outs) are kept; older ones are dropped and counted. Zero
     /// disables event tracing entirely.
     pub event_capacity: usize,
+    /// Deterministic fault plan: message drop/duplication/extra delay at
+    /// the crossbar boundary, transient home-directory NACKs, node pause
+    /// windows. `None` (the default) leaves the fault-free code paths
+    /// byte-identical to builds without a plan.
+    pub fault_plan: Option<FaultPlan>,
+    /// Run the coherence-invariant auditor: after every transaction the
+    /// touched blocks are checked (single owner, no lost last copy,
+    /// directory/residence agreement), with periodic and end-of-run full
+    /// sweeps. Independent of `fault_plan`: auditing a fault-free run is
+    /// a valid (and cheap) regression check.
+    pub audit: bool,
 }
 
 impl SimConfig {
@@ -49,6 +61,8 @@ impl SimConfig {
             warmup: false,
             injection_policy: InjectionPolicy::RandomForward,
             event_capacity: 1024,
+            fault_plan: None,
+            audit: false,
         }
     }
 
@@ -97,6 +111,18 @@ impl SimConfig {
         self.event_capacity = capacity;
         self
     }
+
+    /// Installs a deterministic fault plan (see [`SimConfig::fault_plan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables the coherence-invariant auditor (see [`SimConfig::audit`]).
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -116,11 +142,15 @@ mod tests {
             .with_entries(16)
             .with_seed(99)
             .with_contention()
-            .with_event_capacity(4);
+            .with_event_capacity(4)
+            .with_fault_plan(FaultPlan::parse("drop=0.01").unwrap())
+            .with_audit();
         assert_eq!(c.translation_specs, vec![(16, TlbOrg::FullyAssociative)]);
         assert_eq!(c.seed, 99);
         assert!(c.contention);
         assert_eq!(c.event_capacity, 4);
+        assert_eq!(c.fault_plan.as_ref().map(|p| p.drop), Some(0.01));
+        assert!(c.audit);
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Structured simulation errors.
+
+use crate::audit::AuditError;
+use vcoma_vm::VmError;
+
+/// A simulation run failed in a structured, reportable way.
+///
+/// Programming errors (wrong trace count, deadlocked traces) still panic;
+/// `SimError` covers conditions a driver should surface to its user:
+/// virtual-memory exhaustion the page daemon could not resolve, and
+/// coherence-invariant violations found by the auditor.
+#[derive(Debug)]
+pub enum SimError {
+    /// The virtual-memory system reported an unrecoverable error while
+    /// mapping a page for `node` (e.g. the footprint exceeds the frame
+    /// pool and nothing is evictable).
+    Vm {
+        /// Node whose access triggered the mapping.
+        node: u16,
+        /// The underlying virtual-memory error.
+        source: VmError,
+    },
+    /// The coherence auditor found a protocol-invariant violation. Boxed:
+    /// the report carries the cycle-stamped event trace.
+    Audit(Box<AuditError>),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Vm { node, source } => {
+                write!(f, "virtual memory error on node {node}: {source}")
+            }
+            SimError::Audit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Vm { source, .. } => Some(source),
+            SimError::Audit(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcoma_types::VPage;
+
+    #[test]
+    fn display_names_the_failing_node() {
+        let e = SimError::Vm { node: 3, source: VmError::NotMapped(VPage::new(7)) };
+        let s = e.to_string();
+        assert!(s.contains("node 3"), "{s}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -36,24 +36,33 @@
 //!     traces[1].push(Op::Read(VAddr::new(0x100)));
 //!     traces[0].push(Op::Compute(i));
 //! }
-//! let report = machine.run(traces);
+//! let report = machine.run(traces).unwrap();
 //! assert_eq!(report.total_refs(), 20);
 //! ```
+//!
+//! [`Machine::run`] returns a [`SimError`] instead of a report when the
+//! virtual-memory system hits an unrecoverable condition or — with
+//! [`SimConfig::with_audit`] — when the coherence-invariant auditor finds a
+//! violation (see [`AuditError`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ccnuma;
 
+mod audit;
 mod bank;
 mod breakdown;
 mod config;
+mod error;
 mod machine;
 mod report;
 mod sync;
 
+pub use audit::AuditError;
 pub use bank::TlbBank;
 pub use breakdown::{LatencyBreakdown, TimeBreakdown, LATENCY_CATEGORIES};
 pub use config::SimConfig;
+pub use error::SimError;
 pub use machine::Machine;
 pub use report::{BuildError, NodeReport, SimReport, SimReportBuilder, TimeBreakdownF};

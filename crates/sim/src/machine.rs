@@ -1,13 +1,16 @@
 //! The machine: nodes, memory hierarchy, translation schemes and the
 //! trace-replay engine.
 
+use crate::audit::AuditError;
 use crate::breakdown::LatencyBreakdown;
+use crate::error::SimError;
 use crate::sync::{Barriers, Locks};
 use crate::{SimConfig, SimReport, TimeBreakdown, TlbBank};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use vcoma_cachesim::{Flc, Slc};
 use vcoma_coherence::{Access, HomeTranslation, NullTranslation, Protocol};
+use vcoma_faults::LinkFaultInjector;
 use vcoma_metrics::{Event, Mergeable, MetricsRegistry};
 use vcoma_net::{Crossbar, MsgKind};
 use vcoma_tlb::Scheme;
@@ -61,6 +64,9 @@ pub struct Machine {
     /// I/O itself is not timed — the paper's runs are preloaded — but the
     /// count makes over-capacity workloads visible instead of fatal.
     page_faults: u64,
+    /// Remote transactions completed since the last periodic audit sweep
+    /// (only maintained when auditing is enabled).
+    audited_txns: u64,
     /// Machine-level metrics: per-request latency histograms and traced
     /// events (TLB/DLB misses, shootdowns, swap-outs). Observation-only —
     /// never feeds back into timing.
@@ -147,14 +153,23 @@ impl Machine {
             Scheme::L3Tlb => PhysAlloc::Coloring(ColoringAllocator::new(m)),
             _ => PhysAlloc::RoundRobin(RoundRobinAllocator::new(m)),
         };
-        let net = if cfg.contention {
+        let mut net = if cfg.contention {
             Crossbar::new(m.nodes, m.timing).with_contention().with_block_size(m.am.block_size)
         } else {
             Crossbar::new(m.nodes, m.timing).with_block_size(m.am.block_size)
         };
+        let mut protocol =
+            Protocol::new(m, cfg.seed).with_injection_policy(cfg.injection_policy);
+        if let Some(plan) = &cfg.fault_plan {
+            net = net.with_fault_hook(Box::new(LinkFaultInjector::new(
+                plan.clone(),
+                m.nodes as usize,
+            )));
+            protocol = protocol.with_faults(plan.clone());
+        }
         Machine {
             nodes,
-            protocol: Protocol::new(m, cfg.seed).with_injection_policy(cfg.injection_policy),
+            protocol,
             net,
             page_table: PageTable::new(m.clone()),
             phys_alloc,
@@ -162,6 +177,7 @@ impl Machine {
             barriers: Barriers::new(m.nodes as usize, BARRIER_RELEASE_COST),
             locks: Locks::new(LOCK_ACQUIRE_COST, LOCK_RELEASE_COST),
             page_faults: 0,
+            audited_txns: 0,
             metrics: MetricsRegistry::new(cfg.event_capacity),
             cfg,
         }
@@ -174,23 +190,36 @@ impl Machine {
 
     /// Replays one trace per node to completion and reports statistics.
     ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Vm`] if the virtual-memory system hits an
+    /// unrecoverable condition, and [`SimError::Audit`] if auditing is
+    /// enabled and a coherence invariant is violated.
+    ///
     /// # Panics
     ///
-    /// Panics if the number of traces does not match the node count, if the
-    /// traces deadlock (a barrier or lock some participant never reaches),
-    /// or if the workload footprint exceeds the machine's page frames.
-    pub fn run(mut self, traces: Vec<Vec<Op>>) -> SimReport {
+    /// Panics if the number of traces does not match the node count or if
+    /// the traces deadlock (a barrier or lock some participant never
+    /// reaches) — both are programming errors in the caller, not run
+    /// outcomes.
+    pub fn run(mut self, traces: Vec<Vec<Op>>) -> Result<SimReport, SimError> {
         assert_eq!(
             traces.len(),
             self.nodes.len(),
             "need exactly one trace per node"
         );
         if self.cfg.warmup {
-            self.replay(&traces);
+            self.replay(&traces)?;
             self.reset_stats();
         }
-        self.replay(&traces);
-        self.into_report()
+        self.replay(&traces)?;
+        if self.cfg.audit {
+            // End-of-run full sweep: the quiescent machine must satisfy
+            // every invariant globally, not just on recently-touched blocks.
+            let end = self.nodes.iter().map(|n| n.time).max().unwrap_or(0);
+            self.audit_full(end)?;
+        }
+        Ok(self.into_report())
     }
 
     /// Zeroes every statistics counter while keeping all warm state
@@ -213,7 +242,7 @@ impl Machine {
     }
 
     /// Replays the traces to completion once.
-    fn replay(&mut self, traces: &[Vec<Op>]) {
+    fn replay(&mut self, traces: &[Vec<Op>]) -> Result<(), SimError> {
         let mut cursors = vec![0usize; traces.len()];
         let mut done = vec![false; traces.len()];
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
@@ -237,11 +266,11 @@ impl Machine {
                     resumes.push((n, t + c));
                 }
                 Op::Read(va) => {
-                    let dt = self.access(n, va, AccessKind::Read);
+                    let dt = self.access(n, va, AccessKind::Read)?;
                     resumes.push((n, t + dt));
                 }
                 Op::Write(va) => {
-                    let dt = self.access(n, va, AccessKind::Write);
+                    let dt = self.access(n, va, AccessKind::Write)?;
                     resumes.push((n, t + dt));
                 }
                 Op::Barrier(id) => {
@@ -272,7 +301,7 @@ impl Machine {
                     }
                 }
                 Op::Protect(va, prot) => {
-                    let dt = self.protect(n, va, prot);
+                    let dt = self.protect(n, va, prot)?;
                     resumes.push((n, t + dt));
                 }
             }
@@ -293,21 +322,22 @@ impl Machine {
             "deadlock: nodes {unfinished:?} are parked on a barrier or lock that \
              the other traces never reach"
         );
+        Ok(())
     }
 
     /// Executes one memory reference for node `n`; returns the elapsed
     /// cycles and feeds the per-request latency histograms.
-    fn access(&mut self, n: usize, va: VAddr, kind: AccessKind) -> u64 {
-        let dt = self.access_inner(n, va, kind);
+    fn access(&mut self, n: usize, va: VAddr, kind: AccessKind) -> Result<u64, SimError> {
+        let dt = self.access_inner(n, va, kind)?;
         let name = match kind {
             AccessKind::Read => "latency.read",
             AccessKind::Write => "latency.write",
         };
         self.metrics.observe(name, dt);
-        dt
+        Ok(dt)
     }
 
-    fn access_inner(&mut self, n: usize, va: VAddr, kind: AccessKind) -> u64 {
+    fn access_inner(&mut self, n: usize, va: VAddr, kind: AccessKind) -> Result<u64, SimError> {
         let m = &self.cfg.machine;
         let scheme = self.cfg.scheme;
         let timing = m.timing;
@@ -318,10 +348,16 @@ impl Machine {
 
         // --- address-space views and home selection ---------------------
         let (pa, home) = if scheme == Scheme::VComa {
-            self.ensure_directory_mapping(n, page);
+            self.ensure_directory_mapping(n, page)?;
+            if self.cfg.audit && self.page_table.dir_page_of(page).is_none() {
+                return Err(self.audit_failure(
+                    self.nodes[n].time,
+                    format!("page {:#x}: no directory mapping after ensure", page.raw()),
+                ));
+            }
             (None, self.cfg.machine.home_of_vpage(page))
         } else {
-            let frame = self.ensure_physical_mapping(n, page);
+            let frame = self.ensure_physical_mapping(n, page)?;
             let pa = frame.base(page_size).raw() + va.page_offset(page_size);
             (Some(pa), self.cfg.machine.home_of_pframe(frame.raw()))
         };
@@ -360,7 +396,7 @@ impl Machine {
         t += timing.flc_hit;
         self.nodes[n].fine.local_stall += timing.flc_hit;
         if kind == AccessKind::Read && flc_hit {
-            return t - t0;
+            return Ok(t - t0);
         }
 
         // L1: the TLB sits between the (virtual) FLC and the (physical)
@@ -401,7 +437,7 @@ impl Machine {
             self.nodes[n].breakdown.local_stall += timing.slc_hit;
             self.nodes[n].fine.local_stall += timing.slc_hit;
             if kind == AccessKind::Read {
-                return t - t0;
+                return Ok(t - t0);
             }
         } else if matches!(scheme, Scheme::L2Tlb | Scheme::L2TlbNoWb) {
             // L2: the TLB sits at the SLC→AM boundary and sees every SLC
@@ -422,7 +458,7 @@ impl Machine {
             // Refresh protocol-side stats/recency; guaranteed local.
             let out = self.run_protocol(node_id, am_block, home, kind, t);
             debug_assert!(out.local_hit);
-            return t - t0;
+            return Ok(t - t0);
         }
 
         // A coherence transaction is required. Any scheme whose translation
@@ -452,6 +488,7 @@ impl Machine {
             node.fine.coherence += out.mem_cycles;
             node.fine.network += out.net_cycles;
             node.fine.queue += out.queue_cycles;
+            node.fine.fault += out.fault_cycles;
         }
         if out.home_lookup_cycles > 0 {
             // A DLB refill touches the page-table entry (reference bit).
@@ -461,7 +498,50 @@ impl Machine {
             let _ = self.page_table.set_modified(page);
         }
         self.apply_invalidations(&out);
-        t - t0
+        if self.cfg.audit {
+            self.audit_transaction(am_block, &out, t)?;
+        }
+        Ok(t - t0)
+    }
+
+    /// Audits the blocks a just-completed transaction touched — the
+    /// accessed block plus every invalidation victim — and runs a full
+    /// sweep every 1024 transactions so drift on untouched blocks cannot
+    /// hide until the end of the run.
+    fn audit_transaction(&mut self, am_block: u64, out: &Access, cycle: u64) -> Result<(), SimError> {
+        if let Err(msg) = self.protocol.check_block_invariants(am_block) {
+            return Err(self.audit_failure(cycle, msg));
+        }
+        for &(_, block) in &out.invalidations {
+            if block != am_block {
+                if let Err(msg) = self.protocol.check_block_invariants(block) {
+                    return Err(self.audit_failure(cycle, msg));
+                }
+            }
+        }
+        self.audited_txns += 1;
+        if self.audited_txns.is_multiple_of(1024) {
+            self.audit_full(cycle)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the full invariant sweep over every known block.
+    fn audit_full(&mut self, cycle: u64) -> Result<(), SimError> {
+        if let Err(msg) = self.protocol.check_invariants() {
+            return Err(self.audit_failure(cycle, msg));
+        }
+        Ok(())
+    }
+
+    /// Packages an invariant violation with the cycle-stamped event trace
+    /// from the metrics ring.
+    fn audit_failure(&self, cycle: u64, message: String) -> SimError {
+        SimError::Audit(Box::new(AuditError {
+            cycle,
+            message,
+            trace: self.metrics.events().snapshot(),
+        }))
     }
 
     /// Changes a page's protection (paper §4.3): the page table is
@@ -470,7 +550,12 @@ impl Machine {
     /// and, in V-COMA, the home's protocol engine sends update messages to
     /// every node holding a block of the page. Returns the elapsed cycles,
     /// charged as translation-maintenance time.
-    fn protect(&mut self, n: usize, va: VAddr, prot: vcoma_types::Protection) -> u64 {
+    fn protect(
+        &mut self,
+        n: usize,
+        va: VAddr,
+        prot: vcoma_types::Protection,
+    ) -> Result<u64, SimError> {
         let cfg = self.cfg.machine.clone();
         let page = va.page(cfg.page_size);
         let node_id = NodeId::new(n as u16);
@@ -480,7 +565,7 @@ impl Machine {
         self.nodes[n].breakdown.busy += 1;
         self.nodes[n].fine.busy += 1;
         if self.cfg.scheme == Scheme::VComa {
-            self.ensure_directory_mapping(n, page);
+            self.ensure_directory_mapping(n, page)?;
             let _ = self.page_table.protect(page, prot);
             let home = cfg.home_of_vpage(page);
             // Request to the home PE, which updates the page table and its
@@ -510,7 +595,7 @@ impl Machine {
             });
             t = arrive;
         } else {
-            self.ensure_physical_mapping(n, page);
+            self.ensure_physical_mapping(n, page)?;
             let _ = self.page_table.protect(page, prot);
             // TLB consistency: shoot the page down in every node's TLB and
             // charge one broadcast round trip.
@@ -528,16 +613,16 @@ impl Machine {
             });
             t += cost;
         }
-        t - t0
+        Ok(t - t0)
     }
 
     /// Maps `page` to a V-COMA directory page for requester `n`, swapping
     /// a resident page of the same global page set out if the set is
     /// saturated (§4.3).
-    fn ensure_directory_mapping(&mut self, n: usize, page: VPage) {
+    fn ensure_directory_mapping(&mut self, n: usize, page: VPage) -> Result<(), SimError> {
         loop {
             match self.page_table.map_directory(page, &mut self.dir_alloc) {
-                Ok(_) => return,
+                Ok(_) => return Ok(()),
                 Err(vcoma_vm::VmError::GlobalSetFull { set }) => {
                     let cfg = self.cfg.machine.clone();
                     let victim = self
@@ -568,7 +653,7 @@ impl Machine {
                         addr: victim.raw(),
                     });
                 }
-                Err(e) => panic!("virtual memory error: {e}"),
+                Err(e) => return Err(SimError::Vm { node: n as u16, source: e }),
             }
         }
     }
@@ -576,15 +661,19 @@ impl Machine {
     /// Maps `page` to a physical frame for requester `n`, swapping a
     /// resident page out if the frame pool (or the required color, under
     /// `L3-TLB`) is exhausted.
-    fn ensure_physical_mapping(&mut self, n: usize, page: VPage) -> vcoma_types::PFrame {
+    fn ensure_physical_mapping(
+        &mut self,
+        n: usize,
+        page: VPage,
+    ) -> Result<vcoma_types::PFrame, SimError> {
         loop {
             match self.page_table.map_physical(page, self.phys_alloc.as_mut()) {
-                Ok(f) => return f,
+                Ok(f) => return Ok(f),
                 Err(vcoma_vm::VmError::OutOfFrames) => self.swap_out_physical(n, page, None),
                 Err(vcoma_vm::VmError::OutOfColoredFrames { color }) => {
                     self.swap_out_physical(n, page, Some(color))
                 }
-                Err(e) => panic!("virtual memory error: {e}"),
+                Err(e) => return Err(SimError::Vm { node: n as u16, source: e }),
             }
         }
     }
@@ -785,7 +874,7 @@ mod tests {
     #[test]
     fn empty_traces_finish_instantly() {
         for scheme in ALL_SCHEMES {
-            let report = Machine::new(tiny(scheme)).run(vec![Vec::new(); 4]);
+            let report = Machine::new(tiny(scheme)).run(vec![Vec::new(); 4]).unwrap();
             assert_eq!(report.total_refs(), 0, "{scheme}");
             assert_eq!(report.exec_time(), 0, "{scheme}");
         }
@@ -794,7 +883,7 @@ mod tests {
     #[test]
     fn every_scheme_runs_a_sharing_workload() {
         for scheme in ALL_SCHEMES {
-            let report = Machine::new(tiny(scheme)).run(sharing_traces(4, 4096, 32));
+            let report = Machine::new(tiny(scheme)).run(sharing_traces(4, 4096, 32)).unwrap();
             assert_eq!(report.total_refs(), 256, "{scheme}");
             assert!(report.exec_time() > 0, "{scheme}");
             let b = report.aggregate_breakdown();
@@ -804,13 +893,13 @@ mod tests {
 
     #[test]
     fn l0_translates_every_reference() {
-        let report = Machine::new(tiny(Scheme::L0Tlb)).run(sharing_traces(4, 4096, 32));
+        let report = Machine::new(tiny(Scheme::L0Tlb)).run(sharing_traces(4, 4096, 32)).unwrap();
         assert_eq!(report.translation_accesses_total(0), 256);
     }
 
     #[test]
     fn l1_translates_writes_and_flc_read_misses_only() {
-        let report = Machine::new(tiny(Scheme::L1Tlb)).run(sharing_traces(4, 4096, 32));
+        let report = Machine::new(tiny(Scheme::L1Tlb)).run(sharing_traces(4, 4096, 32)).unwrap();
         let accesses = report.translation_accesses_total(0);
         // All 128 writes translate; reads translate only on FLC misses.
         assert!(accesses >= 128, "got {accesses}");
@@ -822,7 +911,7 @@ mod tests {
         // The deeper the TLB, the fewer accesses reach it.
         let mut acc = Vec::new();
         for scheme in [Scheme::L0Tlb, Scheme::L1Tlb, Scheme::L2TlbNoWb, Scheme::L3Tlb] {
-            let report = Machine::new(tiny(scheme)).run(sharing_traces(4, 8192, 32));
+            let report = Machine::new(tiny(scheme)).run(sharing_traces(4, 8192, 32)).unwrap();
             acc.push((scheme, report.translation_accesses_total(0)));
         }
         for w in acc.windows(2) {
@@ -838,7 +927,7 @@ mod tests {
 
     #[test]
     fn vcoma_uses_dlbs_not_tlbs() {
-        let report = Machine::new(tiny(Scheme::VComa)).run(sharing_traces(4, 4096, 32));
+        let report = Machine::new(tiny(Scheme::VComa)).run(sharing_traces(4, 4096, 32)).unwrap();
         // DLB accesses happen only at homes during remote transactions.
         let accesses = report.translation_accesses_total(0);
         assert!(accesses > 0);
@@ -847,7 +936,7 @@ mod tests {
 
     #[test]
     fn barrier_produces_sync_time() {
-        let report = Machine::new(tiny(Scheme::L0Tlb)).run(sharing_traces(4, 4096, 32));
+        let report = Machine::new(tiny(Scheme::L0Tlb)).run(sharing_traces(4, 4096, 32)).unwrap();
         let b = report.aggregate_breakdown();
         assert!(b.sync > 0, "idle nodes wait at the barrier");
     }
@@ -861,7 +950,7 @@ mod tests {
             tr.push(Op::Compute(100));
             tr.push(Op::Unlock(id));
         }
-        let report = Machine::new(tiny(Scheme::VComa)).run(traces);
+        let report = Machine::new(tiny(Scheme::VComa)).run(traces).unwrap();
         let b = report.aggregate_breakdown();
         // The last of 4 nodes waits roughly 3 × 100 cycles.
         assert!(b.sync > 300, "sync={}", b.sync);
@@ -870,7 +959,7 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let run = || {
-            Machine::new(tiny(Scheme::VComa).with_seed(7)).run(sharing_traces(4, 8192, 64))
+            Machine::new(tiny(Scheme::VComa).with_seed(7)).run(sharing_traces(4, 8192, 64)).unwrap()
         };
         let (a, b) = (run(), run());
         assert_eq!(a.exec_time(), b.exec_time());
@@ -881,7 +970,7 @@ mod tests {
     #[test]
     fn shadow_bank_members_do_not_change_timing() {
         let base = Machine::new(tiny(Scheme::L0Tlb).with_seed(3))
-            .run(sharing_traces(4, 8192, 64));
+            .run(sharing_traces(4, 8192, 64)).unwrap();
         let banked = Machine::new(
             tiny(Scheme::L0Tlb)
                 .with_seed(3)
@@ -891,7 +980,7 @@ mod tests {
                     (8, TlbOrg::DirectMapped),
                 ]),
         )
-        .run(sharing_traces(4, 8192, 64));
+        .run(sharing_traces(4, 8192, 64)).unwrap();
         assert_eq!(base.exec_time(), banked.exec_time());
         assert_eq!(
             base.translation_misses_total(0),
@@ -910,8 +999,8 @@ mod tests {
             pingpong[(i % 2) as usize].push(Op::Write(VAddr::new(0x100)));
             private[(i % 2) as usize].push(Op::Write(VAddr::new(0x10000 * (i % 2 + 1))));
         }
-        let shared = Machine::new(tiny(Scheme::VComa)).run(pingpong);
-        let alone = Machine::new(tiny(Scheme::VComa)).run(private);
+        let shared = Machine::new(tiny(Scheme::VComa)).run(pingpong).unwrap();
+        let alone = Machine::new(tiny(Scheme::VComa)).run(private).unwrap();
         assert!(
             shared.aggregate_breakdown().remote_stall > alone.aggregate_breakdown().remote_stall,
             "write sharing must generate coherence traffic"
@@ -923,13 +1012,13 @@ mod tests {
     fn missing_barrier_participant_is_detected() {
         let mut traces = vec![Vec::new(); 4];
         traces[0].push(Op::Barrier(vcoma_types::SyncId(0)));
-        Machine::new(tiny(Scheme::L0Tlb)).run(traces);
+        let _ = Machine::new(tiny(Scheme::L0Tlb)).run(traces);
     }
 
     #[test]
     #[should_panic(expected = "one trace per node")]
     fn wrong_trace_count_panics() {
-        Machine::new(tiny(Scheme::L0Tlb)).run(vec![Vec::new(); 3]);
+        let _ = Machine::new(tiny(Scheme::L0Tlb)).run(vec![Vec::new(); 3]);
     }
 
     #[test]
@@ -945,7 +1034,7 @@ mod tests {
                     tr.push(Op::Read(VAddr::new(page * 1024)));
                 }
             }
-            let report = Machine::new(tiny(scheme)).run(traces);
+            let report = Machine::new(tiny(scheme)).run(traces).unwrap();
             assert_eq!(report.total_refs(), 1600, "{scheme}");
             assert!(
                 report.swap_outs() > 0,
@@ -963,7 +1052,7 @@ mod tests {
                     tr.push(Op::Write(VAddr::new(((p * 7 + i as u64 * 13) % 400) * 1024)));
                 }
             }
-            Machine::new(tiny(Scheme::VComa).with_seed(3)).run(traces)
+            Machine::new(tiny(Scheme::VComa).with_seed(3)).run(traces).unwrap()
         };
         let (a, b) = (run(), run());
         assert_eq!(a.swap_outs(), b.swap_outs());
@@ -985,7 +1074,7 @@ mod tests {
             tr.push(Op::Barrier(vcoma_types::SyncId(1)));
             tr.push(Op::Read(VAddr::new(0x100)));
         }
-        let report = Machine::new(tiny(Scheme::L0Tlb)).run(traces.clone());
+        let report = Machine::new(tiny(Scheme::L0Tlb)).run(traces.clone()).unwrap();
         let shootdowns: u64 =
             report.nodes().iter().map(|n| n.translation[0].shootdowns).sum();
         assert_eq!(shootdowns, 4, "every node's TLB entry is shot down");
@@ -996,7 +1085,7 @@ mod tests {
         assert!(report.aggregate_breakdown().translation > 0);
 
         // V-COMA: the home's DLB entry is shot down instead.
-        let report = Machine::new(tiny(Scheme::VComa)).run(traces);
+        let report = Machine::new(tiny(Scheme::VComa)).run(traces).unwrap();
         let shootdowns: u64 =
             report.nodes().iter().map(|n| n.translation[0].shootdowns).sum();
         assert_eq!(shootdowns, 1, "only the home DLB maps the page");
@@ -1004,7 +1093,70 @@ mod tests {
 
     #[test]
     fn pressure_profile_covers_footprint() {
-        let report = Machine::new(tiny(Scheme::VComa)).run(sharing_traces(4, 16384, 128));
+        let report = Machine::new(tiny(Scheme::VComa)).run(sharing_traces(4, 16384, 128)).unwrap();
         assert!(report.pressure().mean() > 0.0);
+    }
+
+    #[test]
+    fn faulty_runs_complete_with_auditor_on_every_scheme() {
+        let plan = vcoma_faults::FaultPlan::parse("drop=0.02,dup=0.01,delay=16,nack=0.05")
+            .unwrap();
+        for scheme in ALL_SCHEMES {
+            let report = Machine::new(
+                tiny(scheme).with_fault_plan(plan.clone()).with_audit(),
+            )
+            .run(sharing_traces(4, 8192, 32))
+            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+            assert_eq!(report.total_refs(), 512, "{scheme}");
+            let p = report.protocol();
+            assert!(
+                p.fault_recoveries() + p.nacks > 0,
+                "{scheme}: a nonzero plan over 512 refs must trip at least one fault"
+            );
+            assert!(report.aggregate_fine().fault > 0, "{scheme}: recovery time is attributed");
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_plain_run_exactly() {
+        for scheme in ALL_SCHEMES {
+            let plain =
+                Machine::new(tiny(scheme)).run(sharing_traces(4, 8192, 32)).unwrap();
+            let zeroed = Machine::new(
+                tiny(scheme).with_fault_plan(vcoma_faults::FaultPlan::default()),
+            )
+            .run(sharing_traces(4, 8192, 32))
+            .unwrap();
+            assert_eq!(plain.exec_time(), zeroed.exec_time(), "{scheme}");
+            assert_eq!(plain.aggregate_breakdown(), zeroed.aggregate_breakdown(), "{scheme}");
+            assert_eq!(plain.protocol(), zeroed.protocol(), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn auditor_reports_deliberate_protocol_corruption() {
+        let mut m = Machine::new(tiny(Scheme::VComa).with_audit());
+        let traces = sharing_traces(4, 4096, 32);
+        m.replay(&traces).unwrap();
+        let block = *m.protocol.cached_blocks().first().expect("the run cached blocks");
+        assert!(m.protocol.corrupt_master_for_tests(block));
+        let err = m.audit_full(777).expect_err("corruption must be caught");
+        match err {
+            SimError::Audit(audit) => {
+                assert_eq!(audit.cycle, 777);
+                assert!(audit.to_string().contains("coherence invariant violated"));
+            }
+            other => panic!("expected an audit error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn audited_fault_free_run_matches_unaudited_timing() {
+        let plain = Machine::new(tiny(Scheme::L2Tlb)).run(sharing_traces(4, 8192, 32)).unwrap();
+        let audited = Machine::new(tiny(Scheme::L2Tlb).with_audit())
+            .run(sharing_traces(4, 8192, 32))
+            .unwrap();
+        assert_eq!(plain.exec_time(), audited.exec_time());
+        assert_eq!(plain.aggregate_breakdown(), audited.aggregate_breakdown());
     }
 }

@@ -19,12 +19,24 @@ cargo test -q -p vcoma-integration --test golden_reports
 echo "==> parallel determinism smoke sweep (--jobs 1 vs --jobs 2)"
 out1=$(mktemp -d)
 out2=$(mktemp -d)
-trap 'rm -rf "$out1" "$out2"' EXIT
+fault1=$(mktemp -d)
+fault2=$(mktemp -d)
+trap 'rm -rf "$out1" "$out2" "$fault1" "$fault2"' EXIT
 cargo run --release -p vcoma-experiments -- table2 fig8 \
     --scale 0.01 --out "$out1" --jobs 1
 cargo run --release -p vcoma-experiments -- table2 fig8 \
     --scale 0.01 --out "$out2" --jobs 2
 diff -r "$out1" "$out2"
 echo "==> CSVs byte-identical across worker counts"
+
+echo "==> fault-matrix smoke: every scheme under a lossy crossbar, auditor on"
+cargo run --release -p vcoma-experiments -- faults --scale 0.01 \
+    --fault-plan drop=0.01,dup=0.005,delay=32,nack=0.02 --fault-seed 0xFA17 \
+    --out "$fault1" --jobs 1
+cargo run --release -p vcoma-experiments -- faults --scale 0.01 \
+    --fault-plan drop=0.01,dup=0.005,delay=32,nack=0.02 --fault-seed 0xFA17 \
+    --out "$fault2" --jobs 8
+diff -r "$fault1" "$fault2"
+echo "==> fault sweeps byte-identical across worker counts"
 
 echo "==> ci.sh: all green"
