@@ -48,8 +48,8 @@ pub use vcoma_sim::{
 };
 pub use vcoma_tlb::{Scheme, Tlb, TlbOrg, TlbStats, ALL_SCHEMES};
 pub use vcoma_types::{
-    AccessKind, CacheGeometry, ConfigError, DetRng, MachineConfig, NodeId, Op, Protection,
-    SyncId, Timing, VAddr, VPage,
+    materialize, sources_from_traces, AccessKind, CacheGeometry, ConfigError, DetRng,
+    MachineConfig, Materialized, NodeId, Op, OpSource, Protection, SyncId, Timing, VAddr, VPage,
 };
 
 /// Cache structures (set-associative arrays, FLC/SLC models).
@@ -118,13 +118,26 @@ use vcoma_workloads::Workload;
 #[derive(Debug, Clone)]
 pub struct Simulator {
     cfg: SimConfig,
+    materialized: bool,
 }
 
 impl Simulator {
     /// Creates a simulator for `scheme` on the paper's 32-node baseline
     /// machine with an 8-entry fully-associative TLB/DLB.
     pub fn new(scheme: Scheme) -> Self {
-        Simulator { cfg: SimConfig::new(MachineConfig::paper_baseline(), scheme) }
+        Simulator {
+            cfg: SimConfig::new(MachineConfig::paper_baseline(), scheme),
+            materialized: false,
+        }
+    }
+
+    /// Builds the workload's full traces up front instead of streaming
+    /// them lazily into the replay engine. The results are identical;
+    /// materializing trades peak memory (the whole trace) for generating
+    /// the ops once even when warm-up replays the workload twice.
+    pub fn materialized(mut self) -> Self {
+        self.materialized = true;
+        self
     }
 
     /// Switches to the scaled-down 4-node test machine.
@@ -219,14 +232,28 @@ impl Simulator {
     /// Generates the workload's traces and runs them on a fresh machine,
     /// surfacing simulation failures as values.
     ///
+    /// By default the workload is **streamed**: the replay engine pulls ops
+    /// from the workload's [`OpSource`] cursors phase by phase, so peak
+    /// memory stays bounded by the buffered window instead of the whole
+    /// trace. [`Simulator::materialized`] restores the build-then-replay
+    /// path; both produce identical reports.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::Vm`] if the virtual-memory system hits an
-    /// unrecoverable condition, and [`SimError::Audit`] if auditing is
-    /// enabled and a coherence invariant is violated.
+    /// unrecoverable condition, [`SimError::Audit`] if auditing is enabled
+    /// and a coherence invariant is violated, [`SimError::BadTraces`] if
+    /// the workload yields the wrong number of per-node sources, and
+    /// [`SimError::Deadlock`] if replay stalls with nodes parked at a
+    /// barrier that can never fill.
     pub fn try_run(&self, workload: &dyn Workload) -> Result<SimReport, SimError> {
-        let traces = workload.generate(&self.cfg.machine);
-        self.try_run_traces(traces)
+        if self.materialized {
+            let traces = workload.generate(&self.cfg.machine);
+            self.try_run_traces(traces)
+        } else {
+            Machine::new(self.cfg.clone())
+                .run_streaming(|| workload.sources(&self.cfg.machine))
+        }
     }
 
     /// Runs pre-built traces (one per node) on a fresh machine.
@@ -288,6 +315,17 @@ mod tests {
         for scheme in ALL_SCHEMES {
             let r = Simulator::new(scheme).run(&w);
             assert_eq!(r.total_refs(), 32 * 200, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn streaming_and_materialized_runs_are_identical() {
+        let w = UniformRandom { pages: 32, refs_per_node: 300, write_fraction: 0.4 };
+        for scheme in ALL_SCHEMES {
+            let s = Simulator::new(scheme).tiny().warmup();
+            let streamed = s.try_run(&w).expect("streamed run");
+            let built = s.clone().materialized().try_run(&w).expect("materialized run");
+            assert_eq!(format!("{streamed:?}"), format!("{built:?}"), "{scheme}");
         }
     }
 

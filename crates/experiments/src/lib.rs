@@ -57,6 +57,11 @@ pub struct ExperimentConfig {
     /// Worker threads for sweep evaluation; `0` means one per available
     /// core. The sweep output is byte-identical for any value.
     pub jobs: usize,
+    /// Build each workload's full traces up front instead of streaming
+    /// them into the replay engine. Results are identical either way
+    /// (`--materialized` exists to demonstrate exactly that); streaming is
+    /// the default because it bounds peak memory at large `scale`.
+    pub materialized: bool,
 }
 
 impl ExperimentConfig {
@@ -67,6 +72,7 @@ impl ExperimentConfig {
             scale: 0.1,
             seed: 0x5EED,
             jobs: 0,
+            materialized: false,
         }
     }
 
@@ -79,6 +85,7 @@ impl ExperimentConfig {
             scale: 0.01,
             seed: 0x5EED,
             jobs: 0,
+            materialized: false,
         }
     }
 
@@ -91,6 +98,13 @@ impl ExperimentConfig {
     /// Sets the sweep worker count (`0` = one per available core).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Switches every simulator to the materialized (build-then-replay)
+    /// trace path.
+    pub fn with_materialized(mut self) -> Self {
+        self.materialized = true;
         self
     }
 
@@ -111,7 +125,12 @@ impl ExperimentConfig {
 
     /// A simulator for `scheme` on this configuration's machine.
     pub fn simulator(&self, scheme: Scheme) -> Simulator {
-        Simulator::new(scheme).machine(self.machine.clone()).seed(self.seed)
+        let s = Simulator::new(scheme).machine(self.machine.clone()).seed(self.seed);
+        if self.materialized {
+            s.materialized()
+        } else {
+            s
+        }
     }
 }
 
@@ -155,5 +174,17 @@ mod tests {
         let s = c.simulator(Scheme::VComa);
         assert_eq!(s.config().machine.nodes, 32);
         assert_eq!(s.config().seed, c.seed);
+    }
+
+    #[test]
+    fn materialized_toggle_changes_nothing_in_the_artifacts() {
+        let streamed = ExperimentConfig::smoke().with_jobs(1);
+        let built = ExperimentConfig::smoke().with_jobs(1).with_materialized();
+        assert!(!streamed.materialized);
+        assert!(built.materialized);
+        let w = &streamed.benchmarks()[0];
+        let a = streamed.simulator(Scheme::VComa).run(w.as_ref());
+        let b = built.simulator(Scheme::VComa).run(w.as_ref());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 }

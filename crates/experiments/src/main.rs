@@ -21,7 +21,7 @@ const VALID_ARTIFACTS: [&str; 12] = [
 
 const USAGE: &str = "\
 usage: vcoma-experiments [ARTIFACT...] [--scale F] [--nodes N] [--jobs N] [--out DIR]
-                         [--breakdown] [--metrics-out FILE]
+                         [--materialized] [--breakdown] [--metrics-out FILE]
                          [--fault-plan SPEC] [--fault-seed S]
 
 artifacts: table1 fig8 table2 table3 fig9 table4 fig10 fig11 ablations ccnuma
@@ -34,6 +34,10 @@ options:
   --jobs N           sweep worker threads (default: one per available core);
                      tables and CSVs are byte-identical for any value
   --out DIR          also write each artifact as CSV into DIR
+  --materialized     build each workload's full traces up front instead of
+                     streaming them into the replay engine; tables and CSVs
+                     are byte-identical either way, but peak memory grows
+                     with --scale
   --breakdown        print the fine latency-attribution table (scheme x benchmark;
                      per-row totals equal the run's simulated cycles exactly)
   --metrics-out FILE write the merged metrics snapshot (counters, histograms,
@@ -69,6 +73,7 @@ fn main() {
     let mut scale = 0.1f64;
     let mut nodes = 32u64;
     let mut jobs = 0usize;
+    let mut materialized = false;
     let mut out: Option<PathBuf> = None;
     let mut want_breakdown = false;
     let mut metrics_out: Option<PathBuf> = None;
@@ -127,6 +132,7 @@ fn main() {
                 }
             }
             "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a value"))),
+            "--materialized" => materialized = true,
             "--breakdown" => want_breakdown = true,
             "--metrics-out" => {
                 metrics_out = Some(PathBuf::from(args.next().expect("--metrics-out needs a value")));
@@ -181,13 +187,17 @@ fn main() {
     }
 
     let machine = vcoma::MachineConfig::builder().nodes(nodes).build().expect("valid machine");
-    let cfg = ExperimentConfig { machine, ..ExperimentConfig::new() }
+    let mut cfg = ExperimentConfig { machine, ..ExperimentConfig::new() }
         .with_scale(scale)
         .with_jobs(jobs);
+    if materialized {
+        cfg = cfg.with_materialized();
+    }
     println!(
-        "machine: {} nodes, scale {scale}, {} sweep workers (paper geometry, paper timing)\n",
+        "machine: {} nodes, scale {scale}, {} sweep workers, {} traces (paper geometry, paper timing)\n",
         cfg.machine.nodes,
-        cfg.effective_jobs()
+        cfg.effective_jobs(),
+        if cfg.materialized { "materialized" } else { "streamed" }
     );
     if let Some(dir) = &out {
         std::fs::create_dir_all(dir).expect("create output directory");

@@ -63,6 +63,24 @@ pub struct SweepStats {
     pub wall_seconds: f64,
     /// Total simulated cycles across all points.
     pub simulated_cycles: u64,
+    /// Peak resident-set size of the process when the sweep finished, in
+    /// KB (`VmHWM` from `/proc/self/status`; 0 where unavailable). A
+    /// high-water mark, so it only ever grows across sweeps — compare the
+    /// first sweeps of separate runs, not later sweeps of one run.
+    pub peak_rss_kb: u64,
+}
+
+/// Reads the process peak resident-set size in KB (`VmHWM` from
+/// `/proc/self/status`). Returns 0 on platforms without procfs.
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace().nth(1).and_then(|kb| kb.parse().ok())
+            })
+        })
+        .unwrap_or(0)
 }
 
 impl SweepStats {
@@ -145,6 +163,7 @@ where
         jobs,
         wall_seconds: t0.elapsed().as_secs_f64(),
         simulated_cycles,
+        peak_rss_kb: peak_rss_kb(),
     };
     println!(
         "[sweep {}: {} points on {} jobs, {:.2}s wall, {} sim cycles, {:.1} points/s, {:.3e} cycles/s]",
@@ -167,6 +186,7 @@ pub fn bench_json(stats: &[SweepStats], jobs_flag: usize) -> String {
     let total_wall: f64 = stats.iter().map(|s| s.wall_seconds).sum();
     let total_cycles: u64 = stats.iter().map(|s| s.simulated_cycles).sum();
     let total_points: usize = stats.iter().map(|s| s.points).sum();
+    let max_rss: u64 = stats.iter().map(|s| s.peak_rss_kb).max().unwrap_or(0);
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"jobs\": {jobs_flag},\n"));
     out.push_str(&format!("  \"total_wall_seconds\": {total_wall:.6},\n"));
@@ -176,11 +196,13 @@ pub fn bench_json(stats: &[SweepStats], jobs_flag: usize) -> String {
         "  \"total_cycles_per_second\": {:.3},\n",
         if total_wall > 0.0 { total_cycles as f64 / total_wall } else { 0.0 }
     ));
+    out.push_str(&format!("  \"max_peak_rss_kb\": {max_rss},\n"));
     out.push_str("  \"sweeps\": [\n");
     for (i, s) in stats.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"sweep\": \"{}\", \"points\": {}, \"jobs\": {}, \"wall_seconds\": {:.6}, \
-             \"simulated_cycles\": {}, \"points_per_second\": {:.3}, \"cycles_per_second\": {:.3}}}{}\n",
+             \"simulated_cycles\": {}, \"points_per_second\": {:.3}, \"cycles_per_second\": {:.3}, \
+             \"peak_rss_kb\": {}}}{}\n",
             s.sweep,
             s.points,
             s.jobs,
@@ -188,6 +210,7 @@ pub fn bench_json(stats: &[SweepStats], jobs_flag: usize) -> String {
             s.simulated_cycles,
             s.points_per_second(),
             s.cycles_per_second(),
+            s.peak_rss_kb,
             if i + 1 < stats.len() { "," } else { "" }
         ));
     }
@@ -254,6 +277,7 @@ mod tests {
                 jobs: 4,
                 wall_seconds: 1.5,
                 simulated_cycles: 3_000_000,
+                peak_rss_kb: 18_000,
             },
             SweepStats {
                 sweep: "table2".into(),
@@ -261,6 +285,7 @@ mod tests {
                 jobs: 4,
                 wall_seconds: 0.5,
                 simulated_cycles: 1_000_000,
+                peak_rss_kb: 20_000,
             },
         ];
         let j = bench_json(&stats, 4);
@@ -268,7 +293,18 @@ mod tests {
         assert!(j.contains("\"sweep\": \"fig8\""));
         assert!(j.contains("\"total_points\": 66"));
         assert!(j.contains("\"total_simulated_cycles\": 4000000"));
+        assert!(j.contains("\"max_peak_rss_kb\": 20000"));
+        assert!(j.contains("\"peak_rss_kb\": 18000"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches("\"sweep\":").count(), 2);
+    }
+
+    #[test]
+    fn peak_rss_is_read_on_linux() {
+        // On Linux VmHWM is always present; elsewhere the probe reports 0.
+        let rss = peak_rss_kb();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "VmHWM should be readable on Linux");
+        }
     }
 }

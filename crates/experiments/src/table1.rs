@@ -34,8 +34,11 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Table1Row> {
     let points =
         cfg.benchmarks().into_iter().map(|w| SweepPoint::new(w.name(), w)).collect();
     sweep::run("table1", cfg.effective_jobs(), points, |w| {
-        let traces = w.generate(&cfg.machine);
-        let a = TraceAnalysis::of(&traces, &cfg.machine);
+        let a = if cfg.materialized {
+            TraceAnalysis::of(&w.generate(&cfg.machine), &cfg.machine)
+        } else {
+            TraceAnalysis::of_sources(w.sources(&cfg.machine), &cfg.machine)
+        };
         SweepResult::new(
             Table1Row {
                 name: w.name(),

@@ -555,17 +555,15 @@ mod tests {
         }
     }
 
-    /// A hook replaying a fixed script of decisions (then no faults).
+    /// A hook replaying a fixed script of decisions (then no faults). The
+    /// script is a `VecDeque` so consuming the head is an O(1) `pop_front`
+    /// rather than an O(n) shift.
     #[derive(Debug, Clone)]
-    struct Scripted(Vec<LinkFault>);
+    struct Scripted(std::collections::VecDeque<LinkFault>);
 
     impl FaultHook for Scripted {
         fn on_send(&mut self, _s: NodeId, _d: NodeId, _k: MsgKind, _now: u64) -> LinkFault {
-            if self.0.is_empty() {
-                LinkFault::NONE
-            } else {
-                self.0.remove(0)
-            }
+            self.0.pop_front().unwrap_or(LinkFault::NONE)
         }
         fn box_clone(&self) -> Box<dyn FaultHook> {
             Box::new(self.clone())
@@ -584,10 +582,10 @@ mod tests {
 
     #[test]
     fn dropped_message_counts_traffic_but_never_arrives() {
-        let mut x = xbar().with_fault_hook(Box::new(Scripted(vec![LinkFault {
+        let mut x = xbar().with_fault_hook(Box::new(Scripted(std::collections::VecDeque::from(vec![LinkFault {
             drop: true,
             ..LinkFault::NONE
-        }])));
+        }]))));
         let out = x.send_faulty(NodeId::new(0), NodeId::new(1), MsgKind::ReadReq, 0);
         assert_eq!(out, SendOutcome::Dropped);
         assert_eq!(x.stats().dropped_msgs, 1);
@@ -600,11 +598,11 @@ mod tests {
 
     #[test]
     fn duplicate_and_delay_accounting() {
-        let mut x = xbar().with_fault_hook(Box::new(Scripted(vec![LinkFault {
+        let mut x = xbar().with_fault_hook(Box::new(Scripted(std::collections::VecDeque::from(vec![LinkFault {
             drop: false,
             duplicate: true,
             extra_delay: 10,
-        }])));
+        }]))));
         let out = x.send_faulty(NodeId::new(0), NodeId::new(1), MsgKind::ReadReq, 0);
         assert_eq!(out, SendOutcome::Delivered { arrive: 26, fault_delay: 10 });
         assert_eq!(x.stats().duplicated_msgs, 1);
@@ -615,10 +613,10 @@ mod tests {
 
     #[test]
     fn self_sends_never_fault() {
-        let mut x = xbar().with_fault_hook(Box::new(Scripted(vec![LinkFault {
+        let mut x = xbar().with_fault_hook(Box::new(Scripted(std::collections::VecDeque::from(vec![LinkFault {
             drop: true,
             ..LinkFault::NONE
-        }])));
+        }]))));
         let n = NodeId::new(2);
         let out = x.send_faulty(n, n, MsgKind::BlockReply, 50);
         assert_eq!(out, SendOutcome::Delivered { arrive: 50, fault_delay: 0 });

@@ -5,10 +5,12 @@ use vcoma_vm::VmError;
 
 /// A simulation run failed in a structured, reportable way.
 ///
-/// Programming errors (wrong trace count, deadlocked traces) still panic;
-/// `SimError` covers conditions a driver should surface to its user:
-/// virtual-memory exhaustion the page daemon could not resolve, and
-/// coherence-invariant violations found by the auditor.
+/// `SimError` covers every way a run can fail: virtual-memory exhaustion
+/// the page daemon could not resolve, coherence-invariant violations found
+/// by the auditor, a trace/source set that does not match the machine's
+/// node count, and traces that deadlock on a barrier or lock some
+/// participant never reaches. A driver surfaces these as values instead of
+/// unwinding mid-sweep.
 #[derive(Debug)]
 pub enum SimError {
     /// The virtual-memory system reported an unrecoverable error while
@@ -23,6 +25,20 @@ pub enum SimError {
     /// The coherence auditor found a protocol-invariant violation. Boxed:
     /// the report carries the cycle-stamped event trace.
     Audit(Box<AuditError>),
+    /// The caller supplied a trace (or op-source) set whose length does not
+    /// match the machine's node count.
+    BadTraces {
+        /// Traces/sources supplied.
+        got: usize,
+        /// Nodes in the machine — one trace is needed per node.
+        want: usize,
+    },
+    /// The traces deadlocked: the listed nodes are parked on a barrier or
+    /// lock that the remaining traces never reach.
+    Deadlock {
+        /// The nodes still parked when the machine went idle.
+        parked: Vec<u16>,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -32,6 +48,14 @@ impl std::fmt::Display for SimError {
                 write!(f, "virtual memory error on node {node}: {source}")
             }
             SimError::Audit(e) => write!(f, "{e}"),
+            SimError::BadTraces { got, want } => {
+                write!(f, "need exactly one trace per node: got {got} traces for {want} nodes")
+            }
+            SimError::Deadlock { parked } => write!(
+                f,
+                "deadlock: nodes {parked:?} are parked on a barrier or lock that the \
+                 other traces never reach"
+            ),
         }
     }
 }
@@ -40,7 +64,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Vm { source, .. } => Some(source),
-            SimError::Audit(_) => None,
+            SimError::Audit(_) | SimError::BadTraces { .. } | SimError::Deadlock { .. } => None,
         }
     }
 }
@@ -56,5 +80,20 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("node 3"), "{s}");
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn bad_traces_and_deadlock_display_the_details() {
+        let e = SimError::BadTraces { got: 3, want: 4 };
+        let s = e.to_string();
+        assert!(s.contains("one trace per node"), "{s}");
+        assert!(s.contains('3') && s.contains('4'), "{s}");
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = SimError::Deadlock { parked: vec![0, 2] };
+        let s = e.to_string();
+        assert!(s.contains("deadlock"), "{s}");
+        assert!(s.contains("[0, 2]"), "{s}");
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -14,7 +14,7 @@ use vcoma_faults::LinkFaultInjector;
 use vcoma_metrics::{Event, Mergeable, MetricsRegistry};
 use vcoma_net::{Crossbar, MsgKind};
 use vcoma_tlb::Scheme;
-use vcoma_types::{AccessKind, MachineConfig, NodeId, Op, VAddr, VPage};
+use vcoma_types::{AccessKind, MachineConfig, NodeId, Op, OpSource, VAddr, VPage};
 use vcoma_vm::{
     ColoringAllocator, DirectoryAllocator, FrameAllocator, PageTable, PressureProfile,
     RoundRobinAllocator,
@@ -47,8 +47,9 @@ struct NodeCtx {
 /// The simulated COMA machine.
 ///
 /// Build one from a [`SimConfig`] and feed it one trace per node with
-/// [`Machine::run`]. A machine is single-use: `run` consumes the warm-up
-/// state; build a fresh machine per experiment point.
+/// [`Machine::run`], or one lazy [`OpSource`] per node with
+/// [`Machine::run_streaming`]. A machine is single-use: a run consumes the
+/// warm-up state; build a fresh machine per experiment point.
 #[derive(Debug)]
 pub struct Machine {
     cfg: SimConfig,
@@ -71,6 +72,19 @@ pub struct Machine {
     /// events (TLB/DLB misses, shootdowns, swap-outs). Observation-only —
     /// never feeds back into timing.
     metrics: MetricsRegistry,
+}
+
+/// Zero-copy [`OpSource`] over a borrowed trace slice: the materialized
+/// run path streams through the same engine as lazy sources without
+/// cloning the ops.
+struct SliceSource<'a> {
+    ops: std::slice::Iter<'a, Op>,
+}
+
+impl OpSource for SliceSource<'_> {
+    fn next_op(&mut self) -> Option<Op> {
+        self.ops.next().copied()
+    }
 }
 
 /// The physical frame allocator matching the scheme.
@@ -193,26 +207,55 @@ impl Machine {
     /// # Errors
     ///
     /// Returns [`SimError::Vm`] if the virtual-memory system hits an
-    /// unrecoverable condition, and [`SimError::Audit`] if auditing is
-    /// enabled and a coherence invariant is violated.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the number of traces does not match the node count or if
-    /// the traces deadlock (a barrier or lock some participant never
-    /// reaches) — both are programming errors in the caller, not run
-    /// outcomes.
+    /// unrecoverable condition, [`SimError::Audit`] if auditing is enabled
+    /// and a coherence invariant is violated, [`SimError::BadTraces`] if
+    /// the number of traces does not match the node count, and
+    /// [`SimError::Deadlock`] if some node parks on a barrier or lock that
+    /// the other traces never reach.
     pub fn run(mut self, traces: Vec<Vec<Op>>) -> Result<SimReport, SimError> {
-        assert_eq!(
-            traces.len(),
-            self.nodes.len(),
-            "need exactly one trace per node"
-        );
+        if traces.len() != self.nodes.len() {
+            return Err(SimError::BadTraces { got: traces.len(), want: self.nodes.len() });
+        }
         if self.cfg.warmup {
-            self.replay(&traces)?;
+            self.replay_traces(&traces)?;
             self.reset_stats();
         }
-        self.replay(&traces)?;
+        self.replay_traces(&traces)?;
+        self.finish()
+    }
+
+    /// Replays one lazy [`OpSource`] per node to completion, never holding
+    /// more than the sources' working set in memory.
+    ///
+    /// `make_sources` is called once per replay pass — twice when
+    /// [`SimConfig::warmup`] is set (the warm-up pass regenerates the same
+    /// stream), once otherwise. Each call must yield one source per node
+    /// producing the same ops a materialized trace would.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run`]; [`SimError::BadTraces`] if a factory call does
+    /// not yield exactly one source per node.
+    pub fn run_streaming<F>(mut self, mut make_sources: F) -> Result<SimReport, SimError>
+    where
+        F: FnMut() -> Vec<Box<dyn OpSource>>,
+    {
+        let passes = if self.cfg.warmup { 2 } else { 1 };
+        for pass in 0..passes {
+            let mut sources = make_sources();
+            if sources.len() != self.nodes.len() {
+                return Err(SimError::BadTraces { got: sources.len(), want: self.nodes.len() });
+            }
+            self.replay(&mut sources)?;
+            if pass + 1 < passes {
+                self.reset_stats();
+            }
+        }
+        self.finish()
+    }
+
+    /// End-of-run tail shared by the materialized and streaming paths.
+    fn finish(mut self) -> Result<SimReport, SimError> {
         if self.cfg.audit {
             // End-of-run full sweep: the quiescent machine must satisfy
             // every invariant globally, not just on recently-touched blocks.
@@ -241,24 +284,40 @@ impl Machine {
         self.metrics.reset();
     }
 
-    /// Replays the traces to completion once.
-    fn replay(&mut self, traces: &[Vec<Op>]) -> Result<(), SimError> {
-        let mut cursors = vec![0usize; traces.len()];
-        let mut done = vec![false; traces.len()];
+    /// Replays pre-built traces once, through zero-copy cursors over the
+    /// borrowed op slices.
+    fn replay_traces(&mut self, traces: &[Vec<Op>]) -> Result<(), SimError> {
+        let mut sources: Vec<Box<dyn OpSource + '_>> = traces
+            .iter()
+            .map(|t| Box::new(SliceSource { ops: t.iter() }) as Box<dyn OpSource + '_>)
+            .collect();
+        self.replay(&mut sources)
+    }
+
+    /// Replays one op stream per node to completion once.
+    ///
+    /// Each node's next op is prefetched as soon as the previous one is
+    /// consumed, so "has this node finished?" is a local `Option` check and
+    /// lazy sources are pulled exactly one op ahead of the replay point.
+    fn replay<'a>(&mut self, sources: &mut [Box<dyn OpSource + 'a>]) -> Result<(), SimError> {
+        let mut next_op: Vec<Option<Op>> = sources.iter_mut().map(|s| s.next_op()).collect();
+        let mut done: Vec<bool> = next_op.iter().map(|o| o.is_none()).collect();
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-        for (i, t) in traces.iter().enumerate() {
-            if t.is_empty() {
-                done[i] = true;
-            } else {
+        for (i, o) in next_op.iter().enumerate() {
+            if o.is_some() {
                 heap.push(Reverse((0, i)));
             }
         }
+        // Reused across iterations: the resume list is tiny (one entry for
+        // most ops, all nodes for a barrier release) and allocating it per
+        // op dominated the replay loop's heap traffic.
+        let mut resumes: Vec<(usize, u64)> = Vec::new();
 
         while let Some(Reverse((t, n))) = heap.pop() {
             self.nodes[n].time = t;
-            let op = traces[n][cursors[n]];
-            cursors[n] += 1;
-            let mut resumes: Vec<(usize, u64)> = Vec::new();
+            let op = next_op[n].take().expect("a scheduled node has a prefetched op");
+            next_op[n] = sources[n].next_op();
+            resumes.clear();
             match op {
                 Op::Compute(c) => {
                     self.nodes[n].breakdown.busy += c;
@@ -305,9 +364,9 @@ impl Machine {
                     resumes.push((n, t + dt));
                 }
             }
-            for (node, resume) in resumes {
+            for &(node, resume) in &resumes {
                 self.nodes[node].time = resume;
-                if cursors[node] < traces[node].len() {
+                if next_op[node].is_some() {
                     heap.push(Reverse((resume, node)));
                 } else {
                     done[node] = true;
@@ -315,13 +374,11 @@ impl Machine {
             }
         }
 
-        let unfinished: Vec<usize> =
-            done.iter().enumerate().filter(|&(_, &d)| !d).map(|(i, _)| i).collect();
-        assert!(
-            unfinished.is_empty(),
-            "deadlock: nodes {unfinished:?} are parked on a barrier or lock that \
-             the other traces never reach"
-        );
+        let parked: Vec<u16> =
+            done.iter().enumerate().filter(|&(_, &d)| !d).map(|(i, _)| i as u16).collect();
+        if !parked.is_empty() {
+            return Err(SimError::Deadlock { parked });
+        }
         Ok(())
     }
 
@@ -1008,17 +1065,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "deadlock")]
-    fn missing_barrier_participant_is_detected() {
+    fn missing_barrier_participant_is_a_deadlock_error() {
         let mut traces = vec![Vec::new(); 4];
         traces[0].push(Op::Barrier(vcoma_types::SyncId(0)));
-        let _ = Machine::new(tiny(Scheme::L0Tlb)).run(traces);
+        match Machine::new(tiny(Scheme::L0Tlb)).run(traces) {
+            Err(SimError::Deadlock { parked }) => assert_eq!(parked, vec![0]),
+            other => panic!("expected a deadlock error, got {other:?}"),
+        }
     }
 
     #[test]
-    #[should_panic(expected = "one trace per node")]
-    fn wrong_trace_count_panics() {
-        let _ = Machine::new(tiny(Scheme::L0Tlb)).run(vec![Vec::new(); 3]);
+    fn wrong_trace_count_is_an_error() {
+        match Machine::new(tiny(Scheme::L0Tlb)).run(vec![Vec::new(); 3]) {
+            Err(SimError::BadTraces { got, want }) => {
+                assert_eq!(got, 3);
+                assert_eq!(want, 4);
+            }
+            other => panic!("expected a bad-traces error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_run_matches_materialized_run() {
+        let traces = sharing_traces(4, 8192, 64);
+        let materialized =
+            Machine::new(tiny(Scheme::VComa).with_seed(5)).run(traces.clone()).unwrap();
+        let streamed = Machine::new(tiny(Scheme::VComa).with_seed(5))
+            .run_streaming(|| vcoma_types::sources_from_traces(traces.clone()))
+            .unwrap();
+        assert_eq!(format!("{materialized:?}"), format!("{streamed:?}"));
+    }
+
+    #[test]
+    fn streaming_run_regenerates_sources_for_warmup() {
+        let traces = sharing_traces(4, 8192, 64);
+        let materialized = Machine::new(tiny(Scheme::L2Tlb).with_seed(5).with_warmup())
+            .run(traces.clone())
+            .unwrap();
+        let mut factory_calls = 0usize;
+        let streamed = Machine::new(tiny(Scheme::L2Tlb).with_seed(5).with_warmup())
+            .run_streaming(|| {
+                factory_calls += 1;
+                vcoma_types::sources_from_traces(traces.clone())
+            })
+            .unwrap();
+        assert_eq!(factory_calls, 2, "warm-up replays a freshly generated stream");
+        assert_eq!(format!("{materialized:?}"), format!("{streamed:?}"));
     }
 
     #[test]
@@ -1137,7 +1229,7 @@ mod tests {
     fn auditor_reports_deliberate_protocol_corruption() {
         let mut m = Machine::new(tiny(Scheme::VComa).with_audit());
         let traces = sharing_traces(4, 4096, 32);
-        m.replay(&traces).unwrap();
+        m.replay_traces(&traces).unwrap();
         let block = *m.protocol.cached_blocks().first().expect("the run cached blocks");
         assert!(m.protocol.corrupt_master_for_tests(block));
         let err = m.audit_full(777).expect_err("corruption must be caught");

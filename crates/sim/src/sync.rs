@@ -1,6 +1,6 @@
 //! Barrier and lock bookkeeping for the engine.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use vcoma_types::SyncId;
 
 /// State of the machine-wide barriers.
@@ -56,8 +56,9 @@ impl Barriers {
 }
 
 /// One lock's state: the holder (if held) plus the FIFO of waiting
-/// `(node, arrival_time)` pairs.
-type LockState = (Option<usize>, Vec<(usize, u64)>);
+/// `(node, arrival_time)` pairs. A `VecDeque` so a handover pops the head
+/// in O(1) instead of shifting every waiter left.
+type LockState = (Option<usize>, VecDeque<(usize, u64)>);
 
 /// A woken waiter: `(node, resume_time, sync_cycles)`.
 type Handover = (usize, u64, u64);
@@ -91,7 +92,7 @@ impl Locks {
             }
             Some(h) => {
                 debug_assert_ne!(*h, node, "node {node} re-acquired {id} without releasing");
-                queue.push((node, t));
+                queue.push_back((node, t));
                 None
             }
         }
@@ -117,7 +118,7 @@ impl Locks {
             *holder = None;
             return (own, None);
         }
-        let (next, arrival) = queue.remove(0);
+        let (next, arrival) = queue.pop_front().expect("queue is non-empty");
         *holder = Some(next);
         let resume = t.max(arrival) + self.acquire_cost;
         (own, Some((next, resume, resume - arrival)))
@@ -204,6 +205,34 @@ mod tests {
         assert!(!l.any_active());
         // Re-acquire works.
         assert!(l.acquire(SyncId(5), 2, 200).is_some());
+    }
+
+    #[test]
+    fn many_waiters_hand_over_in_strict_fifo_order() {
+        // Regression for the old `queue.remove(0)` implementation: the
+        // head of the wait queue — and only the head — must be woken on
+        // every release, in arrival order, with the wait attributed to the
+        // woken node's own arrival time.
+        let mut l = Locks::new(32, 16);
+        let id = SyncId(2);
+        l.acquire(id, 0, 0).unwrap();
+        for waiter in 1..32usize {
+            assert!(l.acquire(id, waiter, 10 * waiter as u64).is_none());
+        }
+        let mut t = 1_000;
+        for expected in 1..32usize {
+            let holder = expected - 1;
+            let ((_, own_sync), next) = l.release(id, holder, t);
+            assert_eq!(own_sync, 16);
+            let (node, resume, sync) = next.expect("a waiter is parked");
+            assert_eq!(node, expected, "handover must follow arrival order");
+            assert_eq!(resume, t + 32);
+            assert_eq!(sync, resume - 10 * expected as u64, "sync counts from arrival");
+            t = resume + 100;
+        }
+        let (_, next) = l.release(id, 31, t);
+        assert!(next.is_none());
+        assert!(!l.any_active());
     }
 
     #[test]

@@ -29,6 +29,7 @@ mod error;
 mod op;
 mod protection;
 mod rng;
+mod source;
 
 pub use addr::{BlockAddr, DirAddr, PAddr, PFrame, VAddr, VPage};
 pub use config::{CacheGeometry, MachineConfig, MachineConfigBuilder, Timing};
@@ -36,6 +37,7 @@ pub use error::ConfigError;
 pub use op::{AccessKind, Op, SyncId};
 pub use protection::Protection;
 pub use rng::DetRng;
+pub use source::{materialize, sources_from_traces, Materialized, OpSource};
 
 /// Identifier of a processing node in the simulated machine.
 ///

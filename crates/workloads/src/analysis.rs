@@ -6,7 +6,7 @@
 //! harness and handy when writing new generators.
 
 use std::collections::HashMap;
-use vcoma_types::{MachineConfig, Op, VPage};
+use vcoma_types::{MachineConfig, Op, OpSource, VPage};
 
 /// Summary statistics of one machine's worth of traces.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,41 +32,49 @@ pub struct TraceAnalysis {
     pub protection_changes: u64,
 }
 
-impl TraceAnalysis {
-    /// Analyses the traces under `cfg`'s page size.
-    pub fn of(traces: &[Vec<Op>], cfg: &MachineConfig) -> Self {
-        let mut readers_writers: HashMap<VPage, (u64, u64)> = HashMap::new(); // bit masks
-        let (mut reads, mut writes, mut compute, mut locks) = (0u64, 0u64, 0u64, 0u64);
-        let mut protects = 0u64;
-        let mut barriers = 0u64;
-        for (n, trace) in traces.iter().enumerate() {
-            let bit = 1u64 << (n % 64);
-            for op in trace {
-                match op {
-                    Op::Read(a) => {
-                        reads += 1;
-                        readers_writers.entry(a.page(cfg.page_size)).or_default().0 |= bit;
-                    }
-                    Op::Write(a) => {
-                        writes += 1;
-                        readers_writers.entry(a.page(cfg.page_size)).or_default().1 |= bit;
-                    }
-                    Op::Compute(c) => compute += c,
-                    Op::Barrier(_) => {
-                        if n == 0 {
-                            barriers += 1;
-                        }
-                    }
-                    Op::Lock(_) => locks += 1,
-                    Op::Unlock(_) => {}
-                    Op::Protect(..) => protects += 1,
+/// Running accumulator behind [`TraceAnalysis::of`] and
+/// [`TraceAnalysis::of_sources`]: its state is per-page bit masks and
+/// counters, independent of how the ops are delivered.
+#[derive(Default)]
+struct Accumulator {
+    readers_writers: HashMap<VPage, (u64, u64)>, // bit masks
+    reads: u64,
+    writes: u64,
+    compute: u64,
+    barriers: u64,
+    locks: u64,
+    protects: u64,
+}
+
+impl Accumulator {
+    fn push(&mut self, node: usize, op: &Op, page_size: u64) {
+        let bit = 1u64 << (node % 64);
+        match op {
+            Op::Read(a) => {
+                self.reads += 1;
+                self.readers_writers.entry(a.page(page_size)).or_default().0 |= bit;
+            }
+            Op::Write(a) => {
+                self.writes += 1;
+                self.readers_writers.entry(a.page(page_size)).or_default().1 |= bit;
+            }
+            Op::Compute(c) => self.compute += c,
+            Op::Barrier(_) => {
+                if node == 0 {
+                    self.barriers += 1;
                 }
             }
+            Op::Lock(_) => self.locks += 1,
+            Op::Unlock(_) => {}
+            Op::Protect(..) => self.protects += 1,
         }
-        let buckets = traces.len().max(1);
+    }
+
+    fn finish(self, nodes: usize) -> TraceAnalysis {
+        let buckets = nodes.max(1);
         let mut sharing = vec![0u64; buckets];
         let mut write_shared = 0u64;
-        for &(r, w) in readers_writers.values() {
+        for &(r, w) in self.readers_writers.values() {
             let degree = (r | w).count_ones() as usize;
             sharing[degree.saturating_sub(1).min(buckets - 1)] += 1;
             if w.count_ones() >= 2 {
@@ -74,16 +82,50 @@ impl TraceAnalysis {
             }
         }
         TraceAnalysis {
-            reads,
-            writes,
-            compute_cycles: compute,
-            barriers,
-            lock_acquires: locks,
-            pages: readers_writers.len() as u64,
+            reads: self.reads,
+            writes: self.writes,
+            compute_cycles: self.compute,
+            barriers: self.barriers,
+            lock_acquires: self.locks,
+            pages: self.readers_writers.len() as u64,
             sharing_histogram: sharing,
             write_shared_pages: write_shared,
-            protection_changes: protects,
+            protection_changes: self.protects,
         }
+    }
+}
+
+impl TraceAnalysis {
+    /// Analyses the traces under `cfg`'s page size.
+    pub fn of(traces: &[Vec<Op>], cfg: &MachineConfig) -> Self {
+        let mut acc = Accumulator::default();
+        for (n, trace) in traces.iter().enumerate() {
+            for op in trace {
+                acc.push(n, op, cfg.page_size);
+            }
+        }
+        acc.finish(traces.len())
+    }
+
+    /// Analyses streaming sources without materializing the traces. Ops
+    /// are pulled round-robin across the nodes, so phase-chunked sources
+    /// (see [`crate::Workload::sources`]) keep at most one generation
+    /// phase buffered; the summary is identical to
+    /// [`TraceAnalysis::of`] over the materialized traces.
+    pub fn of_sources(mut sources: Vec<Box<dyn OpSource>>, cfg: &MachineConfig) -> Self {
+        let nodes = sources.len();
+        let mut acc = Accumulator::default();
+        let mut live: Vec<usize> = (0..nodes).collect();
+        while !live.is_empty() {
+            live.retain(|&n| match sources[n].next_op() {
+                Some(op) => {
+                    acc.push(n, &op, cfg.page_size);
+                    true
+                }
+                None => false,
+            });
+        }
+        acc.finish(nodes)
     }
 
     /// Total memory references.
@@ -192,6 +234,23 @@ mod tests {
         assert_eq!(a.write_fraction(), 0.0);
         assert_eq!(a.mean_sharing_degree(), 0.0);
         assert_eq!(a.footprint_mb(4096), 0.0);
+    }
+
+    #[test]
+    fn of_sources_matches_of_for_every_generator() {
+        use crate::Workload;
+        let cfg = MachineConfig::tiny();
+        let workloads: Vec<Box<dyn Workload>> = vec![
+            Box::new(crate::UniformRandom { pages: 16, refs_per_node: 200, write_fraction: 0.3 }),
+            Box::new(crate::PingPong { rounds: 300 }),
+            Box::new(crate::Radix::paper().scaled(0.01)),
+            Box::new(crate::Ocean { n: 64, grids: 6, iterations: 4, scale: 1.0 }),
+        ];
+        for w in &workloads {
+            let eager = TraceAnalysis::of(&w.generate(&cfg), &cfg);
+            let streamed = TraceAnalysis::of_sources(w.sources(&cfg), &cfg);
+            assert_eq!(eager, streamed, "{}", w.name());
+        }
     }
 
     #[test]

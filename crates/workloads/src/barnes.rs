@@ -8,8 +8,9 @@
 //! still (Figure 8: 2.68 % → 0.06 % across L0 → L3 at 8 entries).
 
 use crate::common::{layout, scaled_count, TraceBuilder};
+use crate::streaming::phased;
 use crate::Workload;
-use vcoma_types::MachineConfig;
+use vcoma_types::{MachineConfig, OpSource};
 
 /// The BARNES generator. See the module docs.
 #[derive(Debug, Clone)]
@@ -50,7 +51,7 @@ impl Workload for Barnes {
         3.94
     }
 
-    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<vcoma_types::Op>> {
+    fn sources(&self, cfg: &MachineConfig) -> Vec<Box<dyn OpSource>> {
         let nodes = cfg.nodes;
         let mut l = layout(cfg);
         let tree = l.region("octree", 3 << 20, cfg.page_size).expect("layout");
@@ -66,8 +67,15 @@ impl Workload for Barnes {
         let page = cfg.page_size;
         let tree_pages = tree.size / page;
         let walks = scaled_count(self.walks_per_node, self.scale);
+        let iterations = self.iterations;
+        let scale = self.scale;
 
-        for _it in 0..self.iterations {
+        // One step per time step (force walks + tree rebuild).
+        let mut it = 0u64;
+        phased(b, move |b| {
+            if it >= iterations {
+                return false;
+            }
             for (n, body_region) in bodies.iter().enumerate() {
                 let subtree_base = (n as u64 * 4) % tree_pages;
                 let bodies_per_node = body_region.size / 64;
@@ -103,14 +111,15 @@ impl Workload for Barnes {
             // (writes to the shared tree), then a barrier.
             for n in 0..nodes as usize {
                 let subtree_base = (n as u64 * 4) % tree_pages;
-                for k in 0..scaled_count(64, self.scale) {
+                for k in 0..scaled_count(64, scale) {
                     let off = subtree_base * page + (k * 128) % (4 * page);
                     b.write(n, tree.addr(off));
                 }
             }
             b.barrier();
-        }
-        b.into_traces()
+            it += 1;
+            it < iterations
+        })
     }
 }
 

@@ -126,6 +126,15 @@ impl TraceBuilder {
         self.traces
     }
 
+    /// Drains the ops emitted since construction (or the previous drain),
+    /// keeping the RNG, barrier-id and think-time state intact so
+    /// generation can continue where it left off. The streaming sources
+    /// use this to hand the replay engine one phase at a time instead of
+    /// the whole trace.
+    pub fn take_phase(&mut self) -> Vec<Vec<Op>> {
+        self.traces.iter_mut().map(std::mem::take).collect()
+    }
+
     /// Total ops across all nodes so far.
     pub fn total_ops(&self) -> usize {
         self.traces.iter().map(Vec::len).sum()

@@ -13,8 +13,9 @@
 //! hence the TLB/DLB behaviour — at a manageable trace length.
 
 use crate::common::{layout, TraceBuilder};
+use crate::streaming::phased;
 use crate::Workload;
-use vcoma_types::MachineConfig;
+use vcoma_types::{MachineConfig, OpSource};
 
 /// Stream sampling granularity in bytes (one reference per SLC block).
 const STRIDE: u64 = 64;
@@ -59,7 +60,7 @@ impl Workload for Fft {
         51.29
     }
 
-    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<vcoma_types::Op>> {
+    fn sources(&self, cfg: &MachineConfig) -> Vec<Box<dyn OpSource>> {
         let nodes = cfg.nodes;
         let mut l = layout(cfg);
         let bytes = self.matrix_bytes();
@@ -91,62 +92,76 @@ impl Workload for Fft {
         // Every node replays the same *number* of chunks/pages (barrier
         // phases stay balanced); which ones is node-private random.
         let chunks_per_node = ((nodes as f64 * chunk_prob).round() as usize).clamp(1, nodes as usize);
-        let transpose = |b: &mut TraceBuilder, src: &vcoma_vm::Region, dst: &vcoma_vm::Region| {
-            for n in 0..nodes as usize {
-                // Blocked all-to-all: with partner j, read own chunk j and
-                // write into partner j's stripe at own chunk index. Each
-                // node visits its partners in its own random order, as the
-                // real staggered transpose does once nodes drift apart.
-                let mut order: Vec<usize> = (0..nodes as usize).collect();
-                b.rng().shuffle(&mut order);
-                for &partner in order.iter().take(chunks_per_node) {
-                    let src_base = n as u64 * stripe + partner as u64 * chunk;
-                    let dst_base = partner as u64 * stripe + n as u64 * chunk;
-                    // The real transpose stages a whole sub-block through
-                    // the cache: read it, then write it out transposed.
-                    for k in 0..chunk_refs {
-                        b.read(n, src.addr(src_base + k * STRIDE % chunk));
-                    }
-                    for k in 0..chunk_refs {
-                        b.write(n, dst.addr(dst_base + k * STRIDE % chunk));
-                    }
-                }
-            }
-            b.barrier();
-        };
-        let local_fft = |b: &mut TraceBuilder, m: &vcoma_vm::Region| {
-            for n in 0..nodes as usize {
-                let base = n as u64 * stripe;
-                // Work page-by-page so coverage thinning keeps density, in
-                // a node-private random page order: nodes drift apart in a
-                // real run, so the same stripe offset is NOT processed by
-                // all nodes at the same instant (it would pile onto a
-                // single home node, since stripes are 128-page aligned).
-                let pages_per_stripe = stripe / page;
-                let refs_per_stripe_page = page / STRIDE;
-                let pages_taken = ((pages_per_stripe as f64 * stripe_prob).round() as usize)
-                    .clamp(1, pages_per_stripe as usize);
-                let mut order: Vec<u64> = (0..pages_per_stripe).collect();
-                b.rng().shuffle(&mut order);
-                for &p in order.iter().take(pages_taken) {
-                    for k in 0..refs_per_stripe_page {
-                        let off = p * page + k * (page / refs_per_stripe_page).max(STRIDE) % page;
-                        b.read(n, m.addr(base + off));
-                        b.read(n, roots.addr(base + off));
-                        b.write(n, m.addr(base + off));
-                    }
-                }
-            }
-            b.barrier();
-        };
 
-        // The six-step algorithm: transpose, FFT, transpose, FFT, transpose.
-        transpose(&mut b, &x, &trans);
-        local_fft(&mut b, &trans);
-        transpose(&mut b, &trans, &x);
-        local_fft(&mut b, &x);
-        transpose(&mut b, &x, &trans);
-        b.into_traces()
+        // The six-step algorithm: transpose, FFT, transpose, FFT,
+        // transpose — one step per phase.
+        let mut phase = 0u8;
+        phased(b, move |b| {
+            if phase >= 5 {
+                return false;
+            }
+            let transpose = |b: &mut TraceBuilder, src: &vcoma_vm::Region, dst: &vcoma_vm::Region| {
+                for n in 0..nodes as usize {
+                    // Blocked all-to-all: with partner j, read own chunk j
+                    // and write into partner j's stripe at own chunk index.
+                    // Each node visits its partners in its own random
+                    // order, as the real staggered transpose does once
+                    // nodes drift apart.
+                    let mut order: Vec<usize> = (0..nodes as usize).collect();
+                    b.rng().shuffle(&mut order);
+                    for &partner in order.iter().take(chunks_per_node) {
+                        let src_base = n as u64 * stripe + partner as u64 * chunk;
+                        let dst_base = partner as u64 * stripe + n as u64 * chunk;
+                        // The real transpose stages a whole sub-block
+                        // through the cache: read it, then write it out
+                        // transposed.
+                        for k in 0..chunk_refs {
+                            b.read(n, src.addr(src_base + k * STRIDE % chunk));
+                        }
+                        for k in 0..chunk_refs {
+                            b.write(n, dst.addr(dst_base + k * STRIDE % chunk));
+                        }
+                    }
+                }
+                b.barrier();
+            };
+            let local_fft = |b: &mut TraceBuilder, m: &vcoma_vm::Region| {
+                for n in 0..nodes as usize {
+                    let base = n as u64 * stripe;
+                    // Work page-by-page so coverage thinning keeps
+                    // density, in a node-private random page order: nodes
+                    // drift apart in a real run, so the same stripe offset
+                    // is NOT processed by all nodes at the same instant
+                    // (it would pile onto a single home node, since
+                    // stripes are 128-page aligned).
+                    let pages_per_stripe = stripe / page;
+                    let refs_per_stripe_page = page / STRIDE;
+                    let pages_taken = ((pages_per_stripe as f64 * stripe_prob).round() as usize)
+                        .clamp(1, pages_per_stripe as usize);
+                    let mut order: Vec<u64> = (0..pages_per_stripe).collect();
+                    b.rng().shuffle(&mut order);
+                    for &p in order.iter().take(pages_taken) {
+                        for k in 0..refs_per_stripe_page {
+                            let off =
+                                p * page + k * (page / refs_per_stripe_page).max(STRIDE) % page;
+                            b.read(n, m.addr(base + off));
+                            b.read(n, roots.addr(base + off));
+                            b.write(n, m.addr(base + off));
+                        }
+                    }
+                }
+                b.barrier();
+            };
+            match phase {
+                0 => transpose(b, &x, &trans),
+                1 => local_fft(b, &trans),
+                2 => transpose(b, &trans, &x),
+                3 => local_fft(b, &x),
+                _ => transpose(b, &x, &trans),
+            }
+            phase += 1;
+            phase < 5
+        })
     }
 }
 

@@ -9,8 +9,9 @@
 //! subtree plus its interaction lists) is far wider than a small TLB.
 
 use crate::common::{layout, scaled_count, TraceBuilder};
+use crate::streaming::phased;
 use crate::Workload;
-use vcoma_types::MachineConfig;
+use vcoma_types::{MachineConfig, OpSource};
 
 /// The FMM generator. See the module docs.
 #[derive(Debug, Clone)]
@@ -51,7 +52,7 @@ impl Workload for Fmm {
         29.23
     }
 
-    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<vcoma_types::Op>> {
+    fn sources(&self, cfg: &MachineConfig) -> Vec<Box<dyn OpSource>> {
         let nodes = cfg.nodes;
         let mut l = layout(cfg);
         // The cell tree dominates the footprint; particles are per-node.
@@ -69,8 +70,14 @@ impl Workload for Fmm {
         let page = cfg.page_size;
         let cell_pages = cells.size / page;
         let steps = scaled_count(self.steps_per_node, self.scale);
+        let iterations = self.iterations;
 
-        for _it in 0..self.iterations {
+        // One step per time-step iteration (traversals + upward pass).
+        let mut it = 0u64;
+        phased(b, move |b| {
+            if it >= iterations {
+                return false;
+            }
             for (n, particles) in particles_r.iter().enumerate() {
                 // A node's subtree: a compact run of hot pages; its
                 // interaction lists: a wider window overlapping the
@@ -120,8 +127,9 @@ impl Workload for Fmm {
                 }
             }
             b.barrier();
-        }
-        b.into_traces()
+            it += 1;
+            it < iterations
+        })
     }
 }
 

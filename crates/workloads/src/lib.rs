@@ -44,6 +44,7 @@ mod micro;
 mod ocean;
 mod radix;
 mod raytrace;
+mod streaming;
 mod trace_io;
 
 pub use analysis::TraceAnalysis;
@@ -57,13 +58,14 @@ pub use radix::Radix;
 pub use raytrace::Raytrace;
 pub use trace_io::{load_traces, save_traces, ParseTraceError, TRACE_HEADER};
 
-use vcoma_types::{MachineConfig, Op};
+use vcoma_types::{materialize, MachineConfig, Op, OpSource};
 
-/// A benchmark that can generate per-node traces for the simulator.
+/// A benchmark that can generate per-node op streams for the simulator.
 ///
 /// Workloads are `Send + Sync` so a sweep can evaluate many
 /// (benchmark, scheme) points against the same boxed workload set from
-/// worker threads.
+/// worker threads. The *sources* a workload returns are not `Send`: one
+/// run's sources share generator state and are pulled on a single thread.
 pub trait Workload: Send + Sync {
     /// The benchmark's name as the paper spells it (e.g. `"RADIX"`).
     fn name(&self) -> &'static str;
@@ -74,8 +76,17 @@ pub trait Workload: Send + Sync {
     /// Nominal shared-memory footprint in MB (Table 1's last column).
     fn shared_mb(&self) -> f64;
 
-    /// Generates one trace per node.
-    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<Op>>;
+    /// Returns one lazy op source per node. The generators emit their
+    /// traces one barrier-delimited phase at a time, so a replay that
+    /// pulls from these sources holds at most one phase in memory.
+    fn sources(&self, cfg: &MachineConfig) -> Vec<Box<dyn OpSource>>;
+
+    /// Generates one trace per node by draining [`Workload::sources`] —
+    /// the fully-materialized path for tests, trace files, and callers
+    /// that reuse one trace across runs.
+    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<Op>> {
+        materialize(self.sources(cfg))
+    }
 }
 
 /// The paper's six benchmarks with Table-1 parameters, in the paper's

@@ -1,8 +1,9 @@
 //! Micro-workloads for tests and ablation benchmarks.
 
 use crate::common::{layout, TraceBuilder};
+use crate::streaming::phased;
 use crate::Workload;
-use vcoma_types::MachineConfig;
+use vcoma_types::{MachineConfig, OpSource};
 
 /// Uniformly random reads/writes over a configurable page pool — a
 /// locality-free worst case for every translation scheme.
@@ -42,23 +43,32 @@ impl Workload for UniformRandom {
         (self.pages * 4096) as f64 / (1 << 20) as f64
     }
 
-    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<vcoma_types::Op>> {
+    fn sources(&self, cfg: &MachineConfig) -> Vec<Box<dyn OpSource>> {
         let mut l = layout(cfg);
         let pool =
             l.region("pool", self.pages * cfg.page_size, cfg.page_size).expect("layout");
         let mut b = TraceBuilder::new(cfg.nodes, 0x0111);
         b.think = 1;
-        for n in 0..cfg.nodes as usize {
-            for _ in 0..self.refs_per_node {
+        let node_count = cfg.nodes as usize;
+        let refs_per_node = self.refs_per_node;
+        let write_fraction = self.write_fraction;
+        // One step per node's reference stream.
+        let mut node = 0usize;
+        phased(b, move |b| {
+            if node >= node_count {
+                return false;
+            }
+            for _ in 0..refs_per_node {
                 let off = b.rng().gen_range(pool.size / 32) * 32;
-                if b.rng().gen_bool(self.write_fraction) {
-                    b.write(n, pool.addr(off));
+                if b.rng().gen_bool(write_fraction) {
+                    b.write(node, pool.addr(off));
                 } else {
-                    b.read(n, pool.addr(off));
+                    b.read(node, pool.addr(off));
                 }
             }
-        }
-        b.into_traces()
+            node += 1;
+            node < node_count
+        })
     }
 }
 
@@ -97,20 +107,28 @@ impl Workload for PrivateStream {
         0.0
     }
 
-    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<vcoma_types::Op>> {
+    fn sources(&self, cfg: &MachineConfig) -> Vec<Box<dyn OpSource>> {
         let mut l = layout(cfg);
         let regions = l
             .per_node_regions("stream", cfg.nodes, self.bytes_per_node, cfg.page_size)
             .expect("layout");
         let mut b = TraceBuilder::new(cfg.nodes, 0x5771);
         b.think = 1;
-        for _ in 0..self.passes {
-            for (n, region) in regions.iter().enumerate() {
-                b.stream_read(n, region, 0, self.bytes_per_node, 64);
-                b.stream_write(n, region, 0, self.bytes_per_node, 64);
+        let bytes_per_node = self.bytes_per_node;
+        let passes = self.passes;
+        // One step per sequential pass over every node's region.
+        let mut pass = 0u64;
+        phased(b, move |b| {
+            if pass >= passes {
+                return false;
             }
-        }
-        b.into_traces()
+            for (n, region) in regions.iter().enumerate() {
+                b.stream_read(n, region, 0, bytes_per_node, 64);
+                b.stream_write(n, region, 0, bytes_per_node, 64);
+            }
+            pass += 1;
+            pass < passes
+        })
     }
 }
 
@@ -148,19 +166,30 @@ impl Workload for PingPong {
         0.0
     }
 
-    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<vcoma_types::Op>> {
+    fn sources(&self, cfg: &MachineConfig) -> Vec<Box<dyn OpSource>> {
         assert!(cfg.nodes >= 2, "ping-pong needs at least two nodes");
         let mut l = layout(cfg);
         let flag = l.region("flag", cfg.page_size, cfg.page_size).expect("layout");
         let mut b = TraceBuilder::new(cfg.nodes, 0x1919);
         b.think = 1;
-        for _ in 0..self.rounds {
-            b.write(0, flag.addr(0));
-            b.read(1, flag.addr(0));
-            b.write(1, flag.addr(64));
-            b.read(0, flag.addr(64));
-        }
-        b.into_traces()
+        let rounds = self.rounds;
+        // 256 rounds per step: the pattern has no barriers, so chunk it to
+        // keep the buffered window small.
+        let mut done = 0u64;
+        phased(b, move |b| {
+            if done >= rounds {
+                return false;
+            }
+            let batch = 256.min(rounds - done);
+            for _ in 0..batch {
+                b.write(0, flag.addr(0));
+                b.read(1, flag.addr(0));
+                b.write(1, flag.addr(64));
+                b.read(0, flag.addr(64));
+            }
+            done += batch;
+            done < rounds
+        })
     }
 }
 

@@ -11,8 +11,9 @@
 //! `L2-TLB` writeback penalty.
 
 use crate::common::{layout, TraceBuilder};
+use crate::streaming::phased;
 use crate::Workload;
-use vcoma_types::MachineConfig;
+use vcoma_types::{MachineConfig, OpSource};
 
 /// The OCEAN generator. See the module docs.
 #[derive(Debug, Clone)]
@@ -64,7 +65,7 @@ impl Workload for Ocean {
         15.52
     }
 
-    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<vcoma_types::Op>> {
+    fn sources(&self, cfg: &MachineConfig) -> Vec<Box<dyn OpSource>> {
         let nodes = cfg.nodes;
         let mut l = layout(cfg);
         // The multigrid solver owns many grids; sweeps cycle through pairs.
@@ -77,6 +78,7 @@ impl Workload for Ocean {
         b.think_jitter = 5;
         let rows_per_node = (self.n / nodes).max(1);
         let row = self.row_bytes();
+        let edge = self.n;
         // One reference per 64 bytes of a row (8 doubles). Rows are always
         // swept at full density so the per-page burst structure survives;
         // scaling reduces the number of relaxation iterations instead.
@@ -84,7 +86,13 @@ impl Workload for Ocean {
         let iterations =
             ((self.iterations as f64 * self.scale).round() as u64).clamp(4, self.iterations.max(4));
 
-        for it in 0..iterations {
+        // One step per half-sweep: (iteration, color) pairs.
+        let mut it = 0u64;
+        let mut color = 0u64;
+        phased(b, move |b| {
+            if it >= iterations {
+                return false;
+            }
             // Each iteration relaxes one grid against a right-hand-side
             // grid, cycling through the multigrid hierarchy.
             // The relaxation window reuses a small set of grids: the two
@@ -95,38 +103,41 @@ impl Workload for Ocean {
             let rhs = &grids[(2 + it % 2) as usize];
             let aux1 = &grids[4];
             let aux2 = &grids[5];
-            for color in 0..2u64 {
-                // Red sweep then black sweep, barrier after each.
-                for n in 0..nodes as usize {
-                    let first_row = n as u64 * rows_per_node;
-                    for r in 0..rows_per_node {
-                        let gr = first_row + r;
-                        if gr == 0 || gr + 1 >= self.n {
-                            continue; // border rows are fixed
-                        }
-                        if !(gr + color).is_multiple_of(2) {
-                            continue; // wrong color this half-sweep
-                        }
-                        for k in 0..refs_per_row {
-                            let off = gr * row + (k * 64) % row;
-                            // Stencil: self, north, south (the north/south
-                            // rows of the band edges belong to the
-                            // neighbouring nodes' bands), the right-hand
-                            // side and two coefficient grids; write self.
-                            b.read(n, cur.addr(off));
-                            b.read(n, cur.addr(off - row));
-                            b.read(n, cur.addr(off + row));
-                            b.read(n, rhs.addr(off));
-                            b.read(n, aux1.addr(off));
-                            b.read(n, aux2.addr(off));
-                            b.write(n, cur.addr(off));
-                        }
+            // Red sweep then black sweep, barrier after each.
+            for n in 0..nodes as usize {
+                let first_row = n as u64 * rows_per_node;
+                for r in 0..rows_per_node {
+                    let gr = first_row + r;
+                    if gr == 0 || gr + 1 >= edge {
+                        continue; // border rows are fixed
+                    }
+                    if !(gr + color).is_multiple_of(2) {
+                        continue; // wrong color this half-sweep
+                    }
+                    for k in 0..refs_per_row {
+                        let off = gr * row + (k * 64) % row;
+                        // Stencil: self, north, south (the north/south
+                        // rows of the band edges belong to the
+                        // neighbouring nodes' bands), the right-hand
+                        // side and two coefficient grids; write self.
+                        b.read(n, cur.addr(off));
+                        b.read(n, cur.addr(off - row));
+                        b.read(n, cur.addr(off + row));
+                        b.read(n, rhs.addr(off));
+                        b.read(n, aux1.addr(off));
+                        b.read(n, aux2.addr(off));
+                        b.write(n, cur.addr(off));
                     }
                 }
-                b.barrier();
             }
-        }
-        b.into_traces()
+            b.barrier();
+            color += 1;
+            if color == 2 {
+                color = 0;
+                it += 1;
+            }
+            it < iterations
+        })
     }
 }
 

@@ -19,8 +19,9 @@
 //!    the same bucket block); barrier.
 
 use crate::common::{layout, scaled_count, TraceBuilder};
+use crate::streaming::phased;
 use crate::Workload;
-use vcoma_types::{MachineConfig, Op};
+use vcoma_types::{MachineConfig, OpSource};
 
 /// The RADIX generator. See the module docs.
 #[derive(Debug, Clone)]
@@ -76,7 +77,7 @@ impl Workload for Radix {
         6.12
     }
 
-    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<Op>> {
+    fn sources(&self, cfg: &MachineConfig) -> Vec<Box<dyn OpSource>> {
         let nodes = cfg.nodes;
         let mut l = layout(cfg);
         let key_bytes = self.keys * 4;
@@ -94,97 +95,127 @@ impl Workload for Radix {
         let keys_per_node = self.keys / nodes;
         let blocks_per_node = scaled_count(keys_per_node * 4 / 32, self.scale);
         let part = key_bytes / nodes;
+        let page_size = cfg.page_size;
+        let radix = self.radix;
+        let scale = self.scale;
+        let passes = self.passes();
 
-        for pass in 0..self.passes() {
+        // One step per barrier phase: (pass, phase) with three phases per
+        // sort pass — histogram, prefix, permutation.
+        let mut pass = 0u32;
+        let mut phase = 0u8;
+        phased(b, move |b| {
+            if pass >= passes {
+                return false;
+            }
             // Alternate source/destination arrays between passes.
-            let (src, dst) = if pass % 2 == 0 { (&keys_r, &out_r) } else { (&out_r, &keys_r) };
-
-            // Phase 1: local histogram over the key partition. Key pages
-            // are visited in a node-private random order (block-sequential
-            // within a page): partitions are stripe-aligned, so a lockstep
-            // sweep would hit one home node at a time machine-wide.
-            for (n, hist) in hist_r.iter().enumerate() {
-                let base = n as u64 * part;
-                let pages = (part / cfg.page_size).max(1);
-                let mut order: Vec<u64> = (0..pages).collect();
-                b.rng().shuffle(&mut order);
-                let blocks_per_page = cfg.page_size / 32;
-                for blk in 0..blocks_per_node {
-                    let vpage = order[((blk / blocks_per_page) % pages) as usize];
-                    let off = (vpage * cfg.page_size + (blk % blocks_per_page) * 32) % part;
-                    b.read(n, src.addr(base + off));
-                    // Two histogram bucket updates per key block (hot,
-                    // private pages).
-                    for _ in 0..2 {
-                        let bucket = b.rng().gen_range(self.radix);
-                        b.write(n, hist.addr(bucket * 4));
+            let (src, dst) =
+                if pass.is_multiple_of(2) { (&keys_r, &out_r) } else { (&out_r, &keys_r) };
+            match phase {
+                0 => {
+                    // Phase 1: local histogram over the key partition. Key
+                    // pages are visited in a node-private random order
+                    // (block-sequential within a page): partitions are
+                    // stripe-aligned, so a lockstep sweep would hit one
+                    // home node at a time machine-wide.
+                    for (n, hist) in hist_r.iter().enumerate() {
+                        let base = n as u64 * part;
+                        let pages = (part / page_size).max(1);
+                        let mut order: Vec<u64> = (0..pages).collect();
+                        b.rng().shuffle(&mut order);
+                        let blocks_per_page = page_size / 32;
+                        for blk in 0..blocks_per_node {
+                            let vpage = order[((blk / blocks_per_page) % pages) as usize];
+                            let off = (vpage * page_size + (blk % blocks_per_page) * 32) % part;
+                            b.read(n, src.addr(base + off));
+                            // Two histogram bucket updates per key block
+                            // (hot, private pages).
+                            for _ in 0..2 {
+                                let bucket = b.rng().gen_range(radix);
+                                b.write(n, hist.addr(bucket * 4));
+                            }
+                        }
                     }
+                    b.barrier();
+                }
+                1 => {
+                    // Phase 2: global prefix sums — every node reads every
+                    // histogram (sampled with the same scale as the key
+                    // streams).
+                    let prefix_reads = scaled_count(radix * 4 / 256, scale);
+                    for n in 0..nodes as usize {
+                        for h in &hist_r {
+                            for k in 0..prefix_reads {
+                                b.read(n, h.addr((k * 256) % (radix * 4)));
+                            }
+                        }
+                    }
+                    b.barrier();
+                }
+                _ => {
+                    // Phase 3: permutation. Prefix sums partition every
+                    // bucket among the nodes, so a node's permutation
+                    // writes land in its own slots — 128-byte chunks
+                    // strided by the node count across the whole output
+                    // array. There is no intra-pass write sharing
+                    // (coherence traffic comes from the next pass reading
+                    // the scattered output), but the page stream is
+                    // essentially random over the whole array, which is
+                    // what starves every private TLB below ~512 entries
+                    // (paper §5.2).
+                    let chunks = key_bytes / (128 * nodes);
+                    for n in 0..nodes as usize {
+                        let base = n as u64 * part;
+                        // Byte address of this node's chunk `c`.
+                        let own_chunk = |c: u64| (c % chunks * nodes + n as u64) * 128;
+                        let mut cursor = b.rng().gen_range(chunks);
+                        let pages = (part / page_size).max(1);
+                        let mut order: Vec<u64> = (0..pages).collect();
+                        b.rng().shuffle(&mut order);
+                        let blocks_per_page = page_size / 32;
+                        for blk in 0..blocks_per_node {
+                            let vpage = order[((blk / blocks_per_page) % pages) as usize];
+                            let off = (vpage * page_size + (blk % blocks_per_page) * 32) % part;
+                            b.read(n, src.addr(base + off));
+                            // An isolated key of a rare digit now and
+                            // then: a random own slot anywhere in the
+                            // output array.
+                            if blk % 2 == 0 {
+                                let stray = b.rng().gen_range(chunks);
+                                let stray_off = b.rng().gen_range(4) * 32;
+                                b.write(n, dst.addr(own_chunk(stray) + stray_off));
+                            }
+                            // A run of keys with equal digits: the bucket
+                            // cursor's current 32-byte quarter of the
+                            // node's chunk.
+                            let quarter = (blk % 4) * 32;
+                            for k in 0..6u64 {
+                                b.write(n, dst.addr(own_chunk(cursor) + quarter + k * 4));
+                            }
+                            if blk % 4 == 3 {
+                                // Chunk exhausted; jump to a fresh bucket
+                                // slot.
+                                cursor = b.rng().gen_range(chunks);
+                            }
+                        }
+                    }
+                    b.barrier();
                 }
             }
-            b.barrier();
-
-            // Phase 2: global prefix sums — every node reads every
-            // histogram (sampled with the same scale as the key streams).
-            let prefix_reads = scaled_count(self.radix * 4 / 256, self.scale);
-            for n in 0..nodes as usize {
-                for h in &hist_r {
-                    for k in 0..prefix_reads {
-                        b.read(n, h.addr((k * 256) % (self.radix * 4)));
-                    }
-                }
+            phase += 1;
+            if phase == 3 {
+                phase = 0;
+                pass += 1;
             }
-            b.barrier();
-
-            // Phase 3: permutation. Prefix sums partition every bucket
-            // among the nodes, so a node's permutation writes land in its
-            // own slots — 128-byte chunks strided by the node count across
-            // the whole output array. There is no intra-pass write sharing
-            // (coherence traffic comes from the next pass reading the
-            // scattered output), but the page stream is essentially random
-            // over the whole array, which is what starves every private
-            // TLB below ~512 entries (paper §5.2).
-            let chunks = key_bytes / (128 * nodes);
-            for n in 0..nodes as usize {
-                let base = n as u64 * part;
-                // Byte address of this node's chunk `c`.
-                let own_chunk = |c: u64| (c % chunks * nodes + n as u64) * 128;
-                let mut cursor = b.rng().gen_range(chunks);
-                let pages = (part / cfg.page_size).max(1);
-                let mut order: Vec<u64> = (0..pages).collect();
-                b.rng().shuffle(&mut order);
-                let blocks_per_page = cfg.page_size / 32;
-                for blk in 0..blocks_per_node {
-                    let vpage = order[((blk / blocks_per_page) % pages) as usize];
-                    let off = (vpage * cfg.page_size + (blk % blocks_per_page) * 32) % part;
-                    b.read(n, src.addr(base + off));
-                    // An isolated key of a rare digit now and then: a
-                    // random own slot anywhere in the output array.
-                    if blk % 2 == 0 {
-                        let stray = b.rng().gen_range(chunks);
-                        let stray_off = b.rng().gen_range(4) * 32;
-                        b.write(n, dst.addr(own_chunk(stray) + stray_off));
-                    }
-                    // A run of keys with equal digits: the bucket cursor's
-                    // current 32-byte quarter of the node's chunk.
-                    let quarter = (blk % 4) * 32;
-                    for k in 0..6u64 {
-                        b.write(n, dst.addr(own_chunk(cursor) + quarter + k * 4));
-                    }
-                    if blk % 4 == 3 {
-                        // Chunk exhausted; jump to a fresh bucket slot.
-                        cursor = b.rng().gen_range(chunks);
-                    }
-                }
-            }
-            b.barrier();
-        }
-        b.into_traces()
+            pass < passes
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vcoma_types::Op;
 
     #[test]
     fn paper_params_give_two_passes() {

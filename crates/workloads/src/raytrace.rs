@@ -14,8 +14,9 @@
 //!   (the paper's `DLB/8/V2` bar, [`Raytrace::v2`]) restores the balance.
 
 use crate::common::{layout, scaled_count, TraceBuilder};
+use crate::streaming::phased;
 use crate::Workload;
-use vcoma_types::MachineConfig;
+use vcoma_types::{MachineConfig, OpSource};
 
 /// The RAYTRACE generator. See the module docs.
 #[derive(Debug, Clone)]
@@ -64,7 +65,7 @@ impl Workload for Raytrace {
         34.86
     }
 
-    fn generate(&self, cfg: &MachineConfig) -> Vec<Vec<vcoma_types::Op>> {
+    fn sources(&self, cfg: &MachineConfig) -> Vec<Box<dyn OpSource>> {
         let nodes = cfg.nodes;
         let mut l = layout(cfg);
         let scene = l.region("scene", 32 << 20, cfg.page_size).expect("layout");
@@ -82,9 +83,15 @@ impl Workload for Raytrace {
         let page = cfg.page_size;
         let scene_pages = scene.size / page;
         let bundles = scaled_count(self.bundles_per_node, self.scale);
+        let frames = self.frames;
         const QUEUE_LOCK: u32 = 0;
 
-        for _frame in 0..self.frames {
+        // One step per rendered frame.
+        let mut frame = 0u64;
+        phased(b, move |b| {
+            if frame >= frames {
+                return false;
+            }
             for (n, stack) in stacks.iter().enumerate() {
                 for bu in 0..bundles {
                     // Refill from the shared work queue every couple dozen
@@ -124,8 +131,9 @@ impl Workload for Raytrace {
                 }
             }
             b.barrier();
-        }
-        b.into_traces()
+            frame += 1;
+            frame < frames
+        })
     }
 }
 

@@ -20,6 +20,10 @@
 //! `r`/`w` carry hexadecimal byte addresses; `c` carries compute cycles;
 //! `b`, `l` and `u` carry barrier/lock identifiers in decimal; `p` carries
 //! an address and a rights string (`rw`, `r-`, `-w`, `--`).
+//!
+//! Loaded traces replay through the streaming engine via the
+//! [`vcoma_types::sources_from_traces`] adapter, which wraps each node's
+//! `Vec<Op>` in a [`vcoma_types::Materialized`] cursor.
 
 use vcoma_types::{Op, Protection, SyncId, VAddr};
 
@@ -189,6 +193,20 @@ mod tests {
         let traces = crate::Barnes::paper().scaled(0.002).generate(&cfg);
         let text = save_traces(&traces);
         assert_eq!(load_traces(&text).unwrap(), traces);
+    }
+
+    #[test]
+    fn loaded_traces_stream_through_source_cursors() {
+        use crate::Workload;
+        let cfg = vcoma_types::MachineConfig::tiny();
+        let traces = crate::PingPong { rounds: 5 }.generate(&cfg);
+        let loaded = load_traces(&save_traces(&traces)).unwrap();
+        let mut sources = vcoma_types::sources_from_traces(loaded);
+        let replayed: Vec<Vec<Op>> = sources
+            .iter_mut()
+            .map(|s| std::iter::from_fn(|| s.next_op()).collect())
+            .collect();
+        assert_eq!(replayed, traces);
     }
 
     #[test]

@@ -19,15 +19,29 @@ cargo test -q -p vcoma-integration --test golden_reports
 echo "==> parallel determinism smoke sweep (--jobs 1 vs --jobs 2)"
 out1=$(mktemp -d)
 out2=$(mktemp -d)
+outm=$(mktemp -d)
 fault1=$(mktemp -d)
 fault2=$(mktemp -d)
-trap 'rm -rf "$out1" "$out2" "$fault1" "$fault2"' EXIT
+trap 'rm -rf "$out1" "$out2" "$outm" "$fault1" "$fault2"' EXIT
 cargo run --release -p vcoma-experiments -- table2 fig8 \
     --scale 0.01 --out "$out1" --jobs 1
 cargo run --release -p vcoma-experiments -- table2 fig8 \
     --scale 0.01 --out "$out2" --jobs 2
 diff -r "$out1" "$out2"
 echo "==> CSVs byte-identical across worker counts"
+
+echo "==> bench smoke: streaming (jobs 2) vs materialized (--jobs 1) sweeps"
+# The materialized single-worker run is the oracle the streamed CSVs must
+# match byte-for-byte. It runs first: each run overwrites BENCH_sweep.json
+# in the working directory, and the streamed run's copy is the CI artifact.
+cargo run --release -p vcoma-experiments -- table1 table2 fig8 fig10 \
+    --scale 0.01 --out "$outm" --jobs 1 --materialized
+cargo run --release -p vcoma-experiments -- table1 table2 fig8 fig10 \
+    --scale 0.01 --out "$out2" --jobs 2
+diff -r "$out2" "$outm"
+test -s BENCH_sweep.json
+grep -q '"peak_rss_kb"' BENCH_sweep.json
+echo "==> streaming and materialized sweeps byte-identical; BENCH_sweep.json written"
 
 echo "==> fault-matrix smoke: every scheme under a lossy crossbar, auditor on"
 cargo run --release -p vcoma-experiments -- faults --scale 0.01 \

@@ -1,0 +1,125 @@
+//! Streaming replay equivalence: pulling ops lazily from a workload's
+//! [`OpSource`] cursors must be indistinguishable — down to the debug
+//! rendering of the whole report — from building the traces up front,
+//! and the engine's trace-shape failures must surface as [`SimError`]
+//! values through the facade instead of panics.
+
+use vcoma::workloads::{all_benchmarks, PingPong, PrivateStream, UniformRandom, Workload};
+use vcoma::{
+    sources_from_traces, MachineConfig, Op, OpSource, Scheme, SimError, Simulator, SyncId,
+    ALL_SCHEMES,
+};
+
+/// The paper's six benchmarks at smoke scale plus the three
+/// micro-workloads.
+fn every_workload() -> Vec<Box<dyn Workload>> {
+    let mut ws = all_benchmarks(0.01);
+    ws.push(Box::new(UniformRandom { pages: 64, refs_per_node: 500, write_fraction: 0.3 }));
+    ws.push(Box::new(PrivateStream { bytes_per_node: 64 << 10, passes: 1 }));
+    ws.push(Box::new(PingPong { rounds: 400 }));
+    ws
+}
+
+#[test]
+fn sources_concatenate_to_the_generated_traces() {
+    let cfg = MachineConfig::paper_baseline();
+    for w in every_workload() {
+        let eager = w.generate(&cfg);
+        let streamed: Vec<Vec<Op>> = w
+            .sources(&cfg)
+            .iter_mut()
+            .map(|s| std::iter::from_fn(|| s.next_op()).collect())
+            .collect();
+        assert_eq!(eager, streamed, "{}", w.name());
+    }
+}
+
+#[test]
+fn streaming_reports_match_materialized_reports_for_every_workload() {
+    for w in every_workload() {
+        let sim = Simulator::new(Scheme::VComa).seed(42).warmup();
+        let streamed = sim.run(w.as_ref());
+        let built = sim.clone().materialized().run(w.as_ref());
+        assert_eq!(format!("{streamed:?}"), format!("{built:?}"), "{}", w.name());
+    }
+}
+
+#[test]
+fn streaming_matches_materialized_for_every_scheme() {
+    let w = UniformRandom { pages: 128, refs_per_node: 800, write_fraction: 0.4 };
+    for scheme in ALL_SCHEMES {
+        let sim = Simulator::new(scheme).entries(8).seed(7);
+        let streamed = sim.run(&w);
+        let built = sim.clone().materialized().run(&w);
+        assert_eq!(format!("{streamed:?}"), format!("{built:?}"), "{scheme}");
+    }
+}
+
+/// A workload whose fixed traces park node 0 at a barrier no one else
+/// reaches — the facade must report the deadlock, not hang or panic.
+struct Unbalanced;
+
+impl Workload for Unbalanced {
+    fn name(&self) -> &'static str {
+        "UNBALANCED"
+    }
+
+    fn params(&self) -> String {
+        String::new()
+    }
+
+    fn shared_mb(&self) -> f64 {
+        0.0
+    }
+
+    fn sources(&self, cfg: &MachineConfig) -> Vec<Box<dyn OpSource>> {
+        let mut traces = vec![Vec::new(); cfg.nodes as usize];
+        traces[0].push(Op::Barrier(SyncId(0)));
+        sources_from_traces(traces)
+    }
+}
+
+#[test]
+fn missing_barrier_participant_surfaces_as_a_deadlock_error() {
+    for sim in [Simulator::new(Scheme::L0Tlb).tiny(), Simulator::new(Scheme::L0Tlb).tiny().materialized()]
+    {
+        match sim.try_run(&Unbalanced) {
+            Err(SimError::Deadlock { parked }) => assert_eq!(parked, vec![0]),
+            other => panic!("expected a deadlock error, got {other:?}"),
+        }
+    }
+}
+
+/// A workload that yields the wrong number of per-node sources.
+struct WrongArity;
+
+impl Workload for WrongArity {
+    fn name(&self) -> &'static str {
+        "WRONG-ARITY"
+    }
+
+    fn params(&self) -> String {
+        String::new()
+    }
+
+    fn shared_mb(&self) -> f64 {
+        0.0
+    }
+
+    fn sources(&self, _cfg: &MachineConfig) -> Vec<Box<dyn OpSource>> {
+        sources_from_traces(vec![vec![Op::Compute(1)]])
+    }
+}
+
+#[test]
+fn wrong_source_count_surfaces_as_bad_traces() {
+    for sim in [Simulator::new(Scheme::VComa).tiny(), Simulator::new(Scheme::VComa).tiny().materialized()]
+    {
+        match sim.try_run(&WrongArity) {
+            Err(SimError::BadTraces { got, want }) => {
+                assert_eq!((got, want), (1, 4));
+            }
+            other => panic!("expected a bad-traces error, got {other:?}"),
+        }
+    }
+}
