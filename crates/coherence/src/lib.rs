@@ -46,7 +46,7 @@ mod state;
 mod stats;
 mod translation;
 
-pub use protocol::{Access, InjectionPolicy, Protocol};
+pub use protocol::{Access, InjectionPolicy, Protocol, TxnHop};
 pub use state::{AmState, DirEntry};
 pub use stats::ProtocolStats;
 pub use translation::{HomeTranslation, NullTranslation};

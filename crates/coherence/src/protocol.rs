@@ -73,6 +73,62 @@ impl Access {
     }
 }
 
+/// One message hop (or fault-recovery window) observed during a traced
+/// transaction.
+///
+/// Captured only while hop capture is enabled (see
+/// [`Protocol::set_hop_capture`]); the simulator layer turns these into
+/// annotation spans on the sampled transaction's trace. `src == dst`
+/// marks a local window (backoff, timeout, retry) rather than a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnHop {
+    /// Cycle the message left `src` (or the window began).
+    pub depart: u64,
+    /// Cycle the message reached `dst` (or the window ended);
+    /// `arrive == depart` is an instant marker.
+    pub arrive: u64,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Message-kind label (see [`MsgKind::label`]) or window kind
+    /// (`"backoff"`, `"timeout"`, `"retry"`).
+    pub kind: &'static str,
+}
+
+/// Appends a hop to the capture log, if one is active. Zero-latency
+/// self-sends are skipped — they are free in the crossbar model and would
+/// only add noise — but windows (`src == dst` with an explicit kind) are
+/// recorded by the call sites that construct them directly.
+fn record_hop(
+    hops: &mut Option<Vec<TxnHop>>,
+    depart: u64,
+    arrive: u64,
+    src: NodeId,
+    dst: NodeId,
+    kind: &'static str,
+) {
+    if let Some(log) = hops.as_mut() {
+        if src != dst {
+            log.push(TxnHop { depart, arrive, src, dst, kind });
+        }
+    }
+}
+
+/// Appends a local fault-recovery window (`"backoff"`, `"timeout"`,
+/// `"retry"`) to the capture log, if one is active.
+fn record_window(
+    hops: &mut Option<Vec<TxnHop>>,
+    depart: u64,
+    arrive: u64,
+    node: NodeId,
+    kind: &'static str,
+) {
+    if let Some(log) = hops.as_mut() {
+        log.push(TxnHop { depart, arrive, src: node, dst: node, kind });
+    }
+}
+
 /// Attribution-tracking clock for one transaction's critical path.
 ///
 /// Advances exactly like the plain arrival-time arithmetic it replaces —
@@ -203,6 +259,10 @@ pub struct Protocol {
     /// `None` disables the retry path entirely, keeping fault-free runs on
     /// the exact pre-fault code path.
     faults: Option<TxnFaults>,
+    /// Hop-capture log for the transaction in flight; `None` (the
+    /// default) keeps untraced transactions on a zero-overhead path.
+    /// Capture never influences timing or protocol decisions.
+    hops: Option<Vec<TxnHop>>,
 }
 
 impl Protocol {
@@ -223,7 +283,22 @@ impl Protocol {
             stats: ProtocolStats::default(),
             metrics: MetricsRegistry::new(0),
             faults: None,
+            hops: None,
         }
+    }
+
+    /// Enables or disables hop capture. While enabled, every message sent
+    /// on a transaction's behalf (plus fault-recovery windows) is logged
+    /// as a [`TxnHop`]; the caller drains the log per transaction with
+    /// [`Protocol::take_hops`]. Disabled is the zero-overhead default.
+    pub fn set_hop_capture(&mut self, on: bool) {
+        self.hops = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains and returns the hops captured since the last call (empty
+    /// when capture is disabled).
+    pub fn take_hops(&mut self) -> Vec<TxnHop> {
+        self.hops.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// Selects the injection policy (default [`InjectionPolicy::RandomForward`]).
@@ -314,23 +389,32 @@ impl Protocol {
         home: NodeId,
         kind: MsgKind,
     ) {
-        let Self { faults, stats, metrics, .. } = self;
+        let Self { faults, stats, metrics, hops, .. } = self;
         let Some(fx) = faults.as_mut() else {
+            let depart = path.t;
             path.send(net, requester, home, kind);
+            record_hop(hops, depart, path.t, requester, home, kind.label());
             return;
         };
         let mut attempt = 0u32;
         loop {
+            let depart = path.t;
             match net.send_faulty(requester, home, kind, path.t) {
                 SendOutcome::Delivered { arrive, fault_delay } => {
                     path.absorb_delivery(net, kind, arrive, fault_delay);
+                    record_hop(hops, depart, path.t, requester, home, kind.label());
                     if attempt < fx.max_attempts() && fx.nack(home) {
                         stats.nacks += 1;
                         stats.retries += 1;
                         metrics.incr("fault.nack");
                         metrics.incr("fault.retry");
+                        let nack_depart = path.t;
                         path.send(net, home, requester, MsgKind::Nack);
+                        record_hop(hops, nack_depart, path.t, home, requester, MsgKind::Nack.label());
+                        let backoff_start = path.t;
                         path.fault_wait(fx.backoff(attempt));
+                        record_window(hops, backoff_start, path.t, requester, "backoff");
+                        record_window(hops, path.t, path.t, requester, "retry");
                         attempt += 1;
                         continue;
                     }
@@ -343,12 +427,17 @@ impl Protocol {
                         stats.retry_exhausted += 1;
                         metrics.incr("fault.exhausted");
                         path.fault_wait(fx.timeout());
+                        record_window(hops, depart, path.t, requester, "timeout");
+                        let resend = path.t;
                         path.send(net, requester, home, kind);
+                        record_hop(hops, resend, path.t, requester, home, kind.label());
                         return;
                     }
                     stats.retries += 1;
                     metrics.incr("fault.retry");
                     path.fault_wait(fx.timeout() + fx.backoff(attempt));
+                    record_window(hops, depart, path.t, requester, "timeout");
+                    record_window(hops, path.t, path.t, requester, "retry");
                     attempt += 1;
                 }
             }
@@ -366,20 +455,26 @@ impl Protocol {
         dst: NodeId,
         kind: MsgKind,
     ) {
-        let Self { faults, stats, metrics, .. } = self;
+        let Self { faults, stats, metrics, hops, .. } = self;
+        let depart = path.t;
         let Some(fx) = faults.as_mut() else {
             path.send(net, src, dst, kind);
+            record_hop(hops, depart, path.t, src, dst, kind.label());
             return;
         };
         match net.send_faulty(src, dst, kind, path.t) {
             SendOutcome::Delivered { arrive, fault_delay } => {
                 path.absorb_delivery(net, kind, arrive, fault_delay);
+                record_hop(hops, depart, path.t, src, dst, kind.label());
             }
             SendOutcome::Dropped => {
                 stats.link_retries += 1;
                 metrics.incr("fault.link_retry");
                 path.fault_wait(fx.timeout());
+                record_window(hops, depart, path.t, src, "timeout");
+                let resend = path.t;
                 path.send(net, src, dst, kind);
+                record_hop(hops, resend, path.t, src, dst, kind.label());
             }
         }
     }
@@ -397,16 +492,20 @@ impl Protocol {
         t: u64,
     ) -> u64 {
         if self.faults.is_none() {
-            return net.send(src, dst, kind, t);
+            let arrive = net.send(src, dst, kind, t);
+            record_hop(&mut self.hops, t, arrive, src, dst, kind.label());
+            return arrive;
         }
-        match net.send_faulty(src, dst, kind, t) {
+        let arrive = match net.send_faulty(src, dst, kind, t) {
             SendOutcome::Delivered { arrive, .. } => arrive,
             SendOutcome::Dropped => {
                 self.stats.link_retries += 1;
                 self.metrics.incr("fault.link_retry");
                 net.send(src, dst, kind, t)
             }
-        }
+        };
+        record_hop(&mut self.hops, t, arrive, src, dst, kind.label());
+        arrive
     }
 
     /// A processor read of `block` by `requester`, whose home is `home`.

@@ -44,7 +44,7 @@
 
 pub use vcoma_sim::{
     AuditError, LatencyBreakdown, Machine, NodeReport, SimConfig, SimError, SimReport,
-    SimReportBuilder, TimeBreakdown, TlbBank, LATENCY_CATEGORIES,
+    SimReportBuilder, TimeBreakdown, TlbBank, TraceConfig, LATENCY_CATEGORIES,
 };
 pub use vcoma_tlb::{Scheme, Tlb, TlbOrg, TlbStats, ALL_SCHEMES};
 pub use vcoma_types::{
@@ -214,6 +214,18 @@ impl Simulator {
         self
     }
 
+    /// Enables causal transaction tracing: (on average) one in
+    /// `sample_every` references per node is recorded as a cycle-stamped
+    /// span tree (TLB walks, directory occupancy, network, message hops,
+    /// retries), bounded by `capacity` spans per node. The sampled set is
+    /// a pure function of the seed, so traces are byte-reproducible; the
+    /// measured timing is unaffected. Read the result through
+    /// [`SimReport::trace`].
+    pub fn trace(mut self, sample_every: u64, capacity: usize) -> Self {
+        self.cfg = self.cfg.clone().with_trace(TraceConfig { sample_every, capacity });
+        self
+    }
+
     /// The assembled simulation configuration.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
@@ -327,6 +339,19 @@ mod tests {
             let built = s.clone().materialized().try_run(&w).expect("materialized run");
             assert_eq!(format!("{streamed:?}"), format!("{built:?}"), "{scheme}");
         }
+    }
+
+    #[test]
+    fn traced_run_keeps_timing_and_exports_chrome_trace() {
+        let w = UniformRandom { pages: 32, refs_per_node: 200, write_fraction: 0.3 };
+        let plain = Simulator::new(Scheme::VComa).tiny().seed(9).run(&w);
+        let traced = Simulator::new(Scheme::VComa).tiny().seed(9).trace(4, 1 << 16).run(&w);
+        assert_eq!(plain.exec_time(), traced.exec_time(), "tracing is observation-only");
+        let snap = traced.trace().expect("traced run carries a snapshot");
+        assert!(snap.sampled_txns > 0);
+        let json = metrics::trace_export::to_chrome_trace([("demo", snap)]);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"X\""));
     }
 
     #[test]

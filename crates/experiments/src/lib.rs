@@ -21,6 +21,7 @@
 //! | [`ccnuma`] | §2 motivation: SHARED-TLB in CC-NUMA vs first-touch placement |
 //! | [`breakdown`] | fine latency attribution (`--breakdown`, `--metrics-out`) |
 //! | [`faults`] | fault-injection robustness sweep (`--fault-plan`, `--fault-seed`) |
+//! | [`trace`] | causal transaction tracing: critical-path percentiles and Perfetto export (`--trace-out`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +40,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod trace;
 
 use vcoma::workloads::{all_benchmarks, Workload};
 use vcoma::{MachineConfig, Scheme, Simulator};

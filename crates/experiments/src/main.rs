@@ -8,25 +8,26 @@
 use std::path::PathBuf;
 use vcoma_experiments::{
     ablations, breakdown, ccnuma, faults, fig10, fig11, fig8, fig9, sweep, table1, table2,
-    table3, table4, ExperimentConfig,
+    table3, table4, trace, ExperimentConfig,
 };
 
 /// Every artifact name the CLI accepts, in default execution order
-/// (`breakdown` and `faults` opt in through their flags or by name rather
-/// than running under `all`).
-const VALID_ARTIFACTS: [&str; 12] = [
+/// (`breakdown`, `faults` and `trace` opt in through their flags or by
+/// name rather than running under `all`).
+const VALID_ARTIFACTS: [&str; 13] = [
     "table1", "fig8", "table2", "table3", "fig9", "table4", "fig10", "fig11", "ablations",
-    "ccnuma", "breakdown", "faults",
+    "ccnuma", "breakdown", "faults", "trace",
 ];
 
 const USAGE: &str = "\
 usage: vcoma-experiments [ARTIFACT...] [--scale F] [--nodes N] [--jobs N] [--out DIR]
                          [--materialized] [--breakdown] [--metrics-out FILE]
-                         [--fault-plan SPEC] [--fault-seed S]
+                         [--fault-plan SPEC] [--fault-seed S] [--trace-out FILE]
+                         [--progress]
 
 artifacts: table1 fig8 table2 table3 fig9 table4 fig10 fig11 ablations ccnuma
-           breakdown faults all
-           (default: all, which runs everything except breakdown and faults)
+           breakdown faults trace all
+           (default: all, which runs everything except breakdown, faults and trace)
 
 options:
   --scale F          fraction of each benchmark's iterations to replay (default 0.1)
@@ -47,6 +48,12 @@ options:
                      default when faults runs without this flag)
   --fault-seed S     fault-decision seed (default 0xFA17); equal seeds give
                      bit-identical fault runs at any --jobs value
+  --trace-out FILE   write the trace artifact's sampled span trees as Chrome
+                     trace-event JSON to FILE (load in ui.perfetto.dev or
+                     chrome://tracing); implies the trace artifact
+  --progress         paint a live progress line per sweep on stderr (artifact,
+                     completed points, cycles/s, peak RSS); stdout stays
+                     byte-identical with or without it
 
 exit status: 0 on success, 2 on a usage error, 3 when a run fails (a
 coherence-invariant violation under --fault-plan, or VM exhaustion).
@@ -79,6 +86,7 @@ fn main() {
     let mut metrics_out: Option<PathBuf> = None;
     let mut fault_plan: Option<vcoma::faults::FaultPlan> = None;
     let mut fault_seed: Option<u64> = None;
+    let mut trace_out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -137,12 +145,19 @@ fn main() {
             "--metrics-out" => {
                 metrics_out = Some(PathBuf::from(args.next().expect("--metrics-out needs a value")));
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("error: --trace-out needs a value");
+                    std::process::exit(2);
+                })));
+            }
+            "--progress" => sweep::set_progress(true),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return;
             }
             other if other.starts_with('-') => {
-                eprintln!("unknown option {other}\n{USAGE}");
+                eprintln!("error: unknown option '{other}' (run with --help for usage)");
                 std::process::exit(2);
             }
             other => artifacts.push(other.to_string()),
@@ -171,9 +186,13 @@ fn main() {
     {
         artifacts.push("faults".to_string());
     }
+    if trace_out.is_some() && !artifacts.iter().any(|a| a == "trace") {
+        artifacts.push("trace".to_string());
+    }
     if artifacts.is_empty() || artifacts.iter().any(|a| a == "all") {
         let keep_breakdown = artifacts.iter().any(|a| a == "breakdown");
         let keep_faults = artifacts.iter().any(|a| a == "faults");
+        let keep_trace = artifacts.iter().any(|a| a == "trace");
         artifacts = ["table1", "fig8", "table2", "table3", "fig9", "table4", "fig10", "fig11", "ablations", "ccnuma"]
             .iter()
             .map(|s| s.to_string())
@@ -183,6 +202,9 @@ fn main() {
         }
         if keep_faults {
             artifacts.push("faults".to_string());
+        }
+        if keep_trace {
+            artifacts.push("trace".to_string());
         }
     }
 
@@ -298,10 +320,34 @@ fn main() {
                     save("breakdown", t.to_csv());
                 }
                 if let Some(path) = &metrics_out {
-                    let json = vcoma::metrics::json::to_json_pretty(&breakdown::merged_metrics(&rows))
+                    let merged = breakdown::merged_metrics(&rows);
+                    if merged.dropped_events > 0 {
+                        eprintln!(
+                            "warning: event ring overflowed; {} oldest events were dropped \
+                             (counters and histograms stay exact, the event list is partial)",
+                            merged.dropped_events
+                        );
+                    }
+                    let json = vcoma::metrics::json::to_json_pretty(&merged)
                         .expect("metrics snapshot serializes");
                     std::fs::write(path, json).expect("write --metrics-out file");
                     println!("  -> wrote {}", path.display());
+                }
+            }
+            "trace" => {
+                println!("== Transaction tracing: critical-path latency attribution ==");
+                println!(
+                    "sampling 1 in {} references per node, <= {} spans per node buffer",
+                    trace::SAMPLE_EVERY,
+                    trace::CAPACITY
+                );
+                let rows = trace::run(&cfg);
+                let t = trace::render(&rows);
+                println!("{}", t.render());
+                save("trace", t.to_csv());
+                if let Some(path) = &trace_out {
+                    std::fs::write(path, trace::export(&rows)).expect("write --trace-out file");
+                    println!("  -> wrote {} (load in ui.perfetto.dev)", path.display());
                 }
             }
             "faults" => {

@@ -12,9 +12,20 @@
 //! cycles, throughput) in a process-wide ledger; the CLI drains it with
 //! [`take_stats`] and writes `BENCH_sweep.json`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Whether [`run`] paints a live progress line to stderr (`--progress`).
+/// Stderr-only by design: stdout carries the deterministic tables and
+/// must stay byte-identical with or without the flag.
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the live stderr progress line for subsequent
+/// sweeps (process-wide; the CLI sets it once from `--progress`).
+pub fn set_progress(on: bool) {
+    PROGRESS.store(on, Ordering::Relaxed);
+}
 
 /// One point of a sweep grid: a display label plus the evaluator input.
 #[derive(Debug, Clone)]
@@ -131,11 +142,16 @@ where
     // results into its point's dedicated slot, so completion order never
     // influences the merge below.
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let cycles_done = AtomicU64::new(0);
+    let progress = PROGRESS.load(Ordering::Relaxed);
     let slots: Vec<Mutex<Option<SweepResult<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let points = &points;
     let eval = &eval;
     let slots_ref = &slots;
     let next_ref = &next;
+    let done_ref = &done;
+    let cycles_ref = &cycles_done;
     std::thread::scope(|s| {
         for _ in 0..jobs {
             s.spawn(move || loop {
@@ -144,10 +160,25 @@ where
                     break;
                 }
                 let result = eval(&points[i].input);
+                let cycles = result.simulated_cycles;
                 *slots_ref[i].lock().unwrap() = Some(result);
+                if progress {
+                    let d = done_ref.fetch_add(1, Ordering::Relaxed) + 1;
+                    let c = cycles_ref.fetch_add(cycles, Ordering::Relaxed) + cycles;
+                    let secs = t0.elapsed().as_secs_f64();
+                    let rate = if secs > 0.0 { c as f64 / secs } else { 0.0 };
+                    eprint!(
+                        "\r[{name}] {d}/{n} points, {rate:.3e} cycles/s, peak RSS {} KB ",
+                        peak_rss_kb()
+                    );
+                }
             });
         }
     });
+    if progress && n > 0 {
+        // Clear the live line; the deterministic summary goes to stdout.
+        eprint!("\r{:79}\r", "");
+    }
 
     let mut values = Vec::with_capacity(n);
     let mut simulated_cycles = 0u64;

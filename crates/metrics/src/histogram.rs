@@ -110,6 +110,20 @@ impl Histogram {
         &self.counts
     }
 
+    /// Returns the value at quantile `q` (clamped to `[0, 1]`), or `None`
+    /// if the histogram is empty.
+    ///
+    /// The estimate is the upper edge of the bucket holding the sample of
+    /// rank `ceil(q * count)`, clamped to the recorded `[min, max]` — so
+    /// it is exact whenever that bucket holds a single distinct value,
+    /// never exceeds an observed sample, is monotone in `q`, and depends
+    /// only on the bucket counts and extrema, which [`Mergeable::merge`]
+    /// combines exactly: merge-then-quantile equals quantile-of-merged.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        quantile_impl(&self.counts, self.count, self.min, self.max, q)
+    }
+
     /// Converts into the serializable snapshot form.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -160,6 +174,53 @@ pub struct HistogramSnapshot {
     pub max: Option<u64>,
     /// Per-bucket sample counts, trailing zeros trimmed.
     pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Returns the value at quantile `q`; see [`Histogram::quantile`].
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        quantile_impl(
+            &self.buckets,
+            self.count,
+            self.min.unwrap_or(u64::MAX),
+            self.max.unwrap_or(0),
+            q,
+        )
+    }
+}
+
+/// Shared quantile walk over power-of-two bucket counts: find the bucket
+/// holding the sample of rank `ceil(q * count)` and report its upper
+/// edge, clamped to the recorded extrema.
+fn quantile_impl(buckets: &[u64], count: u64, min: u64, max: u64, q: f64) -> Option<u64> {
+    if count == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    // The extreme ranks are known exactly; reporting them directly keeps
+    // `quantile(0.0) == min` and `quantile(1.0) == max` while preserving
+    // monotonicity (every other bucket edge lies between the extrema
+    // after clamping).
+    if rank == 1 {
+        return Some(min);
+    }
+    if rank == count {
+        return Some(max);
+    }
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            let (_, hi) = Histogram::bucket_range(i);
+            return Some(hi.clamp(min, max));
+        }
+    }
+    // Unreachable when the counts are consistent with `count`; fall back
+    // to the recorded maximum rather than panicking on a foreign snapshot.
+    Some(max)
 }
 
 impl Mergeable for HistogramSnapshot {
@@ -257,6 +318,105 @@ mod tests {
         assert_eq!(a.min(), Some(1));
         assert_eq!(a.max(), Some(100_000));
         assert_eq!(a.sum(), 100_104);
+    }
+
+    #[test]
+    fn quantile_is_exact_on_known_distributions() {
+        // Empty histogram has no quantiles.
+        assert_eq!(Histogram::new().quantile(0.5), None);
+
+        // Single value: every quantile is that value.
+        let mut h = Histogram::new();
+        h.record(37);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(37));
+        }
+
+        // Two distinct values: the median is the low one, the tail the
+        // high one (min/max clamping makes both exact).
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(100);
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(0.99), Some(100));
+        assert_eq!(h.quantile(1.0), Some(100));
+
+        // 100 copies of 15 (the upper edge of bucket [8, 15]) plus one
+        // outlier: the body quantiles are exact, and only a rank beyond
+        // 100/101 crosses into the tail bucket.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(15);
+        }
+        h.record(1000);
+        assert_eq!(h.quantile(0.5), Some(15));
+        assert_eq!(h.quantile(0.9), Some(15));
+        assert_eq!(h.quantile(0.999), Some(1000));
+
+        // Values of the form 2^k - 1 are bucket upper edges, so every
+        // rank is exact: the i-th order statistic is reported verbatim.
+        let edges = [1u64, 3, 7, 15, 31, 63, 127, 255, 511, 1023];
+        let mut h = Histogram::new();
+        for v in edges {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.1), Some(1));
+        assert_eq!(h.quantile(0.5), Some(31));
+        assert_eq!(h.quantile(0.8), Some(255));
+        assert_eq!(h.quantile(1.0), Some(1023));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        for i in 0..500u64 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+            h.record(x % 10_000);
+        }
+        let p50 = h.quantile(0.50).unwrap();
+        let p90 = h.quantile(0.90).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        let mut prev = 0;
+        for step in 0..=100 {
+            let q = f64::from(step) / 100.0;
+            let v = h.quantile(q).unwrap();
+            assert!(v >= prev, "quantile({q}) = {v} < quantile of previous step {prev}");
+            prev = v;
+        }
+        assert_eq!(h.quantile(0.0), Some(h.min().unwrap()));
+        assert_eq!(h.quantile(1.0), Some(h.max().unwrap()));
+    }
+
+    #[test]
+    fn merge_then_quantile_equals_quantile_of_merged() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        let mut x = 7u64;
+        for i in 0..400u64 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let v = x % 50_000;
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), all.quantile(q), "histogram quantile at q={q}");
+            // The snapshot path agrees with the histogram path, both for
+            // snapshot-of-merged and merged-snapshots.
+            let mut snap = a.snapshot();
+            snap.merge(&b.snapshot());
+            assert_eq!(snap.quantile(q), all.quantile(q), "snapshot quantile at q={q}");
+            assert_eq!(all.snapshot().quantile(q), all.quantile(q), "snapshot round-trip q={q}");
+        }
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * [`MetricsRegistry`] — named counters, gauges and histograms keyed by
 //!   `&'static str`, snapshotted into the serializable
 //!   [`MetricsSnapshot`].
+//! * [`Span`] / [`SpanBuffer`] / [`SpanSampler`] — causal span trees for
+//!   deterministically sampled transactions, with the
+//!   [`critical_paths`] analyzer and a Chrome-trace/Perfetto JSON
+//!   exporter in [`trace_export`].
 //!
 //! Snapshots serialize to deterministic pretty-printed JSON through
 //! [`json::to_json_pretty`]; determinism comes from `BTreeMap` key order.
@@ -27,8 +31,14 @@ pub mod json;
 mod mergeable;
 mod registry;
 mod ring;
+mod span;
+pub mod trace_export;
 
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use mergeable::Mergeable;
 pub use registry::{MetricsRegistry, MetricsSnapshot};
 pub use ring::{Event, EventRing, EventSnapshot};
+pub use span::{
+    critical_paths, Span, SpanBuffer, SpanCategory, SpanId, SpanSampler, TraceSnapshot,
+    TxnCriticalPath,
+};

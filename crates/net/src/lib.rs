@@ -105,6 +105,24 @@ impl MsgKind {
         }
     }
 
+    /// Stable `&'static` label (same spelling as [`std::fmt::Display`]),
+    /// for layers that tag spans or events with a `'static` kind string.
+    pub const fn label(self) -> &'static str {
+        match self {
+            MsgKind::ReadReq => "read-req",
+            MsgKind::WriteReq => "write-req",
+            MsgKind::UpgradeReq => "upgrade-req",
+            MsgKind::BlockReply => "block-reply",
+            MsgKind::Ack => "ack",
+            MsgKind::Invalidate => "invalidate",
+            MsgKind::Inject => "inject",
+            MsgKind::InjectForward => "inject-forward",
+            MsgKind::ForwardReq => "forward-req",
+            MsgKind::Writeback => "writeback",
+            MsgKind::Nack => "nack",
+        }
+    }
+
     fn stat_index(self) -> usize {
         match self {
             MsgKind::ReadReq => 0,
@@ -124,20 +142,7 @@ impl MsgKind {
 
 impl std::fmt::Display for MsgKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            MsgKind::ReadReq => "read-req",
-            MsgKind::WriteReq => "write-req",
-            MsgKind::UpgradeReq => "upgrade-req",
-            MsgKind::BlockReply => "block-reply",
-            MsgKind::Ack => "ack",
-            MsgKind::Invalidate => "invalidate",
-            MsgKind::Inject => "inject",
-            MsgKind::InjectForward => "inject-forward",
-            MsgKind::ForwardReq => "forward-req",
-            MsgKind::Writeback => "writeback",
-            MsgKind::Nack => "nack",
-        };
-        f.write_str(s)
+        f.write_str(self.label())
     }
 }
 

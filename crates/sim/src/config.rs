@@ -5,6 +5,26 @@ use vcoma_faults::FaultPlan;
 use vcoma_tlb::{Scheme, TlbOrg};
 use vcoma_types::MachineConfig;
 
+/// Configuration of the causal transaction tracer (see
+/// [`SimConfig::trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Sampling period: (on average) one in `sample_every` transactions
+    /// per node is traced, chosen by a keyed hash of
+    /// `(seed, node, per-node reference index)` so the sampled set is
+    /// byte-identical at any worker count. `1` traces everything.
+    pub sample_every: u64,
+    /// Per-node span-buffer capacity; when a transaction's spans would
+    /// overflow it, the whole transaction is dropped and counted.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { sample_every: 64, capacity: 4096 }
+    }
+}
+
 /// Configuration of one simulation run: the machine, the translation
 /// scheme, and the TLB/DLB geometry sweep.
 #[derive(Debug, Clone)]
@@ -46,6 +66,13 @@ pub struct SimConfig {
     /// sweeps. Independent of `fault_plan`: auditing a fault-free run is
     /// a valid (and cheap) regression check.
     pub audit: bool,
+    /// Causal transaction tracing: `Some` samples transactions
+    /// deterministically and records cycle-stamped span trees (TLB walks,
+    /// directory occupancy, network, message hops, retries) for
+    /// critical-path attribution and Chrome-trace export. `None` (the
+    /// default) leaves the measured timing and every report byte-identical
+    /// to builds without tracing.
+    pub trace: Option<TraceConfig>,
 }
 
 impl SimConfig {
@@ -63,6 +90,7 @@ impl SimConfig {
             event_capacity: 1024,
             fault_plan: None,
             audit: false,
+            trace: None,
         }
     }
 
@@ -123,6 +151,12 @@ impl SimConfig {
         self.audit = true;
         self
     }
+
+    /// Enables causal transaction tracing (see [`SimConfig::trace`]).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -144,13 +178,22 @@ mod tests {
             .with_contention()
             .with_event_capacity(4)
             .with_fault_plan(FaultPlan::parse("drop=0.01").unwrap())
-            .with_audit();
+            .with_audit()
+            .with_trace(TraceConfig { sample_every: 8, capacity: 256 });
         assert_eq!(c.translation_specs, vec![(16, TlbOrg::FullyAssociative)]);
         assert_eq!(c.seed, 99);
         assert!(c.contention);
         assert_eq!(c.event_capacity, 4);
         assert_eq!(c.fault_plan.as_ref().map(|p| p.drop), Some(0.01));
         assert!(c.audit);
+        assert_eq!(c.trace, Some(TraceConfig { sample_every: 8, capacity: 256 }));
+    }
+
+    #[test]
+    fn tracing_is_off_by_default() {
+        let c = SimConfig::new(MachineConfig::tiny(), Scheme::VComa);
+        assert_eq!(c.trace, None);
+        assert_eq!(TraceConfig::default(), TraceConfig { sample_every: 64, capacity: 4096 });
     }
 
     #[test]

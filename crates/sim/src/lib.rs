@@ -58,11 +58,12 @@ mod error;
 mod machine;
 mod report;
 mod sync;
+mod trace;
 
 pub use audit::AuditError;
 pub use bank::TlbBank;
 pub use breakdown::{LatencyBreakdown, TimeBreakdown, LATENCY_CATEGORIES};
-pub use config::SimConfig;
+pub use config::{SimConfig, TraceConfig};
 pub use error::SimError;
 pub use machine::Machine;
 pub use report::{BuildError, NodeReport, SimReport, SimReportBuilder, TimeBreakdownF};

@@ -5,6 +5,7 @@ use crate::audit::AuditError;
 use crate::breakdown::LatencyBreakdown;
 use crate::error::SimError;
 use crate::sync::{Barriers, Locks};
+use crate::trace::Tracer;
 use crate::{SimConfig, SimReport, TimeBreakdown, TlbBank};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -72,6 +73,9 @@ pub struct Machine {
     /// events (TLB/DLB misses, shootdowns, swap-outs). Observation-only —
     /// never feeds back into timing.
     metrics: MetricsRegistry,
+    /// Causal transaction tracer ([`SimConfig::trace`]); `None` keeps the
+    /// replay hot path free of any tracing work.
+    tracer: Option<Tracer>,
 }
 
 /// Zero-copy [`OpSource`] over a borrowed trace slice: the materialized
@@ -193,6 +197,7 @@ impl Machine {
             page_faults: 0,
             audited_txns: 0,
             metrics: MetricsRegistry::new(cfg.event_capacity),
+            tracer: cfg.trace.map(|tc| Tracer::new(tc, cfg.seed, m.nodes as usize)),
             cfg,
         }
     }
@@ -282,6 +287,9 @@ impl Machine {
         self.protocol.reset_stats();
         self.net.reset_stats();
         self.metrics.reset();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.reset();
+        }
     }
 
     /// Replays pre-built traces once, through zero-copy cursors over the
@@ -427,6 +435,17 @@ impl Machine {
         let mut t = t0;
         let mut translated = false;
 
+        // Sampled tracing: the decision keys on the per-node reference
+        // index *before* this reference bumps it, so which references are
+        // traced is independent of worker count and of tracing itself.
+        if let Some(tr) = self.tracer.as_mut() {
+            let class = match kind {
+                AccessKind::Read => "read",
+                AccessKind::Write => "write",
+            };
+            tr.begin(n, self.nodes[n].refs, class, va.raw(), t0);
+        }
+
         // Issue cycle.
         {
             let node = &mut self.nodes[n];
@@ -438,6 +457,9 @@ impl Machine {
                 AccessKind::Read => node.reads += 1,
                 AccessKind::Write => node.writes += 1,
             }
+        }
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.interval("issue", t0, t, va.raw());
         }
 
         // L0: the TLB sits before the FLC and sees every reference.
@@ -452,7 +474,13 @@ impl Machine {
         };
         t += timing.flc_hit;
         self.nodes[n].fine.local_stall += timing.flc_hit;
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.interval("flc", t - timing.flc_hit, t, flc_block);
+        }
         if kind == AccessKind::Read && flc_hit {
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.finish(t);
+            }
             return Ok(t - t0);
         }
 
@@ -486,6 +514,9 @@ impl Machine {
                         kind: "tlb_miss",
                         addr: wb_page.raw(),
                     });
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.interval("wb_translation", t - timing.translation_miss, t, wb_page.raw());
+                    }
                 }
             }
         }
@@ -493,7 +524,13 @@ impl Machine {
             t += timing.slc_hit;
             self.nodes[n].breakdown.local_stall += timing.slc_hit;
             self.nodes[n].fine.local_stall += timing.slc_hit;
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.interval("slc", t - timing.slc_hit, t, slc_block);
+            }
             if kind == AccessKind::Read {
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.finish(t);
+                }
                 return Ok(t - t0);
             }
         } else if matches!(scheme, Scheme::L2Tlb | Scheme::L2TlbNoWb) {
@@ -511,10 +548,16 @@ impl Machine {
                 t += timing.am_hit;
                 self.nodes[n].breakdown.local_stall += timing.am_hit;
                 self.nodes[n].fine.local_stall += timing.am_hit;
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.interval("am", t - timing.am_hit, t, am_block);
+                }
             }
             // Refresh protocol-side stats/recency; guaranteed local.
             let out = self.run_protocol(node_id, am_block, home, kind, t);
             debug_assert!(out.local_hit);
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.finish(t);
+            }
             return Ok(t - t0);
         }
 
@@ -532,11 +575,44 @@ impl Machine {
             t += timing.am_hit;
             self.nodes[n].breakdown.local_stall += timing.am_hit;
             self.nodes[n].fine.local_stall += timing.am_hit;
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.interval("am", t - timing.am_hit, t, am_block);
+            }
         }
 
+        // Capture the transaction's message hops only while a sampled
+        // reference is in flight; otherwise the protocol stays hop-free.
+        let capture = self.tracer.as_ref().is_some_and(Tracer::active);
+        if capture {
+            self.protocol.set_hop_capture(true);
+        }
         let out = self.run_protocol(node_id, am_block, home, kind, t);
         debug_assert!(!out.local_hit);
+        if capture {
+            let hops = self.protocol.take_hops();
+            self.protocol.set_hop_capture(false);
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.hops(&hops);
+            }
+        }
         t += out.latency;
+        if let Some(tr) = self.tracer.as_mut() {
+            // The remote window decomposes exactly (`Path` invariant:
+            // `latency == lookup + mem + net + queue + fault`); laying the
+            // components end to end tiles `[t - latency, t)`.
+            let mut cursor = t - out.latency;
+            for (class, cycles) in [
+                ("dlb_lookup", out.home_lookup_cycles),
+                ("directory", out.mem_cycles),
+                ("net", out.net_cycles),
+                ("queue", out.queue_cycles),
+                ("fault", out.fault_cycles),
+            ] {
+                tr.interval(class, cursor, cursor + cycles, am_block);
+                cursor += cycles;
+            }
+            debug_assert_eq!(cursor, t, "remote components must sum to the latency");
+        }
         {
             let node = &mut self.nodes[n];
             node.breakdown.remote_stall += out.latency - out.home_lookup_cycles;
@@ -557,6 +633,9 @@ impl Machine {
         self.apply_invalidations(&out);
         if self.cfg.audit {
             self.audit_transaction(am_block, &out, t)?;
+        }
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.finish(t);
         }
         Ok(t - t0)
     }
@@ -849,6 +928,9 @@ impl Machine {
                 kind: "tlb_miss",
                 addr: page.raw(),
             });
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.interval("tlb_miss", *t - penalty, *t, page.raw());
+            }
             let _ = self.page_table.set_referenced(page);
         }
     }
@@ -874,7 +956,8 @@ impl Machine {
             PressureProfile::from_pages(self.page_table.iter().map(|(p, _)| p), &self.cfg.machine);
         let mut metrics = self.metrics.snapshot();
         metrics.merge(&self.protocol.metrics().snapshot());
-        SimReport::builder()
+        let trace = self.tracer.as_ref().map(Tracer::snapshot);
+        let mut builder = SimReport::builder()
             .config(self.cfg)
             .nodes(
                 self.nodes
@@ -896,9 +979,11 @@ impl Machine {
             .net(self.net.stats().clone())
             .pressure(pressure)
             .swap_outs(self.dir_alloc.swap_outs().max(self.page_faults))
-            .metrics(metrics)
-            .build()
-            .expect("the simulator sets every report field")
+            .metrics(metrics);
+        if let Some(trace) = trace {
+            builder = builder.trace(trace);
+        }
+        builder.build().expect("the simulator sets every report field")
     }
 }
 
@@ -1240,6 +1325,91 @@ mod tests {
             }
             other => panic!("expected an audit error, got {other}"),
         }
+    }
+
+    #[test]
+    fn tracing_never_perturbs_timing_and_conserves_cycles() {
+        use crate::TraceConfig;
+        for scheme in ALL_SCHEMES {
+            let plain =
+                Machine::new(tiny(scheme).with_seed(11)).run(sharing_traces(4, 8192, 32)).unwrap();
+            let traced = Machine::new(
+                tiny(scheme)
+                    .with_seed(11)
+                    .with_trace(TraceConfig { sample_every: 4, capacity: 1 << 16 }),
+            )
+            .run(sharing_traces(4, 8192, 32))
+            .unwrap();
+            assert_eq!(plain.exec_time(), traced.exec_time(), "{scheme}");
+            assert_eq!(plain.aggregate_breakdown(), traced.aggregate_breakdown(), "{scheme}");
+            assert_eq!(plain.protocol(), traced.protocol(), "{scheme}");
+            assert!(plain.trace().is_none(), "{scheme}: untraced runs report no trace");
+            let snap = traced.trace().expect("traced run reports a trace");
+            assert!(snap.sampled_txns > 0, "{scheme}: the workload must sample something");
+            // Conservation: every sampled transaction's critical-path
+            // attribution tiles its end-to-end latency exactly.
+            for p in vcoma_metrics::critical_paths(&snap.spans) {
+                let attributed: u64 = p.attributed.values().sum();
+                assert_eq!(p.unattributed, 0, "{scheme}: {p:?}");
+                assert_eq!(attributed, p.latency, "{scheme}: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_faulty_run_attributes_fault_time_and_keeps_timing() {
+        use crate::TraceConfig;
+        let plan = vcoma_faults::FaultPlan::parse("drop=0.02,nack=0.05").unwrap();
+        let mk = |traced: bool| {
+            let mut cfg = tiny(Scheme::VComa).with_seed(2).with_fault_plan(plan.clone());
+            if traced {
+                cfg = cfg.with_trace(TraceConfig { sample_every: 1, capacity: 1 << 18 });
+            }
+            Machine::new(cfg).run(sharing_traces(4, 8192, 32)).unwrap()
+        };
+        let (plain, traced) = (mk(false), mk(true));
+        assert_eq!(plain.exec_time(), traced.exec_time());
+        assert_eq!(plain.aggregate_breakdown(), traced.aggregate_breakdown());
+        let snap = traced.trace().unwrap();
+        let paths = vcoma_metrics::critical_paths(&snap.spans);
+        let fault_cycles: u64 =
+            paths.iter().filter_map(|p| p.attributed.get("fault")).sum();
+        assert!(fault_cycles > 0, "sampling everything must catch fault recoveries");
+        for p in &paths {
+            assert_eq!(p.unattributed, 0, "{p:?}");
+        }
+        // Hops (and retry/backoff windows) ride along as annotations.
+        assert!(
+            snap.spans.iter().any(|s| s.category == vcoma_metrics::SpanCategory::Annotation),
+            "an every-txn trace of a remote workload must capture hops"
+        );
+    }
+
+    #[test]
+    fn warmup_resets_trace_buffers() {
+        use crate::TraceConfig;
+        let cold = Machine::new(
+            tiny(Scheme::L0Tlb)
+                .with_seed(4)
+                .with_trace(TraceConfig { sample_every: 1, capacity: 1 << 16 }),
+        )
+        .run(sharing_traces(4, 4096, 32))
+        .unwrap();
+        let warm = Machine::new(
+            tiny(Scheme::L0Tlb)
+                .with_seed(4)
+                .with_warmup()
+                .with_trace(TraceConfig { sample_every: 1, capacity: 1 << 16 }),
+        )
+        .run(sharing_traces(4, 4096, 32))
+        .unwrap();
+        // Both runs trace one measured pass: the same references sample.
+        assert_eq!(
+            cold.trace().unwrap().sampled_txns,
+            warm.trace().unwrap().sampled_txns,
+            "the warm-up pass's spans are discarded"
+        );
+        assert_eq!(warm.trace().unwrap().sampled_txns, 256, "every measured ref samples");
     }
 
     #[test]

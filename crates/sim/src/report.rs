@@ -4,7 +4,7 @@ use crate::breakdown::LatencyBreakdown;
 use crate::{SimConfig, TimeBreakdown};
 use vcoma_cachesim::CacheStats;
 use vcoma_coherence::ProtocolStats;
-use vcoma_metrics::{Mergeable, MetricsSnapshot};
+use vcoma_metrics::{Mergeable, MetricsSnapshot, TraceSnapshot};
 use vcoma_net::NetStats;
 use vcoma_tlb::TlbStats;
 use vcoma_vm::PressureProfile;
@@ -47,6 +47,7 @@ pub struct SimReport {
     pressure: PressureProfile,
     swap_outs: u64,
     metrics: MetricsSnapshot,
+    trace: Option<TraceSnapshot>,
 }
 
 /// Staged construction of a [`SimReport`].
@@ -64,6 +65,7 @@ pub struct SimReportBuilder {
     pressure: Option<PressureProfile>,
     swap_outs: Option<u64>,
     metrics: Option<MetricsSnapshot>,
+    trace: Option<TraceSnapshot>,
 }
 
 impl SimReportBuilder {
@@ -109,6 +111,13 @@ impl SimReportBuilder {
         self
     }
 
+    /// Sets the merged transaction-trace snapshot. Optional: runs without
+    /// tracing simply never call it.
+    pub fn trace(mut self, trace: TraceSnapshot) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// Finishes the report.
     ///
     /// # Errors
@@ -148,6 +157,7 @@ impl SimReportBuilder {
             pressure: self.pressure.expect("checked"),
             swap_outs: self.swap_outs.expect("checked"),
             metrics: self.metrics.expect("checked"),
+            trace: self.trace,
         })
     }
 }
@@ -207,6 +217,11 @@ impl SimReport {
     /// from the machine and protocol registries.
     pub fn metrics(&self) -> &MetricsSnapshot {
         &self.metrics
+    }
+
+    /// The merged transaction-trace snapshot, if the run was traced.
+    pub fn trace(&self) -> Option<&TraceSnapshot> {
+        self.trace.as_ref()
     }
 
     /// The end-of-run global-page-set pressure profile (Figure 11).
@@ -381,6 +396,7 @@ mod tests {
         assert_eq!(r.net_bytes(), 0);
         assert_eq!(r.swap_outs(), 0);
         assert_eq!(r.metrics().counter("anything"), 0);
+        assert!(r.trace().is_none(), "trace stays unset unless supplied");
     }
 
     #[test]

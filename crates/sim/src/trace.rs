@@ -1,0 +1,198 @@
+//! The machine-side transaction tracer.
+//!
+//! Assembles one span tree per deterministically sampled memory
+//! reference: a root span covering the reference's end-to-end latency,
+//! interval children recorded at every site that charges cycles (so the
+//! children tile the root exactly and critical-path attribution conserves
+//! cycles by construction), and annotation children for the protocol's
+//! captured message hops and retry windows. Observation-only: nothing
+//! here feeds back into timing, and an untraced machine carries no
+//! tracer state at all.
+
+use crate::config::TraceConfig;
+use vcoma_coherence::TxnHop;
+use vcoma_metrics::{Mergeable, Span, SpanBuffer, SpanCategory, SpanSampler, TraceSnapshot};
+
+/// Per-machine tracing state: the sampler, one bounded span buffer per
+/// node, and the spans of the (at most one) in-flight sampled reference.
+#[derive(Debug)]
+pub(crate) struct Tracer {
+    sampler: SpanSampler,
+    buffers: Vec<SpanBuffer>,
+    /// Spans of the in-flight sampled transaction; `txn[0]` is the root.
+    txn: Vec<Span>,
+    /// Root span id of the in-flight transaction (0 = none in flight).
+    root: u64,
+    /// Node that issued the in-flight transaction.
+    node: usize,
+}
+
+impl Tracer {
+    pub(crate) fn new(cfg: TraceConfig, seed: u64, nodes: usize) -> Self {
+        Tracer {
+            sampler: SpanSampler::new(seed, cfg.sample_every),
+            buffers: (0..nodes).map(|_| SpanBuffer::new(cfg.capacity)).collect(),
+            txn: Vec::new(),
+            root: 0,
+            node: 0,
+        }
+    }
+
+    /// Opens the root span of node `n`'s reference number `index` if the
+    /// sampler admits it; returns whether the reference is being traced.
+    pub(crate) fn begin(
+        &mut self,
+        n: usize,
+        index: u64,
+        kind: &'static str,
+        addr: u64,
+        start: u64,
+    ) -> bool {
+        debug_assert!(self.root == 0, "references are replayed one at a time");
+        if !self.sampler.admits(n as u64, index) {
+            return false;
+        }
+        let id = self.buffers[n].alloc_id();
+        self.node = n;
+        self.root = id;
+        self.txn.push(Span {
+            id,
+            parent: 0,
+            node: n as u16,
+            kind,
+            category: SpanCategory::Interval,
+            start,
+            end: start, // stamped by finish()
+            arg: addr,
+        });
+        true
+    }
+
+    /// True while a sampled reference is in flight.
+    pub(crate) fn active(&self) -> bool {
+        self.root != 0
+    }
+
+    /// Records an interval child `[start, end)` under the root.
+    /// Zero-length intervals are skipped — they carry no cycles.
+    pub(crate) fn interval(&mut self, kind: &'static str, start: u64, end: u64, arg: u64) {
+        if self.root == 0 || end <= start {
+            return;
+        }
+        let id = self.buffers[self.node].alloc_id();
+        self.txn.push(Span {
+            id,
+            parent: self.root,
+            node: self.node as u16,
+            kind,
+            category: SpanCategory::Interval,
+            start,
+            end,
+            arg,
+        });
+    }
+
+    /// Records the protocol's captured hops and windows as annotation
+    /// children (excluded from critical-path sums).
+    pub(crate) fn hops(&mut self, hops: &[TxnHop]) {
+        if self.root == 0 {
+            return;
+        }
+        for h in hops {
+            let id = self.buffers[self.node].alloc_id();
+            self.txn.push(Span {
+                id,
+                parent: self.root,
+                node: self.node as u16,
+                kind: h.kind,
+                category: SpanCategory::Annotation,
+                start: h.depart,
+                end: h.arrive,
+                arg: u64::from(h.dst.raw()),
+            });
+        }
+    }
+
+    /// Stamps the root's end and commits the whole transaction to its
+    /// node's buffer (all-or-nothing under the capacity bound).
+    pub(crate) fn finish(&mut self, end: u64) {
+        if self.root == 0 {
+            return;
+        }
+        self.txn[0].end = end;
+        self.buffers[self.node].push_txn(&self.txn);
+        self.txn.clear();
+        self.root = 0;
+    }
+
+    /// Discards everything collected so far (warm-up reset).
+    pub(crate) fn reset(&mut self) {
+        for b in &mut self.buffers {
+            b.clear();
+        }
+        self.txn.clear();
+        self.root = 0;
+    }
+
+    /// Merges the per-node buffers into one serializable snapshot.
+    pub(crate) fn snapshot(&self) -> TraceSnapshot {
+        let mut out = TraceSnapshot { sample_every: self.sampler.every(), ..Default::default() };
+        for b in &self.buffers {
+            out.merge(&b.snapshot(self.sampler.every()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer() -> Tracer {
+        Tracer::new(TraceConfig { sample_every: 1, capacity: 64 }, 7, 2)
+    }
+
+    #[test]
+    fn traced_reference_tiles_its_root() {
+        let mut tr = tracer();
+        assert!(tr.begin(1, 0, "read", 0x400, 100));
+        assert!(tr.active());
+        tr.interval("issue", 100, 101, 0);
+        tr.interval("tlb_miss", 101, 141, 0x4);
+        tr.interval("flc", 141, 142, 0);
+        tr.interval("noop", 142, 142, 0); // zero-length: skipped
+        tr.finish(142);
+        assert!(!tr.active());
+        let snap = tr.snapshot();
+        assert_eq!(snap.sampled_txns, 1);
+        assert_eq!(snap.spans.len(), 4);
+        assert_eq!(snap.spans[0].end, 142, "finish stamps the root");
+        let paths = vcoma_metrics::critical_paths(&snap.spans);
+        assert_eq!(paths[0].latency, 42);
+        assert_eq!(paths[0].unattributed, 0);
+    }
+
+    #[test]
+    fn unsampled_references_record_nothing() {
+        let mut tr = Tracer::new(TraceConfig { sample_every: 1 << 60, capacity: 64 }, 7, 2);
+        // With an astronomically long period essentially nothing admits.
+        let traced = tr.begin(0, 3, "write", 0, 0);
+        assert!(!traced);
+        tr.interval("issue", 0, 1, 0);
+        tr.finish(10);
+        assert!(tr.snapshot().spans.is_empty());
+        assert_eq!(tr.snapshot().sampled_txns, 0);
+    }
+
+    #[test]
+    fn reset_clears_buffers_for_warmup() {
+        let mut tr = tracer();
+        tr.begin(0, 0, "read", 0, 0);
+        tr.finish(5);
+        tr.reset();
+        let snap = tr.snapshot();
+        assert!(snap.spans.is_empty());
+        assert_eq!(snap.sampled_txns, 0);
+        assert_eq!(snap.sample_every, 1);
+    }
+}

@@ -53,4 +53,28 @@ cargo run --release -p vcoma-experiments -- faults --scale 0.01 \
 diff -r "$fault1" "$fault2"
 echo "==> fault sweeps byte-identical across worker counts"
 
+echo "==> trace smoke: critical-path table + Perfetto export, --jobs 1 vs --jobs 8"
+trace1=$(mktemp -d)
+trace8=$(mktemp -d)
+trap 'rm -rf "$out1" "$out2" "$outm" "$fault1" "$fault2" "$trace1" "$trace8"' EXIT
+cargo run --release -p vcoma-experiments -- trace --scale 0.01 \
+    --out "$trace1" --trace-out "$trace1/trace.json" --jobs 1
+cargo run --release -p vcoma-experiments -- trace --scale 0.01 \
+    --out "$trace8" --trace-out "$trace8/trace.json" --jobs 8 --progress
+diff -r "$trace1" "$trace8"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$trace1/trace.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+assert events, "trace export has no events"
+bad = [e for e in events if not all(k in e for k in ("ts", "dur", "pid"))]
+assert not bad, f"{len(bad)} events missing ts/dur/pid"
+print(f"trace.json OK: {len(events)} events, all with ts/dur/pid")
+EOF
+else
+    grep -q '"traceEvents"' "$trace1/trace.json"
+    echo "python3 unavailable; structural grep check only"
+fi
+echo "==> trace artifact byte-identical across worker counts; export valid"
+
 echo "==> ci.sh: all green"
