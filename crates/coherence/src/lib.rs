@@ -47,6 +47,6 @@ mod stats;
 mod translation;
 
 pub use protocol::{Access, InjectionPolicy, Protocol, TxnHop};
-pub use state::{AmState, DirEntry};
+pub use state::{AmState, CopySet, DirEntry, MAX_NODES};
 pub use stats::ProtocolStats;
 pub use translation::{HomeTranslation, NullTranslation};

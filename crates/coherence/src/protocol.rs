@@ -1,6 +1,6 @@
 //! The COMA-F write-invalidate protocol engine.
 
-use crate::{AmState, DirEntry, HomeTranslation, ProtocolStats};
+use crate::{AmState, CopySet, DirEntry, HomeTranslation, ProtocolStats};
 use std::collections::HashMap;
 use vcoma_cachesim::SetAssocArray;
 use vcoma_faults::{FaultPlan, TxnFaults};
@@ -607,7 +607,7 @@ impl Protocol {
                 self.path_send_ft(&mut grant_path, net, home, requester, MsgKind::Ack);
                 path = ack_path.later(grant_path);
                 let e = self.dir.get_mut(&block).expect("entry exists");
-                e.copyset = 1 << requester.index();
+                e.copyset = CopySet::only(requester);
                 e.master = Some(requester);
                 *self.ams[requester.index()]
                     .peek_mut(block)
@@ -641,7 +641,7 @@ impl Protocol {
                     invals.push((master, block));
                 }
                 let e = self.dir.get_mut(&block).expect("entry exists");
-                e.copyset = 1 << requester.index();
+                e.copyset = CopySet::only(requester);
                 e.master = Some(requester);
                 self.install(requester, block, AmState::Exclusive, net, path.t, &mut invals);
             }
@@ -891,7 +891,14 @@ impl Protocol {
     ///
     /// Returns a human-readable description of the violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for &block in self.dir.keys() {
+        // Walk the directory in ascending block order, not HashMap order:
+        // with several simultaneous violations the *reported* one must be
+        // a pure function of the machine state, or audit errors (and the
+        // reports built from them) would differ run to run — the same
+        // determinism discipline the epoch-barrier scheduler relies on.
+        let mut blocks: Vec<u64> = self.dir.keys().copied().collect();
+        blocks.sort_unstable();
+        for block in blocks {
             self.check_block_invariants(block)?;
         }
         // Reverse-residence pass: a copy living in some attraction memory
@@ -1385,6 +1392,28 @@ mod tests {
         assert!(p.check_block_invariants(10).is_err());
         assert!(p.check_invariants().is_err());
         assert!(!p.corrupt_master_for_tests(0xDEAD), "unknown block is not corruptible");
+    }
+
+    #[test]
+    fn full_sweep_reports_the_lowest_corrupted_block() {
+        // Regression for the old HashMap-ordered directory walk: with
+        // several simultaneous violations the sweep must always report
+        // the one on the numerically lowest block, so audit errors are
+        // identical run to run (and under any intra-run worker count).
+        let (_, mut p, mut net, mut xl) = setup();
+        for b in [90u64, 10, 50] {
+            p.read(N1, b, N0, &mut net, &mut xl, 0);
+        }
+        for b in [90u64, 10, 50] {
+            assert!(p.corrupt_master_for_tests(b));
+        }
+        for _ in 0..8 {
+            let msg = p.check_invariants().unwrap_err();
+            assert!(
+                msg.contains("block 0xa"),
+                "sweep must name block 10 (0xa), the lowest violation, got: {msg}"
+            );
+        }
     }
 
     #[test]

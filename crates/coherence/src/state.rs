@@ -40,14 +40,100 @@ impl std::fmt::Display for AmState {
     }
 }
 
+/// The largest machine the directory can describe. One bit per node in
+/// [`CopySet`]; 1024 covers every node count the scale-up experiments
+/// sweep (the paper machine is 32).
+pub const MAX_NODES: usize = 1024;
+
+const COPYSET_WORDS: usize = MAX_NODES / 64;
+
+/// The set of nodes holding a copy of one block: a fixed multi-word bit
+/// mask over node indices. The single-`u64` predecessor capped machines
+/// at 64 nodes; this lifts the ceiling to [`MAX_NODES`] while staying
+/// `Copy` (directory entries are copied around the protocol freely).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CopySet {
+    words: [u64; COPYSET_WORDS],
+}
+
+impl CopySet {
+    /// The empty set.
+    pub const EMPTY: CopySet = CopySet { words: [0; COPYSET_WORDS] };
+
+    /// The singleton set `{node}`.
+    pub fn only(node: NodeId) -> Self {
+        let mut s = CopySet::EMPTY;
+        s.insert(node);
+        s
+    }
+
+    /// Adds `node` to the set.
+    pub fn insert(&mut self, node: NodeId) {
+        let i = node.index();
+        debug_assert!(i < MAX_NODES, "node {i} beyond the {MAX_NODES}-node directory limit");
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes `node` from the set (a no-op if absent).
+    pub fn remove(&mut self, node: NodeId) {
+        let i = node.index();
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Returns `true` if `node` is in the set.
+    pub const fn contains(&self, node: NodeId) -> bool {
+        let i = node.index();
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of nodes in the set.
+    pub const fn count(&self) -> u32 {
+        let mut total = 0;
+        let mut w = 0;
+        while w < COPYSET_WORDS {
+            total += self.words[w].count_ones();
+            w += 1;
+        }
+        total
+    }
+
+    /// Returns `true` if the set is empty.
+    pub const fn is_empty(&self) -> bool {
+        let mut w = 0;
+        while w < COPYSET_WORDS {
+            if self.words[w] != 0 {
+                return false;
+            }
+            w += 1;
+        }
+        true
+    }
+
+    /// Iterates over the members in ascending node order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64usize)
+                .filter(move |b| word & (1 << b) != 0)
+                .map(move |b| NodeId::new((w * 64 + b) as u16))
+        })
+    }
+}
+
+impl std::fmt::Debug for CopySet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter().map(|n| n.raw())).finish()
+    }
+}
+
 /// Directory entry for one block, held at the block's home node.
 ///
-/// Tracks which nodes hold copies (as a bit mask over node indices — the
-/// simulated machines are ≤ 64 nodes) and which node holds the master.
+/// Tracks which nodes hold copies (as a [`CopySet`] bit mask over node
+/// indices, machines up to [`MAX_NODES`] nodes) and which node holds the
+/// master.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DirEntry {
-    /// Bit `i` set ⇔ node `i` holds a non-Invalid copy.
-    pub copyset: u64,
+    /// Membership ⇔ the node holds a non-Invalid copy.
+    pub copyset: CopySet,
     /// The node holding the Master-shared or Exclusive copy, if any copy
     /// exists.
     pub master: Option<NodeId>,
@@ -58,22 +144,22 @@ pub struct DirEntry {
 impl DirEntry {
     /// An entry with no copies anywhere.
     pub const fn empty(home: NodeId) -> Self {
-        DirEntry { copyset: 0, master: None, home }
+        DirEntry { copyset: CopySet::EMPTY, master: None, home }
     }
 
     /// Returns `true` if `node` holds a copy.
     pub const fn holds(&self, node: NodeId) -> bool {
-        self.copyset & (1 << node.index()) != 0
+        self.copyset.contains(node)
     }
 
     /// Records that `node` holds a copy.
     pub fn add(&mut self, node: NodeId) {
-        self.copyset |= 1 << node.index();
+        self.copyset.insert(node);
     }
 
     /// Records that `node` no longer holds a copy.
     pub fn remove(&mut self, node: NodeId) {
-        self.copyset &= !(1 << node.index());
+        self.copyset.remove(node);
         if self.master == Some(node) {
             self.master = None;
         }
@@ -81,18 +167,17 @@ impl DirEntry {
 
     /// Number of copies.
     pub const fn copies(&self) -> u32 {
-        self.copyset.count_ones()
+        self.copyset.count()
     }
 
     /// Returns `true` if no node holds a copy.
     pub const fn is_uncached(&self) -> bool {
-        self.copyset == 0
+        self.copyset.is_empty()
     }
 
     /// Iterates over the holders other than `except`.
     pub fn holders_except(&self, except: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        let mask = self.copyset & !(1 << except.index());
-        (0..64u16).filter(move |i| mask & (1 << i) != 0).map(NodeId::new)
+        self.copyset.iter().filter(move |n| *n != except)
     }
 }
 
@@ -142,6 +227,26 @@ mod tests {
         }
         let others: Vec<u16> = e.holders_except(NodeId::new(2)).map(|n| n.raw()).collect();
         assert_eq!(others, vec![1, 7]);
+    }
+
+    #[test]
+    fn copyset_scales_past_64_nodes() {
+        // Regression: the single-u64 predecessor overflowed its shift at
+        // node 64 and capped the directory at 64-node machines.
+        let mut e = DirEntry::empty(NodeId::new(0));
+        for i in [0u16, 63, 64, 255, 1023] {
+            e.add(NodeId::new(i));
+            assert!(e.holds(NodeId::new(i)), "node {i}");
+        }
+        assert_eq!(e.copies(), 5);
+        let all: Vec<u16> = e.copyset.iter().map(|n| n.raw()).collect();
+        assert_eq!(all, vec![0, 63, 64, 255, 1023], "ascending node order");
+        let others: Vec<u16> = e.holders_except(NodeId::new(255)).map(|n| n.raw()).collect();
+        assert_eq!(others, vec![0, 63, 64, 1023]);
+        e.remove(NodeId::new(64));
+        assert!(!e.holds(NodeId::new(64)));
+        assert_eq!(e.copies(), 4);
+        assert_eq!(format!("{:?}", CopySet::only(NodeId::new(100))), "{100}");
     }
 
     #[test]

@@ -64,6 +64,12 @@ pub struct ExperimentConfig {
     /// (`--materialized` exists to demonstrate exactly that); streaming is
     /// the default because it bounds peak memory at large `scale`.
     pub materialized: bool,
+    /// Worker threads *inside* each simulation run (`0` = one per
+    /// available core). The default `1` keeps the classic serial replay
+    /// loop; larger values switch every simulator to the deterministic
+    /// epoch-barrier scheduler, whose reports are byte-identical at any
+    /// worker count — the intra-run analogue of [`ExperimentConfig::jobs`].
+    pub intra_jobs: usize,
 }
 
 impl ExperimentConfig {
@@ -75,6 +81,7 @@ impl ExperimentConfig {
             seed: 0x5EED,
             jobs: 0,
             materialized: false,
+            intra_jobs: 1,
         }
     }
 
@@ -88,6 +95,7 @@ impl ExperimentConfig {
             seed: 0x5EED,
             jobs: 0,
             materialized: false,
+            intra_jobs: 1,
         }
     }
 
@@ -110,6 +118,21 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the intra-run worker count (`0` = one per available core;
+    /// `1`, the default, keeps the serial replay loop). Results are
+    /// byte-identical for any value.
+    pub fn with_intra_jobs(mut self, intra_jobs: usize) -> Self {
+        self.intra_jobs = intra_jobs;
+        self
+    }
+
+    /// Replaces the machine under test (e.g. a 64- or 256-node scale-up
+    /// of the paper baseline).
+    pub fn with_machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+
     /// The worker count sweeps actually use: `jobs`, or the machine's
     /// available parallelism when `jobs` is `0`.
     pub fn effective_jobs(&self) -> usize {
@@ -127,7 +150,10 @@ impl ExperimentConfig {
 
     /// A simulator for `scheme` on this configuration's machine.
     pub fn simulator(&self, scheme: Scheme) -> Simulator {
-        let s = Simulator::new(scheme).machine(self.machine.clone()).seed(self.seed);
+        let s = Simulator::new(scheme)
+            .machine(self.machine.clone())
+            .seed(self.seed)
+            .intra_jobs(self.intra_jobs);
         if self.materialized {
             s.materialized()
         } else {
@@ -176,6 +202,18 @@ mod tests {
         let s = c.simulator(Scheme::VComa);
         assert_eq!(s.config().machine.nodes, 32);
         assert_eq!(s.config().seed, c.seed);
+    }
+
+    #[test]
+    fn intra_jobs_toggle_changes_nothing_in_the_artifacts() {
+        let serial = ExperimentConfig::smoke().with_jobs(1);
+        let sharded = ExperimentConfig::smoke().with_jobs(1).with_intra_jobs(4);
+        assert_eq!(serial.intra_jobs, 1);
+        assert_eq!(sharded.intra_jobs, 4);
+        let w = &serial.benchmarks()[0];
+        let a = serial.simulator(Scheme::VComa).run(w.as_ref());
+        let b = sharded.simulator(Scheme::VComa).run(w.as_ref());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

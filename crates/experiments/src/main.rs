@@ -20,7 +20,8 @@ const VALID_ARTIFACTS: [&str; 13] = [
 ];
 
 const USAGE: &str = "\
-usage: vcoma-experiments [ARTIFACT...] [--scale F] [--nodes N] [--jobs N] [--out DIR]
+usage: vcoma-experiments [ARTIFACT...] [--scale F] [--nodes N] [--jobs N]
+                         [--intra-jobs N] [--out DIR]
                          [--materialized] [--breakdown] [--metrics-out FILE]
                          [--fault-plan SPEC] [--fault-seed S] [--trace-out FILE]
                          [--progress]
@@ -34,6 +35,11 @@ options:
   --nodes N          node count (default 32, the paper's machine)
   --jobs N           sweep worker threads (default: one per available core);
                      tables and CSVs are byte-identical for any value
+  --intra-jobs N     worker threads inside each simulation run (default 1,
+                     the serial replay loop; 0 = one per available core).
+                     N > 1 switches every run to the deterministic
+                     epoch-barrier scheduler; reports, tables and CSVs are
+                     byte-identical for any value
   --out DIR          also write each artifact as CSV into DIR
   --materialized     build each workload's full traces up front instead of
                      streaming them into the replay engine; tables and CSVs
@@ -80,6 +86,7 @@ fn main() {
     let mut scale = 0.1f64;
     let mut nodes = 32u64;
     let mut jobs = 0usize;
+    let mut intra_jobs = 1usize;
     let mut materialized = false;
     let mut out: Option<PathBuf> = None;
     let mut want_breakdown = false;
@@ -111,6 +118,9 @@ fn main() {
                     eprintln!("error: --jobs must be at least 1 (omit the flag for one per core)");
                     std::process::exit(2);
                 }
+            }
+            "--intra-jobs" => {
+                intra_jobs = parse_flag("--intra-jobs", args.next());
             }
             "--fault-seed" => {
                 let raw: String = args.next().unwrap_or_else(|| {
@@ -211,14 +221,22 @@ fn main() {
     let machine = vcoma::MachineConfig::builder().nodes(nodes).build().expect("valid machine");
     let mut cfg = ExperimentConfig { machine, ..ExperimentConfig::new() }
         .with_scale(scale)
-        .with_jobs(jobs);
+        .with_jobs(jobs)
+        .with_intra_jobs(intra_jobs);
     if materialized {
         cfg = cfg.with_materialized();
     }
     println!(
-        "machine: {} nodes, scale {scale}, {} sweep workers, {} traces (paper geometry, paper timing)\n",
+        "machine: {} nodes, scale {scale}, {} sweep workers, {} intra-run workers, {} traces (paper geometry, paper timing)\n",
         cfg.machine.nodes,
         cfg.effective_jobs(),
+        if cfg.intra_jobs == 1 {
+            "serial".to_string()
+        } else if cfg.intra_jobs == 0 {
+            "auto".to_string()
+        } else {
+            cfg.intra_jobs.to_string()
+        },
         if cfg.materialized { "materialized" } else { "streamed" }
     );
     if let Some(dir) = &out {
@@ -379,7 +397,14 @@ fn main() {
     // worker counts, while wall-clock figures never are.
     let stats = sweep::take_stats();
     if !stats.is_empty() {
-        let json = sweep::bench_json(&stats, cfg.effective_jobs());
+        let json = sweep::bench_json(
+            &stats,
+            sweep::BenchContext {
+                jobs: cfg.effective_jobs(),
+                nodes: cfg.machine.nodes,
+                intra_jobs: cfg.intra_jobs,
+            },
+        );
         std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
         let total_wall: f64 = stats.iter().map(|s| s.wall_seconds).sum();
         let total_cycles: u64 = stats.iter().map(|s| s.simulated_cycles).sum();

@@ -210,16 +210,32 @@ where
     values
 }
 
-/// Renders sweep stats as the `BENCH_sweep.json` document: overall
-/// wall-clock plus one record per sweep. Hand-rolled JSON — the workspace
-/// takes no serialisation dependency.
-pub fn bench_json(stats: &[SweepStats], jobs_flag: usize) -> String {
+/// The run-wide context `BENCH_sweep.json` records next to the sweep
+/// stats, so a throughput figure is never separated from the machine
+/// size and worker counts that produced it.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchContext {
+    /// Sweep worker threads (the resolved `--jobs` value).
+    pub jobs: usize,
+    /// Node count of the machine under test (`--nodes`).
+    pub nodes: u64,
+    /// Intra-run worker threads (`--intra-jobs`; `1` = serial replay,
+    /// `0` = one per available core).
+    pub intra_jobs: usize,
+}
+
+/// Renders sweep stats as the `BENCH_sweep.json` document: the run
+/// context, overall wall-clock, plus one record per sweep. Hand-rolled
+/// JSON — the workspace takes no serialisation dependency.
+pub fn bench_json(stats: &[SweepStats], ctx: BenchContext) -> String {
     let total_wall: f64 = stats.iter().map(|s| s.wall_seconds).sum();
     let total_cycles: u64 = stats.iter().map(|s| s.simulated_cycles).sum();
     let total_points: usize = stats.iter().map(|s| s.points).sum();
     let max_rss: u64 = stats.iter().map(|s| s.peak_rss_kb).max().unwrap_or(0);
     let mut out = String::from("{\n");
-    out.push_str(&format!("  \"jobs\": {jobs_flag},\n"));
+    out.push_str(&format!("  \"jobs\": {},\n", ctx.jobs));
+    out.push_str(&format!("  \"nodes\": {},\n", ctx.nodes));
+    out.push_str(&format!("  \"intra_jobs\": {},\n", ctx.intra_jobs));
     out.push_str(&format!("  \"total_wall_seconds\": {total_wall:.6},\n"));
     out.push_str(&format!("  \"total_points\": {total_points},\n"));
     out.push_str(&format!("  \"total_simulated_cycles\": {total_cycles},\n"));
@@ -319,8 +335,10 @@ mod tests {
                 peak_rss_kb: 20_000,
             },
         ];
-        let j = bench_json(&stats, 4);
+        let j = bench_json(&stats, BenchContext { jobs: 4, nodes: 64, intra_jobs: 8 });
         assert!(j.contains("\"sweeps\": ["));
+        assert!(j.contains("\"nodes\": 64"));
+        assert!(j.contains("\"intra_jobs\": 8"));
         assert!(j.contains("\"sweep\": \"fig8\""));
         assert!(j.contains("\"total_points\": 66"));
         assert!(j.contains("\"total_simulated_cycles\": 4000000"));

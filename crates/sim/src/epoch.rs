@@ -1,0 +1,585 @@
+//! Deterministic epoch-barrier replay: conservative time-stepped PDES
+//! inside one simulation run.
+//!
+//! The serial engine in [`crate::machine`] pops one global `(time, node)`
+//! heap; at 256+ nodes that single thread is the wall. This module splits
+//! the node array into contiguous **shards** and advances them in
+//! *epochs*:
+//!
+//! 1. **Epoch window.** The coordinator picks `t_base`, the earliest
+//!    next-event time over all runnable nodes, and closes the window at
+//!    `t_end = t_base + L` where `L` is the crossbar's conservative
+//!    lookahead ([`vcoma_net::Crossbar::lookahead`] — the minimum
+//!    cross-node message latency, 16 cycles under the paper's timing).
+//! 2. **Shard phase (parallel).** Each shard worker advances its own
+//!    nodes through their buffered ops while their local clocks stay
+//!    inside the window. Only [`Op::Compute`] executes here: it touches
+//!    nothing but the node's own clock and busy counters, so it commutes
+//!    with every other node's work. The first *global* op a node reaches
+//!    — a memory reference, sync op or protection change, all of which
+//!    touch shared machine state — is not executed; the worker stages an
+//!    event for it into its row of a [`ShardMailboxes`] grid and parks
+//!    the node for the barrier.
+//! 3. **Barrier phase (serial).** The coordinator drains the mailboxes in
+//!    the fixed `(src shard, dst shard, seq)` order into the canonical
+//!    `(time, node)` binary heap and applies the staged global ops through
+//!    the *same* [`Machine::step_op`] path the serial engine uses, in the
+//!    *same* order the serial engine would have chosen. Nodes resumed
+//!    inside the window keep advancing inline (compute ops commute, so
+//!    running them on the coordinator is equivalent to shard execution).
+//!
+//! Epochs partition simulated time: at an epoch's end every runnable
+//! node's next event lies at or beyond `t_end`, so the global sequence of
+//! shared-state mutations is *identical* to the serial engine's — which
+//! makes every [`crate::SimReport`] byte, metric, fault decision and
+//! trace span invariant under the worker count. `Machine::with_intra_jobs(1)`
+//! keeps the untouched serial loop; the `intra_run_determinism`
+//! integration suite and a property test pin the equivalence.
+//!
+//! The model's coherence transactions are atomic (state changes are
+//! visible machine-wide the instant an op executes), so no lookahead
+//! window could make *memory* ops safe to run concurrently — only
+//! compute advancement parallelises. Workloads with long compute runs
+//! (the Figure-10 regime) scale; sync-saturated microbenchmarks degrade
+//! to the serial order, never to wrong answers.
+
+use crate::error::SimError;
+use crate::machine::{Machine, NodeCtx};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::ops::Range;
+use vcoma_net::ShardMailboxes;
+use vcoma_types::{Op, OpSource};
+
+/// Ops buffered per node and refill. Small enough that lazy workload
+/// generators stay lazy; large enough that the coordinator rarely refills
+/// mid-epoch.
+const REFILL_TARGET: usize = 64;
+
+/// All staged global events route to the coordinator shard: shared
+/// machine state (directory, page tables, sync objects, metrics) is
+/// merged at the barrier, not owned by a destination shard.
+const COORDINATOR_SHARD: usize = 0;
+
+/// Scheduling state of one node between epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    /// Next event known at `NodeCursor::at`; the shard phase may advance it.
+    Runnable,
+    /// Front op is a global op whose `(at, node)` event is staged for (or
+    /// already in) the barrier heap.
+    Pending,
+    /// Waiting in a barrier or lock queue; only a release resumes it.
+    Parked,
+    /// Stream fully consumed and final resume applied.
+    Done,
+}
+
+/// One node's replay cursor: its buffered op stream and local schedule.
+#[derive(Debug)]
+struct NodeCursor {
+    buf: VecDeque<Op>,
+    /// The node's source returned `None`; `buf` holds the remaining ops.
+    exhausted: bool,
+    /// Time of the node's next event (valid while `Runnable`/`Pending`).
+    at: u64,
+    state: NodeState,
+}
+
+/// A shard worker's message to the barrier.
+#[derive(Debug, Clone, Copy)]
+enum Staged {
+    /// `node`'s front op is a global op to apply at time `at`.
+    Global { at: u64, node: usize },
+    /// `node` drained its buffer inside the window; the coordinator must
+    /// refill it (sources may share one lazy generator and are not `Send`,
+    /// so refills never happen on shard workers) and keep advancing it.
+    Dry { node: usize },
+}
+
+/// Why [`advance`] stopped.
+enum Advance {
+    /// The node's next event is at or beyond the window end.
+    Horizon,
+    /// The front op is a global op (state is now `Pending`).
+    Global,
+    /// The buffer ran dry with the source not yet exhausted.
+    Dry,
+    /// The stream ended (state is now `Done`).
+    Done,
+}
+
+/// Advances one node through its buffered compute ops while its clock
+/// stays inside the window, with accounting identical to the serial
+/// loop's `Op::Compute` arm: pop at `t`, charge `busy`, resume at `t + c`.
+fn advance(ctx: &mut NodeCtx, cur: &mut NodeCursor, t_end: u64) -> Advance {
+    debug_assert_eq!(cur.state, NodeState::Runnable);
+    while cur.at < t_end {
+        match cur.buf.front() {
+            Some(&Op::Compute(c)) => {
+                cur.buf.pop_front();
+                ctx.breakdown.busy += c;
+                ctx.fine.busy += c;
+                cur.at += c;
+                ctx.time = cur.at;
+                if cur.buf.is_empty() {
+                    if cur.exhausted {
+                        cur.state = NodeState::Done;
+                        return Advance::Done;
+                    }
+                    return Advance::Dry;
+                }
+            }
+            Some(_) => {
+                cur.state = NodeState::Pending;
+                return Advance::Global;
+            }
+            None => {
+                if cur.exhausted {
+                    cur.state = NodeState::Done;
+                    return Advance::Done;
+                }
+                return Advance::Dry;
+            }
+        }
+    }
+    Advance::Horizon
+}
+
+/// Pulls ops from `source` until the node's buffer reaches the refill
+/// target or the source ends.
+fn refill(cur: &mut NodeCursor, source: &mut Box<dyn OpSource + '_>) {
+    while cur.buf.len() < REFILL_TARGET && !cur.exhausted {
+        match source.next_op() {
+            Some(op) => cur.buf.push_back(op),
+            None => cur.exhausted = true,
+        }
+    }
+}
+
+/// Coordinator-side advancement of a runnable node inside the window:
+/// refills dry buffers and pushes the node's next global event (if it
+/// falls inside the window) straight into the barrier heap.
+fn continue_runnable(
+    ctx: &mut NodeCtx,
+    cur: &mut NodeCursor,
+    source: &mut Box<dyn OpSource + '_>,
+    heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+    node: usize,
+    t_end: u64,
+) {
+    loop {
+        if cur.buf.is_empty() {
+            refill(cur, source);
+            if cur.buf.is_empty() {
+                // The previous op's resume is already applied, so the
+                // stream ending here means the node is finished — the
+                // exact point the serial loop flips its `done` flag.
+                cur.state = NodeState::Done;
+                return;
+            }
+        }
+        match advance(ctx, cur, t_end) {
+            Advance::Dry => continue,
+            Advance::Global => {
+                heap.push(Reverse((cur.at, node)));
+                return;
+            }
+            Advance::Horizon | Advance::Done => return,
+        }
+    }
+}
+
+/// Advances every runnable node of one shard, staging barrier events into
+/// the shard's mailbox row. Runs on a worker thread in the parallel path
+/// and inline otherwise — the staged stream is identical either way.
+fn advance_shard(
+    nodes: &mut [NodeCtx],
+    cursors: &mut [NodeCursor],
+    base: usize,
+    t_end: u64,
+    row: &mut [Vec<Staged>],
+) {
+    for (i, (ctx, cur)) in nodes.iter_mut().zip(cursors.iter_mut()).enumerate() {
+        if cur.state != NodeState::Runnable {
+            continue;
+        }
+        let node = base + i;
+        match advance(ctx, cur, t_end) {
+            Advance::Horizon | Advance::Done => {}
+            Advance::Global => row[COORDINATOR_SHARD].push(Staged::Global { at: cur.at, node }),
+            Advance::Dry => row[COORDINATOR_SHARD].push(Staged::Dry { node }),
+        }
+    }
+}
+
+/// Splits `nodes` into at most `jobs` contiguous, near-equal shards.
+fn shard_bounds(nodes: usize, jobs: usize) -> Vec<Range<usize>> {
+    let shards = jobs.clamp(1, nodes.max(1));
+    let base = nodes / shards;
+    let rem = nodes % shards;
+    let mut bounds = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < rem);
+        bounds.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, nodes);
+    bounds
+}
+
+impl Machine {
+    /// The epoch-barrier replay loop (see the module docs). Byte-for-byte
+    /// equivalent to [`Machine::replay`]'s serial event loop for any
+    /// `jobs ≥ 1`.
+    pub(crate) fn replay_epochs<'a>(
+        &mut self,
+        sources: &mut [Box<dyn OpSource + 'a>],
+        jobs: usize,
+    ) -> Result<(), SimError> {
+        let n_nodes = self.nodes.len();
+        let shards = shard_bounds(n_nodes, jobs);
+        let lookahead = self.net.lookahead();
+        let mut cursors: Vec<NodeCursor> = (0..n_nodes)
+            .map(|_| NodeCursor {
+                buf: VecDeque::new(),
+                exhausted: false,
+                at: 0,
+                state: NodeState::Runnable,
+            })
+            .collect();
+        for (cur, source) in cursors.iter_mut().zip(sources.iter_mut()) {
+            refill(cur, source);
+            if cur.buf.is_empty() {
+                cur.state = NodeState::Done;
+            }
+        }
+
+        let mut mailboxes: ShardMailboxes<Staged> = ShardMailboxes::new(shards.len());
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut resumes: Vec<(usize, u64)> = Vec::new();
+
+        while let Some(t_base) = cursors
+            .iter()
+            .filter(|c| c.state == NodeState::Runnable)
+            .map(|c| c.at)
+            .min()
+        {
+            let t_end = t_base.saturating_add(lookahead);
+
+            // Top up runnable nodes' buffers on the coordinator before the
+            // shards fan out (per-node streams are invariant to which pull
+            // triggers a shared generator's next phase, so buffering ahead
+            // is observation-equivalent to the serial one-op prefetch).
+            for (cur, source) in cursors.iter_mut().zip(sources.iter_mut()) {
+                if cur.state == NodeState::Runnable && cur.at < t_end {
+                    refill(cur, source);
+                }
+            }
+
+            shard_phase(&mut self.nodes, &mut cursors, &shards, t_end, &mut mailboxes);
+
+            // Barrier: merge staged events in fixed (src, dst, seq) order.
+            mailboxes.drain_ordered(|_src, _dst, ev| match ev {
+                Staged::Global { at, node } => heap.push(Reverse((at, node))),
+                Staged::Dry { node } => continue_runnable(
+                    &mut self.nodes[node],
+                    &mut cursors[node],
+                    &mut sources[node],
+                    &mut heap,
+                    node,
+                    t_end,
+                ),
+            });
+
+            // Apply the window's global ops in the canonical (time, node)
+            // order — exactly the serial engine's heap order.
+            while let Some(Reverse((t, n))) = heap.pop() {
+                debug_assert!(t < t_end, "staged events never cross the horizon");
+                debug_assert_eq!(cursors[n].state, NodeState::Pending);
+                let op = cursors[n].buf.pop_front().expect("a pending node's op is buffered");
+                self.nodes[n].time = t;
+                // Parked until (and unless) a resume below revives it — a
+                // barrier arrival that does not release stays parked.
+                cursors[n].state = NodeState::Parked;
+                resumes.clear();
+                self.step_op(n, t, op, &mut resumes)?;
+                for &(node, resume) in &resumes {
+                    self.nodes[node].time = resume;
+                    cursors[node].at = resume;
+                    cursors[node].state = NodeState::Runnable;
+                    if resume < t_end {
+                        continue_runnable(
+                            &mut self.nodes[node],
+                            &mut cursors[node],
+                            &mut sources[node],
+                            &mut heap,
+                            node,
+                            t_end,
+                        );
+                    } else if cursors[node].buf.is_empty() {
+                        refill(&mut cursors[node], &mut sources[node]);
+                        if cursors[node].buf.is_empty() {
+                            cursors[node].state = NodeState::Done;
+                        }
+                    }
+                }
+            }
+            debug_assert!(mailboxes.is_empty());
+            debug_assert!(
+                cursors.iter().all(|c| c.state != NodeState::Pending),
+                "every pending event resolves within its epoch"
+            );
+        }
+
+        let parked: Vec<u16> = cursors
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.state != NodeState::Done)
+            .map(|(i, _)| i as u16)
+            .collect();
+        if !parked.is_empty() {
+            return Err(SimError::Deadlock { parked });
+        }
+        Ok(())
+    }
+}
+
+/// Runs one epoch's shard phase: on worker threads when at least two
+/// shards have in-window work, inline otherwise (identical staged
+/// streams; the fallback only avoids pointless thread churn).
+fn shard_phase(
+    nodes: &mut [NodeCtx],
+    cursors: &mut [NodeCursor],
+    shards: &[Range<usize>],
+    t_end: u64,
+    mailboxes: &mut ShardMailboxes<Staged>,
+) {
+    let active = shards
+        .iter()
+        .filter(|r| {
+            cursors[r.start..r.end]
+                .iter()
+                .any(|c| c.state == NodeState::Runnable && c.at < t_end)
+        })
+        .count();
+    if active < 2 {
+        for (r, row) in shards.iter().zip(mailboxes.rows_mut()) {
+            advance_shard(
+                &mut nodes[r.start..r.end],
+                &mut cursors[r.start..r.end],
+                r.start,
+                t_end,
+                row,
+            );
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut nodes_rest = nodes;
+        let mut curs_rest = cursors;
+        for (r, row) in shards.iter().zip(mailboxes.rows_mut()) {
+            let len = r.len();
+            let (nchunk, nrest) = nodes_rest.split_at_mut(len);
+            let (cchunk, crest) = curs_rest.split_at_mut(len);
+            nodes_rest = nrest;
+            curs_rest = crest;
+            let base = r.start;
+            scope.spawn(move || advance_shard(nchunk, cchunk, base, t_end, row));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+    use vcoma_tlb::{Scheme, ALL_SCHEMES};
+    use vcoma_types::{MachineConfig, SyncId, VAddr};
+    use vcoma_workloads::{PingPong, UniformRandom, Workload};
+
+    fn fingerprint(m: Machine, traces: Vec<Vec<Op>>) -> String {
+        format!("{:?}", m.run(traces).expect("run completes"))
+    }
+
+    #[test]
+    fn epoch_replay_matches_serial_for_every_scheme() {
+        let w = UniformRandom { pages: 32, refs_per_node: 200, write_fraction: 0.4 };
+        for scheme in ALL_SCHEMES {
+            let cfg = SimConfig::new(MachineConfig::tiny(), scheme);
+            let traces = w.generate(&cfg.machine);
+            let serial = fingerprint(Machine::new(cfg.clone()), traces.clone());
+            for jobs in [2, 3, 8] {
+                let sharded = fingerprint(
+                    Machine::new(cfg.clone()).with_intra_jobs(jobs),
+                    traces.clone(),
+                );
+                assert_eq!(serial, sharded, "{scheme} diverged at intra_jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_replay_matches_serial_on_sync_heavy_workload() {
+        // Ping-pong maximises cross-node ordering sensitivity: every op is
+        // a coherence transaction whose order the barrier must reproduce.
+        let w = PingPong { rounds: 100 };
+        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::VComa);
+        let traces = w.generate(&cfg.machine);
+        let serial = fingerprint(Machine::new(cfg.clone()), traces.clone());
+        let sharded = fingerprint(Machine::new(cfg.clone()).with_intra_jobs(4), traces);
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn epoch_replay_matches_serial_under_locks_and_barriers() {
+        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb);
+        let nodes = cfg.machine.nodes as usize;
+        let traces: Vec<Vec<Op>> = (0..nodes)
+            .map(|n| {
+                let mut t = Vec::new();
+                for i in 0..20u64 {
+                    t.push(Op::Compute(n as u64 % 3));
+                    t.push(Op::Lock(SyncId(0)));
+                    t.push(Op::Write(VAddr::new(0x40)));
+                    t.push(Op::Unlock(SyncId(0)));
+                    t.push(Op::Read(VAddr::new(0x1000 + i * 64)));
+                    t.push(Op::Barrier(SyncId(1)));
+                }
+                t
+            })
+            .collect();
+        let serial = fingerprint(Machine::new(cfg.clone()), traces.clone());
+        for jobs in [2, 4] {
+            let sharded =
+                fingerprint(Machine::new(cfg.clone()).with_intra_jobs(jobs), traces.clone());
+            assert_eq!(serial, sharded, "intra_jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn epoch_replay_handles_zero_cost_compute_and_empty_traces() {
+        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::L2Tlb);
+        // Node 0 spins through zero-cost computes; node 1 reads; 2–3 idle.
+        let mut traces = vec![Vec::new(); 4];
+        for i in 0..50u64 {
+            traces[0].push(Op::Compute(0));
+            traces[1].push(Op::Read(VAddr::new(i * 64)));
+        }
+        traces[0].push(Op::Write(VAddr::new(0x2000)));
+        let serial = fingerprint(Machine::new(cfg.clone()), traces.clone());
+        let sharded = fingerprint(Machine::new(cfg.clone()).with_intra_jobs(3), traces);
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn epoch_replay_reports_the_same_deadlock_as_serial() {
+        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb);
+        // Nodes 1 and 3 park on a barrier nodes 0 and 2 never reach.
+        let mut traces = vec![vec![Op::Compute(5)]; 4];
+        traces[1].push(Op::Barrier(SyncId(7)));
+        traces[3].push(Op::Barrier(SyncId(7)));
+        let serial = Machine::new(cfg.clone()).run(traces.clone()).unwrap_err();
+        let sharded =
+            Machine::new(cfg.clone()).with_intra_jobs(4).run(traces).unwrap_err();
+        assert_eq!(format!("{serial:?}"), format!("{sharded:?}"));
+        assert!(matches!(serial, SimError::Deadlock { ref parked } if *parked == vec![1, 3]));
+    }
+
+    #[test]
+    fn streaming_epoch_replay_matches_serial_with_warmup() {
+        // Shared lazy generators + the warm-up double pass through the
+        // coordinator's buffered refill path.
+        let w = UniformRandom { pages: 32, refs_per_node: 150, write_fraction: 0.3 };
+        for scheme in [Scheme::VComa, Scheme::L3Tlb] {
+            let cfg = SimConfig::new(MachineConfig::tiny(), scheme).with_warmup();
+            let serial = Machine::new(cfg.clone())
+                .run_streaming(|| w.sources(&cfg.machine))
+                .expect("serial streaming run");
+            let sharded = Machine::new(cfg.clone())
+                .with_intra_jobs(8)
+                .run_streaming(|| w.sources(&cfg.machine))
+                .expect("sharded streaming run");
+            assert_eq!(format!("{serial:?}"), format!("{sharded:?}"), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn intra_jobs_zero_resolves_to_available_parallelism() {
+        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::VComa);
+        let m = Machine::new(cfg).with_intra_jobs(0);
+        assert!(m.intra_jobs >= 1);
+    }
+
+    #[test]
+    fn shard_bounds_cover_contiguously() {
+        for (nodes, jobs) in [(8, 3), (4, 4), (4, 9), (256, 8), (1, 1), (5, 2)] {
+            let bounds = shard_bounds(nodes, jobs);
+            assert_eq!(bounds.len(), jobs.min(nodes));
+            assert_eq!(bounds[0].start, 0);
+            assert_eq!(bounds.last().unwrap().end, nodes);
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "shards tile the node array");
+            }
+            let sizes: Vec<usize> = bounds.iter().map(|r| r.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "near-equal split: {sizes:?}");
+        }
+    }
+
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use vcoma_tlb::ALL_SCHEMES;
+
+        /// Decodes one generated `(kind, value)` pair into trace ops.
+        /// Locks always come as balanced critical sections so random
+        /// workloads never self-deadlock on a held lock; barriers are
+        /// allowed to mismatch — a deadlock is a legitimate outcome both
+        /// engines must report identically.
+        fn push_op(trace: &mut Vec<Op>, kind: u16, v: u64) {
+            match kind {
+                0 => trace.push(Op::Compute(v % 5)),
+                1 => trace.push(Op::Read(VAddr::new((v % 128) * 64))),
+                2 => trace.push(Op::Write(VAddr::new((v % 128) * 64))),
+                3 => {
+                    let id = SyncId((v % 2) as u32);
+                    trace.push(Op::Lock(id));
+                    trace.push(Op::Write(VAddr::new(0x40 + (v % 4) * 64)));
+                    trace.push(Op::Unlock(id));
+                }
+                _ => trace.push(Op::Barrier(SyncId(9))),
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn sharded_replay_always_matches_serial(
+                nodes_log2 in 2u32..4,
+                jobs in 2usize..10,
+                scheme_ix in 0usize..6,
+                ops in proptest::collection::vec((0u16..5, 0u64..4096), 0..160),
+            ) {
+                let machine = MachineConfig::builder()
+                    .nodes(1u64 << nodes_log2)
+                    .build()
+                    .expect("power-of-two machine");
+                let cfg = SimConfig::new(machine, ALL_SCHEMES[scheme_ix]);
+                let n = cfg.machine.nodes as usize;
+                let mut traces = vec![Vec::new(); n];
+                for (i, (kind, v)) in ops.into_iter().enumerate() {
+                    push_op(&mut traces[i % n], kind, v);
+                }
+                let serial = format!("{:?}", Machine::new(cfg.clone()).run(traces.clone()));
+                let sharded = format!(
+                    "{:?}",
+                    Machine::new(cfg.clone()).with_intra_jobs(jobs).run(traces)
+                );
+                prop_assert_eq!(serial, sharded);
+            }
+        }
+    }
+}

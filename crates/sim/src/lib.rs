@@ -54,6 +54,7 @@ mod audit;
 mod bank;
 mod breakdown;
 mod config;
+mod epoch;
 mod error;
 mod machine;
 mod report;

@@ -28,21 +28,25 @@ const LOCK_ACQUIRE_COST: u64 = 32;
 const LOCK_RELEASE_COST: u64 = 16;
 
 /// Per-node simulation state.
+///
+/// `pub(crate)` (fields included) because the epoch-barrier engine in
+/// [`crate::epoch`] hands disjoint `&mut` chunks of the node array to
+/// shard workers.
 #[derive(Debug)]
-struct NodeCtx {
-    flc: Flc,
-    slc: Slc,
+pub(crate) struct NodeCtx {
+    pub(crate) flc: Flc,
+    pub(crate) slc: Slc,
     /// The node's translation bank: its private TLB in `L0`–`L3`, its
     /// home-side DLB in V-COMA.
-    xlb: TlbBank,
-    time: u64,
-    breakdown: TimeBreakdown,
+    pub(crate) xlb: TlbBank,
+    pub(crate) time: u64,
+    pub(crate) breakdown: TimeBreakdown,
     /// Fine latency attribution; every cycle of `time` lands in exactly
     /// one of its categories (`fine.total() == time`).
-    fine: LatencyBreakdown,
-    refs: u64,
-    reads: u64,
-    writes: u64,
+    pub(crate) fine: LatencyBreakdown,
+    pub(crate) refs: u64,
+    pub(crate) reads: u64,
+    pub(crate) writes: u64,
 }
 
 /// The simulated COMA machine.
@@ -54,9 +58,14 @@ struct NodeCtx {
 #[derive(Debug)]
 pub struct Machine {
     cfg: SimConfig,
-    nodes: Vec<NodeCtx>,
+    pub(crate) nodes: Vec<NodeCtx>,
     protocol: Protocol,
-    net: Crossbar,
+    pub(crate) net: Crossbar,
+    /// Worker threads for intra-run epoch-barrier replay (`1` = the
+    /// classic serial event loop). An execution strategy, not part of
+    /// [`SimConfig`]: reports embed their config, and any worker count
+    /// must produce byte-identical reports.
+    pub(crate) intra_jobs: usize,
     page_table: PageTable,
     phys_alloc: PhysAlloc,
     dir_alloc: DirectoryAllocator,
@@ -189,6 +198,7 @@ impl Machine {
             nodes,
             protocol,
             net,
+            intra_jobs: 1,
             page_table: PageTable::new(m.clone()),
             phys_alloc,
             dir_alloc: DirectoryAllocator::new(m),
@@ -205,6 +215,27 @@ impl Machine {
     /// The configuration this machine was built with.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// Sets the number of worker threads the replay engine may use
+    /// *inside* one run (`0` = one per available core, `1` = the classic
+    /// serial event loop, the default).
+    ///
+    /// With more than one worker the machine switches to the deterministic
+    /// epoch-barrier scheduler (see [`crate::epoch`]): nodes are split
+    /// into contiguous shards that advance independently up to the
+    /// conservative lookahead horizon — the minimum cross-node message
+    /// latency from the crossbar — with all cross-node work merged at an
+    /// epoch barrier in the canonical `(time, node)` order. The resulting
+    /// [`SimReport`] (metrics, fault decisions and trace spans included)
+    /// is byte-identical for **any** worker count.
+    pub fn with_intra_jobs(mut self, jobs: usize) -> Self {
+        self.intra_jobs = if jobs == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            jobs
+        };
+        self
     }
 
     /// Replays one trace per node to completion and reports statistics.
@@ -308,6 +339,9 @@ impl Machine {
     /// consumed, so "has this node finished?" is a local `Option` check and
     /// lazy sources are pulled exactly one op ahead of the replay point.
     fn replay<'a>(&mut self, sources: &mut [Box<dyn OpSource + 'a>]) -> Result<(), SimError> {
+        if self.intra_jobs > 1 {
+            return self.replay_epochs(sources, self.intra_jobs);
+        }
         let mut next_op: Vec<Option<Op>> = sources.iter_mut().map(|s| s.next_op()).collect();
         let mut done: Vec<bool> = next_op.iter().map(|o| o.is_none()).collect();
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
@@ -326,52 +360,7 @@ impl Machine {
             let op = next_op[n].take().expect("a scheduled node has a prefetched op");
             next_op[n] = sources[n].next_op();
             resumes.clear();
-            match op {
-                Op::Compute(c) => {
-                    self.nodes[n].breakdown.busy += c;
-                    self.nodes[n].fine.busy += c;
-                    resumes.push((n, t + c));
-                }
-                Op::Read(va) => {
-                    let dt = self.access(n, va, AccessKind::Read)?;
-                    resumes.push((n, t + dt));
-                }
-                Op::Write(va) => {
-                    let dt = self.access(n, va, AccessKind::Write)?;
-                    resumes.push((n, t + dt));
-                }
-                Op::Barrier(id) => {
-                    if let Some(released) = self.barriers.arrive(id, n, t) {
-                        for (node, resume, sync) in released {
-                            self.nodes[node].breakdown.sync += sync;
-                            self.nodes[node].fine.sync += sync;
-                            resumes.push((node, resume));
-                        }
-                    }
-                }
-                Op::Lock(id) => {
-                    if let Some((resume, sync)) = self.locks.acquire(id, n, t) {
-                        self.nodes[n].breakdown.sync += sync;
-                        self.nodes[n].fine.sync += sync;
-                        resumes.push((n, resume));
-                    }
-                }
-                Op::Unlock(id) => {
-                    let ((resume, sync), next) = self.locks.release(id, n, t);
-                    self.nodes[n].breakdown.sync += sync;
-                    self.nodes[n].fine.sync += sync;
-                    resumes.push((n, resume));
-                    if let Some((waiter, wresume, wsync)) = next {
-                        self.nodes[waiter].breakdown.sync += wsync;
-                        self.nodes[waiter].fine.sync += wsync;
-                        resumes.push((waiter, wresume));
-                    }
-                }
-                Op::Protect(va, prot) => {
-                    let dt = self.protect(n, va, prot)?;
-                    resumes.push((n, t + dt));
-                }
-            }
+            self.step_op(n, t, op, &mut resumes)?;
             for &(node, resume) in &resumes {
                 self.nodes[node].time = resume;
                 if next_op[node].is_some() {
@@ -386,6 +375,70 @@ impl Machine {
             done.iter().enumerate().filter(|&(_, &d)| !d).map(|(i, _)| i as u16).collect();
         if !parked.is_empty() {
             return Err(SimError::Deadlock { parked });
+        }
+        Ok(())
+    }
+
+    /// Applies one op for node `n` at time `t`, appending every node it
+    /// resumes (with its resume time) to `resumes`. This is the single
+    /// op-application path shared by the serial event loop and the
+    /// epoch-barrier engine ([`crate::epoch`]): both must route every op
+    /// through here so the two schedules stay observably identical.
+    ///
+    /// The caller has already set `nodes[n].time = t` and is responsible
+    /// for applying the resume times to the nodes' clocks.
+    pub(crate) fn step_op(
+        &mut self,
+        n: usize,
+        t: u64,
+        op: Op,
+        resumes: &mut Vec<(usize, u64)>,
+    ) -> Result<(), SimError> {
+        match op {
+            Op::Compute(c) => {
+                self.nodes[n].breakdown.busy += c;
+                self.nodes[n].fine.busy += c;
+                resumes.push((n, t + c));
+            }
+            Op::Read(va) => {
+                let dt = self.access(n, va, AccessKind::Read)?;
+                resumes.push((n, t + dt));
+            }
+            Op::Write(va) => {
+                let dt = self.access(n, va, AccessKind::Write)?;
+                resumes.push((n, t + dt));
+            }
+            Op::Barrier(id) => {
+                if let Some(released) = self.barriers.arrive(id, n, t) {
+                    for (node, resume, sync) in released {
+                        self.nodes[node].breakdown.sync += sync;
+                        self.nodes[node].fine.sync += sync;
+                        resumes.push((node, resume));
+                    }
+                }
+            }
+            Op::Lock(id) => {
+                if let Some((resume, sync)) = self.locks.acquire(id, n, t) {
+                    self.nodes[n].breakdown.sync += sync;
+                    self.nodes[n].fine.sync += sync;
+                    resumes.push((n, resume));
+                }
+            }
+            Op::Unlock(id) => {
+                let ((resume, sync), next) = self.locks.release(id, n, t);
+                self.nodes[n].breakdown.sync += sync;
+                self.nodes[n].fine.sync += sync;
+                resumes.push((n, resume));
+                if let Some((waiter, wresume, wsync)) = next {
+                    self.nodes[waiter].breakdown.sync += wsync;
+                    self.nodes[waiter].fine.sync += wsync;
+                    resumes.push((waiter, wresume));
+                }
+            }
+            Op::Protect(va, prot) => {
+                let dt = self.protect(n, va, prot)?;
+                resumes.push((n, t + dt));
+            }
         }
         Ok(())
     }

@@ -22,13 +22,38 @@ out2=$(mktemp -d)
 outm=$(mktemp -d)
 fault1=$(mktemp -d)
 fault2=$(mktemp -d)
-trap 'rm -rf "$out1" "$out2" "$outm" "$fault1" "$fault2"' EXIT
+intra1=$(mktemp -d)
+intra8=$(mktemp -d)
+n64a=$(mktemp -d)
+n64b=$(mktemp -d)
+trap 'rm -rf "$out1" "$out2" "$outm" "$fault1" "$fault2" "$intra1" "$intra8" "$n64a" "$n64b"' EXIT
 cargo run --release -p vcoma-experiments -- table2 fig8 \
     --scale 0.01 --out "$out1" --jobs 1
 cargo run --release -p vcoma-experiments -- table2 fig8 \
     --scale 0.01 --out "$out2" --jobs 2
 diff -r "$out1" "$out2"
 echo "==> CSVs byte-identical across worker counts"
+
+echo "==> intra-run sharding matrix: serial replay vs epoch-barrier engine"
+cargo run --release -p vcoma-experiments -- table2 fig8 \
+    --scale 0.01 --out "$intra1" --jobs 1 --intra-jobs 1
+cargo run --release -p vcoma-experiments -- table2 fig8 \
+    --scale 0.01 --out "$intra8" --jobs 1 --intra-jobs 8
+diff -r "$intra1" "$intra8"
+echo "==> CSVs byte-identical across intra-run worker counts"
+
+echo "==> 64-node smoke: sharded scale-up run, byte-diffed against serial"
+# The sharded run goes last so BENCH_sweep.json records cycles/s for the
+# 64-node epoch-barrier configuration.
+cargo run --release -p vcoma-experiments -- fig11 \
+    --scale 0.01 --nodes 64 --out "$n64a" --jobs 1 --intra-jobs 1
+cargo run --release -p vcoma-experiments -- fig11 \
+    --scale 0.01 --nodes 64 --out "$n64b" --jobs 1 --intra-jobs 8
+diff -r "$n64a" "$n64b"
+grep -q '"nodes": 64' BENCH_sweep.json
+grep -q '"intra_jobs": 8' BENCH_sweep.json
+cp BENCH_sweep.json BENCH_sweep_64node.json
+echo "==> 64-node engines byte-identical; BENCH_sweep_64node.json records the sharded run"
 
 echo "==> bench smoke: streaming (jobs 2) vs materialized (--jobs 1) sweeps"
 # The materialized single-worker run is the oracle the streamed CSVs must
@@ -56,7 +81,7 @@ echo "==> fault sweeps byte-identical across worker counts"
 echo "==> trace smoke: critical-path table + Perfetto export, --jobs 1 vs --jobs 8"
 trace1=$(mktemp -d)
 trace8=$(mktemp -d)
-trap 'rm -rf "$out1" "$out2" "$outm" "$fault1" "$fault2" "$trace1" "$trace8"' EXIT
+trap 'rm -rf "$out1" "$out2" "$outm" "$fault1" "$fault2" "$intra1" "$intra8" "$n64a" "$n64b" "$trace1" "$trace8"' EXIT
 cargo run --release -p vcoma-experiments -- trace --scale 0.01 \
     --out "$trace1" --trace-out "$trace1/trace.json" --jobs 1
 cargo run --release -p vcoma-experiments -- trace --scale 0.01 \

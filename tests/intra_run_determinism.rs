@@ -1,0 +1,160 @@
+//! Worker-count invariance for intra-run sharding.
+//!
+//! The epoch-barrier scheduler's whole contract is that `intra_jobs` is
+//! an execution strategy, never a model parameter: the report, the merged
+//! metrics snapshot (as JSON) and the transaction-trace snapshot must be
+//! byte-identical at 1, 2, 3 or 8 workers, on every scheme, with fault
+//! injection and causal tracing enabled. This suite is the intra-run
+//! counterpart of `parallel_determinism.rs` (which pins the sweep-level
+//! `--jobs` flag).
+//!
+//! It also carries the scale-up golden fixtures: a 64-node and a 256-node
+//! smoke run are snapshotted byte-exactly under `tests/golden/` *from the
+//! sharded engine*, and each is asserted equal to the serial engine's
+//! summary first. To regenerate after an intentional behaviour change:
+//!
+//! ```text
+//! VCOMA_BLESS=1 cargo test -p vcoma-integration --test intra_run_determinism
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use vcoma::faults::FaultPlan;
+use vcoma::workloads::{PingPong, UniformRandom};
+use vcoma::{MachineConfig, Scheme, SimReport, Simulator, ALL_SCHEMES};
+
+/// Everything a run can observably produce: the full report (config,
+/// per-node stats, protocol and net counters, pressure profile), the
+/// merged metrics snapshot rendered as JSON, and the trace snapshot.
+fn fingerprint(r: &SimReport) -> String {
+    let metrics =
+        vcoma::metrics::json::to_json_pretty(r.metrics()).expect("metrics snapshot serializes");
+    format!("report: {r:?}\nmetrics: {metrics}\ntrace: {:?}\n", r.trace())
+}
+
+/// A fully instrumented simulator: fault plan, coherence auditor and
+/// causal tracing all armed, so the invariance claim covers the
+/// observability machinery too.
+fn instrumented(scheme: Scheme, intra_jobs: usize) -> Simulator {
+    Simulator::new(scheme)
+        .tiny()
+        .intra_jobs(intra_jobs)
+        .fault_plan(FaultPlan::parse("drop=0.01,dup=0.005,delay=32,nack=0.02").unwrap())
+        .audit()
+        .trace(7, 256)
+}
+
+#[test]
+fn every_scheme_is_invariant_across_worker_counts_with_faults_and_tracing() {
+    let w = UniformRandom { pages: 64, refs_per_node: 400, write_fraction: 0.4 };
+    for scheme in ALL_SCHEMES {
+        let serial = instrumented(scheme, 1).try_run(&w).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        assert!(serial.trace().is_some(), "{scheme}: tracing must be armed for this suite");
+        let baseline = fingerprint(&serial);
+        for jobs in [2, 3, 8] {
+            let sharded = instrumented(scheme, jobs)
+                .try_run(&w)
+                .unwrap_or_else(|e| panic!("{scheme} intra_jobs={jobs}: {e}"));
+            assert!(
+                baseline == fingerprint(&sharded),
+                "{scheme}: intra_jobs={jobs} diverged from the serial engine \
+                 (report, metrics JSON or trace snapshot)"
+            );
+        }
+    }
+}
+
+#[test]
+fn sync_heavy_workload_is_invariant_across_worker_counts() {
+    // Ping-pong maximises cross-node ordering sensitivity: every epoch's
+    // barrier must replay the serial interleaving exactly.
+    let w = PingPong { rounds: 300 };
+    let serial = fingerprint(&instrumented(Scheme::VComa, 1).try_run(&w).unwrap());
+    for jobs in [2, 8] {
+        let sharded = fingerprint(&instrumented(Scheme::VComa, jobs).try_run(&w).unwrap());
+        assert!(serial == sharded, "PingPong diverged at intra_jobs={jobs}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scale-up goldens: 64 and 256 nodes.
+// ---------------------------------------------------------------------------
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden"))
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("VCOMA_BLESS").is_some() {
+        fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        fs::write(&path, actual).expect("write fixture");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {} ({e}); create it with VCOMA_BLESS=1", path.display())
+    });
+    assert!(
+        expected == actual,
+        "golden mismatch for {name}; if the change is intentional, regenerate with\n\
+         VCOMA_BLESS=1 cargo test -p vcoma-integration --test intra_run_determinism\n\
+         --- expected ---\n{expected}--- actual ---\n{actual}"
+    );
+}
+
+/// One compact, fully deterministic line per scheme: enough to pin the
+/// timing model and every counter without snapshotting 256 node reports.
+fn summary_line(scheme: Scheme, r: &SimReport) -> String {
+    format!(
+        "{scheme} exec={} refs={} writes={} msgs={} bytes={} swaps={} breakdown={:?} fine={:?}\n",
+        r.exec_time(),
+        r.total_refs(),
+        r.total_writes(),
+        r.net_msgs(),
+        r.net_bytes(),
+        r.swap_outs(),
+        r.aggregate_breakdown(),
+        r.aggregate_fine(),
+    )
+}
+
+/// Runs the scale-up smoke workload on `nodes` nodes under both engines,
+/// asserts they agree byte-for-byte, and returns the sharded summary.
+fn scale_up_summary(nodes: u64, refs_per_node: u64, intra_jobs: usize) -> String {
+    let machine = MachineConfig::builder().nodes(nodes).build().expect("scale-up machine");
+    let w = UniformRandom { pages: 2 * nodes, refs_per_node, write_fraction: 0.3 };
+    let mut out = String::new();
+    for scheme in ALL_SCHEMES {
+        let run = |jobs: usize| {
+            // Tracing armed so the byte-diff covers spans at scale too;
+            // tracing is inert, so the golden summary lines don't move.
+            Simulator::new(scheme)
+                .machine(machine.clone())
+                .intra_jobs(jobs)
+                .trace(17, 128)
+                .try_run(&w)
+                .unwrap_or_else(|e| panic!("{scheme} @ {nodes} nodes: {e}"))
+        };
+        let serial = run(1);
+        let sharded = run(intra_jobs);
+        assert!(
+            fingerprint(&serial) == fingerprint(&sharded),
+            "{scheme} @ {nodes} nodes: intra_jobs={intra_jobs} diverged from serial"
+        );
+        out.push_str(&summary_line(scheme, &sharded));
+    }
+    out
+}
+
+#[test]
+fn node64_smoke_matches_golden_and_serial() {
+    check("intra_run_64node_smoke.txt", &scale_up_summary(64, 200, 8));
+}
+
+#[test]
+fn node256_smoke_matches_golden_and_serial() {
+    // The acceptance bar for the sharded engine: a 256-node run at
+    // intra_jobs=8 byte-identical to intra_jobs=1.
+    check("intra_run_256node_smoke.txt", &scale_up_summary(256, 60, 8));
+}
