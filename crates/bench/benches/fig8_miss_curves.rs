@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8");
     g.sample_size(10);
     g.bench_function("two_scheme_grid", |b| {
-        b.iter(|| fig8::run_schemes(&cfg, &[Scheme::L0Tlb, Scheme::VComa]))
+        b.iter(|| fig8::run_schemes(&cfg, &[Scheme::L0_TLB, Scheme::V_COMA]))
     });
     g.finish();
 }
@@ -40,6 +40,6 @@ fn main() {
 
     let cfg = bench_config();
     vcoma_bench::plain_bench("fig8/two_scheme_grid", 10, || {
-        std::hint::black_box(fig8::run_schemes(&cfg, &[Scheme::L0Tlb, Scheme::VComa]));
+        std::hint::black_box(fig8::run_schemes(&cfg, &[Scheme::L0_TLB, Scheme::V_COMA]));
     });
 }

@@ -30,8 +30,8 @@
 //!
 //! // Compare the classic TLB design against V-COMA on a random workload.
 //! let workload = UniformRandom { pages: 64, refs_per_node: 500, write_fraction: 0.3 };
-//! let l0 = Simulator::new(Scheme::L0Tlb).tiny().run(&workload);
-//! let vc = Simulator::new(Scheme::VComa).tiny().run(&workload);
+//! let l0 = Simulator::new(Scheme::L0_TLB).tiny().run(&workload);
+//! let vc = Simulator::new(Scheme::V_COMA).tiny().run(&workload);
 //! assert!(vc.translation_misses_total(0) <= l0.translation_misses_total(0));
 //! ```
 //!
@@ -46,7 +46,11 @@ pub use vcoma_sim::{
     AuditError, LatencyBreakdown, Machine, NodeReport, SimConfig, SimError, SimReport,
     SimReportBuilder, TimeBreakdown, TlbBank, TraceConfig, LATENCY_CATEGORIES,
 };
-pub use vcoma_tlb::{Scheme, Tlb, TlbOrg, TlbStats, ALL_SCHEMES};
+pub use vcoma_tlb::{
+    all_schemes, paper_schemes, registry, AllocPolicy, BankModel, ModelParams, PageSize, Scheme,
+    SchemeParseError, SchemeSet, SchemeSpec, Tlb, TlbOrg, TlbStats, TranslationModel, XlatePoint,
+    Xlation,
+};
 pub use vcoma_types::{
     materialize, sources_from_traces, AccessKind, CacheGeometry, ConfigError, DetRng,
     MachineConfig, Materialized, NodeId, Op, OpSource, Protection, SyncId, Timing, VAddr, VPage,
@@ -108,7 +112,7 @@ use vcoma_workloads::Workload;
 /// use vcoma::{Scheme, Simulator};
 /// use vcoma::workloads::PingPong;
 ///
-/// let report = Simulator::new(Scheme::VComa)
+/// let report = Simulator::new(Scheme::V_COMA)
 ///     .tiny()
 ///     .entries(16)
 ///     .seed(42)
@@ -312,8 +316,8 @@ mod tests {
 
     #[test]
     fn simulator_builder_roundtrip() {
-        let s = Simulator::new(Scheme::L3Tlb).tiny().entries(32).seed(5);
-        assert_eq!(s.config().scheme, Scheme::L3Tlb);
+        let s = Simulator::new(Scheme::L3_TLB).tiny().entries(32).seed(5);
+        assert_eq!(s.config().scheme, Scheme::L3_TLB);
         assert_eq!(s.config().machine.nodes, 4);
         assert_eq!(s.config().translation_specs, vec![(32, TlbOrg::FullyAssociative)]);
         assert_eq!(s.config().seed, 5);
@@ -321,7 +325,7 @@ mod tests {
 
     #[test]
     fn run_is_reproducible() {
-        let s = Simulator::new(Scheme::VComa).tiny().seed(11);
+        let s = Simulator::new(Scheme::V_COMA).tiny().seed(11);
         let w = UniformRandom { pages: 32, refs_per_node: 300, write_fraction: 0.5 };
         let a = s.run(&w);
         let b = s.run(&w);
@@ -331,7 +335,7 @@ mod tests {
 
     #[test]
     fn run_traces_matches_run() {
-        let s = Simulator::new(Scheme::L0Tlb).tiny();
+        let s = Simulator::new(Scheme::L0_TLB).tiny();
         let w = PingPong { rounds: 20 };
         let via_workload = s.run(&w);
         let via_traces = s.run_traces(w.generate(&s.config().machine));
@@ -341,7 +345,7 @@ mod tests {
     #[test]
     fn all_schemes_run_on_the_paper_machine() {
         let w = UniformRandom { pages: 64, refs_per_node: 200, write_fraction: 0.3 };
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let r = Simulator::new(scheme).run(&w);
             assert_eq!(r.total_refs(), 32 * 200, "{scheme}");
         }
@@ -350,7 +354,7 @@ mod tests {
     #[test]
     fn streaming_and_materialized_runs_are_identical() {
         let w = UniformRandom { pages: 32, refs_per_node: 300, write_fraction: 0.4 };
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let s = Simulator::new(scheme).tiny().warmup();
             let streamed = s.try_run(&w).expect("streamed run");
             let built = s.clone().materialized().try_run(&w).expect("materialized run");
@@ -361,8 +365,8 @@ mod tests {
     #[test]
     fn traced_run_keeps_timing_and_exports_chrome_trace() {
         let w = UniformRandom { pages: 32, refs_per_node: 200, write_fraction: 0.3 };
-        let plain = Simulator::new(Scheme::VComa).tiny().seed(9).run(&w);
-        let traced = Simulator::new(Scheme::VComa).tiny().seed(9).trace(4, 1 << 16).run(&w);
+        let plain = Simulator::new(Scheme::V_COMA).tiny().seed(9).run(&w);
+        let traced = Simulator::new(Scheme::V_COMA).tiny().seed(9).trace(4, 1 << 16).run(&w);
         assert_eq!(plain.exec_time(), traced.exec_time(), "tracing is observation-only");
         let snap = traced.trace().expect("traced run carries a snapshot");
         assert!(snap.sampled_txns > 0);
@@ -374,7 +378,7 @@ mod tests {
     #[test]
     fn intra_jobs_leaves_every_report_byte_untouched() {
         let w = UniformRandom { pages: 32, refs_per_node: 250, write_fraction: 0.4 };
-        for scheme in [Scheme::VComa, Scheme::L0Tlb] {
+        for scheme in [Scheme::V_COMA, Scheme::L0_TLB] {
             let serial = Simulator::new(scheme).tiny().run(&w);
             let sharded = Simulator::new(scheme).tiny().intra_jobs(4).run(&w);
             assert_eq!(format!("{serial:?}"), format!("{sharded:?}"), "{scheme}");
@@ -389,7 +393,7 @@ mod tests {
     #[test]
     fn faulty_audited_run_completes_deterministically() {
         let plan = faults::FaultPlan::parse("drop=0.01,nack=0.02").unwrap().with_seed(7);
-        let s = Simulator::new(Scheme::VComa).tiny().fault_plan(plan).audit();
+        let s = Simulator::new(Scheme::V_COMA).tiny().fault_plan(plan).audit();
         let w = UniformRandom { pages: 32, refs_per_node: 300, write_fraction: 0.5 };
         let a = s.try_run(&w).expect("faulty run completes");
         let b = s.try_run(&w).expect("faulty run completes");

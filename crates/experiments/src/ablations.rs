@@ -75,8 +75,8 @@ pub fn contention(cfg: &ExperimentConfig) -> Vec<AblationRow> {
         cfg,
         |w| {
             (
-                cfg.simulator(Scheme::VComa).run(w),
-                cfg.simulator(Scheme::VComa).contention().run(w),
+                cfg.simulator(Scheme::V_COMA).run(w),
+                cfg.simulator(Scheme::V_COMA).contention().run(w),
             )
         },
         |r| r.mean_breakdown().remote_stall,
@@ -92,7 +92,7 @@ pub fn coloring(cfg: &ExperimentConfig) -> Vec<AblationRow> {
         "ablation_coloring",
         "AM indexing: physical(rr)/virtual(colored)",
         cfg,
-        |w| (cfg.simulator(Scheme::L2Tlb).run(w), cfg.simulator(Scheme::L3Tlb).run(w)),
+        |w| (cfg.simulator(Scheme::L2_TLB).run(w), cfg.simulator(Scheme::L3_TLB).run(w)),
         |r| (r.protocol().injections() + r.protocol().spills) as f64,
     )
 }
@@ -109,8 +109,8 @@ pub fn injection(cfg: &ExperimentConfig) -> Vec<AblationRow> {
         cfg,
         |w| {
             (
-                cfg.simulator(Scheme::VComa).run(w),
-                cfg.simulator(Scheme::VComa)
+                cfg.simulator(Scheme::V_COMA).run(w),
+                cfg.simulator(Scheme::V_COMA)
                     .injection_policy(InjectionPolicy::HomeDisplace)
                     .run(w),
             )
@@ -130,8 +130,8 @@ pub fn software_managed(cfg: &ExperimentConfig) -> Vec<AblationRow> {
         cfg,
         |w| {
             (
-                cfg.simulator(Scheme::L2TlbNoWb).entries(8).run(w),
-                cfg.simulator(Scheme::L2TlbNoWb).entries(0).run(w),
+                cfg.simulator(Scheme::L2_TLB_NO_WB).entries(8).run(w),
+                cfg.simulator(Scheme::L2_TLB_NO_WB).entries(0).run(w),
             )
         },
         |r| r.mean_breakdown().translation,
@@ -161,12 +161,12 @@ pub fn render(rows: &[AblationRow]) -> TextTable {
     t
 }
 
-/// Runs one benchmark (by workload) under every scheme and returns the
-/// execution times — a helper shared by examples and benches.
+/// Runs one benchmark (by workload) under every registered scheme and
+/// returns the execution times — a helper shared by examples and benches.
 pub fn exec_times_all_schemes(cfg: &ExperimentConfig, w: &dyn Workload) -> Vec<(Scheme, u64)> {
-    vcoma::ALL_SCHEMES
-        .iter()
-        .map(|&s| (s, cfg.simulator(s).run(w).exec_time()))
+    vcoma::all_schemes()
+        .into_iter()
+        .map(|s| (s, cfg.simulator(s).run(w).exec_time()))
         .collect()
 }
 

@@ -15,7 +15,7 @@ use crate::sweep::{self, SweepPoint, SweepResult};
 use crate::ExperimentConfig;
 use vcoma::metrics::{Mergeable, MetricsSnapshot};
 use vcoma::workloads::Workload;
-use vcoma::{LatencyBreakdown, Scheme, SimReport, ALL_SCHEMES, LATENCY_CATEGORIES};
+use vcoma::{paper_schemes, LatencyBreakdown, Scheme, SimReport, LATENCY_CATEGORIES};
 
 /// One scheme × benchmark row of the breakdown table.
 #[derive(Debug, Clone)]
@@ -51,7 +51,7 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<BreakdownRow> {
     type RowSpec<'a> = (Scheme, &'a dyn Workload);
     let mut points: Vec<SweepPoint<RowSpec>> = Vec::new();
     for w in &benchmarks {
-        for scheme in ALL_SCHEMES {
+        for scheme in cfg.schemes_or(paper_schemes) {
             points.push(SweepPoint::new(format!("{}/{scheme}", w.name()), (scheme, w.as_ref())));
         }
     }
@@ -97,7 +97,7 @@ mod tests {
     #[test]
     fn breakdown_conserves_cycles_and_renders() {
         let rows = run(&ExperimentConfig::smoke());
-        assert_eq!(rows.len(), 6 * ALL_SCHEMES.len());
+        assert_eq!(rows.len(), 6 * paper_schemes().len());
         for r in &rows {
             assert_eq!(
                 r.fine.total(),
@@ -109,10 +109,10 @@ mod tests {
         }
         // V-COMA attributes translation to DLB lookups, the TLB schemes to
         // TLB walks.
-        for r in rows.iter().filter(|r| r.scheme == Scheme::VComa) {
+        for r in rows.iter().filter(|r| r.scheme == Scheme::V_COMA) {
             assert_eq!(r.fine.tlb_walk, 0, "{}: V-COMA has no node TLB walks", r.benchmark);
         }
-        for r in rows.iter().filter(|r| r.scheme == Scheme::L0Tlb) {
+        for r in rows.iter().filter(|r| r.scheme == Scheme::L0_TLB) {
             assert_eq!(r.fine.dlb_lookup, 0, "{}: L0-TLB has no home DLBs", r.benchmark);
         }
         let table = render(&rows).render();

@@ -53,7 +53,7 @@ pub fn private_traces(cfg: &ExperimentConfig, bytes_per_node: u64, passes: u64) 
 pub fn run(cfg: &ExperimentConfig) -> Vec<CcNumaRow> {
     let bytes = (cfg.machine.slc.size_bytes * 4).max(64 << 10);
     let traces = private_traces(cfg, bytes, 2);
-    let sim_cfg = SimConfig::new(cfg.machine.clone(), Scheme::L0Tlb)
+    let sim_cfg = SimConfig::new(cfg.machine.clone(), Scheme::L0_TLB)
         .with_translation_specs(vec![(32, vcoma::TlbOrg::FullyAssociative)])
         .with_seed(cfg.seed);
     let points =

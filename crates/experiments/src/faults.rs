@@ -15,7 +15,7 @@ use crate::render::TextTable;
 use crate::sweep::{self, SweepPoint, SweepResult};
 use crate::ExperimentConfig;
 use vcoma::faults::FaultPlan;
-use vcoma::{Scheme, SimError, ALL_SCHEMES};
+use vcoma::{paper_schemes, Scheme, SimError};
 
 /// Multipliers applied to the base plan's probabilities (delay and pause
 /// windows are left unscaled). `0.0` is the fault-free baseline.
@@ -60,7 +60,7 @@ pub fn run(cfg: &ExperimentConfig, base: &FaultPlan) -> Result<Vec<FaultRow>, Si
     let benchmarks = cfg.benchmarks();
     let workload = benchmarks.first().expect("the paper defines benchmarks");
     let mut points: Vec<SweepPoint<(Scheme, f64)>> = Vec::new();
-    for scheme in ALL_SCHEMES {
+    for scheme in cfg.schemes_or(paper_schemes) {
         for &intensity in &INTENSITY_AXIS {
             points.push(SweepPoint::new(
                 format!("{}/{}x{intensity}", workload.name(), scheme.label()),
@@ -158,7 +158,7 @@ mod tests {
     #[test]
     fn faulty_sweep_completes_and_recovers() {
         let rows = run(&ExperimentConfig::smoke(), &default_plan()).expect("no violations");
-        assert_eq!(rows.len(), ALL_SCHEMES.len() * INTENSITY_AXIS.len());
+        assert_eq!(rows.len(), paper_schemes().len() * INTENSITY_AXIS.len());
         for chunk in rows.chunks(INTENSITY_AXIS.len()) {
             // Intensity 0 is the per-scheme baseline…
             assert_eq!(chunk[0].slowdown, 1.0, "{}", chunk[0].scheme);

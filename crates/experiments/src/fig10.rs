@@ -73,13 +73,13 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Fig10Panel> {
     let mut bars_per_panel = Vec::new();
     for w in &benchmarks {
         let mut bars: Vec<BarSpec> = vec![
-            ("TLB/8", Scheme::L0Tlb, &fa, w.as_ref()),
-            ("TLB/8/DM", Scheme::L0Tlb, &dm, w.as_ref()),
-            ("DLB/8", Scheme::VComa, &fa, w.as_ref()),
-            ("DLB/8/DM", Scheme::VComa, &dm, w.as_ref()),
+            ("TLB/8", Scheme::L0_TLB, &fa, w.as_ref()),
+            ("TLB/8/DM", Scheme::L0_TLB, &dm, w.as_ref()),
+            ("DLB/8", Scheme::V_COMA, &fa, w.as_ref()),
+            ("DLB/8/DM", Scheme::V_COMA, &dm, w.as_ref()),
         ];
         if w.name() == "RAYTRACE" {
-            bars.push(("DLB/8/V2", Scheme::VComa, &fa, &v2));
+            bars.push(("DLB/8/V2", Scheme::V_COMA, &fa, &v2));
         }
         bars_per_panel.push(bars.len());
         for bar in bars {

@@ -8,7 +8,7 @@ use crate::render::TextTable;
 use crate::sweep::{self, SweepPoint, SweepResult};
 use crate::{ExperimentConfig, SIZE_AXIS};
 use vcoma::workloads::Workload;
-use vcoma::{Scheme, TlbOrg, ALL_SCHEMES};
+use vcoma::{paper_schemes, Scheme, TlbOrg};
 
 /// One scheme's miss curve for one benchmark.
 #[derive(Debug, Clone)]
@@ -24,13 +24,13 @@ pub struct Curve {
 pub struct Fig8Panel {
     /// Benchmark name.
     pub benchmark: String,
-    /// One curve per scheme, in [`ALL_SCHEMES`] order.
+    /// One curve per scheme, in registry presentation order.
     pub curves: Vec<Curve>,
 }
 
-/// Runs the full Figure-8 grid.
+/// Runs the full Figure-8 grid over the paper's six schemes.
 pub fn run(cfg: &ExperimentConfig) -> Vec<Fig8Panel> {
-    run_schemes(cfg, &ALL_SCHEMES)
+    run_schemes(cfg, &cfg.schemes_or(paper_schemes))
 }
 
 /// Runs the Figure-8 sweep for a subset of schemes: one sweep point per
@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn smoke_grid_has_expected_shape() {
         let cfg = ExperimentConfig::smoke();
-        let panels = run_schemes(&cfg, &[Scheme::L0Tlb, Scheme::VComa]);
+        let panels = run_schemes(&cfg, &[Scheme::L0_TLB, Scheme::V_COMA]);
         assert_eq!(panels.len(), 6);
         for p in &panels {
             assert_eq!(p.curves.len(), 2);
@@ -138,8 +138,8 @@ mod tests {
             // and 16 entries the (cold-dominated, smoke-scale) streaming
             // benchmarks may sit slightly above — a documented deviation —
             // so those sizes get a 1.6× band.
-            let l0 = p.curve(Scheme::L0Tlb).unwrap();
-            let vc = p.curve(Scheme::VComa).unwrap();
+            let l0 = p.curve(Scheme::L0_TLB).unwrap();
+            let vc = p.curve(Scheme::V_COMA).unwrap();
             for &s in &SIZE_AXIS[2..] {
                 assert!(
                     vc.at(s).unwrap() <= l0.at(s).unwrap() + 1.0,

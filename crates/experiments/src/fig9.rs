@@ -13,7 +13,7 @@ use vcoma::{Scheme, TlbOrg};
 
 /// The schemes Figure 9 plots.
 pub const FIG9_SCHEMES: [Scheme; 4] =
-    [Scheme::L0Tlb, Scheme::L2Tlb, Scheme::L3Tlb, Scheme::VComa];
+    [Scheme::L0_TLB, Scheme::L2_TLB, Scheme::L3_TLB, Scheme::V_COMA];
 
 /// One benchmark's DM-vs-FA curves for one scheme.
 #[derive(Debug, Clone)]

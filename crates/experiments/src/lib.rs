@@ -17,6 +17,7 @@
 //! | [`table4`] | Table 4 — translation time / stall time |
 //! | [`fig10`] | Figure 10 — execution-time breakdown |
 //! | [`fig11`] | Figure 11 — global-page-set pressure profile |
+//! | [`table5`] | Table 5 — post-1998 registry schemes vs the 1998 options |
 //! | [`ablations`] | design-choice ablations (injection policy, contention, coloring) |
 //! | [`ccnuma`] | §2 motivation: SHARED-TLB in CC-NUMA vs first-touch placement |
 //! | [`breakdown`] | fine latency attribution (`--breakdown`, `--metrics-out`) |
@@ -40,10 +41,11 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod table5;
 pub mod trace;
 
 use vcoma::workloads::{all_benchmarks, Workload};
-use vcoma::{MachineConfig, Scheme, Simulator};
+use vcoma::{MachineConfig, Scheme, SchemeSet, Simulator};
 
 /// Shared configuration for all experiments.
 #[derive(Debug, Clone)]
@@ -70,6 +72,10 @@ pub struct ExperimentConfig {
     /// epoch-barrier scheduler, whose reports are byte-identical at any
     /// worker count — the intra-run analogue of [`ExperimentConfig::jobs`].
     pub intra_jobs: usize,
+    /// Optional scheme filter (`--schemes a,b,c`): artifacts intersect
+    /// their natural roster with this set. `None` (the default) runs every
+    /// artifact's full roster, which is what every golden fixture records.
+    pub schemes: Option<SchemeSet>,
 }
 
 impl ExperimentConfig {
@@ -82,6 +88,7 @@ impl ExperimentConfig {
             jobs: 0,
             materialized: false,
             intra_jobs: 1,
+            schemes: None,
         }
     }
 
@@ -96,6 +103,7 @@ impl ExperimentConfig {
             jobs: 0,
             materialized: false,
             intra_jobs: 1,
+            schemes: None,
         }
     }
 
@@ -131,6 +139,25 @@ impl ExperimentConfig {
     pub fn with_machine(mut self, machine: MachineConfig) -> Self {
         self.machine = machine;
         self
+    }
+
+    /// Restricts every artifact to the schemes in `set` (the `--schemes`
+    /// CLI flag). Artifacts keep their natural roster order; schemes
+    /// outside an artifact's roster are ignored.
+    pub fn with_schemes(mut self, set: SchemeSet) -> Self {
+        self.schemes = Some(set);
+        self
+    }
+
+    /// An artifact's effective roster: `base()` intersected with the
+    /// `--schemes` filter, in `base`'s order. With no filter the roster is
+    /// unchanged — the byte-exact golden path.
+    pub fn schemes_or(&self, base: fn() -> Vec<Scheme>) -> Vec<Scheme> {
+        let roster = base();
+        match &self.schemes {
+            None => roster,
+            Some(set) => set.filter(&roster),
+        }
     }
 
     /// The worker count sweeps actually use: `jobs`, or the machine's
@@ -199,7 +226,7 @@ mod tests {
     #[test]
     fn simulator_carries_machine_and_seed() {
         let c = ExperimentConfig::smoke();
-        let s = c.simulator(Scheme::VComa);
+        let s = c.simulator(Scheme::V_COMA);
         assert_eq!(s.config().machine.nodes, 32);
         assert_eq!(s.config().seed, c.seed);
     }
@@ -211,8 +238,8 @@ mod tests {
         assert_eq!(serial.intra_jobs, 1);
         assert_eq!(sharded.intra_jobs, 4);
         let w = &serial.benchmarks()[0];
-        let a = serial.simulator(Scheme::VComa).run(w.as_ref());
-        let b = sharded.simulator(Scheme::VComa).run(w.as_ref());
+        let a = serial.simulator(Scheme::V_COMA).run(w.as_ref());
+        let b = sharded.simulator(Scheme::V_COMA).run(w.as_ref());
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
@@ -223,8 +250,8 @@ mod tests {
         assert!(!streamed.materialized);
         assert!(built.materialized);
         let w = &streamed.benchmarks()[0];
-        let a = streamed.simulator(Scheme::VComa).run(w.as_ref());
-        let b = built.simulator(Scheme::VComa).run(w.as_ref());
+        let a = streamed.simulator(Scheme::V_COMA).run(w.as_ref());
+        let b = built.simulator(Scheme::V_COMA).run(w.as_ref());
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 }

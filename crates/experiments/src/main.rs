@@ -8,26 +8,26 @@
 use std::path::PathBuf;
 use vcoma_experiments::{
     ablations, breakdown, ccnuma, faults, fig10, fig11, fig8, fig9, sweep, table1, table2,
-    table3, table4, trace, ExperimentConfig,
+    table3, table4, table5, trace, ExperimentConfig,
 };
 
 /// Every artifact name the CLI accepts, in default execution order
 /// (`breakdown`, `faults` and `trace` opt in through their flags or by
 /// name rather than running under `all`).
-const VALID_ARTIFACTS: [&str; 13] = [
-    "table1", "fig8", "table2", "table3", "fig9", "table4", "fig10", "fig11", "ablations",
-    "ccnuma", "breakdown", "faults", "trace",
+const VALID_ARTIFACTS: [&str; 14] = [
+    "table1", "fig8", "table2", "table3", "fig9", "table4", "fig10", "fig11", "table5",
+    "ablations", "ccnuma", "breakdown", "faults", "trace",
 ];
 
 const USAGE: &str = "\
 usage: vcoma-experiments [ARTIFACT...] [--scale F] [--nodes N] [--jobs N]
-                         [--intra-jobs N] [--out DIR]
+                         [--intra-jobs N] [--schemes LIST] [--out DIR]
                          [--materialized] [--breakdown] [--metrics-out FILE]
                          [--fault-plan SPEC] [--fault-seed S] [--trace-out FILE]
                          [--progress]
 
-artifacts: table1 fig8 table2 table3 fig9 table4 fig10 fig11 ablations ccnuma
-           breakdown faults trace all
+artifacts: table1 fig8 table2 table3 fig9 table4 fig10 fig11 table5 ablations
+           ccnuma breakdown faults trace all
            (default: all, which runs everything except breakdown, faults and trace)
 
 options:
@@ -40,6 +40,11 @@ options:
                      N > 1 switches every run to the deterministic
                      epoch-barrier scheduler; reports, tables and CSVs are
                      byte-identical for any value
+  --schemes LIST     comma-separated scheme keys to run, e.g.
+                     l0_tlb,vcoma,victima (default: each artifact's full
+                     roster). Applies to fig8, table5, breakdown, faults and
+                     trace; artifacts with fixed paper subsets (table2,
+                     table3, fig9) ignore it
   --out DIR          also write each artifact as CSV into DIR
   --materialized     build each workload's full traces up front instead of
                      streaming them into the replay engine; tables and CSVs
@@ -94,6 +99,7 @@ fn main() {
     let mut fault_plan: Option<vcoma::faults::FaultPlan> = None;
     let mut fault_seed: Option<u64> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut schemes: Option<vcoma::SchemeSet> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -121,6 +127,19 @@ fn main() {
             }
             "--intra-jobs" => {
                 intra_jobs = parse_flag("--intra-jobs", args.next());
+            }
+            "--schemes" => {
+                let spec = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --schemes needs a value");
+                    std::process::exit(2);
+                });
+                match vcoma::SchemeSet::parse(&spec) {
+                    Ok(set) => schemes = Some(set),
+                    Err(e) => {
+                        eprintln!("error: --schemes {spec}: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--fault-seed" => {
                 let raw: String = args.next().unwrap_or_else(|| {
@@ -203,7 +222,7 @@ fn main() {
         let keep_breakdown = artifacts.iter().any(|a| a == "breakdown");
         let keep_faults = artifacts.iter().any(|a| a == "faults");
         let keep_trace = artifacts.iter().any(|a| a == "trace");
-        artifacts = ["table1", "fig8", "table2", "table3", "fig9", "table4", "fig10", "fig11", "ablations", "ccnuma"]
+        artifacts = ["table1", "fig8", "table2", "table3", "fig9", "table4", "fig10", "fig11", "table5", "ablations", "ccnuma"]
             .iter()
             .map(|s| s.to_string())
             .collect();
@@ -225,6 +244,9 @@ fn main() {
         .with_intra_jobs(intra_jobs);
     if materialized {
         cfg = cfg.with_materialized();
+    }
+    if let Some(set) = schemes {
+        cfg = cfg.with_schemes(set);
     }
     println!(
         "machine: {} nodes, scale {scale}, {} sweep workers, {} intra-run workers, {} traces (paper geometry, paper timing)\n",
@@ -311,6 +333,13 @@ fn main() {
                 let t = fig11::render(&rows);
                 println!("{}", t.render());
                 save("fig11", t.to_csv());
+            }
+            "table5" => {
+                println!("== Table 5: post-1998 registry schemes vs the 1998 options ==");
+                let rows = table5::run(&cfg);
+                let t = table5::render(&rows);
+                println!("{}", t.render());
+                save("table5", t.to_csv());
             }
             "ccnuma" => {
                 println!("== CC-NUMA motivation (paper \u{a7}2): SHARED-TLB vs first-touch ==");

@@ -13,7 +13,7 @@ pub const TABLE2_SIZES: [u64; 3] = [8, 32, 128];
 
 /// The schemes Table 2 tabulates (the paper's column order).
 pub const TABLE2_SCHEMES: [Scheme; 5] =
-    [Scheme::L0Tlb, Scheme::L1Tlb, Scheme::L2Tlb, Scheme::L3Tlb, Scheme::VComa];
+    [Scheme::L0_TLB, Scheme::L1_TLB, Scheme::L2_TLB, Scheme::L3_TLB, Scheme::V_COMA];
 
 /// One benchmark's Table-2 row block: `rates[size_idx][scheme_idx]`.
 #[derive(Debug, Clone)]

@@ -16,7 +16,7 @@ pub const GRID: [u64; 13] = [8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512,
 
 /// The schemes Table 3 tabulates.
 pub const TABLE3_SCHEMES: [Scheme; 4] =
-    [Scheme::L0Tlb, Scheme::L1Tlb, Scheme::L2Tlb, Scheme::L3Tlb];
+    [Scheme::L0_TLB, Scheme::L1_TLB, Scheme::L2_TLB, Scheme::L3_TLB];
 
 /// One benchmark's equivalent sizes.
 #[derive(Debug, Clone)]
@@ -57,7 +57,7 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Table3Row> {
     let probes = sweep::run("table3", cfg.effective_jobs(), points, |&(w, scheme)| {
         match scheme {
             None => {
-                let vc = cfg.simulator(Scheme::VComa).entries(8).run(w);
+                let vc = cfg.simulator(Scheme::V_COMA).entries(8).run(w);
                 SweepResult::new(Probe::Target(vc.translation_misses_total(0)), vc.simulated_cycles())
             }
             Some(scheme) => {

@@ -30,7 +30,7 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Table4Col> {
     let benchmarks = cfg.benchmarks();
     let mut points: Vec<SweepPoint<(&dyn Workload, Scheme, u64)>> = Vec::new();
     for w in &benchmarks {
-        for scheme in [Scheme::L0Tlb, Scheme::VComa] {
+        for scheme in [Scheme::L0_TLB, Scheme::V_COMA] {
             for &size in &TABLE4_SIZES {
                 points.push(SweepPoint::new(
                     format!("{}/{}/{}", w.name(), scheme.label(), size),

@@ -16,7 +16,7 @@ use crate::sweep::{self, SweepPoint, SweepResult};
 use crate::ExperimentConfig;
 use std::collections::BTreeMap;
 use vcoma::metrics::{critical_paths, trace_export, Histogram, TraceSnapshot};
-use vcoma::{Scheme, ALL_SCHEMES};
+use vcoma::{paper_schemes, Scheme};
 
 /// Sampling period of the artifact's runs: one in eight references per
 /// node (deterministic keyed-hash selection, not strided).
@@ -65,7 +65,8 @@ pub struct TraceRow {
 pub fn run(cfg: &ExperimentConfig) -> Vec<TraceRow> {
     let benchmarks = cfg.benchmarks();
     let w = &benchmarks[0];
-    let points: Vec<SweepPoint<Scheme>> = ALL_SCHEMES
+    let points: Vec<SweepPoint<Scheme>> = cfg
+        .schemes_or(paper_schemes)
         .into_iter()
         .map(|scheme| SweepPoint::new(format!("{}/{scheme}", w.name()), scheme))
         .collect();
@@ -143,7 +144,7 @@ mod tests {
     #[test]
     fn trace_rows_cover_all_schemes_and_conserve_latency() {
         let rows = run(&ExperimentConfig::smoke().with_jobs(2));
-        assert_eq!(rows.len(), ALL_SCHEMES.len());
+        assert_eq!(rows.len(), paper_schemes().len());
         for r in &rows {
             assert!(r.snapshot.sampled_txns > 0, "{}: nothing sampled", r.scheme);
             assert_eq!(r.unattributed, 0, "{}: critical path must conserve cycles", r.scheme);
@@ -157,13 +158,13 @@ mod tests {
         }
         // V-COMA attributes home-side translation to DLB lookups and never
         // to node TLB walks; L0 is the opposite.
-        let vcoma = rows.iter().find(|r| r.scheme == Scheme::VComa).unwrap();
+        let vcoma = rows.iter().find(|r| r.scheme == Scheme::V_COMA).unwrap();
         assert_eq!(vcoma.attributed.get("tlb_miss"), None);
-        let l0 = rows.iter().find(|r| r.scheme == Scheme::L0Tlb).unwrap();
+        let l0 = rows.iter().find(|r| r.scheme == Scheme::L0_TLB).unwrap();
         assert_eq!(l0.attributed.get("dlb_lookup"), None);
 
         let table = render(&rows).render();
-        for scheme in ALL_SCHEMES {
+        for scheme in paper_schemes() {
             assert!(table.contains(&scheme.to_string()), "missing row for {scheme}");
         }
         assert!(table.contains("p50 cycles"));

@@ -26,7 +26,7 @@
 //! use vcoma_tlb::Scheme;
 //! use vcoma_types::{MachineConfig, Op, VAddr};
 //!
-//! let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb);
+//! let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::L0_TLB);
 //! let mut traces = vec![Vec::new(); 4];
 //! traces[0].push(Op::Write(VAddr::new(0x100)));
 //! traces[1].push(Op::Read(VAddr::new(0x100)));
@@ -456,7 +456,7 @@ mod tests {
     use vcoma_types::MachineConfig;
 
     fn cfg() -> SimConfig {
-        SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb)
+        SimConfig::new(MachineConfig::tiny(), Scheme::L0_TLB)
     }
 
     /// Each node streams over its own private region.

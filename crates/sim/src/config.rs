@@ -165,14 +165,14 @@ mod tests {
 
     #[test]
     fn defaults_match_paper() {
-        let c = SimConfig::new(MachineConfig::paper_baseline(), Scheme::L0Tlb);
+        let c = SimConfig::new(MachineConfig::paper_baseline(), Scheme::L0_TLB);
         assert_eq!(c.translation_specs, vec![(8, TlbOrg::FullyAssociative)]);
         assert!(!c.contention);
     }
 
     #[test]
     fn builders_compose() {
-        let c = SimConfig::new(MachineConfig::tiny(), Scheme::VComa)
+        let c = SimConfig::new(MachineConfig::tiny(), Scheme::V_COMA)
             .with_entries(16)
             .with_seed(99)
             .with_contention()
@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn tracing_is_off_by_default() {
-        let c = SimConfig::new(MachineConfig::tiny(), Scheme::VComa);
+        let c = SimConfig::new(MachineConfig::tiny(), Scheme::V_COMA);
         assert_eq!(c.trace, None);
         assert_eq!(TraceConfig::default(), TraceConfig { sample_every: 64, capacity: 4096 });
     }
@@ -199,6 +199,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one TLB/DLB spec")]
     fn empty_specs_panic() {
-        SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb).with_translation_specs(vec![]);
+        SimConfig::new(MachineConfig::tiny(), Scheme::L0_TLB).with_translation_specs(vec![]);
     }
 }

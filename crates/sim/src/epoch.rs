@@ -395,7 +395,7 @@ fn shard_phase(
 mod tests {
     use super::*;
     use crate::SimConfig;
-    use vcoma_tlb::{Scheme, ALL_SCHEMES};
+    use vcoma_tlb::{all_schemes, Scheme};
     use vcoma_types::{MachineConfig, SyncId, VAddr};
     use vcoma_workloads::{PingPong, UniformRandom, Workload};
 
@@ -406,7 +406,7 @@ mod tests {
     #[test]
     fn epoch_replay_matches_serial_for_every_scheme() {
         let w = UniformRandom { pages: 32, refs_per_node: 200, write_fraction: 0.4 };
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let cfg = SimConfig::new(MachineConfig::tiny(), scheme);
             let traces = w.generate(&cfg.machine);
             let serial = fingerprint(Machine::new(cfg.clone()), traces.clone());
@@ -425,7 +425,7 @@ mod tests {
         // Ping-pong maximises cross-node ordering sensitivity: every op is
         // a coherence transaction whose order the barrier must reproduce.
         let w = PingPong { rounds: 100 };
-        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::VComa);
+        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::V_COMA);
         let traces = w.generate(&cfg.machine);
         let serial = fingerprint(Machine::new(cfg.clone()), traces.clone());
         let sharded = fingerprint(Machine::new(cfg.clone()).with_intra_jobs(4), traces);
@@ -434,7 +434,7 @@ mod tests {
 
     #[test]
     fn epoch_replay_matches_serial_under_locks_and_barriers() {
-        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb);
+        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::L0_TLB);
         let nodes = cfg.machine.nodes as usize;
         let traces: Vec<Vec<Op>> = (0..nodes)
             .map(|n| {
@@ -460,7 +460,7 @@ mod tests {
 
     #[test]
     fn epoch_replay_handles_zero_cost_compute_and_empty_traces() {
-        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::L2Tlb);
+        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::L2_TLB);
         // Node 0 spins through zero-cost computes; node 1 reads; 2–3 idle.
         let mut traces = vec![Vec::new(); 4];
         for i in 0..50u64 {
@@ -475,7 +475,7 @@ mod tests {
 
     #[test]
     fn epoch_replay_reports_the_same_deadlock_as_serial() {
-        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb);
+        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::L0_TLB);
         // Nodes 1 and 3 park on a barrier nodes 0 and 2 never reach.
         let mut traces = vec![vec![Op::Compute(5)]; 4];
         traces[1].push(Op::Barrier(SyncId(7)));
@@ -492,7 +492,7 @@ mod tests {
         // Shared lazy generators + the warm-up double pass through the
         // coordinator's buffered refill path.
         let w = UniformRandom { pages: 32, refs_per_node: 150, write_fraction: 0.3 };
-        for scheme in [Scheme::VComa, Scheme::L3Tlb] {
+        for scheme in [Scheme::V_COMA, Scheme::L3_TLB] {
             let cfg = SimConfig::new(MachineConfig::tiny(), scheme).with_warmup();
             let serial = Machine::new(cfg.clone())
                 .run_streaming(|| w.sources(&cfg.machine))
@@ -507,7 +507,7 @@ mod tests {
 
     #[test]
     fn intra_jobs_zero_resolves_to_available_parallelism() {
-        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::VComa);
+        let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::V_COMA);
         let m = Machine::new(cfg).with_intra_jobs(0);
         assert!(m.intra_jobs >= 1);
     }
@@ -532,7 +532,6 @@ mod tests {
     mod props {
         use super::*;
         use proptest::prelude::*;
-        use vcoma_tlb::ALL_SCHEMES;
 
         /// Decodes one generated `(kind, value)` pair into trace ops.
         /// Locks always come as balanced critical sections so random
@@ -560,14 +559,14 @@ mod tests {
             fn sharded_replay_always_matches_serial(
                 nodes_log2 in 2u32..4,
                 jobs in 2usize..10,
-                scheme_ix in 0usize..6,
+                scheme_ix in 0usize..8,
                 ops in proptest::collection::vec((0u16..5, 0u64..4096), 0..160),
             ) {
                 let machine = MachineConfig::builder()
                     .nodes(1u64 << nodes_log2)
                     .build()
                     .expect("power-of-two machine");
-                let cfg = SimConfig::new(machine, ALL_SCHEMES[scheme_ix]);
+                let cfg = SimConfig::new(machine, all_schemes()[scheme_ix % all_schemes().len()]);
                 let n = cfg.machine.nodes as usize;
                 let mut traces = vec![Vec::new(); n];
                 for (i, (kind, v)) in ops.into_iter().enumerate() {

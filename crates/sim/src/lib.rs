@@ -15,10 +15,11 @@
 //!
 //! Per-reference accounting splits each node's time into the Figure-10
 //! categories — *busy*, *sync*, *local stall* (SLC and local AM hits),
-//! *remote stall* (coherence transactions) and *translation* (the 40-cycle
-//! TLB/DLB miss services) — and per-node [`TlbBank`]s count translation
-//! misses for a whole vector of TLB/DLB sizes in one run, which is how the
-//! experiment harness sweeps Figure 8 efficiently.
+//! *remote stall* (coherence transactions) and *translation* (the scheme's
+//! TLB/DLB miss services) — and each node carries the scheme's
+//! [`vcoma_tlb::TranslationModel`] (a [`TlbBank`] for the paper's schemes),
+//! which counts translation misses for a whole vector of TLB/DLB sizes in
+//! one run, which is how the experiment harness sweeps Figure 8 efficiently.
 //!
 //! # Example
 //!
@@ -27,7 +28,7 @@
 //! use vcoma_tlb::Scheme;
 //! use vcoma_types::{MachineConfig, Op, VAddr};
 //!
-//! let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::VComa);
+//! let cfg = SimConfig::new(MachineConfig::tiny(), Scheme::V_COMA);
 //! let mut machine = Machine::new(cfg);
 //! // Two nodes ping-pong a block; the others idle.
 //! let mut traces = vec![Vec::new(); 4];
@@ -51,7 +52,6 @@
 pub mod ccnuma;
 
 mod audit;
-mod bank;
 mod breakdown;
 mod config;
 mod epoch;
@@ -62,7 +62,7 @@ mod sync;
 mod trace;
 
 pub use audit::AuditError;
-pub use bank::TlbBank;
+pub use vcoma_tlb::TlbBank;
 pub use breakdown::{LatencyBreakdown, TimeBreakdown, LATENCY_CATEGORIES};
 pub use config::{SimConfig, TraceConfig};
 pub use error::SimError;

@@ -6,7 +6,7 @@ use crate::breakdown::LatencyBreakdown;
 use crate::error::SimError;
 use crate::sync::{Barriers, Locks};
 use crate::trace::Tracer;
-use crate::{SimConfig, SimReport, TimeBreakdown, TlbBank};
+use crate::{SimConfig, SimReport, TimeBreakdown};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use vcoma_cachesim::{Flc, Slc};
@@ -14,7 +14,7 @@ use vcoma_coherence::{Access, HomeTranslation, NullTranslation, Protocol};
 use vcoma_faults::LinkFaultInjector;
 use vcoma_metrics::{Event, Mergeable, MetricsRegistry};
 use vcoma_net::{Crossbar, MsgKind};
-use vcoma_tlb::Scheme;
+use vcoma_tlb::{AllocPolicy, ModelParams, TranslationModel, XlatePoint};
 use vcoma_types::{AccessKind, MachineConfig, NodeId, Op, OpSource, VAddr, VPage};
 use vcoma_vm::{
     ColoringAllocator, DirectoryAllocator, FrameAllocator, PageTable, PressureProfile,
@@ -36,9 +36,11 @@ const LOCK_RELEASE_COST: u64 = 16;
 pub(crate) struct NodeCtx {
     pub(crate) flc: Flc,
     pub(crate) slc: Slc,
-    /// The node's translation bank: its private TLB in `L0`–`L3`, its
-    /// home-side DLB in V-COMA.
-    pub(crate) xlb: TlbBank,
+    /// The node's translation model: its private TLB in `L0`–`L3` (and
+    /// the post-1998 schemes), its home-side DLB in V-COMA. Built by the
+    /// scheme's [`vcoma_tlb::SchemeSpec::build_model`]; owns the lookup,
+    /// fill, shootdown and miss-latency schedule.
+    pub(crate) xlb: Box<dyn TranslationModel>,
     pub(crate) time: u64,
     pub(crate) breakdown: TimeBreakdown,
     /// Fine latency attribution; every cycle of `time` lands in exactly
@@ -131,24 +133,22 @@ struct DlbHook<'a> {
     metrics: &'a mut MetricsRegistry,
     blocks_per_page: u64,
     node_count: u64,
-    penalty: u64,
     now: u64,
 }
 
 impl HomeTranslation for DlbHook<'_> {
     fn home_lookup(&mut self, home: NodeId, block: u64) -> u64 {
         let key = VPage::new(block / self.blocks_per_page / self.node_count);
-        if self.nodes[home.index()].xlb.access(key) {
-            0
-        } else {
+        let x = self.nodes[home.index()].xlb.lookup(key);
+        if x.missed {
             self.metrics.trace(Event {
                 cycle: self.now,
                 node: home.raw(),
                 kind: "dlb_miss",
                 addr: key.raw(),
             });
-            self.penalty
         }
+        x.cycles
     }
 }
 
@@ -162,11 +162,22 @@ impl Machine {
     pub fn new(cfg: SimConfig) -> Self {
         cfg.machine.validate().expect("invalid machine configuration");
         let m = &cfg.machine;
+        let spec = cfg.scheme.spec();
+        // Victima-style spills donate a quarter of the SLC's frames to
+        // cache-resident translations, serviced at SLC-hit latency.
+        let spill_entries = (m.slc.size_bytes / m.slc.block_size / 4).max(8);
         let nodes = (0..m.nodes)
             .map(|i| NodeCtx {
                 flc: Flc::new(m.flc),
                 slc: Slc::new(m.slc),
-                xlb: TlbBank::new(&cfg.translation_specs, cfg.seed ^ (i << 17)),
+                xlb: (spec.build_model)(&ModelParams {
+                    specs: &cfg.translation_specs,
+                    seed: cfg.seed ^ (i << 17),
+                    walk_penalty: m.timing.translation_miss,
+                    spill_latency: m.timing.slc_hit,
+                    spill_entries,
+                    page_size: m.page_size,
+                }),
                 time: 0,
                 breakdown: TimeBreakdown::default(),
                 fine: LatencyBreakdown::default(),
@@ -175,10 +186,10 @@ impl Machine {
                 writes: 0,
             })
             .collect();
-        let phys_alloc = match cfg.scheme {
-            Scheme::VComa => PhysAlloc::None,
-            Scheme::L3Tlb => PhysAlloc::Coloring(ColoringAllocator::new(m)),
-            _ => PhysAlloc::RoundRobin(RoundRobinAllocator::new(m)),
+        let phys_alloc = match spec.alloc {
+            AllocPolicy::Directory => PhysAlloc::None,
+            AllocPolicy::Coloring => PhysAlloc::Coloring(ColoringAllocator::new(m)),
+            AllocPolicy::RoundRobin => PhysAlloc::RoundRobin(RoundRobinAllocator::new(m)),
         };
         let mut net = if cfg.contention {
             Crossbar::new(m.nodes, m.timing).with_contention().with_block_size(m.am.block_size)
@@ -458,6 +469,7 @@ impl Machine {
     fn access_inner(&mut self, n: usize, va: VAddr, kind: AccessKind) -> Result<u64, SimError> {
         let m = &self.cfg.machine;
         let scheme = self.cfg.scheme;
+        let spec = scheme.spec();
         let timing = m.timing;
         let page_size = m.page_size;
         let (flc_bs, slc_bs, am_bs) = (m.flc.block_size, m.slc.block_size, m.am.block_size);
@@ -465,7 +477,7 @@ impl Machine {
         let node_id = NodeId::new(n as u16);
 
         // --- address-space views and home selection ---------------------
-        let (pa, home) = if scheme == Scheme::VComa {
+        let (pa, home) = if spec.virtual_protocol {
             self.ensure_directory_mapping(n, page)?;
             if self.cfg.audit && self.page_table.dir_page_of(page).is_none() {
                 return Err(self.audit_failure(
@@ -515,8 +527,9 @@ impl Machine {
             tr.interval("issue", t0, t, va.raw());
         }
 
-        // L0: the TLB sits before the FLC and sees every reference.
-        if scheme == Scheme::L0Tlb {
+        // The TLB sits before the FLC and sees every reference (L0-TLB and
+        // the post-1998 schemes, which vary only the translation model).
+        if spec.translates_at(XlatePoint::EveryRef) {
             self.translate(n, page, &mut t, &mut translated);
         }
 
@@ -539,7 +552,7 @@ impl Machine {
 
         // L1: the TLB sits between the (virtual) FLC and the (physical)
         // SLC; FLC read misses and every write-through store translate.
-        if scheme == Scheme::L1Tlb {
+        if spec.translates_at(XlatePoint::FlcMiss) {
             self.translate(n, page, &mut t, &mut translated);
         }
 
@@ -556,11 +569,12 @@ impl Machine {
             // (physical SLC, physical pointers, or a virtual AM below).
             if scheme.writebacks_translate() {
                 let wb_page = VPage::new(wb.block * slc_bs / page_size);
-                let hit = self.nodes[n].xlb.access(wb_page);
-                if !hit {
-                    t += timing.translation_miss;
-                    self.nodes[n].breakdown.translation += timing.translation_miss;
-                    self.nodes[n].fine.tlb_walk += timing.translation_miss;
+                let x = self.nodes[n].xlb.lookup(wb_page);
+                if x.missed {
+                    let penalty = x.cycles;
+                    t += penalty;
+                    self.nodes[n].breakdown.translation += penalty;
+                    self.nodes[n].fine.tlb_walk += penalty;
                     self.metrics.trace(Event {
                         cycle: t,
                         node: n as u16,
@@ -568,7 +582,7 @@ impl Machine {
                         addr: wb_page.raw(),
                     });
                     if let Some(tr) = self.tracer.as_mut() {
-                        tr.interval("wb_translation", t - timing.translation_miss, t, wb_page.raw());
+                        tr.interval("wb_translation", t - penalty, t, wb_page.raw());
                     }
                 }
             }
@@ -586,7 +600,7 @@ impl Machine {
                 }
                 return Ok(t - t0);
             }
-        } else if matches!(scheme, Scheme::L2Tlb | Scheme::L2TlbNoWb) {
+        } else if spec.translates_at(XlatePoint::SlcMiss) {
             // L2: the TLB sits at the SLC→AM boundary and sees every SLC
             // miss.
             self.translate(n, page, &mut t, &mut translated);
@@ -619,7 +633,7 @@ impl Machine {
         // now if it has not already on this reference (the L2 upgrade
         // corner: an SLC write hit on a non-exclusive AM block still sends
         // an ownership request below the SLC).
-        if matches!(scheme, Scheme::L2Tlb | Scheme::L2TlbNoWb | Scheme::L3Tlb) {
+        if spec.translates_before_txn() {
             self.translate(n, page, &mut t, &mut translated);
         }
         // Data for an SLC miss comes from the local AM copy when one
@@ -753,7 +767,7 @@ impl Machine {
         let mut t = t0 + 1;
         self.nodes[n].breakdown.busy += 1;
         self.nodes[n].fine.busy += 1;
-        if self.cfg.scheme == Scheme::VComa {
+        if self.cfg.scheme.virtual_protocol() {
             self.ensure_directory_mapping(n, page)?;
             let _ = self.page_table.protect(page, prot);
             let home = cfg.home_of_vpage(page);
@@ -929,16 +943,14 @@ impl Machine {
         kind: AccessKind,
         now: u64,
     ) -> Access {
-        let penalty = self.cfg.machine.timing.translation_miss;
         let blocks_per_page = self.cfg.machine.blocks_per_page();
-        if self.cfg.scheme == Scheme::VComa {
+        if self.cfg.scheme.virtual_protocol() {
             let node_count = self.cfg.machine.nodes;
             let mut hook = DlbHook {
                 nodes: &mut self.nodes,
                 metrics: &mut self.metrics,
                 blocks_per_page,
                 node_count,
-                penalty,
                 now,
             };
             match kind {
@@ -962,16 +974,17 @@ impl Machine {
         }
     }
 
-    /// Consults node `n`'s TLB for `page` once per reference, charging the
-    /// miss penalty and setting the page-table reference bit on a refill.
+    /// Consults node `n`'s translation model for `page` once per
+    /// reference, charging the model's miss-latency schedule and setting
+    /// the page-table reference bit on a refill.
     fn translate(&mut self, n: usize, page: VPage, t: &mut u64, translated: &mut bool) {
         if *translated {
             return;
         }
         *translated = true;
-        let hit = self.nodes[n].xlb.access(page);
-        if !hit {
-            let penalty = self.cfg.machine.timing.translation_miss;
+        let x = self.nodes[n].xlb.lookup(page);
+        if x.missed {
+            let penalty = x.cycles;
             *t += penalty;
             self.nodes[n].breakdown.translation += penalty;
             self.nodes[n].fine.tlb_walk += penalty;
@@ -1022,7 +1035,7 @@ impl Machine {
                         refs: n.refs,
                         reads: n.reads,
                         writes: n.writes,
-                        translation: n.xlb.all_stats().copied().collect(),
+                        translation: n.xlb.all_stats(),
                         flc: *n.flc.stats(),
                         slc: *n.slc.stats(),
                     })
@@ -1043,7 +1056,7 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vcoma_tlb::{TlbOrg, ALL_SCHEMES};
+    use vcoma_tlb::{all_schemes, Scheme, TlbOrg};
 
     fn tiny(scheme: Scheme) -> SimConfig {
         SimConfig::new(MachineConfig::tiny(), scheme)
@@ -1068,7 +1081,7 @@ mod tests {
 
     #[test]
     fn empty_traces_finish_instantly() {
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let report = Machine::new(tiny(scheme)).run(vec![Vec::new(); 4]).unwrap();
             assert_eq!(report.total_refs(), 0, "{scheme}");
             assert_eq!(report.exec_time(), 0, "{scheme}");
@@ -1077,7 +1090,7 @@ mod tests {
 
     #[test]
     fn every_scheme_runs_a_sharing_workload() {
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let report = Machine::new(tiny(scheme)).run(sharing_traces(4, 4096, 32)).unwrap();
             assert_eq!(report.total_refs(), 256, "{scheme}");
             assert!(report.exec_time() > 0, "{scheme}");
@@ -1088,13 +1101,13 @@ mod tests {
 
     #[test]
     fn l0_translates_every_reference() {
-        let report = Machine::new(tiny(Scheme::L0Tlb)).run(sharing_traces(4, 4096, 32)).unwrap();
+        let report = Machine::new(tiny(Scheme::L0_TLB)).run(sharing_traces(4, 4096, 32)).unwrap();
         assert_eq!(report.translation_accesses_total(0), 256);
     }
 
     #[test]
     fn l1_translates_writes_and_flc_read_misses_only() {
-        let report = Machine::new(tiny(Scheme::L1Tlb)).run(sharing_traces(4, 4096, 32)).unwrap();
+        let report = Machine::new(tiny(Scheme::L1_TLB)).run(sharing_traces(4, 4096, 32)).unwrap();
         let accesses = report.translation_accesses_total(0);
         // All 128 writes translate; reads translate only on FLC misses.
         assert!(accesses >= 128, "got {accesses}");
@@ -1105,7 +1118,7 @@ mod tests {
     fn filtering_effect_orders_translation_accesses() {
         // The deeper the TLB, the fewer accesses reach it.
         let mut acc = Vec::new();
-        for scheme in [Scheme::L0Tlb, Scheme::L1Tlb, Scheme::L2TlbNoWb, Scheme::L3Tlb] {
+        for scheme in [Scheme::L0_TLB, Scheme::L1_TLB, Scheme::L2_TLB_NO_WB, Scheme::L3_TLB] {
             let report = Machine::new(tiny(scheme)).run(sharing_traces(4, 8192, 32)).unwrap();
             acc.push((scheme, report.translation_accesses_total(0)));
         }
@@ -1122,7 +1135,7 @@ mod tests {
 
     #[test]
     fn vcoma_uses_dlbs_not_tlbs() {
-        let report = Machine::new(tiny(Scheme::VComa)).run(sharing_traces(4, 4096, 32)).unwrap();
+        let report = Machine::new(tiny(Scheme::V_COMA)).run(sharing_traces(4, 4096, 32)).unwrap();
         // DLB accesses happen only at homes during remote transactions.
         let accesses = report.translation_accesses_total(0);
         assert!(accesses > 0);
@@ -1131,7 +1144,7 @@ mod tests {
 
     #[test]
     fn barrier_produces_sync_time() {
-        let report = Machine::new(tiny(Scheme::L0Tlb)).run(sharing_traces(4, 4096, 32)).unwrap();
+        let report = Machine::new(tiny(Scheme::L0_TLB)).run(sharing_traces(4, 4096, 32)).unwrap();
         let b = report.aggregate_breakdown();
         assert!(b.sync > 0, "idle nodes wait at the barrier");
     }
@@ -1145,7 +1158,7 @@ mod tests {
             tr.push(Op::Compute(100));
             tr.push(Op::Unlock(id));
         }
-        let report = Machine::new(tiny(Scheme::VComa)).run(traces).unwrap();
+        let report = Machine::new(tiny(Scheme::V_COMA)).run(traces).unwrap();
         let b = report.aggregate_breakdown();
         // The last of 4 nodes waits roughly 3 × 100 cycles.
         assert!(b.sync > 300, "sync={}", b.sync);
@@ -1154,7 +1167,7 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let run = || {
-            Machine::new(tiny(Scheme::VComa).with_seed(7)).run(sharing_traces(4, 8192, 64)).unwrap()
+            Machine::new(tiny(Scheme::V_COMA).with_seed(7)).run(sharing_traces(4, 8192, 64)).unwrap()
         };
         let (a, b) = (run(), run());
         assert_eq!(a.exec_time(), b.exec_time());
@@ -1164,10 +1177,10 @@ mod tests {
 
     #[test]
     fn shadow_bank_members_do_not_change_timing() {
-        let base = Machine::new(tiny(Scheme::L0Tlb).with_seed(3))
+        let base = Machine::new(tiny(Scheme::L0_TLB).with_seed(3))
             .run(sharing_traces(4, 8192, 64)).unwrap();
         let banked = Machine::new(
-            tiny(Scheme::L0Tlb)
+            tiny(Scheme::L0_TLB)
                 .with_seed(3)
                 .with_translation_specs(vec![
                     (8, TlbOrg::FullyAssociative),
@@ -1194,8 +1207,8 @@ mod tests {
             pingpong[(i % 2) as usize].push(Op::Write(VAddr::new(0x100)));
             private[(i % 2) as usize].push(Op::Write(VAddr::new(0x10000 * (i % 2 + 1))));
         }
-        let shared = Machine::new(tiny(Scheme::VComa)).run(pingpong).unwrap();
-        let alone = Machine::new(tiny(Scheme::VComa)).run(private).unwrap();
+        let shared = Machine::new(tiny(Scheme::V_COMA)).run(pingpong).unwrap();
+        let alone = Machine::new(tiny(Scheme::V_COMA)).run(private).unwrap();
         assert!(
             shared.aggregate_breakdown().remote_stall > alone.aggregate_breakdown().remote_stall,
             "write sharing must generate coherence traffic"
@@ -1206,7 +1219,7 @@ mod tests {
     fn missing_barrier_participant_is_a_deadlock_error() {
         let mut traces = vec![Vec::new(); 4];
         traces[0].push(Op::Barrier(vcoma_types::SyncId(0)));
-        match Machine::new(tiny(Scheme::L0Tlb)).run(traces) {
+        match Machine::new(tiny(Scheme::L0_TLB)).run(traces) {
             Err(SimError::Deadlock { parked }) => assert_eq!(parked, vec![0]),
             other => panic!("expected a deadlock error, got {other:?}"),
         }
@@ -1214,7 +1227,7 @@ mod tests {
 
     #[test]
     fn wrong_trace_count_is_an_error() {
-        match Machine::new(tiny(Scheme::L0Tlb)).run(vec![Vec::new(); 3]) {
+        match Machine::new(tiny(Scheme::L0_TLB)).run(vec![Vec::new(); 3]) {
             Err(SimError::BadTraces { got, want }) => {
                 assert_eq!(got, 3);
                 assert_eq!(want, 4);
@@ -1227,8 +1240,8 @@ mod tests {
     fn streaming_run_matches_materialized_run() {
         let traces = sharing_traces(4, 8192, 64);
         let materialized =
-            Machine::new(tiny(Scheme::VComa).with_seed(5)).run(traces.clone()).unwrap();
-        let streamed = Machine::new(tiny(Scheme::VComa).with_seed(5))
+            Machine::new(tiny(Scheme::V_COMA).with_seed(5)).run(traces.clone()).unwrap();
+        let streamed = Machine::new(tiny(Scheme::V_COMA).with_seed(5))
             .run_streaming(|| vcoma_types::sources_from_traces(traces.clone()))
             .unwrap();
         assert_eq!(format!("{materialized:?}"), format!("{streamed:?}"));
@@ -1237,11 +1250,11 @@ mod tests {
     #[test]
     fn streaming_run_regenerates_sources_for_warmup() {
         let traces = sharing_traces(4, 8192, 64);
-        let materialized = Machine::new(tiny(Scheme::L2Tlb).with_seed(5).with_warmup())
+        let materialized = Machine::new(tiny(Scheme::L2_TLB).with_seed(5).with_warmup())
             .run(traces.clone())
             .unwrap();
         let mut factory_calls = 0usize;
-        let streamed = Machine::new(tiny(Scheme::L2Tlb).with_seed(5).with_warmup())
+        let streamed = Machine::new(tiny(Scheme::L2_TLB).with_seed(5).with_warmup())
             .run_streaming(|| {
                 factory_calls += 1;
                 vcoma_types::sources_from_traces(traces.clone())
@@ -1256,7 +1269,7 @@ mod tests {
         // The tiny machine holds 4 nodes × 64 KB AM = 256 pages of 1 KB.
         // Touch 400 distinct pages from every node: the page daemon must
         // swap, and the run must still complete with exact ref counts.
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let mut traces = vec![Vec::new(); 4];
             for (i, tr) in traces.iter_mut().enumerate() {
                 for p in 0..400u64 {
@@ -1282,7 +1295,7 @@ mod tests {
                     tr.push(Op::Write(VAddr::new(((p * 7 + i as u64 * 13) % 400) * 1024)));
                 }
             }
-            Machine::new(tiny(Scheme::VComa).with_seed(3)).run(traces).unwrap()
+            Machine::new(tiny(Scheme::V_COMA).with_seed(3)).run(traces).unwrap()
         };
         let (a, b) = (run(), run());
         assert_eq!(a.swap_outs(), b.swap_outs());
@@ -1304,7 +1317,7 @@ mod tests {
             tr.push(Op::Barrier(vcoma_types::SyncId(1)));
             tr.push(Op::Read(VAddr::new(0x100)));
         }
-        let report = Machine::new(tiny(Scheme::L0Tlb)).run(traces.clone()).unwrap();
+        let report = Machine::new(tiny(Scheme::L0_TLB)).run(traces.clone()).unwrap();
         let shootdowns: u64 =
             report.nodes().iter().map(|n| n.translation[0].shootdowns).sum();
         assert_eq!(shootdowns, 4, "every node's TLB entry is shot down");
@@ -1315,7 +1328,7 @@ mod tests {
         assert!(report.aggregate_breakdown().translation > 0);
 
         // V-COMA: the home's DLB entry is shot down instead.
-        let report = Machine::new(tiny(Scheme::VComa)).run(traces).unwrap();
+        let report = Machine::new(tiny(Scheme::V_COMA)).run(traces).unwrap();
         let shootdowns: u64 =
             report.nodes().iter().map(|n| n.translation[0].shootdowns).sum();
         assert_eq!(shootdowns, 1, "only the home DLB maps the page");
@@ -1323,7 +1336,7 @@ mod tests {
 
     #[test]
     fn pressure_profile_covers_footprint() {
-        let report = Machine::new(tiny(Scheme::VComa)).run(sharing_traces(4, 16384, 128)).unwrap();
+        let report = Machine::new(tiny(Scheme::V_COMA)).run(sharing_traces(4, 16384, 128)).unwrap();
         assert!(report.pressure().mean() > 0.0);
     }
 
@@ -1331,7 +1344,7 @@ mod tests {
     fn faulty_runs_complete_with_auditor_on_every_scheme() {
         let plan = vcoma_faults::FaultPlan::parse("drop=0.02,dup=0.01,delay=16,nack=0.05")
             .unwrap();
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let report = Machine::new(
                 tiny(scheme).with_fault_plan(plan.clone()).with_audit(),
             )
@@ -1349,7 +1362,7 @@ mod tests {
 
     #[test]
     fn zero_fault_plan_matches_plain_run_exactly() {
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let plain =
                 Machine::new(tiny(scheme)).run(sharing_traces(4, 8192, 32)).unwrap();
             let zeroed = Machine::new(
@@ -1365,7 +1378,7 @@ mod tests {
 
     #[test]
     fn auditor_reports_deliberate_protocol_corruption() {
-        let mut m = Machine::new(tiny(Scheme::VComa).with_audit());
+        let mut m = Machine::new(tiny(Scheme::V_COMA).with_audit());
         let traces = sharing_traces(4, 4096, 32);
         m.replay_traces(&traces).unwrap();
         let block = *m.protocol.cached_blocks().first().expect("the run cached blocks");
@@ -1383,7 +1396,7 @@ mod tests {
     #[test]
     fn tracing_never_perturbs_timing_and_conserves_cycles() {
         use crate::TraceConfig;
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let plain =
                 Machine::new(tiny(scheme).with_seed(11)).run(sharing_traces(4, 8192, 32)).unwrap();
             let traced = Machine::new(
@@ -1414,7 +1427,7 @@ mod tests {
         use crate::TraceConfig;
         let plan = vcoma_faults::FaultPlan::parse("drop=0.02,nack=0.05").unwrap();
         let mk = |traced: bool| {
-            let mut cfg = tiny(Scheme::VComa).with_seed(2).with_fault_plan(plan.clone());
+            let mut cfg = tiny(Scheme::V_COMA).with_seed(2).with_fault_plan(plan.clone());
             if traced {
                 cfg = cfg.with_trace(TraceConfig { sample_every: 1, capacity: 1 << 18 });
             }
@@ -1442,14 +1455,14 @@ mod tests {
     fn warmup_resets_trace_buffers() {
         use crate::TraceConfig;
         let cold = Machine::new(
-            tiny(Scheme::L0Tlb)
+            tiny(Scheme::L0_TLB)
                 .with_seed(4)
                 .with_trace(TraceConfig { sample_every: 1, capacity: 1 << 16 }),
         )
         .run(sharing_traces(4, 4096, 32))
         .unwrap();
         let warm = Machine::new(
-            tiny(Scheme::L0Tlb)
+            tiny(Scheme::L0_TLB)
                 .with_seed(4)
                 .with_warmup()
                 .with_trace(TraceConfig { sample_every: 1, capacity: 1 << 16 }),
@@ -1467,8 +1480,8 @@ mod tests {
 
     #[test]
     fn audited_fault_free_run_matches_unaudited_timing() {
-        let plain = Machine::new(tiny(Scheme::L2Tlb)).run(sharing_traces(4, 8192, 32)).unwrap();
-        let audited = Machine::new(tiny(Scheme::L2Tlb).with_audit())
+        let plain = Machine::new(tiny(Scheme::L2_TLB)).run(sharing_traces(4, 8192, 32)).unwrap();
+        let audited = Machine::new(tiny(Scheme::L2_TLB).with_audit())
             .run(sharing_traces(4, 8192, 32))
             .unwrap();
         assert_eq!(plain.exec_time(), audited.exec_time());

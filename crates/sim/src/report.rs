@@ -365,7 +365,7 @@ mod tests {
 
     fn empty_report() -> SimReport {
         SimReport::builder()
-            .config(SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb))
+            .config(SimConfig::new(MachineConfig::tiny(), Scheme::L0_TLB))
             .nodes(vec![])
             .protocol(ProtocolStats::default())
             .net(NetStats::default())
@@ -425,7 +425,7 @@ mod tests {
             slc: CacheStats::default(),
         };
         let r = SimReport::builder()
-            .config(SimConfig::new(MachineConfig::tiny(), Scheme::L0Tlb))
+            .config(SimConfig::new(MachineConfig::tiny(), Scheme::L0_TLB))
             .nodes(vec![mk_node(100, 50, 5), mk_node(200, 50, 15)])
             .protocol(ProtocolStats::default())
             .net(NetStats::default())

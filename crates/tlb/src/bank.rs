@@ -1,6 +1,6 @@
 //! Shadow banks of TLBs/DLBs observed in parallel.
 
-use vcoma_tlb::{Tlb, TlbOrg, TlbStats};
+use crate::tlb::{Tlb, TlbOrg, TlbStats};
 use vcoma_types::VPage;
 
 /// A bank of TLB (or DLB) instances of different sizes/organisations that
@@ -46,6 +46,21 @@ impl TlbBank {
             }
         }
         primary_hit
+    }
+
+    /// Like [`TlbBank::access`], additionally returning the entry the
+    /// **primary**'s refill displaced (if it missed and evicted a victim).
+    /// Used by models that track evicted translations, e.g. the Victima
+    /// spill.
+    pub fn access_with_victim(&mut self, page: VPage) -> (bool, Option<VPage>) {
+        let mut primary = (true, None);
+        for (i, t) in self.members.iter_mut().enumerate() {
+            let r = t.translate_track(page);
+            if i == 0 {
+                primary = r;
+            }
+        }
+        primary
     }
 
     /// Shoots a page down in every member.
@@ -126,6 +141,19 @@ mod tests {
         assert!(!b.access(VPage::new(2))); // displaces
         assert!(!b.access(VPage::new(1))); // primary misses, shadow hits
         assert_eq!(b.stats(1).misses, 2, "shadow only took the two cold misses");
+    }
+
+    #[test]
+    fn access_with_victim_tracks_only_the_primary() {
+        let mut b = TlbBank::new(
+            &[(1, TlbOrg::FullyAssociative), (64, TlbOrg::FullyAssociative)],
+            1,
+        );
+        assert_eq!(b.access_with_victim(VPage::new(1)), (false, None));
+        assert_eq!(b.access_with_victim(VPage::new(2)), (false, Some(VPage::new(1))));
+        assert_eq!(b.access_with_victim(VPage::new(2)), (true, None));
+        // The big shadow never evicted; only the primary's victim surfaces.
+        assert_eq!(b.stats(1).evictions, 0);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! TLB / DLB models and the five address-translation schemes.
+//! TLB / DLB models and the composable translation-scheme plugin API.
 //!
 //! The paper's study varies *where* the translation structure sits and what
 //! it maps:
@@ -16,6 +16,23 @@
 //! software-managed scheme of Jacob & Mudge that the paper cites as a
 //! degenerate `L2-TLB`.
 //!
+//! Since the scheme-plugin redesign a translation scheme is *data plus a
+//! model*, not an enum variant:
+//!
+//! * [`SchemeSpec`] describes a scheme — identity (stable key, paper
+//!   label, presentation order), structural predicates (which levels are
+//!   virtual, writeback behaviour, allocation policy) and the point in the
+//!   access path where translation happens ([`XlatePoint`]);
+//! * a [`TranslationModel`] owns a node's translation state and its
+//!   miss-latency schedule ([`BankModel`] for the paper's uniform-penalty
+//!   bank, [`VictimaModel`] for SLC-spilled translations, [`MpsModel`] for
+//!   the multi-page-size TLB);
+//! * the [`registry`] holds every registered scheme and derives all
+//!   rosters ([`paper_schemes`], [`all_schemes`]) and CLI parsing
+//!   ([`SchemeSet`], `Scheme::from_str`);
+//! * [`Scheme`] is the copyable handle the rest of the workspace passes
+//!   around.
+//!
 //! # Example
 //!
 //! ```
@@ -31,8 +48,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bank;
+mod model;
+pub mod registry;
 mod scheme;
+mod spec;
 mod tlb;
 
-pub use scheme::{Scheme, ALL_SCHEMES, FIG8_SCHEMES};
+pub use bank::TlbBank;
+pub use model::{
+    classify, BankModel, ModelParams, MpsModel, PageSize, TranslationModel, VictimaModel, Xlation,
+};
+pub use registry::{
+    all_schemes, paper_schemes, SchemeParseError, SchemeSet,
+};
+pub use scheme::Scheme;
+pub use spec::{AllocPolicy, SchemeSpec, XlatePoint};
 pub use tlb::{Tlb, TlbOrg, TlbStats};

@@ -131,19 +131,27 @@ impl Tlb {
     /// refilled into the buffer (counting an eviction if a victim was
     /// displaced) and `false` is returned.
     pub fn translate(&mut self, page: VPage) -> bool {
+        self.translate_track(page).0
+    }
+
+    /// Like [`Tlb::translate`], additionally returning the page whose
+    /// mapping the refill displaced (only ever `Some` on a miss that
+    /// evicted a victim). Counters are updated exactly as by `translate`.
+    pub fn translate_track(&mut self, page: VPage) -> (bool, Option<VPage>) {
         self.stats.accesses += 1;
         let Some(array) = &mut self.array else {
             self.stats.misses += 1;
-            return false;
+            return (false, None);
         };
         if array.lookup(page.raw()).is_some() {
-            return true;
+            return (true, None);
         }
         self.stats.misses += 1;
-        if array.insert(page.raw(), ()).is_some() {
+        let victim = array.insert(page.raw(), ()).map(|(tag, ())| VPage::new(tag));
+        if victim.is_some() {
             self.stats.evictions += 1;
         }
-        false
+        (false, victim)
     }
 
     /// Probes for a page without refilling or counting an access.
@@ -250,6 +258,17 @@ mod tests {
         assert!(t.contains(VPage::new(0)));
         assert!(t.contains(VPage::new(4)));
         assert!(t.contains(VPage::new(8)));
+    }
+
+    #[test]
+    fn translate_track_reports_the_displaced_victim() {
+        let mut t = Tlb::new(1, TlbOrg::FullyAssociative, 0);
+        assert_eq!(t.translate_track(VPage::new(1)), (false, None), "cold fill, no victim");
+        assert_eq!(t.translate_track(VPage::new(1)), (true, None));
+        assert_eq!(t.translate_track(VPage::new(2)), (false, Some(VPage::new(1))));
+        assert_eq!(t.stats().evictions, 1);
+        let mut zero = Tlb::new(0, TlbOrg::FullyAssociative, 0);
+        assert_eq!(zero.translate_track(VPage::new(5)), (false, None));
     }
 
     #[test]

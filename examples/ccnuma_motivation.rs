@@ -38,7 +38,7 @@ fn main() {
     // 256 KB per node: four times the SLC, so capacity misses are
     // plentiful.
     let traces = private_working_sets(machine.nodes, 256 << 10, 3);
-    let cfg = SimConfig::new(machine, Scheme::L0Tlb).with_entries(32);
+    let cfg = SimConfig::new(machine, Scheme::L0_TLB).with_entries(32);
 
     println!(
         "{:<12} {:>12} {:>10} {:>10} {:>10} {:>9}",

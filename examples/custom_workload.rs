@@ -48,7 +48,7 @@ fn main() {
     let traces = b.into_traces();
 
     println!("custom work-stealing workload: {} total ops\n", traces.iter().map(Vec::len).sum::<usize>());
-    for scheme in [Scheme::L0Tlb, Scheme::L3Tlb, Scheme::VComa] {
+    for scheme in [Scheme::L0_TLB, Scheme::L3_TLB, Scheme::V_COMA] {
         let report = Simulator::new(scheme).entries(8).run_traces(traces.clone());
         println!(
             "{:<8} exec {:>10} cycles | translation misses {:>6} | sync {:>8.0} cyc/node",

@@ -15,7 +15,7 @@ use vcoma::{Scheme, Simulator};
 fn main() {
     println!("global-page-set pressure profiles under V-COMA (paper Fig. 11)\n");
     for workload in all_benchmarks(0.02) {
-        let report = Simulator::new(Scheme::VComa).run(workload.as_ref());
+        let report = Simulator::new(Scheme::V_COMA).run(workload.as_ref());
         let p = report.pressure();
         // Bucket the 256 global page sets into 32 columns for display.
         let cols = 32;

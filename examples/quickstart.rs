@@ -21,7 +21,7 @@ fn main() {
         workload.shared_mb()
     );
 
-    for scheme in [Scheme::L0Tlb, Scheme::VComa] {
+    for scheme in [Scheme::L0_TLB, Scheme::V_COMA] {
         // 32-node paper machine, 8-entry fully-associative TLB/DLB.
         let report = Simulator::new(scheme).entries(8).run(&workload);
         let b = report.mean_breakdown();

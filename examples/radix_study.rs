@@ -30,7 +30,7 @@ fn main() {
     }
     println!();
 
-    for scheme in [Scheme::L0Tlb, Scheme::L2Tlb, Scheme::L3Tlb, Scheme::VComa] {
+    for scheme in [Scheme::L0_TLB, Scheme::L2_TLB, Scheme::L3_TLB, Scheme::V_COMA] {
         let report = Simulator::new(scheme).specs(specs.clone()).run(&workload);
         print!("{:<16}", scheme.label());
         for bank in 0..sizes.len() {

@@ -12,7 +12,7 @@
 //! (default 0.1).
 
 use vcoma::workloads::{by_name, Workload};
-use vcoma::{Simulator, ALL_SCHEMES};
+use vcoma::{all_schemes, Simulator};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -32,7 +32,7 @@ fn main() {
         "local", "remote", "xlat"
     );
 
-    for scheme in ALL_SCHEMES {
+    for scheme in all_schemes() {
         let report = Simulator::new(scheme).entries(8).run(workload.as_ref());
         let b = report.mean_breakdown();
         println!(

@@ -35,7 +35,7 @@ fn main() {
     assert_eq!(reloaded, traces, "round trip must be lossless");
 
     // Replay the reloaded copy.
-    let report = Simulator::new(Scheme::VComa).run_traces(reloaded);
+    let report = Simulator::new(Scheme::V_COMA).run_traces(reloaded);
     println!(
         "  replay         {:>12} cycles under V-COMA, {} DLB misses",
         report.exec_time(),

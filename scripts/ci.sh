@@ -55,6 +55,39 @@ grep -q '"intra_jobs": 8' BENCH_sweep.json
 cp BENCH_sweep.json BENCH_sweep_64node.json
 echo "==> 64-node engines byte-identical; BENCH_sweep_64node.json records the sharded run"
 
+echo "==> table5 smoke: full scheme registry, --jobs 1 vs --jobs 8"
+t5a=$(mktemp -d)
+t5b=$(mktemp -d)
+t5n64a=$(mktemp -d)
+t5n64b=$(mktemp -d)
+trap 'rm -rf "$out1" "$out2" "$outm" "$fault1" "$fault2" "$intra1" "$intra8" "$n64a" "$n64b" "$t5a" "$t5b" "$t5n64a" "$t5n64b"' EXIT
+cargo run --release -p vcoma-experiments -- table5 \
+    --scale 0.01 --out "$t5a" --jobs 1
+cargo run --release -p vcoma-experiments -- table5 \
+    --scale 0.01 --out "$t5b" --jobs 8
+diff -r "$t5a" "$t5b"
+# Registry exhaustiveness at the CLI level: every built-in key, paper and
+# post-1998 alike, lands in the rendered CSV.
+for label in L0-TLB L1-TLB L2-TLB L2-TLB/no_wback L3-TLB V-COMA Victima MPS-TLB; do
+    grep -q -- "$label" "$t5a/table5.csv" || { echo "table5.csv is missing $label"; exit 1; }
+done
+echo "==> table5 byte-identical across worker counts; all registered schemes present"
+
+echo "==> table5 64-node smoke: sharded vs serial, --schemes filter in play"
+cargo run --release -p vcoma-experiments -- table5 --schemes l0_tlb,victima,mps_tlb \
+    --scale 0.01 --nodes 64 --out "$t5n64a" --jobs 1 --intra-jobs 1
+cargo run --release -p vcoma-experiments -- table5 --schemes l0_tlb,victima,mps_tlb \
+    --scale 0.01 --nodes 64 --out "$t5n64b" --jobs 1 --intra-jobs 8
+diff -r "$t5n64a" "$t5n64b"
+# An unknown key must fail fast with the one-line usage error, status 2.
+set +e
+cargo run --release -p vcoma-experiments -- table5 --schemes no_such_scheme \
+    >/dev/null 2>&1
+status=$?
+set -e
+test "$status" -eq 2 || { echo "expected --schemes no_such_scheme to exit 2, got $status"; exit 1; }
+echo "==> table5 64-node engines byte-identical; bad --schemes rejected"
+
 echo "==> bench smoke: streaming (jobs 2) vs materialized (--jobs 1) sweeps"
 # The materialized single-worker run is the oracle the streamed CSVs must
 # match byte-for-byte. It runs first: each run overwrites BENCH_sweep.json

@@ -2,7 +2,7 @@
 //! stack, whatever the scheme or workload.
 
 use vcoma::workloads::all_benchmarks;
-use vcoma::{Simulator, ALL_SCHEMES};
+use vcoma::{all_schemes, Simulator};
 use vcoma_types::Op;
 
 #[test]
@@ -20,7 +20,7 @@ fn reference_counts_match_the_traces() {
             .flatten()
             .filter(|op| matches!(op, Op::Write(_)))
             .count() as u64;
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let report = Simulator::new(scheme).run_traces(traces.clone());
             assert_eq!(report.total_refs(), trace_reads + trace_writes, "{scheme}");
             assert_eq!(report.total_writes(), trace_writes, "{scheme}");
@@ -31,7 +31,7 @@ fn reference_counts_match_the_traces() {
 #[test]
 fn time_accounting_is_consistent() {
     for w in all_benchmarks(0.003) {
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let report = Simulator::new(scheme).run(w.as_ref());
             for (i, n) in report.nodes().iter().enumerate() {
                 // A node's final clock equals the sum of its breakdown
@@ -58,7 +58,7 @@ fn fine_breakdown_conserves_every_cycle() {
     // every simulated cycle, per node and machine-wide, in all five
     // schemes — and refine the coarse Figure-10 categories exactly.
     for w in all_benchmarks(0.003) {
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let report = Simulator::new(scheme).run(w.as_ref());
             for (i, n) in report.nodes().iter().enumerate() {
                 let ctx = || format!("{} {scheme} node {i}", w.name());
@@ -89,7 +89,7 @@ fn fine_breakdown_conserves_every_cycle() {
             );
             // Scheme-specific attribution: node TLB walks belong to the
             // TLB schemes, home DLB lookups to V-COMA.
-            if scheme == vcoma::Scheme::VComa {
+            if scheme == vcoma::Scheme::V_COMA {
                 assert_eq!(fine.tlb_walk, 0, "{}: V-COMA has no node TLBs", w.name());
             } else {
                 assert_eq!(fine.dlb_lookup, 0, "{} {scheme}: only V-COMA has DLBs", w.name());
@@ -105,7 +105,7 @@ fn metrics_reconcile_with_report_counters() {
     // The observation-only metrics layer must agree with the first-class
     // statistics it mirrors.
     for w in all_benchmarks(0.003) {
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let report = Simulator::new(scheme).run(w.as_ref());
             let m = report.metrics();
             let reads: u64 = report.nodes().iter().map(|n| n.reads).sum();
@@ -143,7 +143,7 @@ fn metrics_reconcile_with_report_counters() {
 #[test]
 fn translation_misses_never_exceed_accesses() {
     for w in all_benchmarks(0.003) {
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let report = Simulator::new(scheme).run(w.as_ref());
             assert!(
                 report.translation_misses_total(0) <= report.translation_accesses_total(0),
@@ -160,7 +160,7 @@ fn protocol_hits_plus_transactions_cover_probes() {
     // or produces exactly one protocol transaction; the sum is bounded by
     // the reference count.
     for w in all_benchmarks(0.003) {
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let report = Simulator::new(scheme).run(w.as_ref());
             let p = report.protocol();
             let am_level = p.local_read_hits + p.local_write_hits + p.remote_transactions();
@@ -180,7 +180,7 @@ fn over_capacity_workload_swaps_and_conserves_refs() {
     // 400 distinct pages on the 256-page tiny machine: the page daemon
     // must swap, and accounting must stay exact, in every scheme.
     use vcoma::{MachineConfig, VAddr};
-    for scheme in ALL_SCHEMES {
+    for scheme in all_schemes() {
         let machine = MachineConfig::tiny();
         let mut traces = vec![Vec::new(); machine.nodes as usize];
         for (i, tr) in traces.iter_mut().enumerate() {
@@ -219,7 +219,7 @@ fn protection_changes_are_accounted_and_deterministic() {
         }
         traces
     };
-    for scheme in [Scheme::L0Tlb, Scheme::L3Tlb, Scheme::VComa] {
+    for scheme in [Scheme::L0_TLB, Scheme::L3_TLB, Scheme::V_COMA] {
         let a = Simulator::new(scheme).seed(4).run_traces(mk());
         let b = Simulator::new(scheme).seed(4).run_traces(mk());
         assert_eq!(a.exec_time(), b.exec_time(), "{scheme}");
@@ -239,7 +239,7 @@ fn fixed_seed_grid_conserves_refs_and_messages() {
     // protocol's remote transactions are carried by crossbar messages.
     for &seed in &[1u64, 0x5EED] {
         for w in all_benchmarks(0.003) {
-            for scheme in ALL_SCHEMES {
+            for scheme in all_schemes() {
                 let report = Simulator::new(scheme).seed(seed).run(w.as_ref());
                 for (i, n) in report.nodes().iter().enumerate() {
                     let ctx = || format!("{} {scheme} seed {seed} node {i}", w.name());
@@ -273,7 +273,7 @@ fn no_spills_on_paper_workloads() {
     // The paper's working sets fit (§5.1): the injection protocol must
     // never be forced to spill a master copy to backing store.
     for w in all_benchmarks(0.01) {
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let report = Simulator::new(scheme).run(w.as_ref());
             assert_eq!(
                 report.protocol().spills,

@@ -2,11 +2,11 @@
 //! seed, workload).
 
 use vcoma::workloads::{all_benchmarks, UniformRandom};
-use vcoma::{Scheme, Simulator, ALL_SCHEMES};
+use vcoma::{all_schemes, Scheme, Simulator};
 
 #[test]
 fn identical_seeds_give_identical_reports() {
-    for scheme in ALL_SCHEMES {
+    for scheme in all_schemes() {
         let sim = Simulator::new(scheme).entries(8).seed(1234);
         let w = UniformRandom { pages: 200, refs_per_node: 1500, write_fraction: 0.4 };
         let (a, b) = (sim.run(&w), sim.run(&w));
@@ -32,8 +32,8 @@ fn different_seeds_perturb_random_replacement() {
     // With random TLB replacement, different seeds give (almost surely)
     // different miss counts on a thrashing workload.
     let w = UniformRandom { pages: 64, refs_per_node: 4000, write_fraction: 0.3 };
-    let a = Simulator::new(Scheme::L0Tlb).entries(8).seed(1).run(&w);
-    let b = Simulator::new(Scheme::L0Tlb).entries(8).seed(2).run(&w);
+    let a = Simulator::new(Scheme::L0_TLB).entries(8).seed(1).run(&w);
+    let b = Simulator::new(Scheme::L0_TLB).entries(8).seed(2).run(&w);
     assert_ne!(
         a.translation_misses_total(0),
         b.translation_misses_total(0),
@@ -54,9 +54,9 @@ fn benchmark_generation_is_reproducible_through_the_facade() {
 #[test]
 fn warmup_changes_stats_not_determinism() {
     let w = UniformRandom { pages: 64, refs_per_node: 1000, write_fraction: 0.3 };
-    let cold = Simulator::new(Scheme::VComa).seed(7).run(&w);
-    let warm_a = Simulator::new(Scheme::VComa).seed(7).warmup().run(&w);
-    let warm_b = Simulator::new(Scheme::VComa).seed(7).warmup().run(&w);
+    let cold = Simulator::new(Scheme::V_COMA).seed(7).run(&w);
+    let warm_a = Simulator::new(Scheme::V_COMA).seed(7).warmup().run(&w);
+    let warm_b = Simulator::new(Scheme::V_COMA).seed(7).warmup().run(&w);
     assert_eq!(warm_a.exec_time(), warm_b.exec_time());
     // The warm window must see fewer protocol cold fills than the cold one.
     assert!(warm_a.protocol().cold_fills < cold.protocol().cold_fills);

@@ -18,7 +18,7 @@ fn table1_renders() {
 
 #[test]
 fn fig8_renders() {
-    let panels = fig8::run_schemes(&cfg(), &[vcoma::Scheme::L0Tlb, vcoma::Scheme::VComa]);
+    let panels = fig8::run_schemes(&cfg(), &[vcoma::Scheme::L0_TLB, vcoma::Scheme::V_COMA]);
     assert_eq!(panels.len(), 6);
     for p in &panels {
         let t = fig8::render(p);

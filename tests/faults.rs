@@ -5,7 +5,7 @@
 
 use vcoma::faults::FaultPlan;
 use vcoma::workloads::UniformRandom;
-use vcoma::{Scheme, Simulator, ALL_SCHEMES};
+use vcoma::{all_schemes, Scheme, Simulator};
 
 fn workload() -> UniformRandom {
     UniformRandom { pages: 96, refs_per_node: 800, write_fraction: 0.4 }
@@ -14,7 +14,7 @@ fn workload() -> UniformRandom {
 #[test]
 fn every_scheme_survives_a_lossy_crossbar_with_the_auditor_armed() {
     let plan = FaultPlan::parse("drop=0.01,dup=0.005,delay=32,nack=0.02").unwrap();
-    for scheme in ALL_SCHEMES {
+    for scheme in all_schemes() {
         let report = Simulator::new(scheme)
             .tiny()
             .fault_plan(plan.clone())
@@ -47,7 +47,7 @@ fn every_scheme_survives_a_lossy_crossbar_with_the_auditor_armed() {
 
 #[test]
 fn zero_probability_plan_is_byte_inert() {
-    for scheme in ALL_SCHEMES {
+    for scheme in all_schemes() {
         let plain = Simulator::new(scheme).tiny().run(&workload());
         let zeroed = Simulator::new(scheme)
             .tiny()
@@ -66,7 +66,7 @@ fn zero_probability_plan_is_byte_inert() {
 fn fault_runs_are_a_pure_function_of_plan_and_seed() {
     let plan = FaultPlan::parse("drop=0.02,nack=0.05").unwrap().with_seed(0xBEEF);
     let run = || {
-        Simulator::new(Scheme::VComa)
+        Simulator::new(Scheme::V_COMA)
             .tiny()
             .fault_plan(plan.clone())
             .audit()
@@ -84,7 +84,7 @@ fn fault_runs_are_a_pure_function_of_plan_and_seed() {
 fn fault_seed_changes_the_fault_pattern_but_not_the_references() {
     let plan = FaultPlan::parse("drop=0.03,nack=0.05").unwrap();
     let run = |seed: u64| {
-        Simulator::new(Scheme::L0Tlb)
+        Simulator::new(Scheme::L0_TLB)
             .tiny()
             .fault_plan(plan.clone().with_seed(seed))
             .try_run(&workload())

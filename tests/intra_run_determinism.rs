@@ -21,7 +21,7 @@ use std::fs;
 use std::path::PathBuf;
 use vcoma::faults::FaultPlan;
 use vcoma::workloads::{PingPong, UniformRandom};
-use vcoma::{MachineConfig, Scheme, SimReport, Simulator, ALL_SCHEMES};
+use vcoma::{all_schemes, paper_schemes, MachineConfig, Scheme, SimReport, Simulator};
 
 /// Everything a run can observably produce: the full report (config,
 /// per-node stats, protocol and net counters, pressure profile), the
@@ -47,7 +47,7 @@ fn instrumented(scheme: Scheme, intra_jobs: usize) -> Simulator {
 #[test]
 fn every_scheme_is_invariant_across_worker_counts_with_faults_and_tracing() {
     let w = UniformRandom { pages: 64, refs_per_node: 400, write_fraction: 0.4 };
-    for scheme in ALL_SCHEMES {
+    for scheme in all_schemes() {
         let serial = instrumented(scheme, 1).try_run(&w).unwrap_or_else(|e| panic!("{scheme}: {e}"));
         assert!(serial.trace().is_some(), "{scheme}: tracing must be armed for this suite");
         let baseline = fingerprint(&serial);
@@ -69,9 +69,9 @@ fn sync_heavy_workload_is_invariant_across_worker_counts() {
     // Ping-pong maximises cross-node ordering sensitivity: every epoch's
     // barrier must replay the serial interleaving exactly.
     let w = PingPong { rounds: 300 };
-    let serial = fingerprint(&instrumented(Scheme::VComa, 1).try_run(&w).unwrap());
+    let serial = fingerprint(&instrumented(Scheme::V_COMA, 1).try_run(&w).unwrap());
     for jobs in [2, 8] {
-        let sharded = fingerprint(&instrumented(Scheme::VComa, jobs).try_run(&w).unwrap());
+        let sharded = fingerprint(&instrumented(Scheme::V_COMA, jobs).try_run(&w).unwrap());
         assert!(serial == sharded, "PingPong diverged at intra_jobs={jobs}");
     }
 }
@@ -121,11 +121,20 @@ fn summary_line(scheme: Scheme, r: &SimReport) -> String {
 
 /// Runs the scale-up smoke workload on `nodes` nodes under both engines,
 /// asserts they agree byte-for-byte, and returns the sharded summary.
-fn scale_up_summary(nodes: u64, refs_per_node: u64, intra_jobs: usize) -> String {
+///
+/// The roster is explicit so the pre-plugin-API fixtures (which record the
+/// paper's six schemes) stay byte-identical while the post-1998 schemes
+/// pin their own fixture.
+fn scale_up_summary(
+    schemes: &[Scheme],
+    nodes: u64,
+    refs_per_node: u64,
+    intra_jobs: usize,
+) -> String {
     let machine = MachineConfig::builder().nodes(nodes).build().expect("scale-up machine");
     let w = UniformRandom { pages: 2 * nodes, refs_per_node, write_fraction: 0.3 };
     let mut out = String::new();
-    for scheme in ALL_SCHEMES {
+    for &scheme in schemes {
         let run = |jobs: usize| {
             // Tracing armed so the byte-diff covers spans at scale too;
             // tracing is inert, so the golden summary lines don't move.
@@ -149,12 +158,22 @@ fn scale_up_summary(nodes: u64, refs_per_node: u64, intra_jobs: usize) -> String
 
 #[test]
 fn node64_smoke_matches_golden_and_serial() {
-    check("intra_run_64node_smoke.txt", &scale_up_summary(64, 200, 8));
+    check("intra_run_64node_smoke.txt", &scale_up_summary(&paper_schemes(), 64, 200, 8));
 }
 
 #[test]
 fn node256_smoke_matches_golden_and_serial() {
     // The acceptance bar for the sharded engine: a 256-node run at
     // intra_jobs=8 byte-identical to intra_jobs=1.
-    check("intra_run_256node_smoke.txt", &scale_up_summary(256, 60, 8));
+    check("intra_run_256node_smoke.txt", &scale_up_summary(&paper_schemes(), 256, 60, 8));
+}
+
+#[test]
+fn post1998_schemes_node64_smoke_matches_golden_and_serial() {
+    // The plugin schemes get the same scale-up bar as the paper's six,
+    // pinned in their own fixture.
+    let extras: Vec<Scheme> =
+        all_schemes().into_iter().filter(|s| !s.is_paper()).collect();
+    assert!(!extras.is_empty(), "the registry ships post-1998 schemes");
+    check("intra_run_64node_post1998_smoke.txt", &scale_up_summary(&extras, 64, 200, 8));
 }

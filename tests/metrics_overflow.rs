@@ -68,7 +68,7 @@ fn a_real_run_overflows_a_tiny_ring_without_losing_counters() {
     let w = UniformRandom { pages: 200, refs_per_node: 1000, write_fraction: 0.3 };
     let traces = w.generate(&machine);
     let run = |capacity: usize| {
-        let cfg = SimConfig::new(machine.clone(), Scheme::L0Tlb)
+        let cfg = SimConfig::new(machine.clone(), Scheme::L0_TLB)
             .with_seed(9)
             .with_event_capacity(capacity);
         Machine::new(cfg).run(traces.clone()).unwrap()

@@ -42,7 +42,7 @@ fn skewed_virtual_layout_is_visible_in_the_profile() {
             b.read(n, region.addr(i * stride));
         }
     }
-    let report = Simulator::new(Scheme::VComa).run_traces(b.into_traces());
+    let report = Simulator::new(Scheme::V_COMA).run_traces(b.into_traces());
     let p = report.pressure();
     assert!(
         p.coefficient_of_variation() > 5.0,
@@ -64,7 +64,7 @@ fn pressure_counts_match_touched_pages() {
     for i in 0..machine.global_page_sets() {
         b.read(0, region.addr(i * machine.page_size));
     }
-    let report = Simulator::new(Scheme::VComa).run_traces(b.into_traces());
+    let report = Simulator::new(Scheme::V_COMA).run_traces(b.into_traces());
     let p = report.pressure();
     let expected = 1.0 / machine.page_slots_per_global_set() as f64;
     for set in 0..machine.global_page_sets() {

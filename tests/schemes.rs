@@ -2,13 +2,13 @@
 //! end to end on the paper machine.
 
 use vcoma::workloads::{all_benchmarks, PingPong, PrivateStream, UniformRandom};
-use vcoma::{Scheme, Simulator, ALL_SCHEMES};
+use vcoma::{all_schemes, Scheme, Simulator};
 
 #[test]
 fn every_scheme_runs_every_benchmark() {
     for w in all_benchmarks(0.003) {
         let mut refs = Vec::new();
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             let report = Simulator::new(scheme).entries(8).run(w.as_ref());
             assert!(report.exec_time() > 0, "{} {}", w.name(), scheme);
             assert!(report.total_refs() > 0, "{} {}", w.name(), scheme);
@@ -29,7 +29,7 @@ fn private_data_stays_local_in_steady_state() {
     // in any scheme with a virtually-indexed AM (no capacity pressure at
     // this size) — and almost none in the physical ones.
     let w = PrivateStream { bytes_per_node: 64 << 10, passes: 3 };
-    for scheme in [Scheme::L3Tlb, Scheme::VComa] {
+    for scheme in [Scheme::L3_TLB, Scheme::V_COMA] {
         let report = Simulator::new(scheme).warmup().run(&w);
         let b = report.aggregate_breakdown();
         assert_eq!(
@@ -42,7 +42,7 @@ fn private_data_stays_local_in_steady_state() {
 #[test]
 fn ping_pong_is_remote_bound_everywhere() {
     let w = PingPong { rounds: 200 };
-    for scheme in ALL_SCHEMES {
+    for scheme in all_schemes() {
         let report = Simulator::new(scheme).run(&w);
         let b = report.aggregate_breakdown();
         assert!(
@@ -59,7 +59,7 @@ fn vcoma_never_uses_a_processor_tlb() {
     // access count equals the number of home lookups, which is bounded by
     // the protocol transactions, not by the reference count.
     let w = UniformRandom { pages: 128, refs_per_node: 2000, write_fraction: 0.3 };
-    let report = Simulator::new(Scheme::VComa).run(&w);
+    let report = Simulator::new(Scheme::V_COMA).run(&w);
     assert!(
         report.translation_accesses_total(0) <= report.protocol().remote_transactions(),
         "DLB accesses ({}) cannot exceed protocol transactions ({})",
@@ -67,7 +67,7 @@ fn vcoma_never_uses_a_processor_tlb() {
         report.protocol().remote_transactions()
     );
     // While L0 translates every single reference.
-    let l0 = Simulator::new(Scheme::L0Tlb).run(&w);
+    let l0 = Simulator::new(Scheme::L0_TLB).run(&w);
     assert_eq!(l0.translation_accesses_total(0), l0.total_refs());
 }
 
@@ -77,7 +77,7 @@ fn translation_access_counts_are_filtered_down_the_hierarchy() {
     // Within the physically-addressed family the protocol dynamics are
     // identical, so filtering is strict: L0 ≥ L1 ≥ L2.
     let mut last = u64::MAX;
-    for scheme in [Scheme::L0Tlb, Scheme::L1Tlb, Scheme::L2TlbNoWb] {
+    for scheme in [Scheme::L0_TLB, Scheme::L1_TLB, Scheme::L2_TLB_NO_WB] {
         let report = Simulator::new(scheme).run(&w);
         let accesses = report.translation_accesses_total(0);
         assert!(
@@ -89,8 +89,8 @@ fn translation_access_counts_are_filtered_down_the_hierarchy() {
     // L3 and V-COMA use page coloring / virtual homes, which perturbs the
     // coherence dynamics slightly; allow a small band against L0 while
     // still requiring deep filtering relative to the top of the hierarchy.
-    let l0 = Simulator::new(Scheme::L0Tlb).run(&w).translation_accesses_total(0);
-    for scheme in [Scheme::L3Tlb, Scheme::VComa] {
+    let l0 = Simulator::new(Scheme::L0_TLB).run(&w).translation_accesses_total(0);
+    for scheme in [Scheme::L3_TLB, Scheme::V_COMA] {
         let accesses = Simulator::new(scheme).run(&w).translation_accesses_total(0);
         assert!(
             accesses <= l0,

@@ -19,7 +19,7 @@ fn filtering_effect_on_access_counts() {
         // Strict ordering within the physically-addressed family (same
         // protocol dynamics)…
         let mut last = u64::MAX;
-        for scheme in [Scheme::L0Tlb, Scheme::L1Tlb, Scheme::L2TlbNoWb] {
+        for scheme in [Scheme::L0_TLB, Scheme::L1_TLB, Scheme::L2_TLB_NO_WB] {
             let report = cfg.simulator(scheme).entries(8).run(w.as_ref());
             let acc = report.translation_accesses_total(0);
             assert!(acc <= last, "{} {}: {} > {}", w.name(), scheme, acc, last);
@@ -30,11 +30,11 @@ fn filtering_effect_on_access_counts() {
         // conflict under coloring — the paper's §5.3 effect), so they get
         // a 15 % band against L2 and must sit well below L0.
         let l0 = cfg
-            .simulator(Scheme::L0Tlb)
+            .simulator(Scheme::L0_TLB)
             .entries(8)
             .run(w.as_ref())
             .translation_accesses_total(0);
-        for scheme in [Scheme::L3Tlb, Scheme::VComa] {
+        for scheme in [Scheme::L3_TLB, Scheme::V_COMA] {
             let acc = cfg
                 .simulator(scheme)
                 .entries(8)
@@ -62,8 +62,8 @@ fn writeback_effect_on_l2() {
         if !matches!(w.name(), "FFT" | "OCEAN" | "RADIX") {
             continue;
         }
-        let with_wb = cfg.simulator(Scheme::L2Tlb).entries(8).run(w.as_ref());
-        let no_wb = cfg.simulator(Scheme::L2TlbNoWb).entries(8).run(w.as_ref());
+        let with_wb = cfg.simulator(Scheme::L2_TLB).entries(8).run(w.as_ref());
+        let no_wb = cfg.simulator(Scheme::L2_TLB_NO_WB).entries(8).run(w.as_ref());
         assert!(
             with_wb.translation_misses_total(0) > no_wb.translation_misses_total(0),
             "{}: writebacks must add L2 misses ({} vs {})",
@@ -81,8 +81,8 @@ fn writeback_effect_on_l2() {
 fn radix_dlb_sharing_and_prefetching() {
     let cfg = cfg();
     let w = Radix::paper().scaled(cfg.scale);
-    let dlb16 = cfg.simulator(Scheme::VComa).entries(16).run(&w);
-    let tlb512 = cfg.simulator(Scheme::L3Tlb).entries(512).run(&w);
+    let dlb16 = cfg.simulator(Scheme::V_COMA).entries(16).run(&w);
+    let tlb512 = cfg.simulator(Scheme::L3_TLB).entries(512).run(&w);
     assert!(
         dlb16.translation_misses_total(0) < tlb512.translation_misses_total(0),
         "16-entry DLB ({}) must beat a 512-entry L3 TLB ({})",
@@ -103,7 +103,7 @@ fn radix_has_no_small_working_set() {
         .iter()
         .map(|&s| (s, TlbOrg::FullyAssociative))
         .collect();
-    let report = cfg.simulator(Scheme::L0Tlb).specs(specs).run(&w);
+    let report = cfg.simulator(Scheme::L0_TLB).specs(specs).run(&w);
     // Compare *capacity* misses (above the compulsory floor measured at
     // 2048 entries, where everything fits).
     let floor = report.translation_misses_total(3) as f64;
@@ -135,8 +135,8 @@ fn dm_gap_shrinks_with_level() {
         }
         sum / panels.len() as f64
     };
-    let l0 = mean_gap(Scheme::L0Tlb);
-    let vc = mean_gap(Scheme::VComa);
+    let l0 = mean_gap(Scheme::L0_TLB);
+    let vc = mean_gap(Scheme::V_COMA);
     assert!(
         vc <= l0 + 0.05,
         "DM/FA gap must not grow towards V-COMA (L0 {l0:.2}x vs V-COMA {vc:.2}x)"
@@ -166,12 +166,12 @@ fn dlb_overhead_is_negligible() {
 fn raytrace_v2_recovers_time() {
     let cfg = cfg();
     let v1 = cfg
-        .simulator(Scheme::VComa)
+        .simulator(Scheme::V_COMA)
         .entries(8)
         .warmup()
         .run(&Raytrace::paper().scaled(cfg.scale));
     let v2 = cfg
-        .simulator(Scheme::VComa)
+        .simulator(Scheme::V_COMA)
         .entries(8)
         .warmup()
         .run(&Raytrace::v2().scaled(cfg.scale));
@@ -188,7 +188,7 @@ fn raytrace_v2_recovers_time() {
 #[test]
 fn fig8_curves_are_monotone() {
     let cfg = cfg();
-    for panel in fig8::run_schemes(&cfg, &[Scheme::L0Tlb, Scheme::L2Tlb, Scheme::VComa]) {
+    for panel in fig8::run_schemes(&cfg, &[Scheme::L0_TLB, Scheme::L2_TLB, Scheme::V_COMA]) {
         for c in &panel.curves {
             assert!(
                 c.is_monotone_decreasing(0.2),

@@ -7,7 +7,7 @@
 use vcoma::workloads::{all_benchmarks, PingPong, PrivateStream, UniformRandom, Workload};
 use vcoma::{
     sources_from_traces, MachineConfig, Op, OpSource, Scheme, SimError, Simulator, SyncId,
-    ALL_SCHEMES,
+    all_schemes,
 };
 
 /// The paper's six benchmarks at smoke scale plus the three
@@ -37,7 +37,7 @@ fn sources_concatenate_to_the_generated_traces() {
 #[test]
 fn streaming_reports_match_materialized_reports_for_every_workload() {
     for w in every_workload() {
-        let sim = Simulator::new(Scheme::VComa).seed(42).warmup();
+        let sim = Simulator::new(Scheme::V_COMA).seed(42).warmup();
         let streamed = sim.run(w.as_ref());
         let built = sim.clone().materialized().run(w.as_ref());
         assert_eq!(format!("{streamed:?}"), format!("{built:?}"), "{}", w.name());
@@ -47,7 +47,7 @@ fn streaming_reports_match_materialized_reports_for_every_workload() {
 #[test]
 fn streaming_matches_materialized_for_every_scheme() {
     let w = UniformRandom { pages: 128, refs_per_node: 800, write_fraction: 0.4 };
-    for scheme in ALL_SCHEMES {
+    for scheme in all_schemes() {
         let sim = Simulator::new(scheme).entries(8).seed(7);
         let streamed = sim.run(&w);
         let built = sim.clone().materialized().run(&w);
@@ -81,7 +81,7 @@ impl Workload for Unbalanced {
 
 #[test]
 fn missing_barrier_participant_surfaces_as_a_deadlock_error() {
-    for sim in [Simulator::new(Scheme::L0Tlb).tiny(), Simulator::new(Scheme::L0Tlb).tiny().materialized()]
+    for sim in [Simulator::new(Scheme::L0_TLB).tiny(), Simulator::new(Scheme::L0_TLB).tiny().materialized()]
     {
         match sim.try_run(&Unbalanced) {
             Err(SimError::Deadlock { parked }) => assert_eq!(parked, vec![0]),
@@ -113,7 +113,7 @@ impl Workload for WrongArity {
 
 #[test]
 fn wrong_source_count_surfaces_as_bad_traces() {
-    for sim in [Simulator::new(Scheme::VComa).tiny(), Simulator::new(Scheme::VComa).tiny().materialized()]
+    for sim in [Simulator::new(Scheme::V_COMA).tiny(), Simulator::new(Scheme::V_COMA).tiny().materialized()]
     {
         match sim.try_run(&WrongArity) {
             Err(SimError::BadTraces { got, want }) => {

@@ -11,7 +11,7 @@ use std::path::PathBuf;
 use vcoma_experiments::render::TextTable;
 use vcoma_experiments::sweep::{self, SweepPoint, SweepResult};
 use vcoma_experiments::{table2, trace, ExperimentConfig};
-use vcoma::{Scheme, SimReport, ALL_SCHEMES};
+use vcoma::{all_schemes, paper_schemes, Scheme, SimReport};
 
 fn cfg() -> ExperimentConfig {
     ExperimentConfig::smoke().with_jobs(2)
@@ -31,7 +31,7 @@ fn run_one(cfg: &ExperimentConfig, scheme: Scheme, traced: bool) -> SimReport {
 /// derived from these report fields, so byte-equality here means every
 /// golden fixture and sweep CSV is independent of the tracing toggle.
 fn sweep_table(cfg: &ExperimentConfig, traced: bool) -> TextTable {
-    let points: Vec<SweepPoint<Scheme>> = ALL_SCHEMES
+    let points: Vec<SweepPoint<Scheme>> = all_schemes()
         .into_iter()
         .map(|scheme| SweepPoint::new(scheme.to_string(), scheme))
         .collect();
@@ -71,7 +71,7 @@ fn sweep_table(cfg: &ExperimentConfig, traced: bool) -> TextTable {
 #[test]
 fn tracing_is_inert_for_every_scheme() {
     let cfg = cfg();
-    for scheme in ALL_SCHEMES {
+    for scheme in all_schemes() {
         let plain = run_one(&cfg, scheme, false);
         let traced = run_one(&cfg, scheme, true);
         assert!(plain.trace().is_none(), "{scheme}: untraced run must not carry spans");
@@ -121,7 +121,7 @@ fn goldens_stay_byte_identical_with_tracing_in_process() {
     // state, the golden fixture comparison below would diverge.
     let cfg = cfg();
     let rows = trace::run(&cfg);
-    assert_eq!(rows.len(), ALL_SCHEMES.len());
+    assert_eq!(rows.len(), paper_schemes().len());
     let rendered = table2::render(&table2::run(&cfg)).render();
     let path =
         PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/table2_smoke.txt"));
