@@ -1,10 +1,10 @@
 //! Per-cache statistics counters.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use vcoma_metrics::Mergeable;
 
 /// Event counters accumulated by a cache model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Read accesses presented to the cache.
     pub reads: u64,

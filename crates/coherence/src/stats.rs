@@ -1,10 +1,10 @@
 //! Protocol event counters.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use vcoma_metrics::Mergeable;
 
 /// Machine-wide protocol statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct ProtocolStats {
     /// Reads satisfied by the local attraction memory.
     pub local_read_hits: u64,

@@ -43,7 +43,7 @@
 #![warn(missing_docs)]
 
 pub use vcoma_sim::{
-    AuditError, LatencyBreakdown, Machine, NodeReport, SimConfig, SimError, SimReport,
+    codec, AuditError, LatencyBreakdown, Machine, NodeReport, SimConfig, SimError, SimReport,
     SimReportBuilder, TimeBreakdown, TlbBank, TraceConfig, LATENCY_CATEGORIES,
 };
 pub use vcoma_tlb::{

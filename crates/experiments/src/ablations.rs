@@ -75,8 +75,8 @@ pub fn contention(cfg: &ExperimentConfig) -> Vec<AblationRow> {
         cfg,
         |w| {
             (
-                cfg.simulator(Scheme::V_COMA).run(w),
-                cfg.simulator(Scheme::V_COMA).contention().run(w),
+                cfg.run_cached(cfg.simulator(Scheme::V_COMA), w),
+                cfg.run_cached(cfg.simulator(Scheme::V_COMA).contention(), w),
             )
         },
         |r| r.mean_breakdown().remote_stall,
@@ -92,7 +92,12 @@ pub fn coloring(cfg: &ExperimentConfig) -> Vec<AblationRow> {
         "ablation_coloring",
         "AM indexing: physical(rr)/virtual(colored)",
         cfg,
-        |w| (cfg.simulator(Scheme::L2_TLB).run(w), cfg.simulator(Scheme::L3_TLB).run(w)),
+        |w| {
+            (
+                cfg.run_cached(cfg.simulator(Scheme::L2_TLB), w),
+                cfg.run_cached(cfg.simulator(Scheme::L3_TLB), w),
+            )
+        },
         |r| (r.protocol().injections() + r.protocol().spills) as f64,
     )
 }
@@ -109,10 +114,11 @@ pub fn injection(cfg: &ExperimentConfig) -> Vec<AblationRow> {
         cfg,
         |w| {
             (
-                cfg.simulator(Scheme::V_COMA).run(w),
-                cfg.simulator(Scheme::V_COMA)
-                    .injection_policy(InjectionPolicy::HomeDisplace)
-                    .run(w),
+                cfg.run_cached(cfg.simulator(Scheme::V_COMA), w),
+                cfg.run_cached(
+                    cfg.simulator(Scheme::V_COMA).injection_policy(InjectionPolicy::HomeDisplace),
+                    w,
+                ),
             )
         },
         |r| r.protocol().injection_hops as f64,
@@ -130,8 +136,8 @@ pub fn software_managed(cfg: &ExperimentConfig) -> Vec<AblationRow> {
         cfg,
         |w| {
             (
-                cfg.simulator(Scheme::L2_TLB_NO_WB).entries(8).run(w),
-                cfg.simulator(Scheme::L2_TLB_NO_WB).entries(0).run(w),
+                cfg.run_cached(cfg.simulator(Scheme::L2_TLB_NO_WB).entries(8), w),
+                cfg.run_cached(cfg.simulator(Scheme::L2_TLB_NO_WB).entries(0), w),
             )
         },
         |r| r.mean_breakdown().translation,
@@ -166,7 +172,7 @@ pub fn render(rows: &[AblationRow]) -> TextTable {
 pub fn exec_times_all_schemes(cfg: &ExperimentConfig, w: &dyn Workload) -> Vec<(Scheme, u64)> {
     vcoma::all_schemes()
         .into_iter()
-        .map(|s| (s, cfg.simulator(s).run(w).exec_time()))
+        .map(|s| (s, cfg.run_cached(cfg.simulator(s), w).exec_time()))
         .collect()
 }
 

@@ -1,0 +1,135 @@
+//! Shared artifact dispatch: one entry point that turns an artifact name
+//! into its rendered tables.
+//!
+//! Both front ends go through [`run_standard`] — the CLI binary when it
+//! prints tables and writes `--out` CSVs, and the sweep daemon when it
+//! evaluates a submitted job — so a daemon-served CSV is produced by
+//! exactly the same code as a direct run's, which is what makes the
+//! byte-for-byte equality the integration suite and CI assert a
+//! structural property rather than a coincidence.
+//!
+//! The three opt-in artifacts with extra side channels (`breakdown`'s
+//! `--metrics-out`, `trace`'s `--trace-out`, `faults`' plan and exit
+//! status) stay in the CLI; everything `all` runs is here.
+
+use crate::render::TextTable;
+use crate::{
+    ablations, ccnuma, fig10, fig11, fig8, fig9, table1, table2, table3, table4, table5,
+    ExperimentConfig,
+};
+
+/// The artifacts servable by both front ends, in default execution
+/// order — exactly the set the CLI's `all` runs.
+pub const STANDARD: [&str; 11] = [
+    "table1", "fig8", "table2", "table3", "fig9", "table4", "fig10", "fig11", "table5",
+    "ablations", "ccnuma",
+];
+
+/// One artifact's rendered output: the heading line the CLI prints and
+/// the tables it produced, each with the file stem its CSV is saved
+/// under (`fig8` yields one table per benchmark panel).
+pub struct ArtifactOutput {
+    /// The `== ... ==` heading printed above the tables.
+    pub heading: &'static str,
+    /// `(file stem, rendered table)` pairs, in print order.
+    pub tables: Vec<(String, TextTable)>,
+}
+
+impl ArtifactOutput {
+    fn single(heading: &'static str, stem: &str, table: TextTable) -> Self {
+        ArtifactOutput { heading, tables: vec![(stem.to_string(), table)] }
+    }
+}
+
+/// Runs one standard artifact and renders its tables. Returns `None`
+/// for names outside [`STANDARD`] (the CLI's opt-in artifacts and
+/// unknown strings alike); the caller decides whether that is an error.
+pub fn run_standard(name: &str, cfg: &ExperimentConfig) -> Option<ArtifactOutput> {
+    let out = match name {
+        "table1" => ArtifactOutput::single(
+            "== Table 1: benchmark parameters ==",
+            "table1",
+            table1::render(&table1::run(cfg)),
+        ),
+        "fig8" => ArtifactOutput {
+            heading: "== Figure 8: translation misses per node vs TLB/DLB size ==",
+            tables: fig8::run(cfg)
+                .iter()
+                .map(|p| (format!("fig8_{}", p.benchmark.to_lowercase()), fig8::render(p)))
+                .collect(),
+        },
+        "table2" => ArtifactOutput::single(
+            "== Table 2: TLB/DLB miss rates per processor reference (%) ==",
+            "table2",
+            table2::render(&table2::run(cfg)),
+        ),
+        "table3" => ArtifactOutput::single(
+            "== Table 3: TLB size equivalent to an 8-entry DLB ==",
+            "table3",
+            table3::render(&table3::run(cfg)),
+        ),
+        "fig9" => ArtifactOutput {
+            heading: "== Figure 9: direct-mapped vs fully-associative TLB/DLB ==",
+            tables: fig9::run(cfg)
+                .iter()
+                .map(|p| (format!("fig9_{}", p.benchmark.to_lowercase()), fig9::render(p)))
+                .collect(),
+        },
+        "table4" => ArtifactOutput::single(
+            "== Table 4: translation time / total stall time (%) ==",
+            "table4",
+            table4::render(&table4::run(cfg)),
+        ),
+        "fig10" => ArtifactOutput {
+            heading: "== Figure 10: execution-time breakdown per node ==",
+            tables: fig10::run(cfg)
+                .iter()
+                .map(|p| (format!("fig10_{}", p.benchmark.to_lowercase()), fig10::render(p)))
+                .collect(),
+        },
+        "fig11" => ArtifactOutput::single(
+            "== Figure 11: global-page-set pressure profiles ==",
+            "fig11",
+            fig11::render(&fig11::run(cfg)),
+        ),
+        "table5" => ArtifactOutput::single(
+            "== Table 5: post-1998 registry schemes vs the 1998 options ==",
+            "table5",
+            table5::render(&table5::run(cfg)),
+        ),
+        "ablations" => {
+            let mut rows = ablations::contention(cfg);
+            rows.extend(ablations::coloring(cfg));
+            rows.extend(ablations::injection(cfg));
+            rows.extend(ablations::software_managed(cfg));
+            ArtifactOutput::single("== Ablations ==", "ablations", ablations::render(&rows))
+        }
+        "ccnuma" => ArtifactOutput::single(
+            "== CC-NUMA motivation (paper \u{a7}2): SHARED-TLB vs first-touch ==",
+            "ccnuma",
+            ccnuma::render(&ccnuma::run(cfg)),
+        ),
+        _ => return None,
+    };
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_covers_the_all_roster_and_nothing_else() {
+        let cfg = ExperimentConfig::smoke();
+        for opt_in in ["breakdown", "faults", "trace", "nonsense"] {
+            assert!(run_standard(opt_in, &cfg).is_none(), "{opt_in}");
+        }
+        // table1 is trace generation only (no sweeps), so it is cheap
+        // enough to exercise end-to-end here.
+        let out = run_standard("table1", &cfg).expect("table1 is standard");
+        assert_eq!(out.heading, "== Table 1: benchmark parameters ==");
+        assert_eq!(out.tables.len(), 1);
+        assert_eq!(out.tables[0].0, "table1");
+        assert!(out.tables[0].1.to_csv().contains("RADIX"));
+    }
+}

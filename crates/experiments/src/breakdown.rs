@@ -56,7 +56,7 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<BreakdownRow> {
         }
     }
     sweep::run("breakdown", cfg.effective_jobs(), points, |&(scheme, wl)| {
-        let report = cfg.simulator(scheme).run(wl);
+        let report = cfg.run_cached(cfg.simulator(scheme), wl);
         SweepResult::new(
             BreakdownRow::from_report(wl.name(), scheme, &report),
             report.simulated_cycles(),

@@ -87,7 +87,7 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Fig10Panel> {
         }
     }
     let bars = sweep::run("fig10", cfg.effective_jobs(), points, |&(label, scheme, specs, wl)| {
-        let report = cfg.simulator(scheme).specs(specs.to_vec()).warmup().run(wl);
+        let report = cfg.run_cached(cfg.simulator(scheme).specs(specs.to_vec()).warmup(), wl);
         SweepResult::new(Bar::from_report(label, &report), report.simulated_cycles())
     });
     let mut bars = bars.into_iter();

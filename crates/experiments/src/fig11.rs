@@ -26,7 +26,7 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Fig11Row> {
     let points =
         cfg.benchmarks().into_iter().map(|w| SweepPoint::new(w.name(), w)).collect();
     sweep::run("fig11", cfg.effective_jobs(), points, |w| {
-        let report = cfg.simulator(Scheme::V_COMA).run(w.as_ref());
+        let report = cfg.run_cached(cfg.simulator(Scheme::V_COMA), w.as_ref());
         let p = report.pressure();
         SweepResult::new(
             Fig11Row {

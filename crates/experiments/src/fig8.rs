@@ -58,7 +58,7 @@ pub fn run_schemes(cfg: &ExperimentConfig, schemes: &[Scheme]) -> Vec<Fig8Panel>
         .collect();
     let specs = &specs;
     let curves = sweep::run("fig8", cfg.effective_jobs(), points, |&(w, scheme)| {
-        let report = cfg.simulator(scheme).specs(specs.clone()).run(w);
+        let report = cfg.run_cached(cfg.simulator(scheme).specs(specs.clone()), w);
         SweepResult::new(
             Curve {
                 scheme,

@@ -55,7 +55,7 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Fig9Panel> {
         .collect();
     let specs = &specs;
     let curves = sweep::run("fig9", cfg.effective_jobs(), points, |&(w, scheme)| {
-        let report = cfg.simulator(scheme).specs(specs.clone()).run(w);
+        let report = cfg.run_cached(cfg.simulator(scheme).specs(specs.clone()), w);
         SweepResult::new(
             DmFaCurves {
                 scheme,

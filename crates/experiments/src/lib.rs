@@ -28,13 +28,17 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod artifacts;
 pub mod breakdown;
+pub mod cache;
 pub mod ccnuma;
+pub mod client;
 pub mod faults;
 pub mod fig10;
 pub mod fig11;
 pub mod fig8;
 pub mod fig9;
+pub mod protocol;
 pub mod render;
 pub mod sweep;
 pub mod table1;
@@ -44,11 +48,13 @@ pub mod table4;
 pub mod table5;
 pub mod trace;
 
+use std::sync::Arc;
+
 use vcoma::workloads::{all_benchmarks, Workload};
-use vcoma::{MachineConfig, Scheme, SchemeSet, Simulator};
+use vcoma::{MachineConfig, Scheme, SchemeSet, SimReport, Simulator};
 
 /// Shared configuration for all experiments.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ExperimentConfig {
     /// Machine under test (defaults to the paper's 32-node baseline).
     pub machine: MachineConfig,
@@ -76,6 +82,28 @@ pub struct ExperimentConfig {
     /// their natural roster with this set. `None` (the default) runs every
     /// artifact's full roster, which is what every golden fixture records.
     pub schemes: Option<SchemeSet>,
+    /// Optional content-addressed result store: when set, every sweep
+    /// point routed through [`ExperimentConfig::run_cached`] is served
+    /// from the store on a key hit and persisted on a miss. `None` (the
+    /// default, and the CLI's direct mode) simulates everything; because
+    /// cached reports decode byte-identical to fresh ones, the rendered
+    /// artifacts are the same either way.
+    pub cache: Option<Arc<dyn cache::ReportCache>>,
+}
+
+impl std::fmt::Debug for ExperimentConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentConfig")
+            .field("machine", &self.machine)
+            .field("scale", &self.scale)
+            .field("seed", &self.seed)
+            .field("jobs", &self.jobs)
+            .field("materialized", &self.materialized)
+            .field("intra_jobs", &self.intra_jobs)
+            .field("schemes", &self.schemes)
+            .field("cache", &self.cache.as_ref().map(|_| "ReportCache"))
+            .finish()
+    }
 }
 
 impl ExperimentConfig {
@@ -89,6 +117,7 @@ impl ExperimentConfig {
             materialized: false,
             intra_jobs: 1,
             schemes: None,
+            cache: None,
         }
     }
 
@@ -104,6 +133,7 @@ impl ExperimentConfig {
             materialized: false,
             intra_jobs: 1,
             schemes: None,
+            cache: None,
         }
     }
 
@@ -173,6 +203,32 @@ impl ExperimentConfig {
     /// The paper's six benchmarks at this configuration's scale.
     pub fn benchmarks(&self) -> Vec<Box<dyn Workload>> {
         all_benchmarks(self.scale)
+    }
+
+    /// Installs a content-addressed result store; every sweep point
+    /// routed through [`ExperimentConfig::run_cached`] consults it.
+    pub fn with_cache(mut self, cache: Arc<dyn cache::ReportCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Runs `sim` on `w`, consulting the configured result store first.
+    ///
+    /// Without a store this is exactly `sim.run(w)`. With one, the
+    /// point's [`cache::PointKey`] — built from the simulator's full
+    /// [`vcoma::SimConfig`], the workload, the scale and the process
+    /// [`cache::code_fingerprint`] — is looked up; a hit returns the
+    /// stored report (byte-identical to a fresh run by the codec's
+    /// round-trip guarantee), a miss simulates and persists.
+    pub fn run_cached(&self, sim: Simulator, w: &dyn Workload) -> SimReport {
+        let Some(store) = &self.cache else { return sim.run(w) };
+        let key = cache::point_key(sim.config(), w, self.scale, cache::code_fingerprint());
+        if let Some(report) = store.load(&key, sim.config()) {
+            return report;
+        }
+        let report = sim.run(w);
+        store.store(&key, &report);
+        report
     }
 
     /// A simulator for `scheme` on this configuration's machine.

@@ -5,11 +5,8 @@
 //! cargo run --release -p vcoma-experiments -- fig8 table2
 //! ```
 
-use std::path::PathBuf;
-use vcoma_experiments::{
-    ablations, breakdown, ccnuma, faults, fig10, fig11, fig8, fig9, sweep, table1, table2,
-    table3, table4, table5, trace, ExperimentConfig,
-};
+use std::path::{Path, PathBuf};
+use vcoma_experiments::{artifacts, breakdown, cache, client, faults, sweep, trace, ExperimentConfig};
 
 /// Every artifact name the CLI accepts, in default execution order
 /// (`breakdown`, `faults` and `trace` opt in through their flags or by
@@ -29,6 +26,11 @@ usage: vcoma-experiments [ARTIFACT...] [--scale F] [--nodes N] [--jobs N]
 artifacts: table1 fig8 table2 table3 fig9 table4 fig10 fig11 table5 ablations
            ccnuma breakdown faults trace all
            (default: all, which runs everything except breakdown, faults and trace)
+
+client mode (talks to a running vcoma-sweepd; see submit --help):
+  vcoma-experiments submit [ARTIFACT...] --server ENDPOINT [--out DIR]
+  vcoma-experiments status JOB --server ENDPOINT
+  vcoma-experiments fetch  JOB --server ENDPOINT --out DIR
 
 options:
   --scale F          fraction of each benchmark's iterations to replay (default 0.1)
@@ -86,6 +88,34 @@ fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
     })
 }
 
+/// Parses a flag's required value, exiting with a one-line usage error
+/// (status 2) when it is missing.
+fn flag_value(flag: &str, value: Option<String>) -> String {
+    value.unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+/// Writes a user-requested output file (`--out` CSVs, `--metrics-out`,
+/// `--trace-out`, `BENCH_sweep.json`), creating missing parent
+/// directories first. On failure prints a one-line error and exits with
+/// status 2 — an unwritable path is a usage error, not a panic.
+fn write_output_file(path: &Path, contents: &str) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: cannot create directory {}: {e}", parent.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+}
+
 fn main() {
     let mut artifacts: Vec<String> = Vec::new();
     let mut scale = 0.1f64;
@@ -101,7 +131,15 @@ fn main() {
     let mut trace_out: Option<PathBuf> = None;
     let mut schemes: Option<vcoma::SchemeSet> = None;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    // Client subcommands talk to a running vcoma-sweepd instead of
+    // simulating locally; everything after the subcommand is theirs.
+    if let Some(cmd) = args.peek() {
+        if matches!(cmd.as_str(), "submit" | "status" | "fetch") {
+            let cmd = args.next().expect("peeked");
+            client::cli_main(&cmd, args);
+        }
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -168,17 +206,14 @@ fn main() {
                     }
                 }
             }
-            "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a value"))),
+            "--out" => out = Some(PathBuf::from(flag_value("--out", args.next()))),
             "--materialized" => materialized = true,
             "--breakdown" => want_breakdown = true,
             "--metrics-out" => {
-                metrics_out = Some(PathBuf::from(args.next().expect("--metrics-out needs a value")));
+                metrics_out = Some(PathBuf::from(flag_value("--metrics-out", args.next())));
             }
             "--trace-out" => {
-                trace_out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
-                    eprintln!("error: --trace-out needs a value");
-                    std::process::exit(2);
-                })));
+                trace_out = Some(PathBuf::from(flag_value("--trace-out", args.next())));
             }
             "--progress" => sweep::set_progress(true),
             "--help" | "-h" => {
@@ -261,13 +296,27 @@ fn main() {
         },
         if cfg.materialized { "materialized" } else { "streamed" }
     );
+    // Fail unwritable destinations before any sweep runs, not after.
     if let Some(dir) = &out {
-        std::fs::create_dir_all(dir).expect("create output directory");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create directory {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    for file in [&metrics_out, &trace_out].into_iter().flatten() {
+        if let Some(parent) = file.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("error: cannot create directory {}: {e}", parent.display());
+                    std::process::exit(2);
+                }
+            }
+        }
     }
     let save = |name: &str, csv: String| {
         if let Some(dir) = &out {
             let path = dir.join(format!("{name}.csv"));
-            std::fs::write(&path, csv).expect("write CSV");
+            write_output_file(&path, &csv);
             println!("  -> wrote {}", path.display());
         }
     };
@@ -275,88 +324,14 @@ fn main() {
     for a in &artifacts {
         let t0 = std::time::Instant::now();
         match a.as_str() {
-            "table1" => {
-                println!("== Table 1: benchmark parameters ==");
-                let rows = table1::run(&cfg);
-                let t = table1::render(&rows);
-                println!("{}", t.render());
-                save("table1", t.to_csv());
-            }
-            "fig8" => {
-                println!("== Figure 8: translation misses per node vs TLB/DLB size ==");
-                for panel in fig8::run(&cfg) {
-                    let t = fig8::render(&panel);
+            name if artifacts::STANDARD.contains(&name) => {
+                let output = artifacts::run_standard(name, &cfg)
+                    .expect("STANDARD names dispatch");
+                println!("{}", output.heading);
+                for (stem, t) in &output.tables {
                     println!("{}", t.render());
-                    save(&format!("fig8_{}", panel.benchmark.to_lowercase()), t.to_csv());
+                    save(stem, t.to_csv());
                 }
-            }
-            "table2" => {
-                println!("== Table 2: TLB/DLB miss rates per processor reference (%) ==");
-                let rows = table2::run(&cfg);
-                let t = table2::render(&rows);
-                println!("{}", t.render());
-                save("table2", t.to_csv());
-            }
-            "table3" => {
-                println!("== Table 3: TLB size equivalent to an 8-entry DLB ==");
-                let rows = table3::run(&cfg);
-                let t = table3::render(&rows);
-                println!("{}", t.render());
-                save("table3", t.to_csv());
-            }
-            "fig9" => {
-                println!("== Figure 9: direct-mapped vs fully-associative TLB/DLB ==");
-                for panel in fig9::run(&cfg) {
-                    let t = fig9::render(&panel);
-                    println!("{}", t.render());
-                    save(&format!("fig9_{}", panel.benchmark.to_lowercase()), t.to_csv());
-                }
-            }
-            "table4" => {
-                println!("== Table 4: translation time / total stall time (%) ==");
-                let cols = table4::run(&cfg);
-                let t = table4::render(&cols);
-                println!("{}", t.render());
-                save("table4", t.to_csv());
-            }
-            "fig10" => {
-                println!("== Figure 10: execution-time breakdown per node ==");
-                for panel in fig10::run(&cfg) {
-                    let t = fig10::render(&panel);
-                    println!("{}", t.render());
-                    save(&format!("fig10_{}", panel.benchmark.to_lowercase()), t.to_csv());
-                }
-            }
-            "fig11" => {
-                println!("== Figure 11: global-page-set pressure profiles ==");
-                let rows = fig11::run(&cfg);
-                let t = fig11::render(&rows);
-                println!("{}", t.render());
-                save("fig11", t.to_csv());
-            }
-            "table5" => {
-                println!("== Table 5: post-1998 registry schemes vs the 1998 options ==");
-                let rows = table5::run(&cfg);
-                let t = table5::render(&rows);
-                println!("{}", t.render());
-                save("table5", t.to_csv());
-            }
-            "ccnuma" => {
-                println!("== CC-NUMA motivation (paper \u{a7}2): SHARED-TLB vs first-touch ==");
-                let rows = ccnuma::run(&cfg);
-                let t = ccnuma::render(&rows);
-                println!("{}", t.render());
-                save("ccnuma", t.to_csv());
-            }
-            "ablations" => {
-                println!("== Ablations ==");
-                let mut rows = ablations::contention(&cfg);
-                rows.extend(ablations::coloring(&cfg));
-                rows.extend(ablations::injection(&cfg));
-                rows.extend(ablations::software_managed(&cfg));
-                let t = ablations::render(&rows);
-                println!("{}", t.render());
-                save("ablations", t.to_csv());
             }
             "breakdown" => {
                 println!("== Fine latency attribution: scheme x benchmark ==");
@@ -377,7 +352,7 @@ fn main() {
                     }
                     let json = vcoma::metrics::json::to_json_pretty(&merged)
                         .expect("metrics snapshot serializes");
-                    std::fs::write(path, json).expect("write --metrics-out file");
+                    write_output_file(path, &json);
                     println!("  -> wrote {}", path.display());
                 }
             }
@@ -393,7 +368,7 @@ fn main() {
                 println!("{}", t.render());
                 save("trace", t.to_csv());
                 if let Some(path) = &trace_out {
-                    std::fs::write(path, trace::export(&rows)).expect("write --trace-out file");
+                    write_output_file(path, &trace::export(&rows));
                     println!("  -> wrote {} (load in ui.perfetto.dev)", path.display());
                 }
             }
@@ -432,9 +407,10 @@ fn main() {
                 jobs: cfg.effective_jobs(),
                 nodes: cfg.machine.nodes,
                 intra_jobs: cfg.intra_jobs,
+                code_fingerprint: cache::code_fingerprint(),
             },
         );
-        std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+        write_output_file(Path::new("BENCH_sweep.json"), &json);
         let total_wall: f64 = stats.iter().map(|s| s.wall_seconds).sum();
         let total_cycles: u64 = stats.iter().map(|s| s.simulated_cycles).sum();
         println!(

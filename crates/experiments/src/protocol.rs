@@ -1,0 +1,199 @@
+//! The sweep server's wire protocol.
+//!
+//! One request or response per line, as JSON (NDJSON): the client writes
+//! a [`Request`] line, the daemon answers with exactly one [`Response`]
+//! line, and the connection stays open for further exchanges. Both
+//! directions use the deterministic compact writer
+//! ([`vcoma::metrics::json::to_json_line`]) and the strict reader
+//! ([`vcoma::metrics::json::from_json_str`]).
+//!
+//! The message shapes are deliberately **flat**: one struct per
+//! direction, an `op`/`state` discriminator string, and `Option` fields
+//! that each operation fills or leaves `null`. Every field is always
+//! present on the wire (the derive-generated readers treat a missing
+//! field as an error), which keeps the protocol self-describing and
+//! trivially greppable in a transcript.
+//!
+//! Operations:
+//!
+//! | `op` | request fields | response fields |
+//! |---|---|---|
+//! | `ping` | — | `fingerprint` |
+//! | `submit` | `artifacts`, `scale`, `nodes`, `seed`, `schemes` | `job`, `state` |
+//! | `status` | `job` | `job`, `state`, progress counters |
+//! | `fetch` | `job` | `files` (name + CSV bytes per table) |
+//! | `stats` | — | store-wide `store_hits`/`store_misses`/`store_writes` |
+//! | `shutdown` | — | `ok` then the daemon exits |
+
+use serde::{Deserialize, Serialize};
+
+/// Current protocol version, echoed by `ping`. Bump on any wire change.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// One client request line. `op` selects the operation; the remaining
+/// fields are that operation's parameters (unused ones stay `None`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// `ping` | `submit` | `status` | `fetch` | `stats` | `shutdown`.
+    pub op: String,
+    /// Job id (`status`, `fetch`).
+    pub job: Option<String>,
+    /// Artifact names to run (`submit`); `None` means every standard
+    /// artifact, in default order.
+    pub artifacts: Option<Vec<String>>,
+    /// Workload scale (`submit`); `None` means the daemon's default.
+    pub scale: Option<f64>,
+    /// Machine node count (`submit`); `None` means the paper's 32.
+    pub nodes: Option<u64>,
+    /// Master seed (`submit`); `None` means the harness default.
+    pub seed: Option<u64>,
+    /// `--schemes`-style comma-separated scheme filter (`submit`).
+    pub schemes: Option<String>,
+}
+
+impl Request {
+    /// A request with every parameter empty; callers fill what their
+    /// operation needs.
+    pub fn new(op: &str) -> Self {
+        Request {
+            op: op.to_string(),
+            job: None,
+            artifacts: None,
+            scale: None,
+            nodes: None,
+            seed: None,
+            schemes: None,
+        }
+    }
+}
+
+/// One rendered artifact table, named by the file stem a direct run
+/// would save it under (`table2`, `fig8_radix`, …).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CsvFile {
+    /// File stem; the client writes `<name>.csv`.
+    pub name: String,
+    /// The CSV bytes — identical to a direct `--out` run's file.
+    pub contents: String,
+}
+
+/// One daemon response line. `ok` is the success flag; `error` carries
+/// the failure message when `ok` is false; the rest is per-operation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Response {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Failure message when `ok` is false.
+    pub error: Option<String>,
+    /// Protocol version (`ping`).
+    pub protocol: Option<u64>,
+    /// The daemon's code fingerprint (`ping`, `stats`).
+    pub fingerprint: Option<String>,
+    /// Job id (`submit`, `status`).
+    pub job: Option<String>,
+    /// `queued` | `running` | `done` | `failed` (`submit`, `status`).
+    pub state: Option<String>,
+    /// Artifacts finished so far (`status`).
+    pub artifacts_done: Option<u64>,
+    /// Artifacts in the job (`status`).
+    pub artifacts_total: Option<u64>,
+    /// Simulation points resolved so far — store hits + fresh runs
+    /// (`status`).
+    pub points_done: Option<u64>,
+    /// Of `points_done`, how many were served from the store (`status`).
+    pub cache_hits: Option<u64>,
+    /// Of `points_done`, how many were freshly simulated (`status`).
+    pub simulated: Option<u64>,
+    /// Store-wide load hits since daemon start (`stats`).
+    pub store_hits: Option<u64>,
+    /// Store-wide load misses since daemon start (`stats`).
+    pub store_misses: Option<u64>,
+    /// Store-wide envelope writes since daemon start (`stats`).
+    pub store_writes: Option<u64>,
+    /// The job's rendered tables (`fetch`).
+    pub files: Option<Vec<CsvFile>>,
+}
+
+impl Response {
+    /// A bare success response; callers fill the per-operation fields.
+    pub fn success() -> Self {
+        Response {
+            ok: true,
+            error: None,
+            protocol: None,
+            fingerprint: None,
+            job: None,
+            state: None,
+            artifacts_done: None,
+            artifacts_total: None,
+            points_done: None,
+            cache_hits: None,
+            simulated: None,
+            store_hits: None,
+            store_misses: None,
+            store_writes: None,
+            files: None,
+        }
+    }
+
+    /// A failure response carrying `message`.
+    pub fn failure(message: impl Into<String>) -> Self {
+        let mut r = Response::success();
+        r.ok = false;
+        r.error = Some(message.into());
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcoma::metrics::json::{from_json_str, to_json_line};
+
+    #[test]
+    fn request_round_trips_over_the_wire() {
+        let mut req = Request::new("submit");
+        req.artifacts = Some(vec!["table2".to_string(), "fig8".to_string()]);
+        req.scale = Some(0.01);
+        req.nodes = Some(32);
+        req.schemes = Some("l0_tlb,vcoma".to_string());
+        let line = to_json_line(&req).expect("serializes");
+        assert!(!line.contains('\n'), "one line per message");
+        let back: Request = from_json_str(&line).expect("parses");
+        assert_eq!(back.op, "submit");
+        assert_eq!(back.artifacts.as_deref(), Some(&["table2".to_string(), "fig8".to_string()][..]));
+        assert_eq!(back.scale, Some(0.01));
+        assert_eq!(back.seed, None);
+        assert_eq!(back.schemes.as_deref(), Some("l0_tlb,vcoma"));
+    }
+
+    #[test]
+    fn response_round_trips_with_files() {
+        let mut resp = Response::success();
+        resp.job = Some("ab12".to_string());
+        resp.state = Some("done".to_string());
+        resp.cache_hits = Some(30);
+        resp.files = Some(vec![CsvFile {
+            name: "table2".to_string(),
+            contents: "SYSTEM,A\nRADIX,1\n".to_string(),
+        }]);
+        let line = to_json_line(&resp).expect("serializes");
+        assert!(!line.contains('\n'), "embedded newlines are escaped");
+        let back: Response = from_json_str(&line).expect("parses");
+        assert!(back.ok);
+        assert_eq!(back.cache_hits, Some(30));
+        let files = back.files.expect("files survive");
+        assert_eq!(files[0].name, "table2");
+        assert_eq!(files[0].contents, "SYSTEM,A\nRADIX,1\n");
+    }
+
+    #[test]
+    fn failure_carries_the_message() {
+        let resp = Response::failure("unknown job 'zz'");
+        let line = to_json_line(&resp).expect("serializes");
+        let back: Response = from_json_str(&line).expect("parses");
+        assert!(!back.ok);
+        assert_eq!(back.error.as_deref(), Some("unknown job 'zz'"));
+        assert!(back.files.is_none());
+    }
+}

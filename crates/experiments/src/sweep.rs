@@ -222,6 +222,11 @@ pub struct BenchContext {
     /// Intra-run worker threads (`--intra-jobs`; `1` = serial replay,
     /// `0` = one per available core).
     pub intra_jobs: usize,
+    /// The process code fingerprint (see [`crate::cache::code_fingerprint`]):
+    /// ties the recorded throughput to the code revision that produced
+    /// it, and matches the fingerprint of any cache entries the run
+    /// read or wrote.
+    pub code_fingerprint: &'static str,
 }
 
 /// Renders sweep stats as the `BENCH_sweep.json` document: the run
@@ -236,6 +241,7 @@ pub fn bench_json(stats: &[SweepStats], ctx: BenchContext) -> String {
     out.push_str(&format!("  \"jobs\": {},\n", ctx.jobs));
     out.push_str(&format!("  \"nodes\": {},\n", ctx.nodes));
     out.push_str(&format!("  \"intra_jobs\": {},\n", ctx.intra_jobs));
+    out.push_str(&format!("  \"code_fingerprint\": \"{}\",\n", ctx.code_fingerprint));
     out.push_str(&format!("  \"total_wall_seconds\": {total_wall:.6},\n"));
     out.push_str(&format!("  \"total_points\": {total_points},\n"));
     out.push_str(&format!("  \"total_simulated_cycles\": {total_cycles},\n"));
@@ -335,10 +341,22 @@ mod tests {
                 peak_rss_kb: 20_000,
             },
         ];
-        let j = bench_json(&stats, BenchContext { jobs: 4, nodes: 64, intra_jobs: 8 });
+        let j = bench_json(
+            &stats,
+            BenchContext {
+                jobs: 4,
+                nodes: 64,
+                intra_jobs: 8,
+                code_fingerprint: crate::cache::code_fingerprint(),
+            },
+        );
         assert!(j.contains("\"sweeps\": ["));
         assert!(j.contains("\"nodes\": 64"));
         assert!(j.contains("\"intra_jobs\": 8"));
+        assert!(j.contains(&format!(
+            "\"code_fingerprint\": \"{}\"",
+            crate::cache::code_fingerprint()
+        )));
         assert!(j.contains("\"sweep\": \"fig8\""));
         assert!(j.contains("\"total_points\": 66"));
         assert!(j.contains("\"total_simulated_cycles\": 4000000"));

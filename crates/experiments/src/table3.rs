@@ -57,11 +57,11 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Table3Row> {
     let probes = sweep::run("table3", cfg.effective_jobs(), points, |&(w, scheme)| {
         match scheme {
             None => {
-                let vc = cfg.simulator(Scheme::V_COMA).entries(8).run(w);
+                let vc = cfg.run_cached(cfg.simulator(Scheme::V_COMA).entries(8), w);
                 SweepResult::new(Probe::Target(vc.translation_misses_total(0)), vc.simulated_cycles())
             }
             Some(scheme) => {
-                let report = cfg.simulator(scheme).specs(specs.clone()).run(w);
+                let report = cfg.run_cached(cfg.simulator(scheme).specs(specs.clone()), w);
                 let curve = GRID
                     .iter()
                     .enumerate()

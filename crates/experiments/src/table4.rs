@@ -40,7 +40,7 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Table4Col> {
         }
     }
     let ratios = sweep::run("table4", cfg.effective_jobs(), points, |&(w, scheme, entries)| {
-        let report = cfg.simulator(scheme).entries(entries).warmup().run(w);
+        let report = cfg.run_cached(cfg.simulator(scheme).entries(entries).warmup(), w);
         SweepResult::new(
             report.aggregate_breakdown().translation_over_stall(),
             report.simulated_cycles(),

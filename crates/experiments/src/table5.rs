@@ -60,7 +60,7 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Table5Row> {
         })
         .collect();
     let cells = sweep::run("table5", cfg.effective_jobs(), points, |&(w, scheme)| {
-        let report = cfg.simulator(scheme).run(w);
+        let report = cfg.run_cached(cfg.simulator(scheme), w);
         SweepResult::new(
             (
                 report.exec_time(),

@@ -71,7 +71,8 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<TraceRow> {
         .map(|scheme| SweepPoint::new(format!("{}/{scheme}", w.name()), scheme))
         .collect();
     sweep::run("trace", cfg.effective_jobs(), points, |&scheme| {
-        let report = cfg.simulator(scheme).trace(SAMPLE_EVERY, CAPACITY).run(w.as_ref());
+        let report =
+            cfg.run_cached(cfg.simulator(scheme).trace(SAMPLE_EVERY, CAPACITY), w.as_ref());
         let snapshot = report.trace().expect("traced run carries a snapshot").clone();
         let mut latency = Histogram::new();
         let mut attributed: BTreeMap<&'static str, u64> = BTreeMap::new();

@@ -1,0 +1,47 @@
+//! A global string interner for `&'static str` vocabulary fields.
+//!
+//! Span and event kinds are `&'static str` literals on the recording
+//! path (zero-cost to copy, usable as `BTreeMap` keys in the analyzers).
+//! Deserializing a trace back from JSON needs to mint equivalent
+//! `'static` strings for kinds read at runtime; [`intern`] does so by
+//! leaking each *distinct* string once and handing out the shared
+//! reference afterwards. The set of kinds is a small closed vocabulary,
+//! so the leaked footprint is bounded and the `Mutex` is far off any
+//! fast path.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Returns a `'static` string equal to `s`, leaking at most one
+/// allocation per distinct input ever passed.
+///
+/// # Panics
+///
+/// Panics if the interner's mutex was poisoned by a panicking thread.
+#[must_use]
+pub fn intern(s: &str) -> &'static str {
+    let mut set = INTERNED.lock().expect("string interner poisoned");
+    if let Some(found) = set.get(s) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_pointer_stable() {
+        let a = intern("tlb_miss_xyz");
+        let b = intern(&String::from("tlb_miss_xyz"));
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a, b), "same distinct string interns to one allocation");
+        let c = intern("other_kind_xyz");
+        assert_ne!(a, c);
+    }
+}

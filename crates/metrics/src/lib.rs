@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod histogram;
+mod intern;
 pub mod json;
 mod mergeable;
 mod registry;
@@ -35,6 +36,7 @@ mod span;
 pub mod trace_export;
 
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use intern::intern;
 pub use mergeable::Mergeable;
 pub use registry::{MetricsRegistry, MetricsSnapshot};
 pub use ring::{Event, EventRing, EventSnapshot};

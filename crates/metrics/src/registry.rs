@@ -1,7 +1,7 @@
 //! Named counters, gauges and histograms, and the serializable snapshot.
 
 use crate::{Event, EventRing, EventSnapshot, Histogram, HistogramSnapshot, Mergeable};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A registry of named metrics for one simulation (or one node).
@@ -124,7 +124,7 @@ impl Mergeable for MetricsRegistry {
 /// This is what lands in `SimReport` and in `--metrics-out` JSON files.
 /// Snapshots from parallel sweep jobs fold together through
 /// [`Mergeable`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Monotonic counters by name.
     pub counters: BTreeMap<String, u64>,

@@ -1,7 +1,7 @@
 //! Bounded, cycle-stamped structured event ring.
 
 use crate::Mergeable;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One structured trace event.
 ///
@@ -106,7 +106,7 @@ impl EventRing {
 }
 
 /// Serializable (owned) form of an [`Event`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EventSnapshot {
     /// Simulated cycle at which the event occurred.
     pub cycle: u64,

@@ -54,6 +54,19 @@ impl Serialize for SpanCategory {
     }
 }
 
+impl serde::de::Deserialize for SpanCategory {
+    /// Deserializes from the stable [`label`](Self::label) strings.
+    fn deserialize<D: serde::de::Deserializer>(d: D) -> Result<Self, D::Error> {
+        match String::deserialize(d)?.as_str() {
+            "interval" => Ok(Self::Interval),
+            "annotation" => Ok(Self::Annotation),
+            other => {
+                Err(serde::de::Error::custom(format_args!("unknown span category `{other}`")))
+            }
+        }
+    }
+}
+
 /// One cycle-stamped span of a transaction's span tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct Span {
@@ -81,6 +94,37 @@ impl Span {
     #[must_use]
     pub fn duration(&self) -> u64 {
         self.end.saturating_sub(self.start)
+    }
+}
+
+/// Owned wire form of a [`Span`]; `kind` arrives as a `String` and is
+/// [interned](crate::intern) into the `&'static str` the in-memory type
+/// carries.
+#[derive(serde::Deserialize)]
+struct SpanWire {
+    id: SpanId,
+    parent: SpanId,
+    node: u16,
+    kind: String,
+    category: SpanCategory,
+    start: u64,
+    end: u64,
+    arg: u64,
+}
+
+impl serde::de::Deserialize for Span {
+    fn deserialize<D: serde::de::Deserializer>(d: D) -> Result<Self, D::Error> {
+        let w = SpanWire::deserialize(d)?;
+        Ok(Span {
+            id: w.id,
+            parent: w.parent,
+            node: w.node,
+            kind: crate::intern(&w.kind),
+            category: w.category,
+            start: w.start,
+            end: w.end,
+            arg: w.arg,
+        })
     }
 }
 
@@ -223,7 +267,7 @@ impl SpanBuffer {
 }
 
 /// Serializable collection of sampled span trees (one run, all nodes).
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, serde::Deserialize)]
 pub struct TraceSnapshot {
     /// Sampling period the trace was collected under (0 = tracing off).
     pub sample_every: u64,

@@ -29,7 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use vcoma_metrics::{Histogram, Mergeable};
 use vcoma_types::{NodeId, Timing};
 
@@ -160,7 +160,7 @@ impl std::fmt::Display for MsgKind {
 }
 
 /// Per-crossbar traffic statistics.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetStats {
     /// Messages sent, by [`MsgKind`] statistics index.
     msgs_by_kind: [u64; 11],

@@ -1,0 +1,540 @@
+//! The long-lived sweep daemon.
+//!
+//! One worker thread drains a FIFO job queue; each job expands to the
+//! standard artifacts through [`vcoma_experiments::artifacts`] with the
+//! daemon's [`DiskStore`] installed as the harness result cache, so
+//! every sweep point is first looked up in the store and persisted the
+//! moment it finishes. Any number of client connections (unix socket or
+//! localhost TCP) submit jobs and poll status concurrently; the
+//! NDJSON protocol lives in [`vcoma_experiments::protocol`].
+//!
+//! Jobs are **content-addressed**: the job id is a digest of the
+//! submitted parameters plus the running build's code fingerprint, so
+//! identical submissions collapse onto one job — and resubmitting after
+//! a restart *is* the resume path, with finished points loading from
+//! the store and only the remainder simulating.
+//!
+//! Progress counters come from the store itself: the worker records the
+//! store's hit/miss counts when a job starts, and a status request
+//! reports the deltas (hits = points served from disk, misses = points
+//! freshly simulated). The `ccnuma` artifact runs outside the cache (it
+//! drives the CC-NUMA reference machine, not the COMA simulator), so it
+//! contributes no point counts.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::store::DiskStore;
+use vcoma::metrics::json::{from_json_str, to_json_line};
+use vcoma_experiments::cache::{code_fingerprint, fnv128_hex};
+use vcoma_experiments::client::Endpoint;
+use vcoma_experiments::protocol::{CsvFile, Request, Response, PROTOCOL_VERSION};
+use vcoma_experiments::{artifacts, sweep, ExperimentConfig};
+
+/// Daemon configuration: where to listen, where the store lives, and
+/// the worker-pool shape every job runs with.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Listen endpoint (unix socket path or TCP address).
+    pub listen: Endpoint,
+    /// Result-store directory.
+    pub store_dir: PathBuf,
+    /// Sweep worker threads per job (`0` = one per available core).
+    pub jobs: usize,
+    /// Intra-run worker threads (`0` = one per core, `1` = serial).
+    pub intra_jobs: usize,
+}
+
+/// A validated, content-addressed job specification.
+#[derive(Debug, Clone)]
+struct JobSpec {
+    artifacts: Vec<String>,
+    scale: f64,
+    nodes: u64,
+    seed: u64,
+    schemes: Option<String>,
+}
+
+impl JobSpec {
+    /// The job id: a digest of every parameter plus the code
+    /// fingerprint, so equal submissions share one job and a rebuilt
+    /// daemon never serves another build's artifacts.
+    fn id(&self) -> String {
+        fnv128_hex(&format!(
+            "artifacts={:?} scale={} nodes={} seed={} schemes={:?} fingerprint={}",
+            self.artifacts,
+            self.scale,
+            self.nodes,
+            self.seed,
+            self.schemes,
+            code_fingerprint(),
+        ))
+    }
+
+    /// Builds the job's harness configuration (validation happened at
+    /// submit time).
+    fn experiment_config(&self, daemon: &DaemonConfig, store: Arc<DiskStore>) -> ExperimentConfig {
+        let machine =
+            vcoma::MachineConfig::builder().nodes(self.nodes).build().expect("validated at submit");
+        let mut cfg = ExperimentConfig { machine, ..ExperimentConfig::new() }
+            .with_scale(self.scale)
+            .with_jobs(daemon.jobs)
+            .with_intra_jobs(daemon.intra_jobs)
+            .with_cache(store);
+        cfg.seed = self.seed;
+        if let Some(spec) = &self.schemes {
+            cfg = cfg.with_schemes(vcoma::SchemeSet::parse(spec).expect("validated at submit"));
+        }
+        cfg
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobPhase {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobPhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed => "failed",
+        }
+    }
+}
+
+struct JobState {
+    spec: JobSpec,
+    phase: JobPhase,
+    artifacts_done: u64,
+    /// Store counters when the job started (single worker, so deltas
+    /// since then belong to this job).
+    base_hits: u64,
+    base_misses: u64,
+    /// Final per-job counts, frozen when the job finishes.
+    hits: u64,
+    simulated: u64,
+    files: Vec<CsvFile>,
+    error: Option<String>,
+}
+
+/// The daemon: store, job table, queue, and lifecycle flags. Create
+/// with [`Daemon::new`], run with [`Daemon::serve`].
+pub struct Daemon {
+    config: DaemonConfig,
+    store: Arc<DiskStore>,
+    jobs: Mutex<BTreeMap<String, JobState>>,
+    queue: Mutex<VecDeque<String>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Daemon {
+    /// Opens the store and prepares a daemon; no threads start until
+    /// [`Daemon::serve`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the store directory cannot be created.
+    pub fn new(config: DaemonConfig) -> std::io::Result<Arc<Daemon>> {
+        let store = Arc::new(DiskStore::open(&config.store_dir)?);
+        Ok(Arc::new(Daemon {
+            config,
+            store,
+            jobs: Mutex::new(BTreeMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }))
+    }
+
+    /// The daemon's result store.
+    pub fn store(&self) -> &Arc<DiskStore> {
+        &self.store
+    }
+
+    /// Requests shutdown: the accept loop and worker stop at their next
+    /// check and [`Daemon::serve`] returns.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+
+    /// Binds the listen endpoint, spawns the worker, and serves until
+    /// shutdown is requested. Prints one `listening on …` line to
+    /// stdout once ready (scripts wait for it).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the endpoint cannot be bound.
+    pub fn serve(self: &Arc<Daemon>) -> std::io::Result<()> {
+        let listener = match &self.config.listen {
+            Endpoint::Unix(path) => {
+                // A previous daemon's socket file would make bind fail;
+                // it is dead by definition if we are starting.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Listener::Unix(l)
+            }
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Listener::Tcp(l)
+            }
+        };
+        println!(
+            "vcoma-sweepd listening on {} (store {}, fingerprint {})",
+            self.config.listen,
+            self.config.store_dir.display(),
+            code_fingerprint()
+        );
+        std::io::stdout().flush().ok();
+
+        let worker = {
+            let daemon = Arc::clone(self);
+            std::thread::spawn(move || daemon.worker_loop())
+        };
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok(stream) => {
+                    let daemon = Arc::clone(self);
+                    std::thread::spawn(move || daemon.handle_connection(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    eprintln!("warning: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        self.wake.notify_all();
+        worker.join().ok();
+        if let Endpoint::Unix(path) = &self.config.listen {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    fn handle_connection(self: Arc<Daemon>, stream: Stream) {
+        let Ok(write_half) = stream.try_clone() else { return };
+        let mut writer = write_half;
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else { return };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let resp = match from_json_str::<Request>(&line) {
+                Ok(req) => self.dispatch(&req),
+                Err(e) => Response::failure(format!("malformed request: {e}")),
+            };
+            let Ok(mut out) = to_json_line(&resp) else { return };
+            out.push('\n');
+            if writer.write_all(out.as_bytes()).and_then(|()| writer.flush()).is_err() {
+                return;
+            }
+        }
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
+        match req.op.as_str() {
+            "ping" => {
+                let mut r = Response::success();
+                r.protocol = Some(PROTOCOL_VERSION);
+                r.fingerprint = Some(code_fingerprint().to_string());
+                r
+            }
+            "submit" => self.submit(req),
+            "status" => self.status(req),
+            "fetch" => self.fetch(req),
+            "stats" => {
+                let mut r = Response::success();
+                r.fingerprint = Some(code_fingerprint().to_string());
+                r.store_hits = Some(self.store.hits());
+                r.store_misses = Some(self.store.misses());
+                r.store_writes = Some(self.store.writes());
+                r
+            }
+            "shutdown" => {
+                self.request_shutdown();
+                Response::success()
+            }
+            other => Response::failure(format!("unknown op '{other}'")),
+        }
+    }
+
+    fn submit(&self, req: &Request) -> Response {
+        let artifact_list = match &req.artifacts {
+            None => artifacts::STANDARD.iter().map(|s| s.to_string()).collect(),
+            Some(list) if list.is_empty() => {
+                return Response::failure("submit got an empty artifact list");
+            }
+            Some(list) => {
+                for a in list {
+                    if !artifacts::STANDARD.contains(&a.as_str()) {
+                        return Response::failure(format!(
+                            "unknown artifact '{a}' (servable: {})",
+                            artifacts::STANDARD.join(" ")
+                        ));
+                    }
+                }
+                list.clone()
+            }
+        };
+        let defaults = ExperimentConfig::new();
+        let scale = req.scale.unwrap_or(defaults.scale);
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Response::failure(format!("scale must be a positive fraction, got {scale}"));
+        }
+        let nodes = req.nodes.unwrap_or(defaults.machine.nodes);
+        if let Err(e) = vcoma::MachineConfig::builder().nodes(nodes).build() {
+            return Response::failure(format!("invalid machine: {e}"));
+        }
+        if let Some(spec) = &req.schemes {
+            if let Err(e) = vcoma::SchemeSet::parse(spec) {
+                return Response::failure(format!("invalid schemes '{spec}': {e}"));
+            }
+        }
+        let spec = JobSpec {
+            artifacts: artifact_list,
+            scale,
+            nodes,
+            seed: req.seed.unwrap_or(defaults.seed),
+            schemes: req.schemes.clone(),
+        };
+        let id = spec.id();
+        let phase = {
+            let mut jobs = self.jobs.lock().unwrap();
+            match jobs.get(&id) {
+                // Content-addressed dedup: an identical submission joins
+                // the existing job in whatever phase it is in. A failed
+                // job is re-enqueued (the failure may have been
+                // environmental).
+                Some(existing) if existing.phase != JobPhase::Failed => existing.phase,
+                _ => {
+                    jobs.insert(
+                        id.clone(),
+                        JobState {
+                            spec,
+                            phase: JobPhase::Queued,
+                            artifacts_done: 0,
+                            base_hits: 0,
+                            base_misses: 0,
+                            hits: 0,
+                            simulated: 0,
+                            files: Vec::new(),
+                            error: None,
+                        },
+                    );
+                    self.queue.lock().unwrap().push_back(id.clone());
+                    self.wake.notify_all();
+                    JobPhase::Queued
+                }
+            }
+        };
+        let mut r = Response::success();
+        r.job = Some(id);
+        r.state = Some(phase.as_str().to_string());
+        r
+    }
+
+    fn status(&self, req: &Request) -> Response {
+        let Some(id) = &req.job else {
+            return Response::failure("status needs a job id");
+        };
+        let jobs = self.jobs.lock().unwrap();
+        let Some(job) = jobs.get(id) else {
+            return Response::failure(format!("unknown job '{id}'"));
+        };
+        // For a running job the store deltas since job start are live
+        // progress (single worker: nothing else touches the store).
+        let (hits, simulated) = match job.phase {
+            JobPhase::Running => (
+                self.store.hits().saturating_sub(job.base_hits),
+                self.store.misses().saturating_sub(job.base_misses),
+            ),
+            _ => (job.hits, job.simulated),
+        };
+        let mut r = Response::success();
+        r.job = Some(id.clone());
+        r.state = Some(job.phase.as_str().to_string());
+        r.error = job.error.clone();
+        r.artifacts_done = Some(job.artifacts_done);
+        r.artifacts_total = Some(job.spec.artifacts.len() as u64);
+        r.points_done = Some(hits + simulated);
+        r.cache_hits = Some(hits);
+        r.simulated = Some(simulated);
+        r
+    }
+
+    fn fetch(&self, req: &Request) -> Response {
+        let Some(id) = &req.job else {
+            return Response::failure("fetch needs a job id");
+        };
+        let jobs = self.jobs.lock().unwrap();
+        let Some(job) = jobs.get(id) else {
+            return Response::failure(format!("unknown job '{id}'"));
+        };
+        if job.phase != JobPhase::Done {
+            return Response::failure(format!(
+                "job '{id}' is {}, fetch needs it done",
+                job.phase.as_str()
+            ));
+        }
+        let mut r = Response::success();
+        r.job = Some(id.clone());
+        r.state = Some(job.phase.as_str().to_string());
+        r.files = Some(job.files.clone());
+        r
+    }
+
+    fn worker_loop(self: Arc<Daemon>) {
+        loop {
+            let next = {
+                let mut queue = self.queue.lock().unwrap();
+                loop {
+                    if let Some(id) = queue.pop_front() {
+                        break Some(id);
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    let (guard, _) =
+                        self.wake.wait_timeout(queue, Duration::from_millis(100)).unwrap();
+                    queue = guard;
+                }
+            };
+            let Some(id) = next else { return };
+            self.run_job(&id);
+        }
+    }
+
+    fn run_job(&self, id: &str) {
+        let spec = {
+            let mut jobs = self.jobs.lock().unwrap();
+            let job = jobs.get_mut(id).expect("queued jobs exist");
+            job.phase = JobPhase::Running;
+            job.base_hits = self.store.hits();
+            job.base_misses = self.store.misses();
+            job.spec.clone()
+        };
+        let cfg = spec.experiment_config(&self.config, Arc::clone(&self.store));
+        let mut files = Vec::new();
+        let mut error = None;
+        for name in &spec.artifacts {
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                artifacts::run_standard(name, &cfg).expect("submit validated the names")
+            }));
+            match run {
+                Ok(output) => {
+                    for (stem, table) in &output.tables {
+                        files.push(CsvFile { name: stem.clone(), contents: table.to_csv() });
+                    }
+                    let mut jobs = self.jobs.lock().unwrap();
+                    jobs.get_mut(id).expect("job exists").artifacts_done += 1;
+                }
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "artifact panicked".to_string());
+                    error = Some(format!("artifact '{name}' failed: {msg}"));
+                    break;
+                }
+            }
+        }
+        // Keep the throughput ledger bounded across a long-lived process.
+        let _ = sweep::take_stats();
+        let mut jobs = self.jobs.lock().unwrap();
+        let job = jobs.get_mut(id).expect("job exists");
+        job.hits = self.store.hits().saturating_sub(job.base_hits);
+        job.simulated = self.store.misses().saturating_sub(job.base_misses);
+        match error {
+            None => {
+                job.files = files;
+                job.phase = JobPhase::Done;
+            }
+            Some(msg) => {
+                job.error = Some(msg);
+                job.phase = JobPhase::Failed;
+            }
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Stream::Unix(s))
+            }
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                s.set_nodelay(true).ok();
+                Ok(Stream::Tcp(s))
+            }
+        }
+    }
+}
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The sweep server: experiments as a long-lived, cache-backed service.
+//!
+//! This crate provides the two halves behind the `vcoma-sweepd` binary:
+//!
+//! * [`store`] — a content-addressed on-disk result store. Every
+//!   finished simulation run is persisted as a versioned
+//!   [`vcoma::codec`] envelope under its
+//!   [`vcoma_experiments::cache::PointKey`] digest, so results survive
+//!   daemon restarts and identical work is never simulated twice.
+//! * [`daemon`] — the long-lived scheduler. It accepts sweep jobs over
+//!   line-delimited JSON (unix socket or localhost TCP, the protocol in
+//!   [`vcoma_experiments::protocol`]), runs them on the harness's
+//!   existing worker pool through the shared artifact dispatch
+//!   ([`vcoma_experiments::artifacts`]), and serves every point it can
+//!   from the store.
+//!
+//! Because jobs are content-addressed too (a job id is a digest of the
+//! submitted parameters plus the code fingerprint), resuming after a
+//! crash is just resubmitting: finished points load from the store,
+//! only the missing remainder simulates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod store;

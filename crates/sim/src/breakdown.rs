@@ -1,12 +1,12 @@
 //! Execution-time breakdowns: the paper's coarse Figure-10 categories and
 //! the finer per-request latency attribution behind `--breakdown`.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use vcoma_metrics::Mergeable;
 
 /// Cycles spent by one node (or summed over nodes), split into the paper's
 /// execution-time categories.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct TimeBreakdown {
     /// Instruction execution (`Compute` ops plus one issue cycle per memory
     /// reference).
@@ -63,7 +63,7 @@ impl Mergeable for TimeBreakdown {
 /// `busy`/`sync` match its categories, `tlb_walk + dlb_lookup` refines
 /// `translation`, and `coherence + network + queue` refines
 /// `remote_stall`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct LatencyBreakdown {
     /// Instruction execution (`Compute` ops plus one issue cycle per
     /// memory reference).

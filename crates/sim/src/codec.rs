@@ -1,0 +1,200 @@
+//! Canonical, versioned serialization of [`SimReport`] — the store
+//! format of the sweep server's content-addressed result cache.
+//!
+//! A report is written as a JSON **envelope**: a `format` tag, a schema
+//! `version`, the code `fingerprint` and cache `key` it was produced
+//! under, and the report `body`. The body deliberately excludes the run's
+//! [`SimConfig`]: a config embeds live scheme handles and fault plans
+//! that have no canonical wire form, and every legitimate reader already
+//! holds the config — it computed the cache key from it. [`decode`]
+//! therefore takes the config back as an argument and reassembles the
+//! report through [`SimReport::builder`], so a decoded report is
+//! indistinguishable from a freshly simulated one.
+//!
+//! The encoding is byte-deterministic (all maps are `BTreeMap`s, the
+//! writer is the deterministic pretty-printer in `vcoma-metrics`), which
+//! is what lets the integration suite pin the format with a golden
+//! fixture and the CI byte-diff daemon-served artifacts against direct
+//! runs.
+
+use crate::{NodeReport, SimConfig, SimReport};
+use serde::{Deserialize, Serialize};
+use vcoma_coherence::ProtocolStats;
+use vcoma_metrics::json::{from_json_str, to_json_pretty, JsonParseError};
+use vcoma_metrics::{MetricsSnapshot, TraceSnapshot};
+use vcoma_net::NetStats;
+use vcoma_vm::PressureProfile;
+
+/// The envelope's format tag.
+pub const FORMAT: &str = "vcoma-simreport";
+
+/// Current schema version. Bump on any change to the serialized shape of
+/// the envelope or any type reachable from the body; stores treat a
+/// version mismatch as a cache miss.
+pub const VERSION: u64 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct Envelope {
+    format: String,
+    version: u64,
+    fingerprint: String,
+    key: String,
+    body: Body,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Body {
+    nodes: Vec<NodeReport>,
+    protocol: ProtocolStats,
+    net: NetStats,
+    pressure: PressureProfile,
+    swap_outs: u64,
+    metrics: MetricsSnapshot,
+    trace: Option<TraceSnapshot>,
+}
+
+/// A successfully decoded envelope: the reassembled report plus the
+/// provenance the envelope recorded at encode time.
+#[derive(Debug, Clone)]
+pub struct Decoded {
+    /// The reassembled report.
+    pub report: SimReport,
+    /// Code fingerprint the report was produced under.
+    pub fingerprint: String,
+    /// Cache key the report was stored under.
+    pub key: String,
+}
+
+/// Why an envelope failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input is not valid JSON or not a valid envelope shape.
+    Json(JsonParseError),
+    /// The envelope's format tag is not [`FORMAT`].
+    Format(String),
+    /// The envelope's schema version is not [`VERSION`].
+    Version(u64),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Json(e) => write!(f, "malformed report envelope: {e}"),
+            Self::Format(found) => {
+                write!(f, "not a report envelope: format `{found}`, expected `{FORMAT}`")
+            }
+            Self::Version(found) => {
+                write!(f, "report envelope version {found}, this build reads {VERSION}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<JsonParseError> for CodecError {
+    fn from(e: JsonParseError) -> Self {
+        Self::Json(e)
+    }
+}
+
+/// Encodes `report` into a version-1 envelope, recording the given code
+/// `fingerprint` and cache `key` as provenance.
+#[must_use]
+pub fn encode(report: &SimReport, fingerprint: &str, key: &str) -> String {
+    let envelope = Envelope {
+        format: FORMAT.to_string(),
+        version: VERSION,
+        fingerprint: fingerprint.to_string(),
+        key: key.to_string(),
+        body: Body {
+            nodes: report.nodes().to_vec(),
+            protocol: *report.protocol(),
+            net: report.net().clone(),
+            pressure: report.pressure().clone(),
+            swap_outs: report.swap_outs(),
+            metrics: report.metrics().clone(),
+            trace: report.trace().cloned(),
+        },
+    };
+    to_json_pretty(&envelope).expect("report envelope has only string-keyed maps")
+}
+
+/// Decodes an envelope produced by [`encode`], reassembling the report
+/// around the caller-supplied `cfg` (the same config whose cache key
+/// located the envelope).
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed JSON, a foreign format tag, or a
+/// schema-version mismatch.
+pub fn decode(text: &str, cfg: SimConfig) -> Result<Decoded, CodecError> {
+    let envelope: Envelope = from_json_str(text)?;
+    if envelope.format != FORMAT {
+        return Err(CodecError::Format(envelope.format));
+    }
+    if envelope.version != VERSION {
+        return Err(CodecError::Version(envelope.version));
+    }
+    let mut builder = SimReport::builder()
+        .config(cfg)
+        .nodes(envelope.body.nodes)
+        .protocol(envelope.body.protocol)
+        .net(envelope.body.net)
+        .pressure(envelope.body.pressure)
+        .swap_outs(envelope.body.swap_outs)
+        .metrics(envelope.body.metrics);
+    if let Some(trace) = envelope.body.trace {
+        builder = builder.trace(trace);
+    }
+    let report = builder.build().expect("all envelope fields supplied");
+    Ok(Decoded { report, fingerprint: envelope.fingerprint, key: envelope.key })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcoma_tlb::Scheme;
+    use vcoma_types::MachineConfig;
+
+    fn small_report() -> SimReport {
+        SimReport::builder()
+            .config(SimConfig::new(MachineConfig::tiny(), Scheme::V_COMA))
+            .nodes(vec![])
+            .protocol(ProtocolStats::default())
+            .net(NetStats::default())
+            .pressure(PressureProfile::from_occupancy(&[2, 0], 4))
+            .swap_outs(3)
+            .metrics(MetricsSnapshot::default())
+            .build()
+            .expect("all fields set")
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let r = small_report();
+        let text = encode(&r, "fp-test", "key-test");
+        let d = decode(&text, r.config().clone()).expect("decodes");
+        assert_eq!(d.fingerprint, "fp-test");
+        assert_eq!(d.key, "key-test");
+        assert_eq!(format!("{:?}", d.report.pressure()), format!("{:?}", r.pressure()));
+        assert_eq!(d.report.swap_outs(), 3);
+        // Re-encoding the decoded report is byte-identical.
+        assert_eq!(encode(&d.report, "fp-test", "key-test"), text);
+    }
+
+    #[test]
+    fn decode_rejects_foreign_and_future_envelopes() {
+        let r = small_report();
+        let cfg = r.config().clone();
+        let text = encode(&r, "fp", "k");
+        let wrong_format = text.replace("vcoma-simreport", "other-format");
+        assert!(matches!(
+            decode(&wrong_format, cfg.clone()),
+            Err(CodecError::Format(f)) if f == "other-format"
+        ));
+        let wrong_version = text.replace("\"version\": 1", "\"version\": 999");
+        assert!(matches!(decode(&wrong_version, cfg.clone()), Err(CodecError::Version(999))));
+        assert!(matches!(decode("{not json", cfg), Err(CodecError::Json(_))));
+    }
+}

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod ccnuma;
+pub mod codec;
 
 mod audit;
 mod breakdown;

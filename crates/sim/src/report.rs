@@ -10,7 +10,7 @@ use vcoma_tlb::TlbStats;
 use vcoma_vm::PressureProfile;
 
 /// Per-node results of one run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct NodeReport {
     /// The node's final local time.
     pub time: u64,

@@ -1,6 +1,6 @@
 //! The TLB/DLB structure.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use vcoma_cachesim::{Replacement, SetAssocArray};
 use vcoma_metrics::Mergeable;
 use vcoma_types::{DetRng, VPage};
@@ -25,7 +25,7 @@ impl std::fmt::Display for TlbOrg {
 }
 
 /// Hit/miss counters for a TLB or DLB.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct TlbStats {
     /// Translations requested.
     pub accesses: u64,

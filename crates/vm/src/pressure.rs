@@ -1,5 +1,6 @@
 //! Global-page-set memory-pressure profiles (paper Figure 11).
 
+use serde::{Deserialize, Serialize};
 use vcoma_types::{MachineConfig, VPage};
 
 /// The pressure profile over all global page sets: for each set, the number
@@ -8,7 +9,7 @@ use vcoma_types::{MachineConfig, VPage};
 /// The paper's Figure 11 shows this profile is near-uniform for all six
 /// benchmarks "without even trying", because program locality in the virtual
 /// space spreads pages evenly over the colors.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PressureProfile {
     pressures: Vec<f64>,
     slots_per_set: u64,

@@ -135,4 +135,56 @@ else
 fi
 echo "==> trace artifact byte-identical across worker counts; export valid"
 
+echo "==> sweep server: crash resume, 100% cache-hit resubmission, byte-diff vs direct run"
+sw=$(mktemp -d)
+sweepd_pid=""
+trap 'kill "$sweepd_pid" 2>/dev/null || true; rm -rf "$out1" "$out2" "$outm" "$fault1" "$fault2" "$intra1" "$intra8" "$n64a" "$n64b" "$trace1" "$trace8" "$sw"' EXIT
+cargo build --release -p vcoma-server -p vcoma-experiments
+start_sweepd() {
+    # A kill -9'd daemon leaves its socket file behind; clear it so the
+    # readiness probe below only sees the new daemon's bind.
+    rm -f "$sw/sweepd.sock"
+    target/release/vcoma-sweepd --listen "unix:$sw/sweepd.sock" --store "$sw/store" --jobs 2 &
+    sweepd_pid=$!
+    for _ in $(seq 1 100); do [ -S "$sw/sweepd.sock" ] && return 0; sleep 0.1; done
+    echo "vcoma-sweepd never started listening"; exit 1
+}
+# Daemon 1 populates the store with table2, then dies hard: the on-disk
+# state is exactly a sweep killed partway through the full artifact set.
+start_sweepd
+target/release/vcoma-experiments submit table2 --scale 0.01 \
+    --server "unix:$sw/sweepd.sock" >/dev/null
+kill -9 "$sweepd_pid"; wait "$sweepd_pid" 2>/dev/null || true
+# Daemon 2 resumes: the full sweep must serve table2's points from the
+# store (hits >= 1) while simulating only the genuinely new remainder.
+start_sweepd
+job=$(target/release/vcoma-experiments submit table2 fig8 table5 --scale 0.01 \
+    --server "unix:$sw/sweepd.sock" --out "$sw/daemon-csvs")
+status=$(target/release/vcoma-experiments status "$job" --server "unix:$sw/sweepd.sock")
+echo "$status"
+echo "$status" | grep -q " done " || { echo "resumed sweep did not finish"; exit 1; }
+echo "$status" | grep -q " 0 store hits, " && { echo "resume simulated table2 instead of hitting the store"; exit 1; }
+echo "$status" | grep -q ", 0 simulated)" && { echo "fig8/table5 should have simulated fresh points"; exit 1; }
+kill -9 "$sweepd_pid"; wait "$sweepd_pid" 2>/dev/null || true
+# Daemon 3: the identical resubmission must be served 100% from the store.
+start_sweepd
+job2=$(target/release/vcoma-experiments submit table2 fig8 table5 --scale 0.01 \
+    --server "unix:$sw/sweepd.sock" --out "$sw/resume-csvs")
+test "$job" = "$job2" || { echo "job ids must be content-addressed: $job vs $job2"; exit 1; }
+status=$(target/release/vcoma-experiments status "$job2" --server "unix:$sw/sweepd.sock")
+echo "$status"
+echo "$status" | grep -q ", 0 simulated)" || { echo "resubmission was not 100% from the store"; exit 1; }
+echo "$status" | grep -q " 0 points, " && { echo "resubmission served no points at all"; exit 1; }
+target/release/vcoma-experiments fetch "$job2" \
+    --server "unix:$sw/sweepd.sock" --out "$sw/fetch-csvs" >/dev/null
+kill "$sweepd_pid"; wait "$sweepd_pid" 2>/dev/null || true
+sweepd_pid=""
+diff -r "$sw/daemon-csvs" "$sw/resume-csvs"
+diff -r "$sw/daemon-csvs" "$sw/fetch-csvs"
+# The daemon's CSVs must be byte-identical to a direct single-worker run.
+target/release/vcoma-experiments table2 fig8 table5 --scale 0.01 \
+    --out "$sw/direct-csvs" --jobs 1
+diff -r "$sw/daemon-csvs" "$sw/direct-csvs"
+echo "==> sweep server resumes from its store and matches direct runs byte-for-byte"
+
 echo "==> ci.sh: all green"

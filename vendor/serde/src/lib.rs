@@ -11,14 +11,24 @@
 //! `serde_derive` shim and generates the same call sequence as the real
 //! derive.
 //!
-//! No `Deserialize`, no data-format crates: the workspace's only consumer
-//! is the hand-rolled JSON writer in `vcoma-metrics`.
+//! The deserializer side ([`de`]) is an equally small mirror: the
+//! [`Deserialize`] / [`de::Deserializer`] / [`de::Visitor`] triple plus
+//! seq/map access traits, specialized to self-describing formats (the
+//! workspace's only decoder is the hand-rolled JSON reader in
+//! `vcoma-metrics`). Unlike the real crate it carries no `'de` borrow
+//! lifetime — every visited string is owned — which keeps the derive and
+//! the format code an order of magnitude smaller while generating the
+//! same call shapes.
 
 #![forbid(unsafe_code)]
+// Clippy matches this lint on the crate name: it wants the real serde's
+// borrowed `visit_str` next to `visit_string`, but this lifetime-free
+// shim has no borrowed string variant at all.
+#![allow(clippy::serde_api_misuse)]
 
 use std::collections::BTreeMap;
 
-pub use serde_derive::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
 
 /// The serializer-side traits, mirroring `serde::ser`.
 pub mod ser {
@@ -263,5 +273,466 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
             map.serialize_entry(k, v)?;
         }
         map.end()
+    }
+}
+
+/// The deserializer-side traits, mirroring `serde::de` without the `'de`
+/// borrow lifetime (all visited strings are owned).
+pub mod de {
+    /// Errors a deserializer (or a `Deserialize` impl) can raise.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+
+        /// A required struct field was absent from the input.
+        fn missing_field(field: &'static str) -> Self {
+            Self::custom(format_args!("missing field `{field}`"))
+        }
+
+        /// The input held a different shape than the visitor expected.
+        fn invalid_type(unexpected: &str, expected: &str) -> Self {
+            Self::custom(format_args!("invalid type: {unexpected}, expected {expected}"))
+        }
+    }
+
+    /// A data structure that can be rebuilt from any self-describing
+    /// format.
+    pub trait Deserialize: Sized {
+        /// Deserializes `Self` with the given deserializer.
+        ///
+        /// # Errors
+        ///
+        /// Propagates whatever error the deserializer produces.
+        fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// A self-describing data format that can drive a [`Visitor`].
+    pub trait Deserializer: Sized {
+        /// Error produced on failure.
+        type Error: Error;
+
+        /// Deserializes whatever value comes next, calling the matching
+        /// `visit_*` method.
+        ///
+        /// # Errors
+        ///
+        /// Propagates format errors and visitor errors.
+        fn deserialize_any<V: Visitor>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+        /// Deserializes an optional value: `visit_none` for the format's
+        /// null, `visit_some(self)` otherwise.
+        ///
+        /// # Errors
+        ///
+        /// Propagates format errors and visitor errors.
+        fn deserialize_option<V: Visitor>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+        /// Deserializes a struct. Self-describing formats treat this
+        /// exactly like a map.
+        ///
+        /// # Errors
+        ///
+        /// Propagates format errors and visitor errors.
+        fn deserialize_struct<V: Visitor>(
+            self,
+            name: &'static str,
+            fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, Self::Error> {
+            let _ = (name, fields);
+            self.deserialize_any(visitor)
+        }
+    }
+
+    /// Receives the value a [`Deserializer`] finds in its input. Every
+    /// method defaults to a type error so impls only write the shapes
+    /// they accept.
+    pub trait Visitor: Sized {
+        /// The value this visitor produces.
+        type Value;
+
+        /// What this visitor expects, for error messages ("a u64", "struct
+        /// Span").
+        fn expecting(&self) -> &'static str;
+
+        /// Visits a boolean.
+        ///
+        /// # Errors
+        ///
+        /// Rejects the input unless overridden.
+        fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(E::invalid_type("a boolean", self.expecting()))
+        }
+
+        /// Visits a non-negative integer.
+        ///
+        /// # Errors
+        ///
+        /// Rejects the input unless overridden.
+        fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(E::invalid_type("an unsigned integer", self.expecting()))
+        }
+
+        /// Visits a negative integer.
+        ///
+        /// # Errors
+        ///
+        /// Rejects the input unless overridden.
+        fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(E::invalid_type("a signed integer", self.expecting()))
+        }
+
+        /// Visits a floating-point number.
+        ///
+        /// # Errors
+        ///
+        /// Rejects the input unless overridden.
+        fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(E::invalid_type("a float", self.expecting()))
+        }
+
+        /// Visits a string.
+        ///
+        /// # Errors
+        ///
+        /// Rejects the input unless overridden.
+        fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(E::invalid_type("a string", self.expecting()))
+        }
+
+        /// Visits the format's null.
+        ///
+        /// # Errors
+        ///
+        /// Rejects the input unless overridden.
+        fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+            Err(E::invalid_type("null", self.expecting()))
+        }
+
+        /// Visits a present optional value.
+        ///
+        /// # Errors
+        ///
+        /// Rejects the input unless overridden.
+        fn visit_some<D: Deserializer>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+            let _ = deserializer;
+            Err(D::Error::invalid_type("a value", self.expecting()))
+        }
+
+        /// Visits a sequence.
+        ///
+        /// # Errors
+        ///
+        /// Rejects the input unless overridden.
+        fn visit_seq<A: SeqAccess>(self, seq: A) -> Result<Self::Value, A::Error> {
+            let _ = seq;
+            Err(A::Error::invalid_type("a sequence", self.expecting()))
+        }
+
+        /// Visits a map.
+        ///
+        /// # Errors
+        ///
+        /// Rejects the input unless overridden.
+        fn visit_map<A: MapAccess>(self, map: A) -> Result<Self::Value, A::Error> {
+            let _ = map;
+            Err(A::Error::invalid_type("a map", self.expecting()))
+        }
+    }
+
+    /// Iterates the elements of a sequence being deserialized.
+    pub trait SeqAccess {
+        /// Error produced on failure.
+        type Error: Error;
+
+        /// Deserializes the next element, or `None` at the end.
+        ///
+        /// # Errors
+        ///
+        /// Propagates format errors and element errors.
+        fn next_element<T: Deserialize>(&mut self) -> Result<Option<T>, Self::Error>;
+    }
+
+    /// Iterates the entries of a map being deserialized.
+    pub trait MapAccess {
+        /// Error produced on failure.
+        type Error: Error;
+
+        /// Reads the next key, or `None` at the end.
+        ///
+        /// # Errors
+        ///
+        /// Propagates format errors.
+        fn next_key(&mut self) -> Result<Option<String>, Self::Error>;
+
+        /// Deserializes the value belonging to the key just read.
+        ///
+        /// # Errors
+        ///
+        /// Propagates format errors and value errors.
+        fn next_value<T: Deserialize>(&mut self) -> Result<T, Self::Error>;
+    }
+
+    /// Accepts and discards any value — the target of unknown struct
+    /// fields.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct IgnoredAny;
+
+    struct IgnoredVisitor;
+
+    impl Visitor for IgnoredVisitor {
+        type Value = IgnoredAny;
+
+        fn expecting(&self) -> &'static str {
+            "anything"
+        }
+
+        fn visit_bool<E: Error>(self, _: bool) -> Result<IgnoredAny, E> {
+            Ok(IgnoredAny)
+        }
+
+        fn visit_u64<E: Error>(self, _: u64) -> Result<IgnoredAny, E> {
+            Ok(IgnoredAny)
+        }
+
+        fn visit_i64<E: Error>(self, _: i64) -> Result<IgnoredAny, E> {
+            Ok(IgnoredAny)
+        }
+
+        fn visit_f64<E: Error>(self, _: f64) -> Result<IgnoredAny, E> {
+            Ok(IgnoredAny)
+        }
+
+        fn visit_string<E: Error>(self, _: String) -> Result<IgnoredAny, E> {
+            Ok(IgnoredAny)
+        }
+
+        fn visit_none<E: Error>(self) -> Result<IgnoredAny, E> {
+            Ok(IgnoredAny)
+        }
+
+        fn visit_some<D: Deserializer>(self, d: D) -> Result<IgnoredAny, D::Error> {
+            IgnoredAny::deserialize(d)
+        }
+
+        fn visit_seq<A: SeqAccess>(self, mut seq: A) -> Result<IgnoredAny, A::Error> {
+            while seq.next_element::<IgnoredAny>()?.is_some() {}
+            Ok(IgnoredAny)
+        }
+
+        fn visit_map<A: MapAccess>(self, mut map: A) -> Result<IgnoredAny, A::Error> {
+            while map.next_key()?.is_some() {
+                map.next_value::<IgnoredAny>()?;
+            }
+            Ok(IgnoredAny)
+        }
+    }
+
+    impl Deserialize for IgnoredAny {
+        fn deserialize<D: Deserializer>(d: D) -> Result<Self, D::Error> {
+            d.deserialize_any(IgnoredVisitor)
+        }
+    }
+}
+
+pub use de::Deserialize;
+
+macro_rules! impl_deserialize_uint {
+    ($($ty:ty),*) => {$(
+        impl de::Deserialize for $ty {
+            fn deserialize<D: de::Deserializer>(d: D) -> Result<Self, D::Error> {
+                struct V;
+                impl de::Visitor for V {
+                    type Value = $ty;
+                    fn expecting(&self) -> &'static str {
+                        concat!("a ", stringify!($ty))
+                    }
+                    fn visit_u64<E: de::Error>(self, v: u64) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| {
+                            E::custom(format_args!(
+                                "{v} out of range for {}",
+                                stringify!($ty)
+                            ))
+                        })
+                    }
+                }
+                d.deserialize_any(V)
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($ty:ty),*) => {$(
+        impl de::Deserialize for $ty {
+            fn deserialize<D: de::Deserializer>(d: D) -> Result<Self, D::Error> {
+                struct V;
+                impl de::Visitor for V {
+                    type Value = $ty;
+                    fn expecting(&self) -> &'static str {
+                        concat!("an ", stringify!($ty))
+                    }
+                    fn visit_i64<E: de::Error>(self, v: i64) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| {
+                            E::custom(format_args!(
+                                "{v} out of range for {}",
+                                stringify!($ty)
+                            ))
+                        })
+                    }
+                    fn visit_u64<E: de::Error>(self, v: u64) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| {
+                            E::custom(format_args!(
+                                "{v} out of range for {}",
+                                stringify!($ty)
+                            ))
+                        })
+                    }
+                }
+                d.deserialize_any(V)
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64);
+
+macro_rules! impl_deserialize_float {
+    ($($ty:ty),*) => {$(
+        impl de::Deserialize for $ty {
+            fn deserialize<D: de::Deserializer>(d: D) -> Result<Self, D::Error> {
+                struct V;
+                impl de::Visitor for V {
+                    type Value = $ty;
+                    fn expecting(&self) -> &'static str {
+                        concat!("an ", stringify!($ty))
+                    }
+                    fn visit_f64<E: de::Error>(self, v: f64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                    fn visit_u64<E: de::Error>(self, v: u64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                    fn visit_i64<E: de::Error>(self, v: i64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                    // The writer encodes non-finite floats as null; read
+                    // them back as NaN so encode/decode is total.
+                    fn visit_none<E: de::Error>(self) -> Result<$ty, E> {
+                        Ok(<$ty>::NAN)
+                    }
+                }
+                d.deserialize_any(V)
+            }
+        }
+    )*};
+}
+impl_deserialize_float!(f32, f64);
+
+impl de::Deserialize for bool {
+    fn deserialize<D: de::Deserializer>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl de::Visitor for V {
+            type Value = bool;
+            fn expecting(&self) -> &'static str {
+                "a boolean"
+            }
+            fn visit_bool<E: de::Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        d.deserialize_any(V)
+    }
+}
+
+impl de::Deserialize for String {
+    fn deserialize<D: de::Deserializer>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl de::Visitor for V {
+            type Value = String;
+            fn expecting(&self) -> &'static str {
+                "a string"
+            }
+            fn visit_string<E: de::Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        d.deserialize_any(V)
+    }
+}
+
+impl<T: de::Deserialize> de::Deserialize for Option<T> {
+    fn deserialize<D: de::Deserializer>(d: D) -> Result<Self, D::Error> {
+        struct V<T>(std::marker::PhantomData<T>);
+        impl<T: de::Deserialize> de::Visitor for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self) -> &'static str {
+                "an optional value"
+            }
+            fn visit_none<E: de::Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: de::Deserializer>(self, d: D) -> Result<Option<T>, D::Error> {
+                T::deserialize(d).map(Some)
+            }
+        }
+        d.deserialize_option(V(std::marker::PhantomData))
+    }
+}
+
+impl<T: de::Deserialize> de::Deserialize for Vec<T> {
+    fn deserialize<D: de::Deserializer>(d: D) -> Result<Self, D::Error> {
+        struct V<T>(std::marker::PhantomData<T>);
+        impl<T: de::Deserialize> de::Visitor for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self) -> &'static str {
+                "a sequence"
+            }
+            fn visit_seq<A: de::SeqAccess>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::new();
+                while let Some(e) = seq.next_element()? {
+                    out.push(e);
+                }
+                Ok(out)
+            }
+        }
+        d.deserialize_any(V(std::marker::PhantomData))
+    }
+}
+
+impl<T: de::Deserialize, const N: usize> de::Deserialize for [T; N] {
+    fn deserialize<D: de::Deserializer>(d: D) -> Result<Self, D::Error> {
+        let v: Vec<T> = de::Deserialize::deserialize(d)?;
+        let got = v.len();
+        v.try_into()
+            .map_err(|_| de::Error::custom(format_args!("expected {N} elements, got {got}")))
+    }
+}
+
+impl<V: de::Deserialize> de::Deserialize for BTreeMap<String, V> {
+    fn deserialize<D: de::Deserializer>(d: D) -> Result<Self, D::Error> {
+        struct Vis<V>(std::marker::PhantomData<V>);
+        impl<V: de::Deserialize> de::Visitor for Vis<V> {
+            type Value = BTreeMap<String, V>;
+            fn expecting(&self) -> &'static str {
+                "a map"
+            }
+            fn visit_map<A: de::MapAccess>(
+                self,
+                mut map: A,
+            ) -> Result<BTreeMap<String, V>, A::Error> {
+                let mut out = BTreeMap::new();
+                while let Some(k) = map.next_key()? {
+                    out.insert(k, map.next_value()?);
+                }
+                Ok(out)
+            }
+        }
+        d.deserialize_any(Vis(std::marker::PhantomData))
     }
 }

@@ -2,13 +2,13 @@
 //! crate.
 //!
 //! The build environment has no registry access, so the workspace derives
-//! [`Serialize`] through this hand-rolled macro instead of the real
-//! `serde_derive` (which needs `syn`/`quote`). It supports the one shape
-//! the workspace's statistics types use — non-generic structs with named
-//! fields — and generates the standard
-//! `serializer.serialize_struct(..)` / `serialize_field(..)` / `end()`
-//! call sequence, so the code it emits compiles unchanged against the
-//! real `serde` crate.
+//! [`Serialize`] and [`Deserialize`] through these hand-rolled macros
+//! instead of the real `serde_derive` (which needs `syn`/`quote`). They
+//! support the one shape the workspace's statistics types use —
+//! non-generic structs with named fields — and generate the standard
+//! serializer call sequence (`serialize_struct` / `serialize_field` /
+//! `end`) and the standard visitor-based `visit_map` deserialization, so
+//! the code they emit compiles unchanged against the real `serde` crate.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -25,7 +25,102 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
+/// Derives `serde::de::Deserialize` for a non-generic struct with named
+/// fields.
+///
+/// The generated impl visits a map, accumulates each known field through
+/// an `Option`, discards unknown keys via `serde::de::IgnoredAny`, and
+/// errors on a missing field — the same observable behaviour as the real
+/// derive with `deny_unknown_fields` off.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match generate_de(input) {
+        Ok(code) => code.parse().expect("shim derive emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("valid compile_error"),
+    }
+}
+
+fn generate_de(input: TokenStream) -> Result<String, String> {
+    let (name, fields) = parse_struct(input)?;
+    let field_list =
+        fields.iter().map(|f| format!("{f:?}")).collect::<Vec<_>>().join(", ");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl serde::de::Deserialize for {name} {{\n\
+             fn deserialize<D: serde::de::Deserializer>(deserializer: D) \
+              -> core::result::Result<Self, D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl serde::de::Visitor for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self) -> &'static str {{ \"struct {name}\" }}\n\
+                     fn visit_map<A: serde::de::MapAccess>(self, mut map: A) \
+                      -> core::result::Result<{name}, A::Error> {{\n"
+    ));
+    for f in &fields {
+        out.push_str(&format!(
+            "                let mut __f_{f} = core::option::Option::None;\n"
+        ));
+    }
+    out.push_str(
+        "                while let core::option::Option::Some(__key) = map.next_key()? {\n\
+                             match __key.as_str() {\n",
+    );
+    for f in &fields {
+        out.push_str(&format!(
+            "                    {f:?} => __f_{f} = \
+             core::option::Option::Some(map.next_value()?),\n"
+        ));
+    }
+    out.push_str(
+        "                    _ => { \
+         let _: serde::de::IgnoredAny = map.next_value()?; }\n\
+                             }\n\
+                         }\n",
+    );
+    out.push_str(&format!("                core::result::Result::Ok({name} {{\n"));
+    for f in &fields {
+        out.push_str(&format!(
+            "                    {f}: match __f_{f} {{\n\
+                                     core::option::Option::Some(__v) => __v,\n\
+                                     core::option::Option::None => return \
+             core::result::Result::Err(\
+             <A::Error as serde::de::Error>::missing_field({f:?})),\n\
+                                 }},\n"
+        ));
+    }
+    out.push_str(
+        "                })\n\
+                     }\n\
+                 }\n",
+    );
+    out.push_str(&format!(
+        "        deserializer.deserialize_struct({name:?}, &[{field_list}], __Visitor)\n\
+             }}\n\
+         }}\n"
+    ));
+    Ok(out)
+}
+
 fn generate(input: TokenStream) -> Result<String, String> {
+    let (name, fields) = parse_struct(input)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize<S: serde::Serializer>(&self, serializer: S) \
+              -> core::result::Result<S::Ok, S::Error> {{\n\
+             use serde::ser::SerializeStruct as _;\n\
+             let mut state = serializer.serialize_struct({name:?}, {})?;\n",
+        fields.len()
+    ));
+    for f in &fields {
+        out.push_str(&format!("        state.serialize_field({f:?}, &self.{f})?;\n"));
+    }
+    out.push_str("        state.end()\n    }\n}\n");
+    Ok(out)
+}
+
+/// Parses a derive input down to the struct name and its named fields.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
 
@@ -74,20 +169,7 @@ fn generate(input: TokenStream) -> Result<String, String> {
     };
 
     let fields = field_names(body)?;
-    let mut out = String::new();
-    out.push_str(&format!(
-        "impl serde::Serialize for {name} {{\n\
-             fn serialize<S: serde::Serializer>(&self, serializer: S) \
-              -> core::result::Result<S::Ok, S::Error> {{\n\
-             use serde::ser::SerializeStruct as _;\n\
-             let mut state = serializer.serialize_struct({name:?}, {})?;\n",
-        fields.len()
-    ));
-    for f in &fields {
-        out.push_str(&format!("        state.serialize_field({f:?}, &self.{f})?;\n"));
-    }
-    out.push_str("        state.end()\n    }\n}\n");
-    Ok(out)
+    Ok((name, fields))
 }
 
 /// Extracts the field names from the brace body of a named-field struct.
