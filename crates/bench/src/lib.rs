@@ -37,13 +37,132 @@ pub fn plain_bench<F: FnMut()>(label: &str, samples: u32, mut f: F) {
     println!("bench {label}: mean {mean:.3} ms, min {min:.3} ms, max {max:.3} ms ({} samples)", times.len());
 }
 
+/// Micro-benchmark kernels for the per-access hot path.
+///
+/// Each kernel is a deterministic closed loop over one layer of the
+/// simulator — TLB lookup, FLC/SLC probe, and the full
+/// `Machine::access` path — returning a checksum so the optimizer
+/// cannot discard the work and so the smoke test can pin the result.
+/// The `hotpath_micro` bench target times them; `cargo test` runs them
+/// once at a small iteration count.
+pub mod micro {
+    use vcoma::cachesim::{Flc, Slc};
+    use vcoma::{
+        AccessKind, DetRng, Machine, MachineConfig, Op, Scheme, SimConfig, Tlb, TlbOrg, VAddr,
+        VPage,
+    };
+
+    /// Pages in the TLB kernel's working set: 1.5x the TLB's capacity,
+    /// so the stream mixes hits, capacity misses, and refills.
+    const TLB_WORKING_SET: usize = 96;
+
+    /// Random lookups against a 64-entry fully-associative TLB.
+    /// Returns hits plus misses (equal to `iters`, but computed from the
+    /// TLB's own counters so the loop cannot be elided).
+    pub fn tlb_lookup(iters: u64) -> u64 {
+        let mut tlb = Tlb::new(64, TlbOrg::FullyAssociative, 7);
+        let mut rng = DetRng::new(42);
+        let mut hits = 0u64;
+        for _ in 0..iters {
+            let page = VPage::new(rng.gen_index(TLB_WORKING_SET) as u64);
+            hits += u64::from(tlb.translate(page));
+        }
+        hits + tlb.stats().misses
+    }
+
+    /// Mixed read/write probes against the tiny machine's FLC + SLC pair,
+    /// over twice the SLC's block capacity so both levels keep evicting.
+    pub fn cache_probe(iters: u64) -> u64 {
+        let m = MachineConfig::tiny();
+        let mut flc = Flc::new(m.flc);
+        let mut slc = Slc::new(m.slc);
+        let working_set = 2 * (m.slc.size_bytes / m.slc.block_size) as usize;
+        let mut rng = DetRng::new(9);
+        let mut hits = 0u64;
+        for i in 0..iters {
+            let block = rng.gen_index(working_set) as u64;
+            let flc_hit = if i % 4 == 0 {
+                flc.write(block).is_hit()
+            } else {
+                flc.read(block).is_hit()
+            };
+            hits += u64::from(flc_hit);
+            if !flc_hit {
+                let kind = if i % 4 == 0 { AccessKind::Write } else { AccessKind::Read };
+                hits += u64::from(slc.access(block, kind).hit);
+            }
+        }
+        hits
+    }
+
+    /// The full `Machine::access` path on the tiny 4-node machine: every
+    /// node replays a trace mixing a hot shared region with a private
+    /// strided region. Returns simulated exec time plus total refs.
+    pub fn end_to_end(refs_per_node: u64, scheme: Scheme) -> u64 {
+        let m = MachineConfig::tiny();
+        let page = m.page_size;
+        let nodes = m.nodes;
+        let cfg = SimConfig::new(m, scheme).with_seed(11);
+        let mut traces = Vec::with_capacity(nodes as usize);
+        for n in 0..nodes {
+            let mut rng = DetRng::new(0xB0B + n);
+            let ops = (0..refs_per_node)
+                .map(|i| {
+                    let addr = if i % 7 == 0 {
+                        // Hot region shared by all nodes: drives coherence.
+                        VAddr::new(rng.gen_index(64) as u64 * 32)
+                    } else {
+                        // Private strided region, two pages per node.
+                        VAddr::new(page * (n + 4) * 2 + (i * 32) % (page * 2))
+                    };
+                    if i % 5 == 0 {
+                        Op::Write(addr)
+                    } else {
+                        Op::Read(addr)
+                    }
+                })
+                .collect();
+            traces.push(ops);
+        }
+        let report = Machine::new(cfg).run(traces).expect("micro-bench trace replays");
+        report.exec_time() + report.total_refs()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vcoma::Scheme;
 
     #[test]
     fn configs_are_small() {
         assert!(bench_config().scale < print_config().scale);
         assert_eq!(bench_config().machine.nodes, 32);
+    }
+
+    #[test]
+    fn micro_kernels_run_and_are_deterministic() {
+        // Smoke for the plain-timer fallback path: every kernel the
+        // hotpath_micro bench target times must run and give the same
+        // checksum twice (the harness relies on run-to-run determinism).
+        let tlb = micro::tlb_lookup(20_000);
+        assert!(tlb >= 20_000, "hits + misses covers every lookup");
+        assert_eq!(tlb, micro::tlb_lookup(20_000));
+
+        let cache = micro::cache_probe(20_000);
+        assert!(cache > 0);
+        assert_eq!(cache, micro::cache_probe(20_000));
+
+        let e2e = micro::end_to_end(1_000, Scheme::V_COMA);
+        assert!(e2e > 4_000, "exec time plus 4 nodes x 1000 refs");
+        assert_eq!(e2e, micro::end_to_end(1_000, Scheme::V_COMA));
+        assert!(micro::end_to_end(1_000, Scheme::L0_TLB) > 4_000);
+    }
+
+    #[test]
+    fn plain_bench_runs_the_closure() {
+        let mut calls = 0u32;
+        plain_bench("test-label", 3, || calls += 1);
+        assert_eq!(calls, 4, "one warmup plus three samples");
     }
 }

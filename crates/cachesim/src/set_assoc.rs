@@ -1,4 +1,13 @@
 //! The generic set-associative array underlying every tagged memory.
+//!
+//! Layout: struct-of-arrays. Tags, LRU stamps and payloads live in three
+//! flat slabs indexed by `set * assoc + way`, with a per-set occupancy
+//! count. A lookup scans a contiguous `u64` tag strip — no per-set `Vec`
+//! headers, no pointer chasing, no allocation after construction. The
+//! observable semantics (occupancy order, victim choice, RNG draw
+//! sequence) are bit-identical to the earlier `Vec<Vec<Way>>` layout:
+//! fills append at the end of the occupied strip, evictions replace in
+//! place, and removals are `swap_remove`s.
 
 use vcoma_types::{CacheGeometry, DetRng};
 
@@ -31,14 +40,6 @@ impl Replacement {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Way<T> {
-    tag: u64,
-    /// Monotone touch counter used as an LRU timestamp.
-    stamp: u64,
-    data: T,
-}
-
 /// A set-associative array of tagged entries.
 ///
 /// Entries are keyed by *block number*; the set index is `block % sets` and
@@ -50,13 +51,23 @@ struct Way<T> {
 /// evicts a victim chosen by the [`Replacement`] policy and returns it.
 #[derive(Debug, Clone)]
 pub struct SetAssocArray<T> {
-    sets: Vec<Vec<Way<T>>>,
+    /// `tags[s * assoc + i]` for `i < lens[s]` are the occupied ways of
+    /// set `s`, in fill order.
+    tags: Vec<u64>,
+    /// Monotone touch counters used as LRU timestamps, parallel to `tags`.
+    stamps: Vec<u64>,
+    /// Per-line payloads, parallel to `tags`. Vacant slots hold
+    /// `T::default()`.
+    data: Vec<T>,
+    /// Occupied ways per set.
+    lens: Vec<u32>,
+    num_sets: usize,
     assoc: usize,
     policy: Replacement,
     clock: u64,
 }
 
-impl<T> SetAssocArray<T> {
+impl<T: Default> SetAssocArray<T> {
     /// Creates an empty array with `sets` sets of `assoc` ways.
     ///
     /// # Panics
@@ -64,8 +75,13 @@ impl<T> SetAssocArray<T> {
     /// Panics if `sets` or `assoc` is zero.
     pub fn new(sets: u64, assoc: u64, policy: Replacement) -> Self {
         assert!(sets > 0 && assoc > 0, "sets and assoc must be positive");
+        let slots = sets as usize * assoc as usize;
         SetAssocArray {
-            sets: (0..sets).map(|_| Vec::with_capacity(assoc as usize)).collect(),
+            tags: vec![0; slots],
+            stamps: vec![0; slots],
+            data: (0..slots).map(|_| T::default()).collect(),
+            lens: vec![0; sets as usize],
+            num_sets: sets as usize,
             assoc: assoc as usize,
             policy,
             clock: 0,
@@ -77,10 +93,12 @@ impl<T> SetAssocArray<T> {
     pub fn with_geometry(geometry: CacheGeometry, policy: Replacement) -> Self {
         SetAssocArray::new(geometry.sets(), geometry.assoc, policy)
     }
+}
 
+impl<T> SetAssocArray<T> {
     /// Number of sets.
     pub fn sets(&self) -> u64 {
-        self.sets.len() as u64
+        self.num_sets as u64
     }
 
     /// Ways per set.
@@ -90,50 +108,62 @@ impl<T> SetAssocArray<T> {
 
     /// Total entries currently resident.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// Returns `true` if no entry is resident.
     pub fn is_empty(&self) -> bool {
-        self.sets.iter().all(Vec::is_empty)
+        self.lens.iter().all(|&l| l == 0)
     }
 
     /// Maximum number of resident entries.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.assoc
+        self.num_sets * self.assoc
     }
 
+    #[inline]
     fn set_index(&self, block: u64) -> usize {
-        (block % self.sets.len() as u64) as usize
+        (block % self.num_sets as u64) as usize
+    }
+
+    /// Slot index of `block` within its set's occupied strip, if resident.
+    #[inline]
+    fn find(&self, si: usize, block: u64) -> Option<usize> {
+        let base = si * self.assoc;
+        let strip = &self.tags[base..base + self.lens[si] as usize];
+        strip.iter().position(|&t| t == block).map(|i| base + i)
     }
 
     /// Looks up a block, refreshing its LRU position. Returns a mutable
     /// reference to its payload if present.
+    #[inline]
     pub fn lookup(&mut self, block: u64) -> Option<&mut T> {
         self.clock += 1;
-        let clock = self.clock;
         let si = self.set_index(block);
-        self.sets[si].iter_mut().find(|w| w.tag == block).map(|w| {
-            w.stamp = clock;
-            &mut w.data
-        })
+        let slot = self.find(si, block)?;
+        self.stamps[slot] = self.clock;
+        Some(&mut self.data[slot])
     }
 
     /// Looks up a block without touching LRU state.
+    #[inline]
     pub fn peek(&self, block: u64) -> Option<&T> {
         let si = self.set_index(block);
-        self.sets[si].iter().find(|w| w.tag == block).map(|w| &w.data)
+        self.find(si, block).map(|slot| &self.data[slot])
     }
 
     /// Mutable lookup without touching LRU state.
+    #[inline]
     pub fn peek_mut(&mut self, block: u64) -> Option<&mut T> {
         let si = self.set_index(block);
-        self.sets[si].iter_mut().find(|w| w.tag == block).map(|w| &mut w.data)
+        self.find(si, block).map(|slot| &mut self.data[slot])
     }
 
     /// Returns `true` if the block is resident.
+    #[inline]
     pub fn contains(&self, block: u64) -> bool {
-        self.peek(block).is_some()
+        let si = self.set_index(block);
+        self.find(si, block).is_some()
     }
 
     /// Inserts a block, evicting a victim if its set is full.
@@ -145,41 +175,70 @@ impl<T> SetAssocArray<T> {
         self.clock += 1;
         let clock = self.clock;
         let si = self.set_index(block);
-        let set = &mut self.sets[si];
-        if let Some(w) = set.iter_mut().find(|w| w.tag == block) {
-            w.stamp = clock;
-            let old = std::mem::replace(&mut w.data, data);
+        let base = si * self.assoc;
+        let len = self.lens[si] as usize;
+        if let Some(slot) = self.find(si, block) {
+            self.stamps[slot] = clock;
+            let old = std::mem::replace(&mut self.data[slot], data);
             return Some((block, old));
         }
-        if set.len() < self.assoc {
-            set.push(Way { tag: block, stamp: clock, data });
+        if len < self.assoc {
+            let slot = base + len;
+            self.tags[slot] = block;
+            self.stamps[slot] = clock;
+            self.data[slot] = data;
+            self.lens[si] += 1;
             return None;
         }
-        let ranks: Vec<u64> = set.iter().map(|w| w.stamp).collect();
-        let v = self.policy.victim(&ranks);
-        let victim = std::mem::replace(&mut set[v], Way { tag: block, stamp: clock, data });
-        Some((victim.tag, victim.data))
+        let v = self.policy.victim(&self.stamps[base..base + len]);
+        let slot = base + v;
+        let victim_tag = std::mem::replace(&mut self.tags[slot], block);
+        self.stamps[slot] = clock;
+        let victim_data = std::mem::replace(&mut self.data[slot], data);
+        Some((victim_tag, victim_data))
+    }
+
+    /// Removes the entry at `slot` from set `si` with `swap_remove`
+    /// semantics (the strip's last entry moves into the hole).
+    fn remove_slot(&mut self, si: usize, slot: usize) -> T
+    where
+        T: Default,
+    {
+        let last = si * self.assoc + self.lens[si] as usize - 1;
+        self.tags.swap(slot, last);
+        self.stamps.swap(slot, last);
+        self.data.swap(slot, last);
+        self.lens[si] -= 1;
+        std::mem::take(&mut self.data[last])
     }
 
     /// Removes a block, returning its payload if it was resident.
-    pub fn invalidate(&mut self, block: u64) -> Option<T> {
+    pub fn invalidate(&mut self, block: u64) -> Option<T>
+    where
+        T: Default,
+    {
         let si = self.set_index(block);
-        let set = &mut self.sets[si];
-        let pos = set.iter().position(|w| w.tag == block)?;
-        Some(set.swap_remove(pos).data)
+        let slot = self.find(si, block)?;
+        Some(self.remove_slot(si, slot))
     }
 
     /// Removes every entry for which `pred` returns `true`, returning the
     /// removed `(block, payload)` pairs. Used for page-granularity flushes
     /// (address-mapping changes, protection changes).
-    pub fn retain_or_collect(&mut self, mut pred: impl FnMut(u64, &T) -> bool) -> Vec<(u64, T)> {
+    pub fn retain_or_collect(&mut self, mut pred: impl FnMut(u64, &T) -> bool) -> Vec<(u64, T)>
+    where
+        T: Default,
+    {
         let mut removed = Vec::new();
-        for set in &mut self.sets {
+        for si in 0..self.num_sets {
+            let base = si * self.assoc;
             let mut i = 0;
-            while i < set.len() {
-                if pred(set[i].tag, &set[i].data) {
-                    let w = set.swap_remove(i);
-                    removed.push((w.tag, w.data));
+            while i < self.lens[si] as usize {
+                let slot = base + i;
+                if pred(self.tags[slot], &self.data[slot]) {
+                    let tag = self.tags[slot];
+                    let data = self.remove_slot(si, slot);
+                    removed.push((tag, data));
                 } else {
                     i += 1;
                 }
@@ -191,12 +250,15 @@ impl<T> SetAssocArray<T> {
     /// Iterates over all resident `(block, payload)` pairs in unspecified
     /// order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
-        self.sets.iter().flatten().map(|w| (w.tag, &w.data))
+        (0..self.num_sets).flat_map(move |si| {
+            let base = si * self.assoc;
+            (base..base + self.lens[si] as usize).map(move |slot| (self.tags[slot], &self.data[slot]))
+        })
     }
 
     /// Number of resident entries in the set that `block` maps to.
     pub fn set_occupancy(&self, block: u64) -> usize {
-        self.sets[self.set_index(block)].len()
+        self.lens[self.set_index(block)] as usize
     }
 
     /// Returns `true` if the set that `block` maps to has a free way.
@@ -208,14 +270,14 @@ impl<T> SetAssocArray<T> {
     /// `block` maps to. Used by the coherence protocol to pick replacement
     /// victims by state priority rather than by this array's policy.
     pub fn entries_in_set(&self, block: u64) -> impl Iterator<Item = (u64, &T)> {
-        self.sets[self.set_index(block)].iter().map(|w| (w.tag, &w.data))
+        let si = self.set_index(block);
+        let base = si * self.assoc;
+        (base..base + self.lens[si] as usize).map(move |slot| (self.tags[slot], &self.data[slot]))
     }
 
     /// Removes all entries.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.lens.fill(0);
     }
 }
 
@@ -361,6 +423,20 @@ mod tests {
     #[should_panic(expected = "sets and assoc must be positive")]
     fn zero_sets_panics() {
         let _ = lru_array(0, 1);
+    }
+
+    #[test]
+    fn swap_remove_order_matches_vec_semantics() {
+        // After removing the first of three entries, the strip must read
+        // [last, middle] — exactly Vec::swap_remove — so downstream victim
+        // choices (LRU ties, RNG draws) are unchanged by the SoA layout.
+        let mut a = lru_array(1, 3);
+        a.insert(10, 1);
+        a.insert(11, 2);
+        a.insert(12, 3);
+        assert_eq!(a.invalidate(10), Some(1));
+        let order: Vec<u64> = a.entries_in_set(0).map(|(b, _)| b).collect();
+        assert_eq!(order, vec![12, 11]);
     }
 
     #[cfg(feature = "proptest-tests")]

@@ -41,10 +41,25 @@ impl ArtifactOutput {
     }
 }
 
+/// Fault-injection hook: when this environment variable names one of
+/// the [`STANDARD`] artifacts, [`run_standard`] panics instead of
+/// running it. The daemon's regression suite uses it to drive a
+/// panicking artifact through a live worker and assert the daemon
+/// marks the job failed and keeps serving; it has no effect unless set.
+pub const PANIC_ARTIFACT_ENV: &str = "VCOMA_TEST_PANIC_ARTIFACT";
+
 /// Runs one standard artifact and renders its tables. Returns `None`
 /// for names outside [`STANDARD`] (the CLI's opt-in artifacts and
 /// unknown strings alike); the caller decides whether that is an error.
+///
+/// # Panics
+///
+/// Panics if [`PANIC_ARTIFACT_ENV`] is set to `name` (test-only fault
+/// injection).
 pub fn run_standard(name: &str, cfg: &ExperimentConfig) -> Option<ArtifactOutput> {
+    if std::env::var(PANIC_ARTIFACT_ENV).as_deref() == Ok(name) {
+        panic!("injected fault: artifact '{name}' panicked via {PANIC_ARTIFACT_ENV}");
+    }
     let out = match name {
         "table1" => ArtifactOutput::single(
             "== Table 1: benchmark parameters ==",

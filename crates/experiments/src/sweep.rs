@@ -16,6 +16,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use serde::{Deserialize, Serialize};
+
 /// Whether [`run`] paints a live progress line to stderr (`--progress`).
 /// Stderr-only by design: stdout carries the deterministic tables and
 /// must stay byte-identical with or without the flag.
@@ -119,7 +121,11 @@ static LEDGER: Mutex<Vec<SweepStats>> = Mutex::new(Vec::new());
 /// Drains and returns the stats of every sweep run since the last call
 /// (process-wide, in completion order).
 pub fn take_stats() -> Vec<SweepStats> {
-    std::mem::take(&mut *LEDGER.lock().unwrap())
+    // Poison-robust: a panicking sweep point (caught upstream by the
+    // daemon's `catch_unwind`) must not leave the process-wide ledger
+    // unreadable. The ledger is append-only, so a poisoned guard still
+    // holds a consistent vector.
+    std::mem::take(&mut *LEDGER.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
 }
 
 /// Evaluates `points` on `jobs` worker threads and returns the values in
@@ -206,7 +212,7 @@ where
         stats.points_per_second(),
         stats.cycles_per_second(),
     );
-    LEDGER.lock().unwrap().push(stats);
+    LEDGER.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(stats);
     values
 }
 
@@ -229,10 +235,104 @@ pub struct BenchContext {
     pub code_fingerprint: &'static str,
 }
 
+/// One point of the cross-PR throughput trajectory: which build produced
+/// it, how fast it ran, and how much memory it peaked at. Every run of
+/// the CLI appends one of these to `BENCH_sweep.json`'s `history` array
+/// (deduplicated per fingerprint, latest wins), so the file carries the
+/// cycles/s trend across revisions instead of only the latest number.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchHistoryEntry {
+    /// Code fingerprint of the build that produced the figure.
+    pub fingerprint: String,
+    /// Aggregate simulated cycles per wall-clock second of the run.
+    pub cycles_per_sec: f64,
+    /// Peak RSS of the run in kilobytes.
+    pub peak_rss_kb: u64,
+}
+
+/// The slice of a previously written `BENCH_sweep.json` the next run
+/// carries forward (every other field is regenerated). The top-level
+/// fields migrate files from before the `history` array existed: their
+/// single headline figure becomes the first trajectory point.
+#[derive(Debug, Default)]
+struct PriorBench {
+    history: Option<Vec<BenchHistoryEntry>>,
+    code_fingerprint: Option<String>,
+    total_cycles_per_second: Option<f64>,
+    max_peak_rss_kb: Option<u64>,
+}
+
+// Hand-written rather than derived: the vendored derive treats every
+// field as required (absence is a missing-field error even for
+// `Option`), but this struct exists precisely to read files where any
+// of these fields may be absent.
+impl serde::de::Deserialize for PriorBench {
+    fn deserialize<D: serde::de::Deserializer>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl serde::de::Visitor for V {
+            type Value = PriorBench;
+
+            fn expecting(&self) -> &'static str {
+                "struct PriorBench"
+            }
+
+            fn visit_map<A: serde::de::MapAccess>(
+                self,
+                mut map: A,
+            ) -> Result<PriorBench, A::Error> {
+                let mut out = PriorBench::default();
+                while let Some(key) = map.next_key()? {
+                    match key.as_str() {
+                        "history" => out.history = Some(map.next_value()?),
+                        "code_fingerprint" => out.code_fingerprint = Some(map.next_value()?),
+                        "total_cycles_per_second" => {
+                            out.total_cycles_per_second = Some(map.next_value()?);
+                        }
+                        "max_peak_rss_kb" => out.max_peak_rss_kb = Some(map.next_value()?),
+                        _ => {
+                            let _: serde::de::IgnoredAny = map.next_value()?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_struct(
+            "PriorBench",
+            &["history", "code_fingerprint", "total_cycles_per_second", "max_peak_rss_kb"],
+            V,
+        )
+    }
+}
+
+/// Extracts the `history` array from a previously written
+/// `BENCH_sweep.json`. Files from before the array existed contribute
+/// their headline figure as a synthesized single entry, so no recorded
+/// point is lost to the format change; malformed files yield an empty
+/// trajectory (a corrupt bench report should never fail a sweep, it
+/// just restarts the trend).
+pub fn prior_history(json: &str) -> Vec<BenchHistoryEntry> {
+    let Ok(prior) = vcoma::metrics::json::from_json_str::<PriorBench>(json) else {
+        return Vec::new();
+    };
+    if let Some(history) = prior.history {
+        return history;
+    }
+    match (prior.code_fingerprint, prior.total_cycles_per_second) {
+        (Some(fingerprint), Some(cycles_per_sec)) => vec![BenchHistoryEntry {
+            fingerprint,
+            cycles_per_sec,
+            peak_rss_kb: prior.max_peak_rss_kb.unwrap_or(0),
+        }],
+        _ => Vec::new(),
+    }
+}
+
 /// Renders sweep stats as the `BENCH_sweep.json` document: the run
-/// context, overall wall-clock, plus one record per sweep. Hand-rolled
-/// JSON — the workspace takes no serialisation dependency.
-pub fn bench_json(stats: &[SweepStats], ctx: BenchContext) -> String {
+/// context, overall wall-clock, one record per sweep, plus the carried
+/// `history` trajectory with this run appended. Hand-rolled JSON — the
+/// workspace takes no serialisation dependency.
+pub fn bench_json(stats: &[SweepStats], ctx: BenchContext, prior: &[BenchHistoryEntry]) -> String {
     let total_wall: f64 = stats.iter().map(|s| s.wall_seconds).sum();
     let total_cycles: u64 = stats.iter().map(|s| s.simulated_cycles).sum();
     let total_points: usize = stats.iter().map(|s| s.points).sum();
@@ -265,6 +365,30 @@ pub fn bench_json(stats: &[SweepStats], ctx: BenchContext) -> String {
             s.cycles_per_second(),
             s.peak_rss_kb,
             if i + 1 < stats.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    // The trajectory: prior entries (minus any from this same build —
+    // re-running a build updates its point rather than duplicating it)
+    // with this run appended.
+    let current = BenchHistoryEntry {
+        fingerprint: ctx.code_fingerprint.to_string(),
+        cycles_per_sec: if total_wall > 0.0 { total_cycles as f64 / total_wall } else { 0.0 },
+        peak_rss_kb: max_rss,
+    };
+    let history: Vec<&BenchHistoryEntry> = prior
+        .iter()
+        .filter(|e| e.fingerprint != current.fingerprint)
+        .chain(std::iter::once(&current))
+        .collect();
+    out.push_str("  \"history\": [\n");
+    for (i, e) in history.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"fingerprint\": \"{}\", \"cycles_per_sec\": {:.3}, \"peak_rss_kb\": {}}}{}\n",
+            e.fingerprint,
+            e.cycles_per_sec,
+            e.peak_rss_kb,
+            if i + 1 < history.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -349,6 +473,7 @@ mod tests {
                 intra_jobs: 8,
                 code_fingerprint: crate::cache::code_fingerprint(),
             },
+            &[],
         );
         assert!(j.contains("\"sweeps\": ["));
         assert!(j.contains("\"nodes\": 64"));
@@ -364,6 +489,56 @@ mod tests {
         assert!(j.contains("\"peak_rss_kb\": 18000"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches("\"sweep\":").count(), 2);
+    }
+
+    #[test]
+    fn bench_history_accumulates_across_runs() {
+        let stats = vec![SweepStats {
+            sweep: "fig8".into(),
+            points: 10,
+            jobs: 2,
+            wall_seconds: 2.0,
+            simulated_cycles: 1_000_000,
+            peak_rss_kb: 5_000,
+        }];
+        let ctx = BenchContext {
+            jobs: 2,
+            nodes: 32,
+            intra_jobs: 1,
+            code_fingerprint: crate::cache::code_fingerprint(),
+        };
+        let older = vec![BenchHistoryEntry {
+            fingerprint: "0.0.9-deadbeef".into(),
+            cycles_per_sec: 123_456.0,
+            peak_rss_kb: 9_000,
+        }];
+        let first = bench_json(&stats, ctx, &older);
+        let after_first = prior_history(&first);
+        assert_eq!(after_first.len(), 2, "prior entry carried, this run appended");
+        assert_eq!(after_first[0], older[0]);
+        assert_eq!(after_first[1].fingerprint, crate::cache::code_fingerprint());
+        assert_eq!(after_first[1].cycles_per_sec, 500_000.0);
+        assert_eq!(after_first[1].peak_rss_kb, 5_000);
+
+        // A second run of the same build replaces its own point instead
+        // of duplicating it; foreign fingerprints are never dropped.
+        let second = bench_json(&stats, ctx, &after_first);
+        let after_second = prior_history(&second);
+        assert_eq!(after_second, after_first);
+
+        // Files from before the history array existed contribute their
+        // headline figure as the first trajectory point.
+        let old_format = "{\"jobs\": 8, \"code_fingerprint\": \"0.1.0-cafe\", \
+             \"total_cycles_per_second\": 58322308.491, \"max_peak_rss_kb\": 379268}";
+        let migrated = prior_history(old_format);
+        assert_eq!(migrated.len(), 1);
+        assert_eq!(migrated[0].fingerprint, "0.1.0-cafe");
+        assert_eq!(migrated[0].cycles_per_sec, 58322308.491);
+        assert_eq!(migrated[0].peak_rss_kb, 379268);
+
+        // Headline-less or malformed files restart the trajectory.
+        assert!(prior_history("{\"jobs\": 4}").is_empty());
+        assert!(prior_history("not json at all").is_empty());
     }
 
     #[test]

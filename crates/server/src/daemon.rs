@@ -27,7 +27,7 @@ use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use crate::store::DiskStore;
@@ -164,9 +164,32 @@ impl Daemon {
         &self.store
     }
 
+    /// Locks the job table, recovering from poisoning.
+    ///
+    /// A panicking artifact unwinds through `run_job` while one of these
+    /// mutexes may be held (progress updates interleave with the sweep),
+    /// poisoning it. The tables hold plain bookkeeping whose invariants
+    /// every writer restores before releasing, so the poison flag carries
+    /// no information: recover the guard and keep serving instead of
+    /// letting every later `status`/`fetch`/`submit` panic.
+    fn lock_jobs(&self) -> MutexGuard<'_, BTreeMap<String, JobState>> {
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Locks the queue, recovering from poisoning (see [`Daemon::lock_jobs`]).
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<String>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Requests shutdown: the accept loop and worker stop at their next
     /// check and [`Daemon::serve`] returns.
     pub fn request_shutdown(&self) {
+        // The flag is flipped while holding the queue lock: the worker
+        // re-checks it under the same lock before blocking on the condvar,
+        // so this notify cannot land in the gap between that check and the
+        // wait (the classic lost wakeup, previously masked by a 100 ms
+        // `wait_timeout` poll).
+        let _queue = self.lock_queue();
         self.shutdown.store(true, Ordering::SeqCst);
         self.wake.notify_all();
     }
@@ -318,7 +341,7 @@ impl Daemon {
         };
         let id = spec.id();
         let phase = {
-            let mut jobs = self.jobs.lock().unwrap();
+            let mut jobs = self.lock_jobs();
             match jobs.get(&id) {
                 // Content-addressed dedup: an identical submission joins
                 // the existing job in whatever phase it is in. A failed
@@ -340,8 +363,12 @@ impl Daemon {
                             error: None,
                         },
                     );
-                    self.queue.lock().unwrap().push_back(id.clone());
+                    let mut queue = self.lock_queue();
+                    queue.push_back(id.clone());
+                    // Notify while the queue lock is held: plain `wait`
+                    // in the worker depends on it (no timeout safety net).
                     self.wake.notify_all();
+                    drop(queue);
                     JobPhase::Queued
                 }
             }
@@ -356,7 +383,7 @@ impl Daemon {
         let Some(id) = &req.job else {
             return Response::failure("status needs a job id");
         };
-        let jobs = self.jobs.lock().unwrap();
+        let jobs = self.lock_jobs();
         let Some(job) = jobs.get(id) else {
             return Response::failure(format!("unknown job '{id}'"));
         };
@@ -385,7 +412,7 @@ impl Daemon {
         let Some(id) = &req.job else {
             return Response::failure("fetch needs a job id");
         };
-        let jobs = self.jobs.lock().unwrap();
+        let jobs = self.lock_jobs();
         let Some(job) = jobs.get(id) else {
             return Response::failure(format!("unknown job '{id}'"));
         };
@@ -405,7 +432,7 @@ impl Daemon {
     fn worker_loop(self: Arc<Daemon>) {
         loop {
             let next = {
-                let mut queue = self.queue.lock().unwrap();
+                let mut queue = self.lock_queue();
                 loop {
                     if let Some(id) = queue.pop_front() {
                         break Some(id);
@@ -413,9 +440,11 @@ impl Daemon {
                     if self.shutdown.load(Ordering::SeqCst) {
                         break None;
                     }
-                    let (guard, _) =
-                        self.wake.wait_timeout(queue, Duration::from_millis(100)).unwrap();
-                    queue = guard;
+                    // Block until a submit or shutdown notifies: both
+                    // notify while holding the queue lock, so an idle
+                    // daemon parks here at zero CPU instead of the old
+                    // 100 ms `wait_timeout` poll.
+                    queue = self.wake.wait(queue).unwrap_or_else(PoisonError::into_inner);
                 }
             };
             let Some(id) = next else { return };
@@ -425,7 +454,7 @@ impl Daemon {
 
     fn run_job(&self, id: &str) {
         let spec = {
-            let mut jobs = self.jobs.lock().unwrap();
+            let mut jobs = self.lock_jobs();
             let job = jobs.get_mut(id).expect("queued jobs exist");
             job.phase = JobPhase::Running;
             job.base_hits = self.store.hits();
@@ -444,7 +473,7 @@ impl Daemon {
                     for (stem, table) in &output.tables {
                         files.push(CsvFile { name: stem.clone(), contents: table.to_csv() });
                     }
-                    let mut jobs = self.jobs.lock().unwrap();
+                    let mut jobs = self.lock_jobs();
                     jobs.get_mut(id).expect("job exists").artifacts_done += 1;
                 }
                 Err(panic) => {
@@ -460,7 +489,7 @@ impl Daemon {
         }
         // Keep the throughput ledger bounded across a long-lived process.
         let _ = sweep::take_stats();
-        let mut jobs = self.jobs.lock().unwrap();
+        let mut jobs = self.lock_jobs();
         let job = jobs.get_mut(id).expect("job exists");
         job.hits = self.store.hits().saturating_sub(job.base_hits);
         job.simulated = self.store.misses().saturating_sub(job.base_misses);

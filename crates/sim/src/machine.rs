@@ -31,8 +31,11 @@ const LOCK_RELEASE_COST: u64 = 16;
 ///
 /// `pub(crate)` (fields included) because the epoch-barrier engine in
 /// [`crate::epoch`] hands disjoint `&mut` chunks of the node array to
-/// shard workers.
+/// shard workers. Aligned to 128 bytes (two cache lines, covering
+/// adjacent-line prefetchers) so neighbouring nodes never share a cache
+/// line when those workers mutate them concurrently.
 #[derive(Debug)]
+#[repr(align(128))]
 pub(crate) struct NodeCtx {
     pub(crate) flc: Flc,
     pub(crate) slc: Slc,
@@ -51,6 +54,64 @@ pub(crate) struct NodeCtx {
     pub(crate) writes: u64,
 }
 
+/// Per-scheme hot-path decisions, precomputed once at machine build time.
+///
+/// `access_inner`/`translate` used to re-derive every one of these on every
+/// memory reference: chase `scheme.spec()`, evaluate the `XlatePoint`
+/// ordering predicates, and divide by block/page sizes. All of it is fixed
+/// for the lifetime of a machine, so it is folded here into plain booleans
+/// and shift counts (every size is a validated power of two). The table is
+/// `Copy`: the access path grabs one local snapshot and never touches the
+/// spec again.
+#[derive(Debug, Clone, Copy)]
+struct PathTable {
+    /// `spec.translates_at(XlatePoint::EveryRef)`.
+    xlate_every_ref: bool,
+    /// `spec.translates_at(XlatePoint::FlcMiss)`.
+    xlate_flc_miss: bool,
+    /// `spec.translates_at(XlatePoint::SlcMiss)`.
+    xlate_slc_miss: bool,
+    /// `spec.translates_before_txn()`.
+    xlate_before_txn: bool,
+    /// `scheme.writebacks_translate()`.
+    wb_translate: bool,
+    virtual_flc: bool,
+    virtual_slc: bool,
+    virtual_am: bool,
+    virtual_protocol: bool,
+    /// `log2(page_size)`: `byte >> page_shift` is the page number.
+    page_shift: u32,
+    /// `log2(block_size)` per level: `byte >> shift` is the block number.
+    flc_shift: u32,
+    slc_shift: u32,
+    am_shift: u32,
+    /// FLC blocks per SLC block, for eviction-span back-invalidation.
+    slc_flc_ratio: u64,
+}
+
+impl PathTable {
+    fn new(cfg: &SimConfig) -> Self {
+        let spec = cfg.scheme.spec();
+        let m = &cfg.machine;
+        PathTable {
+            xlate_every_ref: spec.translates_at(XlatePoint::EveryRef),
+            xlate_flc_miss: spec.translates_at(XlatePoint::FlcMiss),
+            xlate_slc_miss: spec.translates_at(XlatePoint::SlcMiss),
+            xlate_before_txn: spec.translates_before_txn(),
+            wb_translate: cfg.scheme.writebacks_translate(),
+            virtual_flc: spec.virtual_flc,
+            virtual_slc: spec.virtual_slc,
+            virtual_am: spec.virtual_am,
+            virtual_protocol: spec.virtual_protocol,
+            page_shift: m.page_size.trailing_zeros(),
+            flc_shift: m.flc.block_size.trailing_zeros(),
+            slc_shift: m.slc.block_size.trailing_zeros(),
+            am_shift: m.am.block_size.trailing_zeros(),
+            slc_flc_ratio: m.slc.block_size / m.flc.block_size,
+        }
+    }
+}
+
 /// The simulated COMA machine.
 ///
 /// Build one from a [`SimConfig`] and feed it one trace per node with
@@ -60,6 +121,8 @@ pub(crate) struct NodeCtx {
 #[derive(Debug)]
 pub struct Machine {
     cfg: SimConfig,
+    /// Precomputed per-scheme hot-path decision table (see [`PathTable`]).
+    path: PathTable,
     pub(crate) nodes: Vec<NodeCtx>,
     protocol: Protocol,
     pub(crate) net: Crossbar,
@@ -206,6 +269,7 @@ impl Machine {
             protocol = protocol.with_faults(plan.clone());
         }
         Machine {
+            path: PathTable::new(&cfg),
             nodes,
             protocol,
             net,
@@ -467,17 +531,13 @@ impl Machine {
     }
 
     fn access_inner(&mut self, n: usize, va: VAddr, kind: AccessKind) -> Result<u64, SimError> {
-        let m = &self.cfg.machine;
-        let scheme = self.cfg.scheme;
-        let spec = scheme.spec();
-        let timing = m.timing;
-        let page_size = m.page_size;
-        let (flc_bs, slc_bs, am_bs) = (m.flc.block_size, m.slc.block_size, m.am.block_size);
-        let page = va.page(page_size);
+        let p = self.path;
+        let timing = self.cfg.machine.timing;
+        let page = VPage::new(va.raw() >> p.page_shift);
         let node_id = NodeId::new(n as u16);
 
         // --- address-space views and home selection ---------------------
-        let (pa, home) = if spec.virtual_protocol {
+        let (pa, home) = if p.virtual_protocol {
             self.ensure_directory_mapping(n, page)?;
             if self.cfg.audit && self.page_table.dir_page_of(page).is_none() {
                 return Err(self.audit_failure(
@@ -488,13 +548,13 @@ impl Machine {
             (None, self.cfg.machine.home_of_vpage(page))
         } else {
             let frame = self.ensure_physical_mapping(n, page)?;
-            let pa = frame.base(page_size).raw() + va.page_offset(page_size);
+            let pa = (frame.raw() << p.page_shift) + (va.raw() & ((1u64 << p.page_shift) - 1));
             (Some(pa), self.cfg.machine.home_of_pframe(frame.raw()))
         };
         let byte_of = |virt: bool| if virt { va.raw() } else { pa.expect("physical scheme") };
-        let flc_block = byte_of(scheme.virtual_flc()) / flc_bs;
-        let slc_block = byte_of(scheme.virtual_slc()) / slc_bs;
-        let am_block = byte_of(scheme.virtual_am()) / am_bs;
+        let flc_block = byte_of(p.virtual_flc) >> p.flc_shift;
+        let slc_block = byte_of(p.virtual_slc) >> p.slc_shift;
+        let am_block = byte_of(p.virtual_am) >> p.am_shift;
 
         let t0 = self.nodes[n].time;
         let mut t = t0;
@@ -529,7 +589,7 @@ impl Machine {
 
         // The TLB sits before the FLC and sees every reference (L0-TLB and
         // the post-1998 schemes, which vary only the translation model).
-        if spec.translates_at(XlatePoint::EveryRef) {
+        if p.xlate_every_ref {
             self.translate(n, page, &mut t, &mut translated);
         }
 
@@ -552,23 +612,22 @@ impl Machine {
 
         // L1: the TLB sits between the (virtual) FLC and the (physical)
         // SLC; FLC read misses and every write-through store translate.
-        if spec.translates_at(XlatePoint::FlcMiss) {
+        if p.xlate_flc_miss {
             self.translate(n, page, &mut t, &mut translated);
         }
 
         // --- second-level cache ------------------------------------------
         let slc_res = self.nodes[n].slc.access(slc_block, kind);
         if let Some(ev) = slc_res.evicted {
-            let ratio = slc_bs / flc_bs;
-            self.nodes[n].flc.invalidate_span(ev, ratio);
+            self.nodes[n].flc.invalidate_span(ev, p.slc_flc_ratio);
         }
         if let Some(wb) = slc_res.writeback {
             // Dirty victim writebacks descend towards the attraction
             // memory. In plain L2-TLB they must translate (the paper's
             // solid Figure-8 lines); everywhere else they bypass the TLB
             // (physical SLC, physical pointers, or a virtual AM below).
-            if scheme.writebacks_translate() {
-                let wb_page = VPage::new(wb.block * slc_bs / page_size);
+            if p.wb_translate {
+                let wb_page = VPage::new((wb.block << p.slc_shift) >> p.page_shift);
                 let x = self.nodes[n].xlb.lookup(wb_page);
                 if x.missed {
                     let penalty = x.cycles;
@@ -600,7 +659,7 @@ impl Machine {
                 }
                 return Ok(t - t0);
             }
-        } else if spec.translates_at(XlatePoint::SlcMiss) {
+        } else if p.xlate_slc_miss {
             // L2: the TLB sits at the SLC→AM boundary and sees every SLC
             // miss.
             self.translate(n, page, &mut t, &mut translated);
@@ -633,7 +692,7 @@ impl Machine {
         // now if it has not already on this reference (the L2 upgrade
         // corner: an SLC write hit on a non-exclusive AM block still sends
         // an ownership request below the SLC).
-        if spec.translates_before_txn() {
+        if p.xlate_before_txn {
             self.translate(n, page, &mut t, &mut translated);
         }
         // Data for an SLC miss comes from the local AM copy when one
@@ -767,7 +826,7 @@ impl Machine {
         let mut t = t0 + 1;
         self.nodes[n].breakdown.busy += 1;
         self.nodes[n].fine.busy += 1;
-        if self.cfg.scheme.virtual_protocol() {
+        if self.path.virtual_protocol {
             self.ensure_directory_mapping(n, page)?;
             let _ = self.page_table.protect(page, prot);
             let home = cfg.home_of_vpage(page);
@@ -898,7 +957,7 @@ impl Machine {
         let frame = self.page_table.frame_of(victim).expect("victim has a frame");
         // Protocol blocks of physical schemes are keyed by the frame's
         // block numbers; L3's virtual AM keys by the virtual page.
-        let first_block = if self.cfg.scheme.virtual_am() {
+        let first_block = if self.path.virtual_am {
             victim.raw() * cfg.blocks_per_page()
         } else {
             frame.raw() * cfg.blocks_per_page()
@@ -944,7 +1003,7 @@ impl Machine {
         now: u64,
     ) -> Access {
         let blocks_per_page = self.cfg.machine.blocks_per_page();
-        if self.cfg.scheme.virtual_protocol() {
+        if self.path.virtual_protocol {
             let node_count = self.cfg.machine.nodes;
             let mut hook = DlbHook {
                 nodes: &mut self.nodes,
