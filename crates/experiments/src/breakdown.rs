@@ -55,7 +55,7 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<BreakdownRow> {
             points.push(SweepPoint::new(format!("{}/{scheme}", w.name()), (scheme, w.as_ref())));
         }
     }
-    sweep::run("breakdown", cfg.effective_jobs(), points, |&(scheme, wl)| {
+    sweep::run_progress("breakdown", cfg.effective_jobs(), cfg.progress.as_deref(), points, |&(scheme, wl)| {
         let report = cfg.run_cached(cfg.simulator(scheme), wl);
         SweepResult::new(
             BreakdownRow::from_report(wl.name(), scheme, &report),

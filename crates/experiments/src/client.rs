@@ -1,6 +1,6 @@
 //! Client side of the sweep server: endpoint parsing, the NDJSON
-//! connection, and the `submit` / `status` / `fetch` subcommands of the
-//! `vcoma-experiments` binary.
+//! connection, and the `submit` / `status` / `fetch` / `stats`
+//! subcommands of the `vcoma-experiments` binary.
 //!
 //! `submit` posts a job and, by default, stays connected: it polls the
 //! daemon and paints a `--progress`-style live line on stderr (artifacts
@@ -180,12 +180,14 @@ fn wait_for(conn: &mut Connection, job: &str) -> Response {
         let resp = check(conn.request(&req).unwrap_or_else(|e| fail_io(&e)));
         let state = resp.state.clone().unwrap_or_default();
         eprint!(
-            "\r[job {job}] {state}: {}/{} artifacts, {} points ({} store hits, {} simulated) ",
+            "\r[job {job}] {state}: {}/{} artifacts, {}/{} points ({} store hits, {} simulated, {:.3e} cycles/s) ",
             resp.artifacts_done.unwrap_or(0),
             resp.artifacts_total.unwrap_or(0),
             resp.points_done.unwrap_or(0),
+            resp.points_total.unwrap_or(0),
             resp.cache_hits.unwrap_or(0),
             resp.simulated.unwrap_or(0),
+            resp.cycles_per_sec.unwrap_or(0.0),
         );
         match state.as_str() {
             "done" | "failed" => {
@@ -203,6 +205,7 @@ usage: vcoma-experiments submit [ARTIFACT...] --server ENDPOINT [--scale F]
                          [--no-wait]
        vcoma-experiments status JOB --server ENDPOINT
        vcoma-experiments fetch  JOB --server ENDPOINT --out DIR
+       vcoma-experiments stats --server ENDPOINT
 
 ENDPOINT is unix:PATH or tcp:HOST:PORT (a bare path means unix:).
 
@@ -212,6 +215,9 @@ returns immediately. With --out, the job's CSVs are fetched into DIR once
 it finishes - byte-identical to a direct run's --out files. Identical
 submissions share one job id (jobs are content-addressed), so resubmitting
 after a daemon restart resumes from whatever the store already holds.
+
+stats prints the daemon's uptime, job-phase counts and store counters
+(the same numbers the HTTP /metrics endpoint exposes to scrapers).
 
 exit status: 0 on success, 1 on connection/daemon errors, 2 on usage
 errors, 3 when the job failed.
@@ -324,15 +330,42 @@ pub fn cli_main(cmd: &str, args: impl Iterator<Item = String>) -> ! {
             let mut conn = connect_or_die(&endpoint);
             let resp = check(conn.request(&req).unwrap_or_else(|e| fail_io(&e)));
             println!(
-                "job {job}: {} ({}/{} artifacts, {} points, {} store hits, {} simulated)",
+                "job {job}: {} ({}/{} artifacts, {}/{} points, {} store hits, {} simulated)",
                 resp.state.as_deref().unwrap_or("unknown"),
                 resp.artifacts_done.unwrap_or(0),
                 resp.artifacts_total.unwrap_or(0),
                 resp.points_done.unwrap_or(0),
+                resp.points_total.unwrap_or(0),
                 resp.cache_hits.unwrap_or(0),
                 resp.simulated.unwrap_or(0),
             );
             std::process::exit(if resp.state.as_deref() == Some("failed") { 3 } else { 0 });
+        }
+        "stats" => {
+            if !positional.is_empty() {
+                fail_usage("stats takes no positional arguments");
+            }
+            let mut conn = connect_or_die(&endpoint);
+            let resp = check(conn.request(&Request::new("stats")).unwrap_or_else(|e| fail_io(&e)));
+            println!(
+                "daemon: fingerprint {}, up {}s",
+                resp.fingerprint.as_deref().unwrap_or("unknown"),
+                resp.uptime_seconds.unwrap_or(0),
+            );
+            println!(
+                "jobs: {} queued, {} running, {} done, {} failed",
+                resp.jobs_queued.unwrap_or(0),
+                resp.jobs_running.unwrap_or(0),
+                resp.jobs_done.unwrap_or(0),
+                resp.jobs_failed.unwrap_or(0),
+            );
+            println!(
+                "store: {} hits, {} misses, {} writes",
+                resp.store_hits.unwrap_or(0),
+                resp.store_misses.unwrap_or(0),
+                resp.store_writes.unwrap_or(0),
+            );
+            std::process::exit(0);
         }
         "fetch" => {
             let [job] = positional.as_slice() else {

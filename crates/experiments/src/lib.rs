@@ -38,6 +38,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig8;
 pub mod fig9;
+pub mod progress;
 pub mod protocol;
 pub mod render;
 pub mod sweep;
@@ -89,6 +90,12 @@ pub struct ExperimentConfig {
     /// cached reports decode byte-identical to fresh ones, the rendered
     /// artifacts are the same either way.
     pub cache: Option<Arc<dyn cache::ReportCache>>,
+    /// Optional progress observer: sweeps report grid-point starts and
+    /// completions, and [`ExperimentConfig::run_cached`] reports each
+    /// resolution (cache hit or simulation) with its cycle cost. `None`
+    /// (the default) costs nothing; sinks never influence artifact
+    /// bytes — see [`progress::ProgressSink`].
+    pub progress: Option<Arc<dyn progress::ProgressSink>>,
 }
 
 impl std::fmt::Debug for ExperimentConfig {
@@ -102,6 +109,7 @@ impl std::fmt::Debug for ExperimentConfig {
             .field("intra_jobs", &self.intra_jobs)
             .field("schemes", &self.schemes)
             .field("cache", &self.cache.as_ref().map(|_| "ReportCache"))
+            .field("progress", &self.progress.as_ref().map(|_| "ProgressSink"))
             .finish()
     }
 }
@@ -118,6 +126,7 @@ impl ExperimentConfig {
             intra_jobs: 1,
             schemes: None,
             cache: None,
+            progress: None,
         }
     }
 
@@ -134,6 +143,7 @@ impl ExperimentConfig {
             intra_jobs: 1,
             schemes: None,
             cache: None,
+            progress: None,
         }
     }
 
@@ -212,6 +222,14 @@ impl ExperimentConfig {
         self
     }
 
+    /// Installs a progress observer; sweeps and
+    /// [`ExperimentConfig::run_cached`] report to it. Artifact outputs
+    /// are byte-identical with or without one.
+    pub fn with_progress(mut self, sink: Arc<dyn progress::ProgressSink>) -> Self {
+        self.progress = Some(sink);
+        self
+    }
+
     /// Runs `sim` on `w`, consulting the configured result store first.
     ///
     /// Without a store this is exactly `sim.run(w)`. With one, the
@@ -221,13 +239,25 @@ impl ExperimentConfig {
     /// stored report (byte-identical to a fresh run by the codec's
     /// round-trip guarantee), a miss simulates and persists.
     pub fn run_cached(&self, sim: Simulator, w: &dyn Workload) -> SimReport {
-        let Some(store) = &self.cache else { return sim.run(w) };
+        let Some(store) = &self.cache else {
+            let report = sim.run(w);
+            if let Some(p) = &self.progress {
+                p.point_resolved(report.simulated_cycles(), false);
+            }
+            return report;
+        };
         let key = cache::point_key(sim.config(), w, self.scale, cache::code_fingerprint());
         if let Some(report) = store.load(&key, sim.config()) {
+            if let Some(p) = &self.progress {
+                p.point_resolved(report.simulated_cycles(), true);
+            }
             return report;
         }
         let report = sim.run(w);
         store.store(&key, &report);
+        if let Some(p) = &self.progress {
+            p.point_resolved(report.simulated_cycles(), false);
+        }
         report
     }
 

@@ -31,6 +31,7 @@ client mode (talks to a running vcoma-sweepd; see submit --help):
   vcoma-experiments submit [ARTIFACT...] --server ENDPOINT [--out DIR]
   vcoma-experiments status JOB --server ENDPOINT
   vcoma-experiments fetch  JOB --server ENDPOINT --out DIR
+  vcoma-experiments stats --server ENDPOINT
 
 options:
   --scale F          fraction of each benchmark's iterations to replay (default 0.1)
@@ -135,7 +136,7 @@ fn main() {
     // Client subcommands talk to a running vcoma-sweepd instead of
     // simulating locally; everything after the subcommand is theirs.
     if let Some(cmd) = args.peek() {
-        if matches!(cmd.as_str(), "submit" | "status" | "fetch") {
+        if matches!(cmd.as_str(), "submit" | "status" | "fetch" | "stats") {
             let cmd = args.next().expect("peeked");
             client::cli_main(&cmd, args);
         }

@@ -20,15 +20,19 @@
 //! |---|---|---|
 //! | `ping` | — | `fingerprint` |
 //! | `submit` | `artifacts`, `scale`, `nodes`, `seed`, `schemes` | `job`, `state` |
-//! | `status` | `job` | `job`, `state`, progress counters |
+//! | `status` | `job` | `job`, `state`, progress counters (`points_done`/`points_total`, `cache_hits`, `simulated`, `cycles_per_sec`) |
 //! | `fetch` | `job` | `files` (name + CSV bytes per table) |
-//! | `stats` | — | store-wide `store_hits`/`store_misses`/`store_writes` |
+//! | `stats` | — | `uptime_seconds`, job-phase counts (`jobs_queued`/`jobs_running`/`jobs_done`/`jobs_failed`), store-wide `store_hits`/`store_misses`/`store_writes` |
 //! | `shutdown` | — | `ok` then the daemon exits |
 
 use serde::{Deserialize, Serialize};
 
 /// Current protocol version, echoed by `ping`. Bump on any wire change.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// Version history: `1` — initial daemon protocol (PR 9); `2` — live
+/// progress (`points_total`, `cycles_per_sec`) on `status` and daemon
+/// uptime plus job-phase counts on `stats`.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// One client request line. `op` selects the operation; the remaining
 /// fields are that operation's parameters (unused ones stay `None`).
@@ -100,16 +104,34 @@ pub struct Response {
     /// Simulation points resolved so far — store hits + fresh runs
     /// (`status`).
     pub points_done: Option<u64>,
+    /// Grid points announced by the sweeps started so far (`status`).
+    /// Grows as the job's artifacts begin their sweeps, so it reaches
+    /// the job's true total only once the last artifact has started.
+    pub points_total: Option<u64>,
     /// Of `points_done`, how many were served from the store (`status`).
     pub cache_hits: Option<u64>,
     /// Of `points_done`, how many were freshly simulated (`status`).
     pub simulated: Option<u64>,
+    /// Simulated cycles retired per wall-clock second of the job so far
+    /// (`status`); `0` while queued or when everything came from the
+    /// store.
+    pub cycles_per_sec: Option<f64>,
     /// Store-wide load hits since daemon start (`stats`).
     pub store_hits: Option<u64>,
     /// Store-wide load misses since daemon start (`stats`).
     pub store_misses: Option<u64>,
     /// Store-wide envelope writes since daemon start (`stats`).
     pub store_writes: Option<u64>,
+    /// Jobs currently queued (`stats`).
+    pub jobs_queued: Option<u64>,
+    /// Jobs currently running (`stats`).
+    pub jobs_running: Option<u64>,
+    /// Jobs finished successfully since daemon start (`stats`).
+    pub jobs_done: Option<u64>,
+    /// Jobs failed since daemon start (`stats`).
+    pub jobs_failed: Option<u64>,
+    /// Whole seconds since the daemon started (`stats`).
+    pub uptime_seconds: Option<u64>,
     /// The job's rendered tables (`fetch`).
     pub files: Option<Vec<CsvFile>>,
 }
@@ -127,11 +149,18 @@ impl Response {
             artifacts_done: None,
             artifacts_total: None,
             points_done: None,
+            points_total: None,
             cache_hits: None,
             simulated: None,
+            cycles_per_sec: None,
             store_hits: None,
             store_misses: None,
             store_writes: None,
+            jobs_queued: None,
+            jobs_running: None,
+            jobs_done: None,
+            jobs_failed: None,
+            uptime_seconds: None,
             files: None,
         }
     }
@@ -185,6 +214,27 @@ mod tests {
         let files = back.files.expect("files survive");
         assert_eq!(files[0].name, "table2");
         assert_eq!(files[0].contents, "SYSTEM,A\nRADIX,1\n");
+    }
+
+    #[test]
+    fn progress_and_stats_fields_round_trip() {
+        let mut resp = Response::success();
+        resp.points_done = Some(42);
+        resp.points_total = Some(96);
+        resp.cycles_per_sec = Some(1.25e7);
+        resp.jobs_queued = Some(1);
+        resp.jobs_running = Some(1);
+        resp.jobs_done = Some(3);
+        resp.jobs_failed = Some(0);
+        resp.uptime_seconds = Some(17);
+        let line = to_json_line(&resp).expect("serializes");
+        let back: Response = from_json_str(&line).expect("parses");
+        assert_eq!(back.points_done, Some(42));
+        assert_eq!(back.points_total, Some(96));
+        assert_eq!(back.cycles_per_sec, Some(1.25e7));
+        assert_eq!(back.jobs_done, Some(3));
+        assert_eq!(back.uptime_seconds, Some(17));
+        assert_eq!(back.cache_hits, None);
     }
 
     #[test]

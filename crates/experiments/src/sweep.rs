@@ -18,6 +18,8 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use crate::progress::ProgressSink;
+
 /// Whether [`run`] paints a live progress line to stderr (`--progress`).
 /// Stderr-only by design: stdout carries the deterministic tables and
 /// must stay byte-identical with or without the flag.
@@ -140,9 +142,32 @@ where
     T: Send,
     F: Fn(&I) -> SweepResult<T> + Sync,
 {
+    run_progress(name, jobs, None, points, eval)
+}
+
+/// [`run`] with an optional [`ProgressSink`]: the sink hears
+/// `sweep_started(name, points)` before evaluation begins and one
+/// `point_done(label)` per finished point, from whichever worker thread
+/// finished it. The returned values — and every byte of stdout — are
+/// identical with and without a sink.
+pub fn run_progress<I, T, F>(
+    name: &str,
+    jobs: usize,
+    sink: Option<&dyn ProgressSink>,
+    points: Vec<SweepPoint<I>>,
+    eval: F,
+) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> SweepResult<T> + Sync,
+{
     let t0 = Instant::now();
     let n = points.len();
     let jobs = jobs.clamp(1, n.max(1));
+    if let Some(sink) = sink {
+        sink.sweep_started(name, n as u64);
+    }
 
     // Work-stealing over a shared cursor; each worker writes finished
     // results into its point's dedicated slot, so completion order never
@@ -168,6 +193,9 @@ where
                 let result = eval(&points[i].input);
                 let cycles = result.simulated_cycles;
                 *slots_ref[i].lock().unwrap() = Some(result);
+                if let Some(sink) = sink {
+                    sink.point_done(&points[i].label);
+                }
                 if progress {
                     let d = done_ref.fetch_add(1, Ordering::Relaxed) + 1;
                     let c = cycles_ref.fetch_add(cycles, Ordering::Relaxed) + cycles;
@@ -423,6 +451,35 @@ mod tests {
         let serial = run("test_serial", 1, square_points(17), |&i| SweepResult::new(i * 7, 0));
         let parallel = run("test_parallel", 8, square_points(17), |&i| SweepResult::new(i * 7, 0));
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn progress_sink_hears_start_and_every_point() {
+        use std::collections::BTreeSet;
+
+        #[derive(Default)]
+        struct Sink {
+            started: Mutex<Vec<(String, u64)>>,
+            labels: Mutex<BTreeSet<String>>,
+        }
+        impl crate::progress::ProgressSink for Sink {
+            fn sweep_started(&self, artifact: &str, points: u64) {
+                self.started.lock().unwrap().push((artifact.to_string(), points));
+            }
+            fn point_done(&self, label: &str) {
+                self.labels.lock().unwrap().insert(label.to_string());
+            }
+        }
+
+        let sink = Sink::default();
+        let out = run_progress("test_sink", 4, Some(&sink), square_points(9), |&i| {
+            SweepResult::new(i + 1, 0)
+        });
+        assert_eq!(out, (1..=9).collect::<Vec<u64>>());
+        assert_eq!(*sink.started.lock().unwrap(), vec![("test_sink".to_string(), 9)]);
+        let labels = sink.labels.lock().unwrap();
+        assert_eq!(labels.len(), 9, "one point_done per point: {labels:?}");
+        assert!(labels.contains("p0") && labels.contains("p8"));
     }
 
     #[test]

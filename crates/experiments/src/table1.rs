@@ -33,7 +33,7 @@ pub struct Table1Row {
 pub fn run(cfg: &ExperimentConfig) -> Vec<Table1Row> {
     let points =
         cfg.benchmarks().into_iter().map(|w| SweepPoint::new(w.name(), w)).collect();
-    sweep::run("table1", cfg.effective_jobs(), points, |w| {
+    sweep::run_progress("table1", cfg.effective_jobs(), cfg.progress.as_deref(), points, |w| {
         let a = if cfg.materialized {
             TraceAnalysis::of(&w.generate(&cfg.machine), &cfg.machine)
         } else {

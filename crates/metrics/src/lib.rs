@@ -19,6 +19,8 @@
 //!   deterministically sampled transactions, with the
 //!   [`critical_paths`] analyzer and a Chrome-trace/Perfetto JSON
 //!   exporter in [`trace_export`].
+//! * [`prometheus::PrometheusExposer`] — renders registries and ad-hoc
+//!   series into Prometheus text exposition for `/metrics` endpoints.
 //!
 //! Snapshots serialize to deterministic pretty-printed JSON through
 //! [`json::to_json_pretty`]; determinism comes from `BTreeMap` key order.
@@ -30,6 +32,7 @@ mod histogram;
 mod intern;
 pub mod json;
 mod mergeable;
+pub mod prometheus;
 mod registry;
 mod ring;
 mod span;

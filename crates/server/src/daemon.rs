@@ -14,24 +14,40 @@
 //! a restart *is* the resume path, with finished points loading from
 //! the store and only the remainder simulating.
 //!
-//! Progress counters come from the store itself: the worker records the
-//! store's hit/miss counts when a job starts, and a status request
-//! reports the deltas (hits = points served from disk, misses = points
-//! freshly simulated). The `ccnuma` artifact runs outside the cache (it
-//! drives the CC-NUMA reference machine, not the COMA simulator), so it
-//! contributes no point counts.
+//! Progress comes from a per-job [`JobProgress`] sink installed into
+//! the job's harness configuration: the sweep pool reports grid points
+//! (announced totals and completions) and `run_cached` reports every
+//! resolution — store hit or fresh simulation — with its simulated
+//! cycle cost. Status responses and the HTTP `/metrics` endpoint read
+//! those atomics live. The `ccnuma` artifact drives the CC-NUMA
+//! reference machine directly rather than through `run_cached`, so it
+//! contributes grid-point counts but no resolution counts.
+//!
+//! Beside the NDJSON control endpoint the daemon can open a second,
+//! HTTP port (`--http ADDR`, see [`crate::http`]) serving `/metrics`,
+//! `/healthz` and `/readyz` — control and observation stay on separate
+//! listeners so a scrape can never stall a submit and vice versa.
+//!
+//! Operational events log through [`crate::log`] (`VCOMA_LOG` levels)
+//! to stderr; stdout carries only the one `listening on …` readiness
+//! line that scripts wait for.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crate::log::Level;
+use crate::obs::JobProgress;
 use crate::store::DiskStore;
+use crate::{http, vlog};
 use vcoma::metrics::json::{from_json_str, to_json_line};
+use vcoma::metrics::prometheus::PrometheusExposer;
+use vcoma::metrics::{HistogramSnapshot, Mergeable};
 use vcoma_experiments::cache::{code_fingerprint, fnv128_hex};
 use vcoma_experiments::client::Endpoint;
 use vcoma_experiments::protocol::{CsvFile, Request, Response, PROTOCOL_VERSION};
@@ -49,6 +65,9 @@ pub struct DaemonConfig {
     pub jobs: usize,
     /// Intra-run worker threads (`0` = one per core, `1` = serial).
     pub intra_jobs: usize,
+    /// Optional HTTP observation address (`--http`, e.g.
+    /// `127.0.0.1:9188`); `None` means no HTTP port.
+    pub http: Option<String>,
 }
 
 /// A validated, content-addressed job specification.
@@ -118,26 +137,30 @@ struct JobState {
     spec: JobSpec,
     phase: JobPhase,
     artifacts_done: u64,
-    /// Store counters when the job started (single worker, so deltas
-    /// since then belong to this job).
-    base_hits: u64,
-    base_misses: u64,
-    /// Final per-job counts, frozen when the job finishes.
-    hits: u64,
-    simulated: u64,
+    /// Live progress counters, shared with the job's sweep workers
+    /// while it runs; replaced with a fresh instance (and frozen at
+    /// completion) each time the job starts running.
+    progress: Arc<JobProgress>,
     files: Vec<CsvFile>,
     error: Option<String>,
 }
 
 /// The daemon: store, job table, queue, and lifecycle flags. Create
 /// with [`Daemon::new`], run with [`Daemon::serve`].
+///
+/// Lock ordering: `jobs` before `queue` — every path that needs both
+/// (metrics assembly, submit) takes them in that order.
 pub struct Daemon {
     config: DaemonConfig,
     store: Arc<DiskStore>,
+    started: Instant,
     jobs: Mutex<BTreeMap<String, JobState>>,
     queue: Mutex<VecDeque<String>>,
     wake: Condvar,
     shutdown: AtomicBool,
+    /// The HTTP port's bound address, recorded by [`Daemon::serve`];
+    /// lets tests bind port `0` and discover where it landed.
+    http_addr: Mutex<Option<SocketAddr>>,
 }
 
 impl Daemon {
@@ -152,16 +175,45 @@ impl Daemon {
         Ok(Arc::new(Daemon {
             config,
             store,
+            started: Instant::now(),
             jobs: Mutex::new(BTreeMap::new()),
             queue: Mutex::new(VecDeque::new()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            http_addr: Mutex::new(None),
         }))
     }
 
     /// The daemon's result store.
     pub fn store(&self) -> &Arc<DiskStore> {
         &self.store
+    }
+
+    /// Whether shutdown has been requested (the HTTP loop polls this).
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Jobs waiting in the queue right now.
+    pub fn queue_depth(&self) -> u64 {
+        self.lock_queue().len() as u64
+    }
+
+    /// Whether the store root still exists on disk — the health signal
+    /// behind `/healthz` and `/readyz`.
+    pub fn store_reachable(&self) -> bool {
+        self.config.store_dir.is_dir()
+    }
+
+    /// Whole seconds since the daemon was created.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Where the HTTP observation port is bound, once [`Daemon::serve`]
+    /// has bound it (`None` before that, or when `--http` is off).
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        *self.http_addr.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Locks the job table, recovering from poisoning.
@@ -217,13 +269,39 @@ impl Daemon {
                 Listener::Tcp(l)
             }
         };
-        println!(
-            "vcoma-sweepd listening on {} (store {}, fingerprint {})",
+        let http_thread = match &self.config.http {
+            None => None,
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let bound = l.local_addr()?;
+                *self.http_addr.lock().unwrap_or_else(PoisonError::into_inner) = Some(bound);
+                let daemon = Arc::clone(self);
+                Some(std::thread::spawn(move || http::serve(l, daemon)))
+            }
+        };
+        match self.http_addr() {
+            Some(http) => println!(
+                "vcoma-sweepd listening on {} (http {http}, store {}, fingerprint {})",
+                self.config.listen,
+                self.config.store_dir.display(),
+                code_fingerprint()
+            ),
+            None => println!(
+                "vcoma-sweepd listening on {} (store {}, fingerprint {})",
+                self.config.listen,
+                self.config.store_dir.display(),
+                code_fingerprint()
+            ),
+        }
+        std::io::stdout().flush().ok();
+        vlog!(
+            Level::Info,
+            "daemon-start",
+            "listen={} store={} fingerprint={}",
             self.config.listen,
             self.config.store_dir.display(),
             code_fingerprint()
         );
-        std::io::stdout().flush().ok();
 
         let worker = {
             let daemon = Arc::clone(self);
@@ -239,20 +317,25 @@ impl Daemon {
                     std::thread::sleep(Duration::from_millis(20));
                 }
                 Err(e) => {
-                    eprintln!("warning: accept failed: {e}");
+                    vlog!(Level::Warn, "accept-failed", "error={e}");
                     std::thread::sleep(Duration::from_millis(100));
                 }
             }
         }
         self.wake.notify_all();
         worker.join().ok();
+        if let Some(t) = http_thread {
+            t.join().ok();
+        }
         if let Endpoint::Unix(path) = &self.config.listen {
             let _ = std::fs::remove_file(path);
         }
+        vlog!(Level::Info, "daemon-stop", "uptime_seconds={}", self.uptime_seconds());
         Ok(())
     }
 
     fn handle_connection(self: Arc<Daemon>, stream: Stream) {
+        vlog!(Level::Debug, "connect");
         let Ok(write_half) = stream.try_clone() else { return };
         let mut writer = write_half;
         let reader = BufReader::new(stream);
@@ -285,14 +368,21 @@ impl Daemon {
             "status" => self.status(req),
             "fetch" => self.fetch(req),
             "stats" => {
+                let (queued, running, done, failed) = self.phase_counts(&self.lock_jobs());
                 let mut r = Response::success();
                 r.fingerprint = Some(code_fingerprint().to_string());
+                r.uptime_seconds = Some(self.uptime_seconds());
+                r.jobs_queued = Some(queued);
+                r.jobs_running = Some(running);
+                r.jobs_done = Some(done);
+                r.jobs_failed = Some(failed);
                 r.store_hits = Some(self.store.hits());
                 r.store_misses = Some(self.store.misses());
                 r.store_writes = Some(self.store.writes());
                 r
             }
             "shutdown" => {
+                vlog!(Level::Info, "shutdown-request");
                 self.request_shutdown();
                 Response::success()
             }
@@ -347,18 +437,27 @@ impl Daemon {
                 // the existing job in whatever phase it is in. A failed
                 // job is re-enqueued (the failure may have been
                 // environmental).
-                Some(existing) if existing.phase != JobPhase::Failed => existing.phase,
+                Some(existing) if existing.phase != JobPhase::Failed => {
+                    vlog!(Level::Info, "dedupe", "job={id} state={}", existing.phase.as_str());
+                    existing.phase
+                }
                 _ => {
+                    vlog!(
+                        Level::Info,
+                        "submit",
+                        "job={id} artifacts={} scale={} nodes={} seed={}",
+                        spec.artifacts.len(),
+                        spec.scale,
+                        spec.nodes,
+                        spec.seed
+                    );
                     jobs.insert(
                         id.clone(),
                         JobState {
                             spec,
                             phase: JobPhase::Queued,
                             artifacts_done: 0,
-                            base_hits: 0,
-                            base_misses: 0,
-                            hits: 0,
-                            simulated: 0,
+                            progress: Arc::new(JobProgress::new(&id)),
                             files: Vec::new(),
                             error: None,
                         },
@@ -387,24 +486,24 @@ impl Daemon {
         let Some(job) = jobs.get(id) else {
             return Response::failure(format!("unknown job '{id}'"));
         };
-        // For a running job the store deltas since job start are live
-        // progress (single worker: nothing else touches the store).
-        let (hits, simulated) = match job.phase {
-            JobPhase::Running => (
-                self.store.hits().saturating_sub(job.base_hits),
-                self.store.misses().saturating_sub(job.base_misses),
-            ),
-            _ => (job.hits, job.simulated),
-        };
+        // The progress atomics are written live by the job's sweep
+        // workers and frozen when the job finishes, so one read path
+        // serves every phase.
+        let p = &job.progress;
         let mut r = Response::success();
         r.job = Some(id.clone());
         r.state = Some(job.phase.as_str().to_string());
         r.error = job.error.clone();
         r.artifacts_done = Some(job.artifacts_done);
         r.artifacts_total = Some(job.spec.artifacts.len() as u64);
-        r.points_done = Some(hits + simulated);
-        r.cache_hits = Some(hits);
-        r.simulated = Some(simulated);
+        r.points_done = Some(p.points_done());
+        r.points_total = Some(p.points_total());
+        r.cache_hits = Some(p.cached());
+        r.simulated = Some(p.simulated());
+        r.cycles_per_sec = Some(match job.phase {
+            JobPhase::Queued => 0.0,
+            _ => p.cycles_per_sec(),
+        });
         r
     }
 
@@ -427,6 +526,133 @@ impl Daemon {
         r.state = Some(job.phase.as_str().to_string());
         r.files = Some(job.files.clone());
         r
+    }
+
+    /// Counts jobs by phase under an already-held jobs lock:
+    /// `(queued, running, done, failed)`.
+    fn phase_counts(&self, jobs: &BTreeMap<String, JobState>) -> (u64, u64, u64, u64) {
+        let mut counts = (0u64, 0u64, 0u64, 0u64);
+        for job in jobs.values() {
+            match job.phase {
+                JobPhase::Queued => counts.0 += 1,
+                JobPhase::Running => counts.1 += 1,
+                JobPhase::Done => counts.2 += 1,
+                JobPhase::Failed => counts.3 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Renders the full Prometheus scrape for `GET /metrics`: build
+    /// info, uptime, job phases, queue depth, worker occupancy, store
+    /// counters, cumulative point/cycle counters, the running job's
+    /// cycles/s, per-job progress gauges, and the merged per-point
+    /// simulated-cycle histogram.
+    pub fn metrics_text(&self) -> String {
+        let jobs = self.lock_jobs();
+        let queue_depth = self.queue_depth(); // jobs -> queue lock order
+        let (queued, running, done, failed) = self.phase_counts(&jobs);
+        let mut exp = PrometheusExposer::new();
+        exp.gauge(
+            "vcoma_build_info",
+            "Constant 1, labelled with the daemon's code fingerprint.",
+            &[("fingerprint", code_fingerprint())],
+            1.0,
+        );
+        exp.gauge(
+            "vcoma_uptime_seconds",
+            "Seconds since the daemon started.",
+            &[],
+            self.started.elapsed().as_secs_f64(),
+        );
+        for (phase, count) in
+            [("queued", queued), ("running", running), ("done", done), ("failed", failed)]
+        {
+            exp.gauge("vcoma_jobs", "Jobs by phase.", &[("phase", phase)], count as f64);
+        }
+        exp.gauge("vcoma_queue_depth", "Jobs waiting in the queue.", &[], queue_depth as f64);
+        exp.gauge(
+            "vcoma_worker_busy",
+            "1 while the worker is running a job.",
+            &[],
+            if running > 0 { 1.0 } else { 0.0 },
+        );
+        exp.counter("vcoma_store_hits_total", "Store loads served from disk.", &[], self.store.hits());
+        exp.counter("vcoma_store_misses_total", "Store loads that missed.", &[], self.store.misses());
+        exp.counter(
+            "vcoma_store_writes_total",
+            "Result envelopes written to the store.",
+            &[],
+            self.store.writes(),
+        );
+
+        // Cumulative across every job the daemon has run; a histogram
+        // of per-point simulated cycle costs merges the same way.
+        let (mut from_store, mut simulated, mut sim_cycles) = (0u64, 0u64, 0u64);
+        let mut cycles_hist: Option<HistogramSnapshot> = None;
+        let mut live_rate = 0.0f64;
+        for job in jobs.values() {
+            from_store += job.progress.cached();
+            simulated += job.progress.simulated();
+            sim_cycles += job.progress.sim_cycles();
+            if job.phase == JobPhase::Running {
+                live_rate += job.progress.cycles_per_sec();
+            }
+            let h = job.progress.cycles_histogram();
+            if h.count > 0 {
+                match &mut cycles_hist {
+                    None => cycles_hist = Some(h),
+                    Some(merged) => merged.merge(&h),
+                }
+            }
+        }
+        exp.counter(
+            "vcoma_points_total",
+            "Simulation points resolved, by source.",
+            &[("source", "store")],
+            from_store,
+        );
+        exp.counter(
+            "vcoma_points_total",
+            "Simulation points resolved, by source.",
+            &[("source", "simulated")],
+            simulated,
+        );
+        exp.counter(
+            "vcoma_simulated_cycles_total",
+            "Simulated cycles retired by fresh runs.",
+            &[],
+            sim_cycles,
+        );
+        exp.gauge(
+            "vcoma_cycles_per_second",
+            "Simulated cycles per wall-clock second of the running job (0 when idle).",
+            &[],
+            live_rate,
+        );
+        for (id, job) in jobs.iter() {
+            exp.gauge(
+                "vcoma_job_points_done",
+                "Grid points finished, per job.",
+                &[("job", id), ("phase", job.phase.as_str())],
+                job.progress.points_done() as f64,
+            );
+            exp.gauge(
+                "vcoma_job_points_total",
+                "Grid points announced by started sweeps, per job.",
+                &[("job", id), ("phase", job.phase.as_str())],
+                job.progress.points_total() as f64,
+            );
+        }
+        if let Some(h) = cycles_hist {
+            exp.histogram(
+                "vcoma_point_simulated_cycles",
+                "Per-point simulated cycle cost of fresh runs, all jobs.",
+                &[],
+                &h,
+            );
+        }
+        exp.render()
     }
 
     fn worker_loop(self: Arc<Daemon>) {
@@ -453,15 +679,20 @@ impl Daemon {
     }
 
     fn run_job(&self, id: &str) {
-        let spec = {
+        let (spec, progress) = {
             let mut jobs = self.lock_jobs();
             let job = jobs.get_mut(id).expect("queued jobs exist");
             job.phase = JobPhase::Running;
-            job.base_hits = self.store.hits();
-            job.base_misses = self.store.misses();
-            job.spec.clone()
+            // A fresh sink per run: the clock starts now, and a
+            // re-enqueued job (failed, then resubmitted) doesn't carry
+            // stale counters.
+            job.progress = Arc::new(JobProgress::new(id));
+            (job.spec.clone(), Arc::clone(&job.progress))
         };
-        let cfg = spec.experiment_config(&self.config, Arc::clone(&self.store));
+        vlog!(Level::Info, "job-start", "job={id} artifacts={}", spec.artifacts.len());
+        let cfg = spec
+            .experiment_config(&self.config, Arc::clone(&self.store))
+            .with_progress(Arc::clone(&progress) as _);
         let mut files = Vec::new();
         let mut error = None;
         for name in &spec.artifacts {
@@ -489,16 +720,26 @@ impl Daemon {
         }
         // Keep the throughput ledger bounded across a long-lived process.
         let _ = sweep::take_stats();
+        progress.freeze();
         let mut jobs = self.lock_jobs();
         let job = jobs.get_mut(id).expect("job exists");
-        job.hits = self.store.hits().saturating_sub(job.base_hits);
-        job.simulated = self.store.misses().saturating_sub(job.base_misses);
         match error {
             None => {
                 job.files = files;
                 job.phase = JobPhase::Done;
+                vlog!(
+                    Level::Info,
+                    "job-done",
+                    "job={id} points={}/{} store_hits={} simulated={} cycles_per_sec={:.3e}",
+                    progress.points_done(),
+                    progress.points_total(),
+                    progress.cached(),
+                    progress.simulated(),
+                    progress.cycles_per_sec()
+                );
             }
             Some(msg) => {
+                vlog!(Level::Error, "job-failed", "job={id} error={msg}");
                 job.error = Some(msg);
                 job.phase = JobPhase::Failed;
             }

@@ -1,0 +1,134 @@
+//! The daemon's HTTP observation port.
+//!
+//! A deliberately minimal HTTP/1.1 responder — no dependency, no
+//! keep-alive, no TLS — that serves three read-only endpoints beside
+//! the NDJSON control socket:
+//!
+//! * `GET /metrics` — Prometheus text exposition (see
+//!   [`crate::daemon::Daemon::metrics_text`]);
+//! * `GET /healthz` — health: `200 ok` while the store root is
+//!   reachable, `503` once it disappears;
+//! * `GET /readyz` — readiness: `200` with queue depth and store
+//!   status, `503` when the store root is unreachable.
+//!
+//! Every response closes the connection (`Connection: close`), which
+//! keeps the loop a handful of lines and is exactly what scrapers and
+//! load-balancer probes expect at this scale. The accept loop is
+//! nonblocking and polls the daemon's shutdown flag, so the port dies
+//! with the daemon.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::daemon::Daemon;
+use crate::log::Level;
+use crate::vlog;
+
+/// Runs the accept loop until daemon shutdown. Spawned on its own
+/// thread by [`Daemon::serve`]; one short-lived thread per connection.
+pub fn serve(listener: TcpListener, daemon: Arc<Daemon>) {
+    listener.set_nonblocking(true).ok();
+    while !daemon.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                vlog!(Level::Debug, "http-connect", "peer={peer}");
+                let daemon = Arc::clone(&daemon);
+                std::thread::spawn(move || handle(stream, &daemon));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                vlog!(Level::Warn, "http-accept-failed", "error={e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Reads one request head (up to a blank line or 8 KiB) and writes one
+/// response. Request bodies are irrelevant: every endpoint is GET.
+fn handle(mut stream: TcpStream, daemon: &Daemon) {
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let request_line = std::str::from_utf8(&head)
+        .ok()
+        .and_then(|s| s.lines().next())
+        .unwrap_or("")
+        .to_string();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = respond(daemon, method, path);
+    vlog!(Level::Debug, "http-request", "method={method} path={path} status={status}");
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes()).and_then(|()| stream.write_all(body.as_bytes()));
+    let _ = stream.flush();
+}
+
+/// The content type Prometheus scrapers negotiate for text exposition.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Routes one request to its endpoint. Split from the socket handling
+/// so tests can drive the router directly.
+pub fn respond(daemon: &Daemon, method: &str, path: &str) -> (u16, &'static str, String) {
+    // Probes may append query strings (`/healthz?verbose=1`); route on
+    // the path alone.
+    let route = path.split('?').next().unwrap_or("");
+    match (method, route) {
+        ("GET", "/metrics") => (200, METRICS_CONTENT_TYPE, daemon.metrics_text()),
+        ("GET", "/healthz") => {
+            // Health covers the one external dependency: the store
+            // root. Losing it means every job would re-simulate and
+            // nothing would persist — restart-worthy, so flag it here
+            // and not just in readiness.
+            if daemon.store_reachable() {
+                (200, "text/plain; charset=utf-8", "ok\n".to_string())
+            } else {
+                (503, "text/plain; charset=utf-8", "unhealthy: store unreachable\n".to_string())
+            }
+        }
+        ("GET", "/readyz") => {
+            let depth = daemon.queue_depth();
+            if daemon.store_reachable() {
+                (200, "text/plain; charset=utf-8", format!("ready\nqueue_depth {depth}\nstore ok\n"))
+            } else {
+                (
+                    503,
+                    "text/plain; charset=utf-8",
+                    format!("unready\nqueue_depth {depth}\nstore unreachable\n"),
+                )
+            }
+        }
+        ("GET", _) => (404, "text/plain; charset=utf-8", format!("no such endpoint: {route}\n")),
+        ("", "") => (400, "text/plain; charset=utf-8", "malformed request\n".to_string()),
+        (m, _) => (405, "text/plain; charset=utf-8", format!("method {m} not allowed\n")),
+    }
+}

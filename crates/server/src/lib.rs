@@ -18,9 +18,17 @@
 //! submitted parameters plus the code fingerprint), resuming after a
 //! crash is just resubmitting: finished points load from the store,
 //! only the missing remainder simulates.
+//!
+//! Observability rides on three more modules: [`http`] (the `--http`
+//! port serving `/metrics`, `/healthz`, `/readyz`), [`obs`] (live
+//! per-job progress counters fed by the harness's progress callbacks),
+//! and [`log`] (structured leveled stderr logging, `VCOMA_LOG`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod daemon;
+pub mod http;
+pub mod log;
+pub mod obs;
 pub mod store;

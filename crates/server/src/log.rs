@@ -1,0 +1,176 @@
+//! Structured, leveled daemon logging.
+//!
+//! One event per line on **stderr**, every line the same shape:
+//!
+//! ```text
+//! 2026-08-07T12:34:56Z INFO  job-start job=9f2c41ba... artifacts=2
+//! ```
+//!
+//! — an RFC 3339 UTC timestamp, the level, a kebab-case event name, and
+//! `key=value` fields. The level threshold comes from `VCOMA_LOG`
+//! (`error` | `warn` | `info` | `debug`, default `info`), read once per
+//! process. Stderr-only by design: stdout carries the deterministic
+//! artifact output and must stay byte-identical at any log level.
+//!
+//! Use through the [`vlog!`](crate::vlog) macro, which skips formatting
+//! entirely when the level is filtered:
+//!
+//! ```ignore
+//! vlog!(Level::Info, "submit", "job={id} artifacts={n}");
+//! ```
+
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The daemon cannot do what was asked of it.
+    Error,
+    /// Something degraded but the daemon carries on (e.g. a store write
+    /// failed — the result is simply not cached).
+    Warn,
+    /// The operational narrative: submits, job starts and completions.
+    Info,
+    /// Per-point and per-connection detail.
+    Debug,
+}
+
+impl Level {
+    /// The fixed-width tag that appears in log lines.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN ",
+            Level::Info => "INFO ",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    fn parse(raw: &str) -> Option<Level> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// The process-wide threshold: `VCOMA_LOG`, read once, default `info`.
+/// An unparseable value falls back to the default rather than erroring —
+/// a typo in an env var should never take the daemon down.
+pub fn threshold() -> Level {
+    static THRESHOLD: OnceLock<Level> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("VCOMA_LOG").ok().and_then(|v| Level::parse(&v)).unwrap_or(Level::Info)
+    })
+}
+
+/// Whether events at `level` pass the process threshold.
+#[must_use]
+pub fn enabled(level: Level) -> bool {
+    level <= threshold()
+}
+
+/// Formats a unix timestamp as RFC 3339 UTC (`2026-08-07T12:34:56Z`),
+/// without a date-time dependency. Days-to-civil conversion after
+/// Howard Hinnant's `civil_from_days` algorithm.
+#[must_use]
+pub fn rfc3339_utc(unix_seconds: u64) -> String {
+    let days = unix_seconds / 86_400;
+    let secs = unix_seconds % 86_400;
+    // Shift epoch from 1970-01-01 to 0000-03-01 so leap days land at
+    // era boundaries.
+    let z = days + 719_468;
+    let era = z / 146_097;
+    let doe = z % 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+        secs / 3_600,
+        (secs / 60) % 60,
+        secs % 60
+    )
+}
+
+/// Writes one already-filtered log line. Callers go through
+/// [`vlog!`](crate::vlog), which performs the level check first.
+pub fn write_line(level: Level, event: &str, fields: &str) {
+    let now = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    if fields.is_empty() {
+        eprintln!("{} {} {event}", rfc3339_utc(now), level.tag());
+    } else {
+        eprintln!("{} {} {event} {fields}", rfc3339_utc(now), level.tag());
+    }
+}
+
+/// Logs one structured event: `vlog!(Level::Info, "submit",
+/// "job={id}")`. The field expression is only evaluated when the level
+/// passes the `VCOMA_LOG` threshold.
+#[macro_export]
+macro_rules! vlog {
+    ($level:expr, $event:expr) => {
+        if $crate::log::enabled($level) {
+            $crate::log::write_line($level, $event, "");
+        }
+    };
+    ($level:expr, $event:expr, $($field:tt)+) => {
+        if $crate::log::enabled($level) {
+            $crate::log::write_line($level, $event, &format!($($field)+));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_by_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn level_parsing_accepts_the_documented_names() {
+        assert_eq!(Level::parse("error"), Some(Level::Error));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" info "), Some(Level::Info));
+        assert_eq!(Level::parse("Debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("trace"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn timestamps_render_known_instants() {
+        assert_eq!(rfc3339_utc(0), "1970-01-01T00:00:00Z");
+        assert_eq!(rfc3339_utc(86_399), "1970-01-01T23:59:59Z");
+        assert_eq!(rfc3339_utc(86_400), "1970-01-02T00:00:00Z");
+        // Leap year: 2024-02-29 exists.
+        assert_eq!(rfc3339_utc(1_709_164_800), "2024-02-29T00:00:00Z");
+        assert_eq!(rfc3339_utc(1_709_251_200), "2024-03-01T00:00:00Z");
+        // 2100 is a century non-leap year: Feb 28 is followed by Mar 1.
+        assert_eq!(rfc3339_utc(4_107_456_000), "2100-02-28T00:00:00Z");
+        assert_eq!(rfc3339_utc(4_107_456_000 + 86_400), "2100-03-01T00:00:00Z");
+        // Spot date in this repo's era.
+        assert_eq!(rfc3339_utc(1_754_524_800), "2025-08-07T00:00:00Z");
+    }
+
+    #[test]
+    fn tags_are_fixed_width() {
+        for l in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert_eq!(l.tag().len(), 5, "{l:?}");
+        }
+    }
+}

@@ -23,7 +23,13 @@ OPTIONS:
     --jobs N            sweep worker threads per job (default: one per core)
     --intra-jobs N      workers inside each simulation (default 1; 0 = one
                         per core)
+    --http ADDR         also serve HTTP GET /metrics, /healthz and /readyz
+                        on ADDR (e.g. 127.0.0.1:9188; port 0 picks a free
+                        port). Observation only - control stays on --listen
     --help              print this help
+
+Logging goes to stderr, one structured line per event; VCOMA_LOG
+selects the level (error|warn|info|debug, default info).
 
 Submit work with `vcoma-experiments submit --server ENDPOINT ...`.
 ";
@@ -49,6 +55,7 @@ fn main() {
     let mut store_dir: Option<PathBuf> = None;
     let mut jobs = 0usize;
     let mut intra_jobs = 1usize;
+    let mut http: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--listen" => {
@@ -61,6 +68,7 @@ fn main() {
             "--store" => store_dir = Some(PathBuf::from(flag_value("--store", args.next()))),
             "--jobs" => jobs = parse_count("--jobs", args.next()),
             "--intra-jobs" => intra_jobs = parse_count("--intra-jobs", args.next()),
+            "--http" => http = Some(flag_value("--http", args.next())),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return;
@@ -71,7 +79,7 @@ fn main() {
     let Some(listen) = listen else { fail("--listen is required") };
     let Some(store_dir) = store_dir else { fail("--store is required") };
 
-    let config = DaemonConfig { listen, store_dir, jobs, intra_jobs };
+    let config = DaemonConfig { listen, store_dir, jobs, intra_jobs, http };
     let daemon = match Daemon::new(config) {
         Ok(d) => d,
         Err(e) => {

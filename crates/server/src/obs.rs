@@ -1,0 +1,199 @@
+//! Live job progress: the daemon's [`ProgressSink`].
+//!
+//! One [`JobProgress`] is attached to each running job and installed
+//! into the job's `ExperimentConfig`, so the sweep pool and
+//! `run_cached` report into it from worker threads. Status responses
+//! and the `/metrics` endpoint read the atomics without stopping the
+//! job.
+//!
+//! Two families of counters, deliberately distinct (see
+//! [`vcoma_experiments::progress`]): **grid** counters
+//! (`points_total` accumulates as each artifact's sweep starts,
+//! `points_done` ticks as grid points finish) and **resolution**
+//! counters (`cached` vs `simulated` splits of every `run_cached`
+//! call, plus the simulated cycles). Cycles count only fresh
+//! simulations, so a fully store-served resume correctly reads
+//! 0 cycles/s.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::log::Level;
+use crate::vlog;
+use vcoma::metrics::{Histogram, HistogramSnapshot};
+use vcoma_experiments::progress::ProgressSink;
+
+/// Atomic progress state of one job. All counters are monotone for the
+/// job's lifetime; readers see a consistent-enough snapshot without
+/// locks (each counter is individually atomic).
+pub struct JobProgress {
+    job: String,
+    points_done: AtomicU64,
+    points_total: AtomicU64,
+    cached: AtomicU64,
+    simulated: AtomicU64,
+    sim_cycles: AtomicU64,
+    started: Instant,
+    /// Elapsed microseconds frozen at job completion; `0` = still live.
+    /// Freezing keeps a finished job's cycles/s stable instead of
+    /// decaying toward zero as wall-clock time passes.
+    frozen_micros: AtomicU64,
+    /// Distribution of per-point simulated cycle costs (fresh runs
+    /// only), merged into the `/metrics` histogram.
+    cycles_hist: Mutex<Histogram>,
+}
+
+impl JobProgress {
+    /// Fresh progress for `job`, with the wall clock starting now.
+    #[must_use]
+    pub fn new(job: &str) -> Self {
+        JobProgress {
+            job: job.to_string(),
+            points_done: AtomicU64::new(0),
+            points_total: AtomicU64::new(0),
+            cached: AtomicU64::new(0),
+            simulated: AtomicU64::new(0),
+            sim_cycles: AtomicU64::new(0),
+            started: Instant::now(),
+            frozen_micros: AtomicU64::new(0),
+            cycles_hist: Mutex::new(Histogram::new()),
+        }
+    }
+
+    /// Grid points finished so far.
+    pub fn points_done(&self) -> u64 {
+        self.points_done.load(Ordering::Relaxed)
+    }
+
+    /// Grid points announced by the sweeps started so far.
+    pub fn points_total(&self) -> u64 {
+        self.points_total.load(Ordering::Relaxed)
+    }
+
+    /// `run_cached` resolutions served from the store.
+    pub fn cached(&self) -> u64 {
+        self.cached.load(Ordering::Relaxed)
+    }
+
+    /// `run_cached` resolutions freshly simulated.
+    pub fn simulated(&self) -> u64 {
+        self.simulated.load(Ordering::Relaxed)
+    }
+
+    /// Simulated cycles retired by fresh runs.
+    pub fn sim_cycles(&self) -> u64 {
+        self.sim_cycles.load(Ordering::Relaxed)
+    }
+
+    /// Elapsed job seconds: wall clock while live, the frozen value
+    /// after [`JobProgress::freeze`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        let frozen = self.frozen_micros.load(Ordering::Relaxed);
+        if frozen > 0 {
+            frozen as f64 / 1e6
+        } else {
+            self.started.elapsed().as_secs_f64()
+        }
+    }
+
+    /// Simulated cycles per wall-clock second of the job so far; `0`
+    /// when nothing simulated yet (e.g. a pure store-served resume).
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.elapsed_seconds();
+        if secs > 0.0 {
+            self.sim_cycles() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Stops the job clock, pinning `cycles_per_sec` at its final
+    /// value. Called once when the job leaves the running phase.
+    pub fn freeze(&self) {
+        let micros = self.started.elapsed().as_micros().try_into().unwrap_or(u64::MAX);
+        // `max(1)`: a sub-microsecond job must still read as frozen.
+        self.frozen_micros.store(micros.max(1), Ordering::Relaxed);
+    }
+
+    /// Snapshot of the per-point simulated-cycle histogram.
+    pub fn cycles_histogram(&self) -> HistogramSnapshot {
+        self.cycles_hist.lock().unwrap_or_else(std::sync::PoisonError::into_inner).snapshot()
+    }
+}
+
+impl ProgressSink for JobProgress {
+    fn sweep_started(&self, artifact: &str, points: u64) {
+        self.points_total.fetch_add(points, Ordering::Relaxed);
+        vlog!(Level::Debug, "sweep-start", "job={} artifact={artifact} points={points}", self.job);
+    }
+
+    fn point_done(&self, label: &str) {
+        let done = self.points_done.fetch_add(1, Ordering::Relaxed) + 1;
+        vlog!(
+            Level::Debug,
+            "point-done",
+            "job={} point={label} done={done}/{}",
+            self.job,
+            self.points_total()
+        );
+    }
+
+    fn point_resolved(&self, simulated_cycles: u64, from_cache: bool) {
+        if from_cache {
+            self.cached.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.simulated.fetch_add(1, Ordering::Relaxed);
+            self.sim_cycles.fetch_add(simulated_cycles, Ordering::Relaxed);
+            self.cycles_hist
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .record(simulated_cycles);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_split_cached_from_simulated() {
+        let p = JobProgress::new("testjob");
+        p.sweep_started("table2", 30);
+        p.sweep_started("table5", 66);
+        assert_eq!(p.points_total(), 96);
+        p.point_done("RADIX/V-COMA");
+        p.point_done("FFT/L0");
+        assert_eq!(p.points_done(), 2);
+        p.point_resolved(1_000, true);
+        p.point_resolved(2_000, false);
+        p.point_resolved(3_000, false);
+        assert_eq!(p.cached(), 1);
+        assert_eq!(p.simulated(), 2);
+        assert_eq!(p.sim_cycles(), 5_000, "cached cycles are not counted");
+        let hist = p.cycles_histogram();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 5_000);
+    }
+
+    #[test]
+    fn freeze_pins_the_rate() {
+        let p = JobProgress::new("j");
+        p.point_resolved(1_000_000, false);
+        p.freeze();
+        let a = p.cycles_per_sec();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let b = p.cycles_per_sec();
+        assert!(a > 0.0);
+        assert_eq!(a, b, "frozen rate must not decay");
+    }
+
+    #[test]
+    fn live_rate_is_zero_for_pure_cache_serves() {
+        let p = JobProgress::new("j");
+        p.point_resolved(9_999, true);
+        assert_eq!(p.sim_cycles(), 0);
+        assert_eq!(p.cycles_per_sec(), 0.0);
+    }
+}

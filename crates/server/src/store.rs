@@ -17,6 +17,8 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::log::Level;
+use crate::vlog;
 use vcoma::{codec, SimConfig, SimReport};
 use vcoma_experiments::cache::{code_fingerprint, PointKey, ReportCache};
 
@@ -116,11 +118,12 @@ impl ReportCache for DiskStore {
                 // affects correctness.
                 let _ = std::fs::write(path.with_extension("material"), &key.material);
                 self.writes.fetch_add(1, Ordering::Relaxed);
+                vlog!(Level::Debug, "store-write", "digest={} bytes={}", key.digest, text.len());
             }
             Err(e) => {
                 // A store that cannot write degrades to re-simulation.
                 let _ = std::fs::remove_file(&tmp);
-                eprintln!("warning: store write for {} failed: {e}", key.digest);
+                vlog!(Level::Warn, "store-write-failed", "digest={} error={e}", key.digest);
             }
         }
     }

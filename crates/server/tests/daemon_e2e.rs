@@ -6,7 +6,9 @@
 //! OS process (CI's `sweep_server` section covers the kill-and-restart
 //! variant against the installed binaries):
 //!
-//! * submit → run → fetch round trip, with live status counters;
+//! * submit → run → fetch round trip, with live status counters
+//!   (points done/total, cache hits, simulated, cycles/s);
+//! * daemon-wide `stats` (job phase counts, store counters, uptime);
 //! * content-addressed job dedup (same submission → same job id);
 //! * restart resume: a **fresh daemon on the same store** serves the
 //!   identical job 100% from the store (`simulated == 0`);
@@ -41,6 +43,7 @@ impl RunningDaemon {
             store_dir: store.to_path_buf(),
             jobs: 2,
             intra_jobs: 1,
+            http: None,
         };
         let daemon = Daemon::new(config).expect("open store");
         let thread = {
@@ -143,10 +146,21 @@ fn daemon_serves_caches_resumes_and_matches_direct_runs() {
     assert_eq!(status.artifacts_done, Some(ARTIFACTS.len() as u64));
     let simulated = status.simulated.expect("counter");
     assert!(simulated > 0, "a fresh store must simulate");
+    // table2 and table5 run exactly one simulation per grid point, so
+    // the sweep-level and resolution-level counters line up.
     assert_eq!(
         status.points_done,
         Some(status.cache_hits.expect("counter") + simulated),
         "points = hits + simulated"
+    );
+    assert_eq!(
+        status.points_done, status.points_total,
+        "a done job has finished every announced grid point"
+    );
+    assert!(status.points_total.expect("total") > 0);
+    assert!(
+        status.cycles_per_sec.expect("rate") > 0.0,
+        "a job that simulated must report a nonzero frozen cycles/s"
     );
 
     let first_files = fetch_files(&mut conn, &job);
@@ -169,12 +183,26 @@ fn daemon_serves_caches_resumes_and_matches_direct_runs() {
     let hits = status.cache_hits.expect("counter");
     assert!(hits > 0);
     assert_eq!(status.points_done, Some(hits));
+    assert_eq!(
+        status.points_done, status.points_total,
+        "a resumed job still reports full grid progress"
+    );
+    assert_eq!(
+        status.cycles_per_sec,
+        Some(0.0),
+        "a pure store-served resume simulates nothing, so its rate is zero"
+    );
 
     let second_files = fetch_files(&mut conn, &job2);
     assert_eq!(first_files, second_files, "store-served CSVs must be byte-identical");
 
     let stats = ok(conn.request(&Request::new("stats")));
     assert!(stats.store_hits.expect("counter") >= hits);
+    assert_eq!(stats.jobs_done, Some(1), "this daemon instance ran exactly one job");
+    assert_eq!(stats.jobs_queued, Some(0));
+    assert_eq!(stats.jobs_running, Some(0));
+    assert_eq!(stats.jobs_failed, Some(0));
+    assert!(stats.uptime_seconds.is_some(), "stats must report daemon uptime");
     server.stop();
 
     // --- Byte-diff against a direct run of the same artifacts. ---

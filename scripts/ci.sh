@@ -174,17 +174,45 @@ echo "==> trace artifact byte-identical across worker counts; export valid"
 echo "==> sweep server: crash resume, 100% cache-hit resubmission, byte-diff vs direct run"
 sw=$(mktemp -d)
 sweepd_pid=""
+sweepd_http="127.0.0.1:9188"
 trap 'kill "$sweepd_pid" 2>/dev/null || true; rm -rf "$out1" "$out2" "$outm" "$fault1" "$fault2" "$intra1" "$intra8" "$n64a" "$n64b" "$micro_out" "$guard" "$trace1" "$trace8" "$sw"' EXIT
 cargo build --release -p vcoma-server -p vcoma-experiments
 start_sweepd() {
     # A kill -9'd daemon leaves its socket file behind; clear it so the
     # readiness probe below only sees the new daemon's bind.
     rm -f "$sw/sweepd.sock"
-    target/release/vcoma-sweepd --listen "unix:$sw/sweepd.sock" --store "$sw/store" --jobs 2 &
+    target/release/vcoma-sweepd --listen "unix:$sw/sweepd.sock" --store "$sw/store" \
+        --jobs 2 --http "$sweepd_http" &
     sweepd_pid=$!
     for _ in $(seq 1 100); do [ -S "$sw/sweepd.sock" ] && return 0; sleep 0.1; done
     echo "vcoma-sweepd never started listening"; exit 1
 }
+# Fetches /metrics and validates every line of the scrape against the
+# Prometheus text-exposition grammar (comments must be HELP/TYPE, sample
+# values must parse as floats).
+check_scrape() {
+    curl -fsS "http://$sweepd_http/metrics" > "$sw/scrape.txt"
+    python3 - "$sw/scrape.txt" <<'EOF'
+import re, sys
+sample = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (\S+)$')
+comment = re.compile(r'^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* \S.*$')
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "empty scrape"
+for line in lines:
+    if line.startswith("#"):
+        assert comment.match(line), f"bad comment line: {line!r}"
+        continue
+    m = sample.match(line)
+    assert m, f"bad sample line: {line!r}"
+    float(m.group(2))  # raises on a malformed value
+for series in ("vcoma_store_hits_total", "vcoma_queue_depth",
+               'vcoma_jobs{phase="running"}', "vcoma_cycles_per_second"):
+    assert any(l.startswith(series + " ") for l in lines), f"missing series {series}"
+print(f"scrape OK: {len(lines)} lines")
+EOF
+}
+# The value of a single un-labelled metric in the latest scrape.
+metric() { awk -v m="$1" '$1 == m { print $2 }' "$sw/scrape.txt"; }
 # Daemon 1 populates the store with table2, then dies hard: the on-disk
 # state is exactly a sweep killed partway through the full artifact set.
 start_sweepd
@@ -193,24 +221,39 @@ target/release/vcoma-experiments submit table2 --scale 0.01 \
 kill -9 "$sweepd_pid"; wait "$sweepd_pid" 2>/dev/null || true
 # Daemon 2 resumes: the full sweep must serve table2's points from the
 # store (hits >= 1) while simulating only the genuinely new remainder.
+# Submit --no-wait first so /metrics and /healthz get probed mid-job.
 start_sweepd
 job=$(target/release/vcoma-experiments submit table2 fig8 table5 --scale 0.01 \
+    --server "unix:$sw/sweepd.sock" --no-wait)
+curl -fsS "http://$sweepd_http/healthz" | grep -q '^ok$' \
+    || { echo "/healthz not ok on a live daemon"; exit 1; }
+check_scrape
+# The identical resubmission joins the running job and waits it out.
+job_again=$(target/release/vcoma-experiments submit table2 fig8 table5 --scale 0.01 \
     --server "unix:$sw/sweepd.sock" --out "$sw/daemon-csvs")
+test "$job" = "$job_again" || { echo "resubmit forked a new job: $job vs $job_again"; exit 1; }
 status=$(target/release/vcoma-experiments status "$job" --server "unix:$sw/sweepd.sock")
 echo "$status"
 echo "$status" | grep -q " done " || { echo "resumed sweep did not finish"; exit 1; }
 echo "$status" | grep -q " 0 store hits, " && { echo "resume simulated table2 instead of hitting the store"; exit 1; }
 echo "$status" | grep -q ", 0 simulated)" && { echo "fig8/table5 should have simulated fresh points"; exit 1; }
 kill -9 "$sweepd_pid"; wait "$sweepd_pid" 2>/dev/null || true
-# Daemon 3: the identical resubmission must be served 100% from the store.
+# Daemon 3: the identical resubmission must be served 100% from the
+# store, and the scrape's store-hit counter must climb while it does.
 start_sweepd
+check_scrape
+hits_before=$(metric vcoma_store_hits_total)
 job2=$(target/release/vcoma-experiments submit table2 fig8 table5 --scale 0.01 \
     --server "unix:$sw/sweepd.sock" --out "$sw/resume-csvs")
 test "$job" = "$job2" || { echo "job ids must be content-addressed: $job vs $job2"; exit 1; }
 status=$(target/release/vcoma-experiments status "$job2" --server "unix:$sw/sweepd.sock")
 echo "$status"
 echo "$status" | grep -q ", 0 simulated)" || { echo "resubmission was not 100% from the store"; exit 1; }
-echo "$status" | grep -q " 0 points, " && { echo "resubmission served no points at all"; exit 1; }
+echo "$status" | grep -qE " 0/[0-9]+ points, " && { echo "resubmission served no points at all"; exit 1; }
+check_scrape
+hits_after=$(metric vcoma_store_hits_total)
+awk -v a="$hits_before" -v b="$hits_after" 'BEGIN { exit !(b > a) }' \
+    || { echo "vcoma_store_hits_total did not climb across the resubmit ($hits_before -> $hits_after)"; exit 1; }
 target/release/vcoma-experiments fetch "$job2" \
     --server "unix:$sw/sweepd.sock" --out "$sw/fetch-csvs" >/dev/null
 kill "$sweepd_pid"; wait "$sweepd_pid" 2>/dev/null || true
